@@ -1,0 +1,44 @@
+// Command mnnfast-loadgen drives a running mnnfast-serve instance with
+// concurrent QA sessions and reports throughput and latency
+// percentiles.
+//
+// Usage:
+//
+//	mnnfast-serve &                                  # default model
+//	mnnfast-loadgen -url http://localhost:8080 -sessions 16 -questions 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mnnfast/internal/loadgen"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://localhost:8080", "service base URL")
+		sessions  = flag.Int("sessions", 8, "concurrent sessions")
+		questions = flag.Int("questions", 20, "questions per session")
+		storyLen  = flag.Int("storylen", 8, "story sentences per session")
+		seed      = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:   *url,
+		Sessions:  *sessions,
+		Questions: *questions,
+		StoryLen:  *storyLen,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mnnfast-loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+// Command mnnfast-node runs the paper's multi-node scale-out (§5.3)
+// from the shell: shard servers own row ranges of a (synthetically
+// generated, seed-reproducible) knowledge database, and a coordinator
+// fans questions out and merges the O(ed) partials.
+//
+// Serve two shards of the same seed-42 database:
+//
+//	mnnfast-node -serve -listen :7001 -ns 200000 -ed 48 -rows 0:100000      -seed 42 &
+//	mnnfast-node -serve -listen :7002 -ns 200000 -ed 48 -rows 100000:200000 -seed 42 &
+//
+// Query them (the coordinator generates the same questions from
+// -qseed, so runs are reproducible):
+//
+//	mnnfast-node -query localhost:7001,localhost:7002 -ed 48 -questions 10
+//
+// Every node must be built from the same -ns/-ed/-seed so the shards
+// describe one coherent database.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"mnnfast/internal/cluster"
+	"mnnfast/internal/core"
+	"mnnfast/internal/tensor"
+)
+
+func main() {
+	var (
+		serve     = flag.Bool("serve", false, "run a shard node")
+		listen    = flag.String("listen", ":7001", "node listen address (with -serve)")
+		rows      = flag.String("rows", "", "row range lo:hi this node serves (with -serve; default all)")
+		query     = flag.String("query", "", "comma-separated node addresses to query as coordinator")
+		ns        = flag.Int("ns", 100000, "database sentences (must match across nodes)")
+		ed        = flag.Int("ed", 48, "embedding dimension (must match across nodes)")
+		seed      = flag.Int64("seed", 42, "database seed (must match across nodes)")
+		qseed     = flag.Int64("qseed", 1, "question seed (with -query)")
+		questions = flag.Int("questions", 5, "questions to ask (with -query)")
+		chunk     = flag.Int("chunk", 1000, "column-engine chunk size")
+	)
+	flag.Parse()
+
+	switch {
+	case *serve:
+		runNode(*listen, *rows, *ns, *ed, *seed, *chunk)
+	case *query != "":
+		runCoordinator(*query, *ed, *qseed, *questions)
+	default:
+		fmt.Fprintln(os.Stderr, "mnnfast-node: need -serve or -query (see -h)")
+		os.Exit(2)
+	}
+}
+
+func buildDatabase(ns, ed int, seed int64) *core.Memory {
+	rng := rand.New(rand.NewSource(seed))
+	mem, err := core.NewMemory(
+		tensor.GaussianMatrix(rng, ns, ed, 0.5),
+		tensor.GaussianMatrix(rng, ns, ed, 0.5),
+	)
+	if err != nil {
+		log.Fatal("mnnfast-node: ", err)
+	}
+	return mem
+}
+
+func parseRange(s string, ns int) (int, int) {
+	if s == "" {
+		return 0, ns
+	}
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		log.Fatalf("mnnfast-node: -rows %q, want lo:hi", s)
+	}
+	lo, err1 := strconv.Atoi(parts[0])
+	hi, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		log.Fatalf("mnnfast-node: -rows %q, want integers", s)
+	}
+	return lo, hi
+}
+
+func runNode(listen, rows string, ns, ed int, seed int64, chunk int) {
+	mem := buildDatabase(ns, ed, seed)
+	lo, hi := parseRange(rows, ns)
+	node, err := cluster.NewNode(mem, lo, hi, core.Options{ChunkSize: chunk, Streaming: true})
+	if err != nil {
+		log.Fatal("mnnfast-node: ", err)
+	}
+	addr, err := node.Listen(listen)
+	if err != nil {
+		log.Fatal("mnnfast-node: ", err)
+	}
+	log.Printf("serving rows [%d, %d) of %d×%d database (seed %d) on %s", lo, hi, ns, ed, seed, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("shutting down")
+	node.Close()
+}
+
+func runCoordinator(addrList string, ed int, qseed int64, questions int) {
+	var addrs []string
+	for _, a := range strings.Split(addrList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	coord, err := cluster.Dial(ed, addrs...)
+	if err != nil {
+		log.Fatal("mnnfast-node: ", err)
+	}
+	defer coord.Close()
+	log.Printf("connected to %s", coord.Name())
+
+	rng := rand.New(rand.NewSource(qseed))
+	o := tensor.NewVector(ed)
+	for q := 0; q < questions; q++ {
+		u := tensor.RandomVector(rng, ed, 1)
+		start := time.Now()
+		st, err := coord.TryInfer(u, o)
+		if err != nil {
+			log.Fatal("mnnfast-node: ", err)
+		}
+		fmt.Printf("question %d: %v  rows=%d  skipped=%.1f%%  |o|=%.4f\n",
+			q, time.Since(start), st.TotalRows, 100*st.SkipFraction(), o.Norm2())
+	}
+	fmt.Printf("gather payload per question: %d bytes\n", coord.SyncBytesPerQuery())
+}

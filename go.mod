@@ -1,0 +1,3 @@
+module mnnfast
+
+go 1.22

@@ -1,0 +1,162 @@
+package mnnfast_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mnnfast/internal/babi"
+	"mnnfast/internal/core"
+	"mnnfast/internal/memnn"
+	"mnnfast/internal/tensor"
+)
+
+// TestEnginesReproduceModelHops wires the two halves of the repository
+// together: the embedded memories of a trained memory network's forward
+// pass are handed to the MnnFast inference engines, which must
+// reproduce the model's own hop outputs exactly. This is the paper's
+// deployment story — the model defines the math, the engines execute
+// it fast.
+func TestEnginesReproduceModelHops(t *testing.T) {
+	opt := babi.GenOptions{Stories: 60, StoryLen: 12, People: 4, Locations: 4}
+	d := babi.Generate(babi.TaskSingleFact, opt, rand.New(rand.NewSource(77)))
+	train, test := d.Split(0.8)
+	corpus := memnn.BuildCorpus(train, test, 0)
+	model, err := memnn.NewModel(memnn.Config{
+		Dim: 16, Hops: 3,
+		Vocab:   corpus.Vocab.Size(),
+		Answers: len(corpus.Answers),
+		MaxSent: corpus.MaxSent,
+	}, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topt := memnn.DefaultTrainOptions()
+	topt.Epochs = 5
+	if _, err := model.Train(corpus.Train, topt); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ex := range corpus.Test[:5] {
+		f := model.Apply(ex, 0)
+		for k := 0; k < model.Cfg.Hops; k++ {
+			mem, err := core.NewMemory(f.MemIn[k], f.MemOut[k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eng := range []core.Engine{
+				core.NewBaseline(mem, core.Options{}),
+				core.NewColumn(mem, core.Options{ChunkSize: 4}),
+				core.NewColumn(mem, core.Options{ChunkSize: 3, Streaming: true}),
+			} {
+				o := tensor.NewVector(model.Cfg.Dim)
+				eng.Infer(f.U[k], o)
+				if d := tensor.MaxAbsDiff(o, f.O[k]); d > 1e-4 {
+					t.Errorf("hop %d, %s: engine output differs from model forward by %v",
+						k, eng.Name(), d)
+				}
+			}
+		}
+	}
+}
+
+// TestSkipAgreementModelVsEngine checks that the engine-side
+// zero-skipping (threshold on max-shifted exponentials, the FPGA rule)
+// and the model-side skipping (threshold on softmax probabilities, the
+// CPU rule) bypass comparable work on the same trained attention.
+func TestSkipAgreementModelVsEngine(t *testing.T) {
+	opt := babi.GenOptions{Stories: 200, StoryLen: 15, People: 4, Locations: 4}
+	d := babi.Generate(babi.TaskSingleFact, opt, rand.New(rand.NewSource(78)))
+	train, test := d.Split(0.8)
+	corpus := memnn.BuildCorpus(train, test, 0)
+	model, err := memnn.NewModel(memnn.Config{
+		Dim: 20, Hops: 2,
+		Vocab:   corpus.Vocab.Size(),
+		Answers: len(corpus.Answers),
+		MaxSent: corpus.MaxSent,
+	}, rand.New(rand.NewSource(78)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topt := memnn.DefaultTrainOptions()
+	topt.Epochs = 25
+	if _, err := model.Train(corpus.Train, topt); err != nil {
+		t.Fatal(err)
+	}
+
+	const th = 0.1
+	var modelSkipped, engineSkipped, total int64
+	for _, ex := range corpus.Test {
+		f := model.Apply(ex, 0)
+		k := 0
+		for _, p := range f.P[k] {
+			total++
+			if p < th {
+				modelSkipped++
+			}
+		}
+		mem, err := core.NewMemory(f.MemIn[k], f.MemOut[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := core.NewColumn(mem, core.Options{ChunkSize: 8, SkipThreshold: th})
+		o := tensor.NewVector(model.Cfg.Dim)
+		st := eng.Infer(f.U[k], o)
+		engineSkipped += st.SkippedRows
+	}
+	mFrac := float64(modelSkipped) / float64(total)
+	eFrac := float64(engineSkipped) / float64(total)
+	if mFrac < 0.5 {
+		t.Fatalf("trained attention not sparse enough for the comparison: %v", mFrac)
+	}
+	// The engine's running-normalizer rule is sound (never skips a row
+	// the exact p<th rule keeps) and conservative on short stories,
+	// where much of the story precedes the attention mass. It must
+	// still catch a solid share here, and never exceed the exact rule.
+	if eFrac > mFrac+1e-9 {
+		t.Errorf("engine rule skipped more than the exact rule: %v > %v", eFrac, mFrac)
+	}
+	if eFrac < 0.25 {
+		t.Errorf("engine rule too conservative even for sharp attention: %v (exact rule: %v)", eFrac, mFrac)
+	}
+}
+
+// TestSkipRuleConvergesAtScale verifies the engine's running-normalizer
+// skip rule approaches the exact post-softmax rule as ns grows — the
+// paper's operating regime (ns up to 100M).
+func TestSkipRuleConvergesAtScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	const ns, ed, th = 20000, 24, 0.1
+	in := tensor.GaussianMatrix(rng, ns, ed, 0.5)
+	for i := range in.Data {
+		in.Data[i] *= 4 // trained-model sharpness
+	}
+	mem, err := core.NewMemory(in, tensor.GaussianMatrix(rng, ns, ed, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := tensor.RandomVector(rng, ed, 1)
+
+	// Exact rule: full softmax, count p >= th survivors.
+	p := tensor.NewVector(ns)
+	tensor.MatVec(nil, mem.In, u, p)
+	tensor.Softmax(p)
+	var exactSkipped int64
+	for _, pi := range p {
+		if pi < th {
+			exactSkipped++
+		}
+	}
+
+	eng := core.NewColumn(mem, core.Options{ChunkSize: 1000, SkipThreshold: th})
+	o := tensor.NewVector(ed)
+	st := eng.Infer(u, o)
+
+	exactFrac := float64(exactSkipped) / float64(ns)
+	engineFrac := st.SkipFraction()
+	if engineFrac > exactFrac+1e-9 {
+		t.Errorf("engine rule over-skipped: %v > exact %v", engineFrac, exactFrac)
+	}
+	if exactFrac-engineFrac > 0.02 {
+		t.Errorf("engine rule did not converge at ns=%d: %v vs exact %v", ns, engineFrac, exactFrac)
+	}
+}

@@ -1,0 +1,104 @@
+// Package babi provides question-answering datasets in the style of the
+// Facebook bAbI tasks (Weston et al. 2015), which the MnnFast paper uses
+// for its probability-distribution (Fig 6) and zero-skipping accuracy
+// (Fig 7) experiments.
+//
+// The real bAbI files are not distributable with this repository, so the
+// package contains both:
+//
+//   - a Parser for the genuine bAbI file format, usable if the dataset
+//     is present locally, and
+//   - a deterministic synthetic Generator producing five task families
+//     with the property that matters for the paper's argument — each
+//     question is answerable from a small number of supporting
+//     sentences, so a trained memory network's attention (p-vector) is
+//     sparse.
+package babi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Story is one QA example: an ordered list of story sentences, a
+// question, its single-word answer, and the indices of the sentences
+// that support the answer (ground truth for sparsity analysis).
+type Story struct {
+	Sentences [][]string // tokenized story sentences, oldest first
+	Question  []string   // tokenized question
+	Answer    string     // single-word answer
+	Support   []int      // indices into Sentences of supporting facts
+}
+
+// Dataset is a set of stories belonging to one task family.
+type Dataset struct {
+	Task    string
+	Stories []Story
+}
+
+// Split partitions d into train and test sets with the given train
+// fraction (clamped to [0, 1]), preserving order. The caller shuffles
+// beforehand if desired.
+func (d *Dataset) Split(trainFrac float64) (train, test *Dataset) {
+	if trainFrac < 0 {
+		trainFrac = 0
+	}
+	if trainFrac > 1 {
+		trainFrac = 1
+	}
+	n := int(float64(len(d.Stories)) * trainFrac)
+	return &Dataset{Task: d.Task, Stories: d.Stories[:n]},
+		&Dataset{Task: d.Task, Stories: d.Stories[n:]}
+}
+
+// MaxSentences returns the largest story length in the dataset — the ns
+// the memory must accommodate.
+func (d *Dataset) MaxSentences() int {
+	m := 0
+	for _, s := range d.Stories {
+		if len(s.Sentences) > m {
+			m = len(s.Sentences)
+		}
+	}
+	return m
+}
+
+// MaxWords returns the largest sentence or question length in tokens —
+// the nw of the paper's Figure 2.
+func (d *Dataset) MaxWords() int {
+	m := 0
+	for _, s := range d.Stories {
+		for _, sent := range s.Sentences {
+			if len(sent) > m {
+				m = len(sent)
+			}
+		}
+		if len(s.Question) > m {
+			m = len(s.Question)
+		}
+	}
+	return m
+}
+
+// Answers returns the distinct answers in first-seen order; the model's
+// output layer is sized by this list.
+func (d *Dataset) Answers() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range d.Stories {
+		if !seen[s.Answer] {
+			seen[s.Answer] = true
+			out = append(out, s.Answer)
+		}
+	}
+	return out
+}
+
+// String summarizes the dataset for logs.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("babi.Dataset{task=%s stories=%d maxSent=%d answers=%d}",
+		d.Task, len(d.Stories), d.MaxSentences(), len(d.Answers()))
+}
+
+// sentence builds a tokenized sentence from space-separated text.
+func sentence(text string) []string { return strings.Fields(text) }

@@ -1,0 +1,424 @@
+package babi
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func genOpt(stories, storyLen int) GenOptions {
+	return GenOptions{Stories: stories, StoryLen: storyLen, People: 4, Locations: 4}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(TaskSingleFact, genOpt(20, 10), rand.New(rand.NewSource(1)))
+	b := Generate(TaskSingleFact, genOpt(20, 10), rand.New(rand.NewSource(1)))
+	if len(a.Stories) != len(b.Stories) {
+		t.Fatalf("nondeterministic story count %d vs %d", len(a.Stories), len(b.Stories))
+	}
+	for i := range a.Stories {
+		if a.Stories[i].Answer != b.Stories[i].Answer {
+			t.Fatalf("story %d: answers differ for same seed", i)
+		}
+	}
+}
+
+func TestGenerateAllCoversAllTasks(t *testing.T) {
+	ds := GenerateAll(genOpt(3, 8), rand.New(rand.NewSource(2)))
+	if len(ds) != int(NumTasks) {
+		t.Fatalf("GenerateAll returned %d datasets, want %d", len(ds), NumTasks)
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		if len(d.Stories) != 3 {
+			t.Errorf("task %s: %d stories, want 3", d.Task, len(d.Stories))
+		}
+		seen[d.Task] = true
+	}
+	if len(seen) != int(NumTasks) {
+		t.Errorf("duplicate task names in GenerateAll: %v", seen)
+	}
+}
+
+// verifyAnswer replays the story world and checks the labeled answer.
+func verifySingleFact(t *testing.T, s Story) {
+	t.Helper()
+	target := s.Question[len(s.Question)-1]
+	var last string
+	for _, sent := range s.Sentences {
+		// "X went to the Y"
+		if len(sent) == 5 && sent[1] == "went" && sent[0] == target {
+			last = sent[4]
+		}
+	}
+	if last == "" {
+		t.Fatalf("target %q never moves in story", target)
+	}
+	if s.Answer != last {
+		t.Errorf("answer = %q, replay says %q", s.Answer, last)
+	}
+}
+
+func TestSingleFactAnswersAreConsistent(t *testing.T) {
+	d := Generate(TaskSingleFact, genOpt(200, 15), rand.New(rand.NewSource(3)))
+	for _, s := range d.Stories {
+		verifySingleFact(t, s)
+	}
+}
+
+func TestSingleFactSupportIsCorrectSentence(t *testing.T) {
+	d := Generate(TaskSingleFact, genOpt(100, 15), rand.New(rand.NewSource(4)))
+	for i, s := range d.Stories {
+		if len(s.Support) != 1 {
+			t.Fatalf("story %d: %d supporting facts, want 1", i, len(s.Support))
+		}
+		idx := s.Support[0]
+		if idx < 0 || idx >= len(s.Sentences) {
+			t.Fatalf("story %d: support index %d out of range", i, idx)
+		}
+		sent := s.Sentences[idx]
+		target := s.Question[len(s.Question)-1]
+		if sent[0] != target || sent[len(sent)-1] != s.Answer {
+			t.Errorf("story %d: support sentence %v does not justify %q/%q", i, sent, target, s.Answer)
+		}
+	}
+}
+
+func TestTwoFactsAnswersAreLocations(t *testing.T) {
+	d := Generate(TaskTwoFacts, genOpt(200, 20), rand.New(rand.NewSource(5)))
+	locSet := map[string]bool{}
+	for _, l := range locations {
+		locSet[l] = true
+	}
+	for i, s := range d.Stories {
+		if !locSet[s.Answer] {
+			t.Errorf("story %d: answer %q is not a location", i, s.Answer)
+		}
+		if len(s.Support) == 0 {
+			t.Errorf("story %d: no supporting facts", i)
+		}
+	}
+}
+
+func TestYesNoAnswers(t *testing.T) {
+	d := Generate(TaskYesNo, genOpt(300, 12), rand.New(rand.NewSource(6)))
+	yes, no := 0, 0
+	for i, s := range d.Stories {
+		switch s.Answer {
+		case "yes":
+			yes++
+		case "no":
+			no++
+		default:
+			t.Fatalf("story %d: answer %q not yes/no", i, s.Answer)
+		}
+	}
+	if yes == 0 || no == 0 {
+		t.Errorf("degenerate yes/no distribution: %d yes, %d no", yes, no)
+	}
+}
+
+func TestCountingAnswersAreNumbers(t *testing.T) {
+	d := Generate(TaskCounting, genOpt(200, 20), rand.New(rand.NewSource(7)))
+	numSet := map[string]bool{}
+	for _, n := range numbers {
+		numSet[n] = true
+	}
+	for i, s := range d.Stories {
+		if !numSet[s.Answer] {
+			t.Errorf("story %d: answer %q is not a number word", i, s.Answer)
+		}
+	}
+}
+
+func TestBeforeTask(t *testing.T) {
+	d := Generate(TaskBefore, genOpt(200, 12), rand.New(rand.NewSource(8)))
+	for i, s := range d.Stories {
+		if len(s.Support) != 2 {
+			t.Fatalf("story %d: %d supports, want 2", i, len(s.Support))
+		}
+		// The answer must differ from the location named in the question.
+		asked := s.Question[len(s.Question)-1]
+		if s.Answer == asked {
+			t.Errorf("story %d: 'before' answer equals asked location %q", i, asked)
+		}
+		// Replay: answer is the target's second-to-last location.
+		target := s.Question[2]
+		var locs []string
+		for _, sent := range s.Sentences {
+			if len(sent) == 5 && sent[0] == target && sent[1] == "went" {
+				locs = append(locs, sent[4])
+			}
+		}
+		if len(locs) < 2 {
+			t.Fatalf("story %d: target moved %d times, want >= 2", i, len(locs))
+		}
+		if want := locs[len(locs)-2]; s.Answer != want {
+			t.Errorf("story %d: answer %q, replay says %q", i, s.Answer, want)
+		}
+	}
+}
+
+func TestSupportSparsity(t *testing.T) {
+	// The property the paper's zero-skipping rests on: supporting facts
+	// are a small fraction of the story.
+	opt := genOpt(100, 40)
+	for _, task := range AllTasks() {
+		d := Generate(task, opt, rand.New(rand.NewSource(9)))
+		var totalSupport, totalSentences int
+		for _, s := range d.Stories {
+			totalSupport += len(s.Support)
+			totalSentences += len(s.Sentences)
+		}
+		frac := float64(totalSupport) / float64(totalSentences)
+		if frac > 0.25 {
+			t.Errorf("task %s: support fraction %.2f too dense for sparsity experiments", task, frac)
+		}
+	}
+}
+
+func TestDatasetSplit(t *testing.T) {
+	d := Generate(TaskSingleFact, genOpt(100, 8), rand.New(rand.NewSource(10)))
+	train, test := d.Split(0.8)
+	if len(train.Stories) != 80 || len(test.Stories) != 20 {
+		t.Errorf("Split(0.8) = %d/%d, want 80/20", len(train.Stories), len(test.Stories))
+	}
+	train2, test2 := d.Split(-1)
+	if len(train2.Stories) != 0 || len(test2.Stories) != 100 {
+		t.Errorf("Split(-1) should clamp to 0")
+	}
+	train3, _ := d.Split(2)
+	if len(train3.Stories) != 100 {
+		t.Errorf("Split(2) should clamp to 1")
+	}
+}
+
+func TestDatasetStats(t *testing.T) {
+	d := &Dataset{Task: "x", Stories: []Story{
+		{Sentences: [][]string{{"a", "b"}, {"c"}}, Question: []string{"q", "r", "s"}, Answer: "one"},
+		{Sentences: [][]string{{"a"}}, Question: []string{"q"}, Answer: "two"},
+		{Sentences: [][]string{{"a"}}, Question: []string{"q"}, Answer: "one"},
+	}}
+	if got := d.MaxSentences(); got != 2 {
+		t.Errorf("MaxSentences = %d, want 2", got)
+	}
+	if got := d.MaxWords(); got != 3 {
+		t.Errorf("MaxWords = %d, want 3", got)
+	}
+	if got := d.Answers(); len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Errorf("Answers = %v", got)
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	input := `1 Mary moved to the bathroom.
+2 John went to the hallway.
+3 Where is Mary? 	bathroom	1
+4 Daniel went back to the hallway.
+5 Where is Daniel? 	hallway	4
+1 Sandra travelled to the office.
+2 Where is Sandra? 	office	1
+`
+	d, err := Parse(strings.NewReader(input), "qa1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Stories) != 3 {
+		t.Fatalf("parsed %d stories, want 3", len(d.Stories))
+	}
+	s0 := d.Stories[0]
+	if len(s0.Sentences) != 2 {
+		t.Errorf("story 0 has %d sentences, want 2", len(s0.Sentences))
+	}
+	if s0.Answer != "bathroom" {
+		t.Errorf("story 0 answer = %q", s0.Answer)
+	}
+	if len(s0.Support) != 1 || s0.Support[0] != 0 {
+		t.Errorf("story 0 support = %v, want [0]", s0.Support)
+	}
+	s1 := d.Stories[1]
+	if len(s1.Sentences) != 3 {
+		t.Errorf("story 1 has %d sentences (questions must not join memory), want 3", len(s1.Sentences))
+	}
+	if len(s1.Support) != 1 || s1.Support[0] != 2 {
+		t.Errorf("story 1 support = %v, want [2] (line 4 is 3rd sentence)", s1.Support)
+	}
+	s2 := d.Stories[2]
+	if len(s2.Sentences) != 1 || s2.Answer != "office" {
+		t.Errorf("story 2 did not reset at id 1: %+v", s2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"nonumber here\n",
+		"x Mary moved.\n",
+		"1 Where is Mary? \t\t1\n", // empty answer
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in), "t"); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseMultiAnswer(t *testing.T) {
+	input := "1 John took the milk.\n2 What is John carrying? \tmilk,apple\t1\n"
+	d, err := Parse(strings.NewReader(input), "qa8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stories[0].Answer != "milk-apple" {
+		t.Errorf("multi-answer = %q, want milk-apple", d.Stories[0].Answer)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	orig := Generate(TaskSingleFact, genOpt(30, 10), rand.New(rand.NewSource(11)))
+	var buf bytes.Buffer
+	if err := Format(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(&buf, orig.Task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Stories) != len(orig.Stories) {
+		t.Fatalf("round trip story count %d != %d", len(parsed.Stories), len(orig.Stories))
+	}
+	for i := range orig.Stories {
+		o, p := orig.Stories[i], parsed.Stories[i]
+		if o.Answer != p.Answer {
+			t.Errorf("story %d: answer %q != %q", i, p.Answer, o.Answer)
+		}
+		if len(o.Sentences) != len(p.Sentences) {
+			t.Errorf("story %d: sentence count %d != %d", i, len(p.Sentences), len(o.Sentences))
+		}
+		if len(o.Support) != len(p.Support) {
+			t.Errorf("story %d: support %v != %v", i, p.Support, o.Support)
+			continue
+		}
+		for j := range o.Support {
+			if o.Support[j] != p.Support[j] {
+				t.Errorf("story %d: support %v != %v", i, p.Support, o.Support)
+				break
+			}
+		}
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	if TaskSingleFact.String() != "single-fact" {
+		t.Errorf("TaskSingleFact.String() = %q", TaskSingleFact.String())
+	}
+	if !strings.Contains(Task(99).String(), "99") {
+		t.Errorf("out-of-range task string = %q", Task(99).String())
+	}
+}
+
+func TestWhoHasAnswersArePeople(t *testing.T) {
+	d := Generate(TaskWhoHas, genOpt(200, 15), rand.New(rand.NewSource(40)))
+	peopleSet := map[string]bool{}
+	for _, p := range people {
+		peopleSet[p] = true
+	}
+	for i, s := range d.Stories {
+		if !peopleSet[s.Answer] {
+			t.Errorf("story %d: answer %q is not a person", i, s.Answer)
+		}
+		if len(s.Support) != 1 {
+			t.Fatalf("story %d: %d supports, want 1", i, len(s.Support))
+		}
+		sup := s.Sentences[s.Support[0]]
+		// Supporting fact is "<answer> took the <object>".
+		if sup[0] != s.Answer || sup[1] != "took" {
+			t.Errorf("story %d: support %v does not justify %q", i, sup, s.Answer)
+		}
+	}
+}
+
+func TestFirstLocAnswers(t *testing.T) {
+	d := Generate(TaskFirstLoc, genOpt(200, 12), rand.New(rand.NewSource(41)))
+	for i, s := range d.Stories {
+		target := s.Question[2] // "where did X go first"
+		var first string
+		for _, sent := range s.Sentences {
+			if len(sent) == 5 && sent[0] == target && sent[1] == "went" {
+				first = sent[4]
+				break
+			}
+		}
+		if first == "" {
+			t.Fatalf("story %d: target %q never moves", i, target)
+		}
+		if s.Answer != first {
+			t.Errorf("story %d: answer %q, replay says %q", i, s.Answer, first)
+		}
+		if s.Support[0] != 0 && s.Sentences[s.Support[0]][0] != target {
+			t.Errorf("story %d: support %d names wrong actor", i, s.Support[0])
+		}
+	}
+}
+
+func TestCarryingAnswers(t *testing.T) {
+	d := Generate(TaskCarrying, genOpt(300, 15), rand.New(rand.NewSource(42)))
+	valid := map[string]bool{"nothing": true}
+	for _, o := range objects {
+		valid[o] = true
+	}
+	sawNothing, sawObject := false, false
+	for i, s := range d.Stories {
+		if !valid[s.Answer] {
+			t.Fatalf("story %d: answer %q not an object or 'nothing'", i, s.Answer)
+		}
+		if s.Answer == "nothing" {
+			sawNothing = true
+		} else {
+			sawObject = true
+		}
+		// Replay: track what the target holds.
+		target := s.Question[2] // "what is X carrying"
+		holding := map[string]bool{}
+		for _, sent := range s.Sentences {
+			if len(sent) == 4 && sent[1] == "took" && sent[0] == target {
+				holding[sent[3]] = true
+			}
+			if len(sent) == 4 && sent[1] == "dropped" && sent[0] == target {
+				delete(holding, sent[3])
+			}
+		}
+		if s.Answer == "nothing" && len(holding) != 0 {
+			t.Errorf("story %d: answer nothing but target holds %v", i, holding)
+		}
+		if s.Answer != "nothing" && !holding[s.Answer] {
+			t.Errorf("story %d: answer %q but target holds %v", i, s.Answer, holding)
+		}
+	}
+	if !sawNothing || !sawObject {
+		t.Errorf("degenerate answer distribution: nothing=%v object=%v", sawNothing, sawObject)
+	}
+}
+
+func TestSuite20(t *testing.T) {
+	suite := Suite20(5)
+	if len(suite) != 20 {
+		t.Fatalf("Suite20 has %d entries", len(suite))
+	}
+	names := map[string]bool{}
+	families := map[Task]bool{}
+	for _, e := range suite {
+		if names[e.Name] {
+			t.Errorf("duplicate suite name %q", e.Name)
+		}
+		names[e.Name] = true
+		families[e.Task] = true
+		d := Generate(e.Task, e.Opt, rand.New(rand.NewSource(1)))
+		if len(d.Stories) != 5 {
+			t.Errorf("%s: %d stories", e.Name, len(d.Stories))
+		}
+	}
+	if len(families) != int(NumTasks) {
+		t.Errorf("suite covers %d of %d families", len(families), NumTasks)
+	}
+}

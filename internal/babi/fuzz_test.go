@@ -1,0 +1,70 @@
+package babi
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the bAbI-format parser: arbitrary input must never
+// panic, and well-formed output of Format must always round-trip.
+func FuzzParse(f *testing.F) {
+	f.Add("1 Mary moved to the bathroom.\n2 Where is Mary? \tbathroom\t1\n")
+	f.Add("1 x.\n")
+	f.Add("")
+	f.Add("1 a\t\t\n")
+	f.Add("9999999999999999999999 overflow line number\n")
+	f.Add("1 q? \tans\tnotanumber\n")
+	var buf bytes.Buffer
+	if err := Format(&buf, Generate(TaskSingleFact, GenOptions{Stories: 2, StoryLen: 4}, rand.New(rand.NewSource(1)))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Parse(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		// Anything accepted must be internally consistent.
+		for i, s := range d.Stories {
+			if s.Answer == "" {
+				t.Errorf("story %d accepted with empty answer", i)
+			}
+			for _, sup := range s.Support {
+				if sup < 0 || sup >= len(s.Sentences) {
+					t.Errorf("story %d: support %d out of range [0, %d)", i, sup, len(s.Sentences))
+				}
+			}
+		}
+	})
+}
+
+// FuzzFormatParseRoundTrip: any generated dataset must survive
+// Format → Parse with answers and supports intact.
+func FuzzFormatParseRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(5))
+	f.Add(int64(2), uint8(4), uint8(20))
+	f.Fuzz(func(t *testing.T, seed int64, taskRaw, storyLenRaw uint8) {
+		task := Task(int(taskRaw) % int(NumTasks))
+		opt := GenOptions{Stories: 3, StoryLen: 2 + int(storyLenRaw)%30}
+		orig := Generate(task, opt, rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := Format(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := Parse(&buf, orig.Task)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if len(parsed.Stories) != len(orig.Stories) {
+			t.Fatalf("story count %d != %d", len(parsed.Stories), len(orig.Stories))
+		}
+		for i := range orig.Stories {
+			if parsed.Stories[i].Answer != orig.Stories[i].Answer {
+				t.Fatalf("story %d answer %q != %q", i, parsed.Stories[i].Answer, orig.Stories[i].Answer)
+			}
+		}
+	})
+}

@@ -1,0 +1,553 @@
+package babi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Task identifies a synthetic task family. The five families mirror the
+// structure (not the exact wording) of representative bAbI tasks: they
+// span one- and two-fact reasoning, yes/no answers, counting, and
+// before/after temporal reasoning, so averages over them exercise the
+// same spread of p-vector sparsity as the paper's 20-task average.
+type Task int
+
+// Synthetic task families.
+const (
+	TaskSingleFact Task = iota // "where is X?" — one supporting fact
+	TaskTwoFacts               // "where is the O?" — object follows its holder
+	TaskYesNo                  // "is X in the Y?" — yes/no
+	TaskCounting               // "how many objects is X carrying?"
+	TaskBefore                 // "where was X before the Y?" — two facts
+	TaskWhoHas                 // "who has the O?" — one supporting fact
+	TaskFirstLoc               // "where did X go first?" — one supporting fact
+	TaskCarrying               // "what is X carrying?" — object or 'nothing'
+	NumTasks
+)
+
+var taskNames = [...]string{
+	"single-fact", "two-facts", "yes-no", "counting", "before",
+	"who-has", "first-loc", "carrying",
+}
+
+// String returns the task's short name.
+func (t Task) String() string {
+	if t < 0 || int(t) >= len(taskNames) {
+		return fmt.Sprintf("task(%d)", int(t))
+	}
+	return taskNames[t]
+}
+
+// AllTasks lists every synthetic task family.
+func AllTasks() []Task {
+	out := make([]Task, NumTasks)
+	for i := range out {
+		out[i] = Task(i)
+	}
+	return out
+}
+
+var (
+	people    = []string{"john", "mary", "sandra", "daniel", "emily", "frank"}
+	locations = []string{"kitchen", "hallway", "garden", "bathroom", "office", "bedroom"}
+	objects   = []string{"apple", "football", "milk", "book", "keys"}
+	numbers   = []string{"zero", "one", "two", "three", "four", "five"}
+)
+
+// GenOptions controls the synthetic generator.
+type GenOptions struct {
+	Stories   int // number of QA examples
+	StoryLen  int // sentences per story (>= 2)
+	People    int // distinct actors used (2..len(people))
+	Locations int // distinct locations used (2..len(locations))
+}
+
+// DefaultGenOptions mirrors the paper's Figure 6 setup: stories of up to
+// 50 sentences, a handful of entities, and mostly-distractor sentences.
+func DefaultGenOptions() GenOptions {
+	return GenOptions{Stories: 1000, StoryLen: 20, People: 4, Locations: 4}
+}
+
+func (o *GenOptions) normalize() {
+	if o.Stories < 1 {
+		o.Stories = 1
+	}
+	if o.StoryLen < 2 {
+		o.StoryLen = 2
+	}
+	if o.People < 2 {
+		o.People = 2
+	}
+	if o.People > len(people) {
+		o.People = len(people)
+	}
+	if o.Locations < 2 {
+		o.Locations = 2
+	}
+	if o.Locations > len(locations) {
+		o.Locations = len(locations)
+	}
+}
+
+// Generate produces a deterministic synthetic dataset for the task using
+// rng. The same seed yields the same dataset.
+func Generate(task Task, opt GenOptions, rng *rand.Rand) *Dataset {
+	opt.normalize()
+	d := &Dataset{Task: task.String()}
+	for i := 0; i < opt.Stories; i++ {
+		var s Story
+		switch task {
+		case TaskSingleFact:
+			s = genSingleFact(opt, rng)
+		case TaskTwoFacts:
+			s = genTwoFacts(opt, rng)
+		case TaskYesNo:
+			s = genYesNo(opt, rng)
+		case TaskCounting:
+			s = genCounting(opt, rng)
+		case TaskBefore:
+			s = genBefore(opt, rng)
+		case TaskWhoHas:
+			s = genWhoHas(opt, rng)
+		case TaskFirstLoc:
+			s = genFirstLoc(opt, rng)
+		case TaskCarrying:
+			s = genCarrying(opt, rng)
+		default:
+			panic(fmt.Sprintf("babi: unknown task %d", int(task)))
+		}
+		d.Stories = append(d.Stories, s)
+	}
+	return d
+}
+
+// GenerateAll produces one dataset per task family, all from rng.
+func GenerateAll(opt GenOptions, rng *rand.Rand) []*Dataset {
+	out := make([]*Dataset, 0, NumTasks)
+	for _, t := range AllTasks() {
+		out = append(out, Generate(t, opt, rng))
+	}
+	return out
+}
+
+// worldState tracks entity positions while a story unfolds.
+type worldState struct {
+	loc      map[string]string // person → location
+	lastMove map[string]int    // person → sentence index of latest move
+	prevLoc  map[string]string // person → previous location
+	prevIdx  map[string]int    // person → sentence index of previous move
+	carrying map[string][]string
+	objLoc   map[string]string // object → where it was dropped ("" if carried)
+	holder   map[string]string // object → who carries it ("" if dropped/unset)
+	holdIdx  map[string]int    // object → sentence index of take/drop
+}
+
+func newWorld() *worldState {
+	return &worldState{
+		loc:      map[string]string{},
+		lastMove: map[string]int{},
+		prevLoc:  map[string]string{},
+		prevIdx:  map[string]int{},
+		carrying: map[string][]string{},
+		objLoc:   map[string]string{},
+		holder:   map[string]string{},
+		holdIdx:  map[string]int{},
+	}
+}
+
+func (w *worldState) move(idx int, person, where string) []string {
+	if old, ok := w.loc[person]; ok {
+		w.prevLoc[person] = old
+		w.prevIdx[person] = w.lastMove[person]
+	}
+	w.loc[person] = where
+	w.lastMove[person] = idx
+	return sentence(person + " went to the " + where)
+}
+
+func (w *worldState) take(idx int, person, obj string) []string {
+	w.carrying[person] = append(w.carrying[person], obj)
+	w.holder[obj] = person
+	w.holdIdx[obj] = idx
+	delete(w.objLoc, obj)
+	return sentence(person + " took the " + obj)
+}
+
+func (w *worldState) drop(idx int, person, obj string) []string {
+	list := w.carrying[person]
+	for i, o := range list {
+		if o == obj {
+			w.carrying[person] = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	w.holder[obj] = ""
+	w.holdIdx[obj] = idx
+	w.objLoc[obj] = w.loc[person]
+	return sentence(person + " dropped the " + obj)
+}
+
+func pick(rng *rand.Rand, pool []string, n int) []string {
+	idx := rng.Perm(len(pool))[:n]
+	sort.Ints(idx)
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// genSingleFact: actors wander; the question asks for one actor's latest
+// location. Exactly one supporting sentence.
+func genSingleFact(opt GenOptions, rng *rand.Rand) Story {
+	actors := pick(rng, people, opt.People)
+	locs := pick(rng, locations, opt.Locations)
+	w := newWorld()
+	var story Story
+	for i := 0; i < opt.StoryLen; i++ {
+		p := actors[rng.Intn(len(actors))]
+		l := locs[rng.Intn(len(locs))]
+		story.Sentences = append(story.Sentences, w.move(i, p, l))
+	}
+	// Ask about an actor who moved at least once (all did, with high
+	// probability; fall back to actors[0] by forcing a move).
+	target := actors[rng.Intn(len(actors))]
+	if _, ok := w.loc[target]; !ok {
+		story.Sentences = append(story.Sentences, w.move(len(story.Sentences), target, locs[0]))
+	}
+	story.Question = sentence("where is " + target)
+	story.Answer = w.loc[target]
+	story.Support = []int{w.lastMove[target]}
+	return story
+}
+
+// genTwoFacts: actors wander and carry objects; the question asks where
+// an object is, requiring the take fact and the holder's location fact
+// (or the drop fact).
+func genTwoFacts(opt GenOptions, rng *rand.Rand) Story {
+	actors := pick(rng, people, opt.People)
+	locs := pick(rng, locations, opt.Locations)
+	objs := pick(rng, objects, 2)
+	w := newWorld()
+	var story Story
+	add := func(s []string) { story.Sentences = append(story.Sentences, s) }
+	// Ensure the tracked object ends up held by someone in a known
+	// location: guarantee a take after a move.
+	tracked := objs[0]
+	for len(story.Sentences) < opt.StoryLen {
+		i := len(story.Sentences)
+		p := actors[rng.Intn(len(actors))]
+		switch r := rng.Float64(); {
+		case r < 0.55 || w.loc[p] == "":
+			add(w.move(i, p, locs[rng.Intn(len(locs))]))
+		case r < 0.8:
+			o := objs[rng.Intn(len(objs))]
+			if w.holder[o] == "" && w.loc[p] != "" {
+				add(w.take(i, p, o))
+			} else {
+				add(w.move(i, p, locs[rng.Intn(len(locs))]))
+			}
+		default:
+			if list := w.carrying[p]; len(list) > 0 {
+				add(w.drop(i, p, list[rng.Intn(len(list))]))
+			} else {
+				add(w.move(i, p, locs[rng.Intn(len(locs))]))
+			}
+		}
+	}
+	// Force determinacy for the tracked object.
+	holder := w.holder[tracked]
+	if holder == "" && w.objLoc[tracked] == "" {
+		p := actors[rng.Intn(len(actors))]
+		if w.loc[p] == "" {
+			add(w.move(len(story.Sentences), p, locs[rng.Intn(len(locs))]))
+		}
+		add(w.take(len(story.Sentences), p, tracked))
+		holder = p
+	}
+	story.Question = sentence("where is the " + tracked)
+	if holder != "" {
+		story.Answer = w.loc[holder]
+		story.Support = []int{w.holdIdx[tracked], w.lastMove[holder]}
+	} else {
+		story.Answer = w.objLoc[tracked]
+		story.Support = []int{w.holdIdx[tracked]}
+	}
+	return story
+}
+
+// genYesNo: like single-fact but the question is "is X in the Y?".
+func genYesNo(opt GenOptions, rng *rand.Rand) Story {
+	s := genSingleFact(opt, rng)
+	target := s.Question[len(s.Question)-1] // actor name from "where is X"
+	trueLoc := s.Answer
+	askLoc := trueLoc
+	if rng.Float64() < 0.5 {
+		// Ask about a different location → answer "no".
+		for _, l := range locations {
+			if l != trueLoc {
+				askLoc = l
+				break
+			}
+		}
+	}
+	s.Question = sentence("is " + target + " in the " + askLoc)
+	if askLoc == trueLoc {
+		s.Answer = "yes"
+	} else {
+		s.Answer = "no"
+	}
+	return s
+}
+
+// genCounting: actors take and drop objects; the question asks how many
+// objects an actor is carrying.
+func genCounting(opt GenOptions, rng *rand.Rand) Story {
+	actors := pick(rng, people, 2)
+	locs := pick(rng, locations, 2)
+	// Only two objects circulate, so the target carries 0–2 — few
+	// enough supporting facts for multi-hop attention to stay sharp.
+	objs := pick(rng, objects, 2)
+	w := newWorld()
+	var story Story
+	add := func(s []string) { story.Sentences = append(story.Sentences, s) }
+	var support []int
+	target := actors[0]
+	for len(story.Sentences) < opt.StoryLen {
+		i := len(story.Sentences)
+		p := actors[rng.Intn(len(actors))]
+		switch r := rng.Float64(); {
+		case r < 0.4 || w.loc[p] == "":
+			add(w.move(i, p, locs[rng.Intn(len(locs))]))
+		case r < 0.75:
+			var free []string
+			for _, o := range objs {
+				if w.holder[o] == "" {
+					free = append(free, o)
+				}
+			}
+			if len(free) == 0 {
+				add(w.move(i, p, locs[rng.Intn(len(locs))]))
+				break
+			}
+			add(w.take(i, p, free[rng.Intn(len(free))]))
+			if p == target {
+				support = append(support, i)
+			}
+		default:
+			if list := w.carrying[p]; len(list) > 0 {
+				add(w.drop(i, p, list[rng.Intn(len(list))]))
+				if p == target {
+					support = append(support, i)
+				}
+			} else {
+				add(w.move(i, p, locs[rng.Intn(len(locs))]))
+			}
+		}
+	}
+	n := len(w.carrying[target])
+	if n >= len(numbers) {
+		n = len(numbers) - 1
+	}
+	story.Question = sentence("how many objects is " + target + " carrying")
+	story.Answer = numbers[n]
+	story.Support = support
+	return story
+}
+
+// genBefore: "where was X before the Y?" — requires the last two moves
+// of X.
+func genBefore(opt GenOptions, rng *rand.Rand) Story {
+	actors := pick(rng, people, opt.People)
+	locs := pick(rng, locations, opt.Locations)
+	w := newWorld()
+	var story Story
+	target := actors[0]
+	// Guarantee the target moves at least twice to distinct locations.
+	first := locs[rng.Intn(len(locs))]
+	second := first
+	for second == first {
+		second = locs[rng.Intn(len(locs))]
+	}
+	story.Sentences = append(story.Sentences, w.move(0, target, first))
+	for len(story.Sentences) < opt.StoryLen-1 {
+		i := len(story.Sentences)
+		p := actors[1:][rng.Intn(len(actors)-1)]
+		story.Sentences = append(story.Sentences, w.move(i, p, locs[rng.Intn(len(locs))]))
+	}
+	story.Sentences = append(story.Sentences, w.move(len(story.Sentences), target, second))
+	story.Question = sentence("where was " + target + " before the " + second)
+	story.Answer = first
+	story.Support = []int{w.prevIdx[target], w.lastMove[target]}
+	return story
+}
+
+// genWhoHas: actors move and exchange objects; the question asks who
+// currently holds a tracked object. The latest take of that object is
+// the single supporting fact.
+func genWhoHas(opt GenOptions, rng *rand.Rand) Story {
+	actors := pick(rng, people, opt.People)
+	locs := pick(rng, locations, 2)
+	objs := pick(rng, objects, 2)
+	tracked := objs[0]
+	w := newWorld()
+	var story Story
+	add := func(s []string) { story.Sentences = append(story.Sentences, s) }
+	for len(story.Sentences) < opt.StoryLen-1 {
+		i := len(story.Sentences)
+		p := actors[rng.Intn(len(actors))]
+		switch r := rng.Float64(); {
+		case r < 0.5 || w.loc[p] == "":
+			add(w.move(i, p, locs[rng.Intn(len(locs))]))
+		case r < 0.8:
+			o := objs[rng.Intn(len(objs))]
+			if holder := w.holder[o]; holder != "" {
+				add(w.drop(i, holder, o))
+			} else {
+				add(w.take(i, p, o))
+			}
+		default:
+			add(w.move(i, p, locs[rng.Intn(len(locs))]))
+		}
+	}
+	// Guarantee the tracked object ends up held.
+	if w.holder[tracked] == "" {
+		p := actors[rng.Intn(len(actors))]
+		if w.loc[p] == "" {
+			add(w.move(len(story.Sentences), p, locs[0]))
+		}
+		add(w.take(len(story.Sentences), p, tracked))
+	}
+	story.Question = sentence("who has the " + tracked)
+	story.Answer = w.holder[tracked]
+	story.Support = []int{w.holdIdx[tracked]}
+	return story
+}
+
+// genFirstLoc: like single-fact, but the question asks for the FIRST
+// location the target visited — the model must prefer the oldest
+// matching fact rather than the newest.
+func genFirstLoc(opt GenOptions, rng *rand.Rand) Story {
+	actors := pick(rng, people, opt.People)
+	locs := pick(rng, locations, opt.Locations)
+	w := newWorld()
+	var story Story
+	target := actors[0]
+	firstIdx := make(map[string]int)
+	firstLoc := make(map[string]string)
+	for i := 0; i < opt.StoryLen; i++ {
+		p := actors[rng.Intn(len(actors))]
+		if i == 0 {
+			p = target // guarantee the target moves at least once
+		}
+		l := locs[rng.Intn(len(locs))]
+		if _, seen := firstIdx[p]; !seen {
+			firstIdx[p] = i
+			firstLoc[p] = l
+		}
+		story.Sentences = append(story.Sentences, w.move(i, p, l))
+	}
+	story.Question = sentence("where did " + target + " go first")
+	story.Answer = firstLoc[target]
+	story.Support = []int{firstIdx[target]}
+	return story
+}
+
+// genCarrying: the question asks what a target is carrying; the story
+// arranges that the target holds zero or one object, so the answer is
+// an object name or "nothing".
+func genCarrying(opt GenOptions, rng *rand.Rand) Story {
+	actors := pick(rng, people, 2)
+	locs := pick(rng, locations, 2)
+	objs := pick(rng, objects, 2)
+	target := actors[0]
+	w := newWorld()
+	var story Story
+	add := func(s []string) { story.Sentences = append(story.Sentences, s) }
+	for len(story.Sentences) < opt.StoryLen {
+		i := len(story.Sentences)
+		p := actors[rng.Intn(len(actors))]
+		switch r := rng.Float64(); {
+		case r < 0.5 || w.loc[p] == "":
+			add(w.move(i, p, locs[rng.Intn(len(locs))]))
+		case r < 0.8:
+			o := objs[rng.Intn(len(objs))]
+			// Keep the target's load at most one object.
+			if w.holder[o] == "" && (p != target || len(w.carrying[p]) == 0) {
+				add(w.take(i, p, o))
+			} else {
+				add(w.move(i, p, locs[rng.Intn(len(locs))]))
+			}
+		default:
+			if list := w.carrying[p]; len(list) > 0 {
+				add(w.drop(i, p, list[rng.Intn(len(list))]))
+			} else {
+				add(w.move(i, p, locs[rng.Intn(len(locs))]))
+			}
+		}
+	}
+	story.Question = sentence("what is " + target + " carrying")
+	if list := w.carrying[target]; len(list) > 0 {
+		story.Answer = list[0]
+		story.Support = []int{w.holdIdx[list[0]]}
+	} else {
+		story.Answer = "nothing"
+		// The most recent take/drop involving the target supports the
+		// 'nothing' answer when one exists.
+		last := -1
+		for _, o := range objs {
+			if w.holder[o] == "" && w.holdIdx[o] > last {
+				last = w.holdIdx[o]
+			}
+		}
+		if last >= 0 {
+			story.Support = []int{last}
+		}
+	}
+	return story
+}
+
+// SuiteEntry is one configuration of the 20-task evaluation suite.
+type SuiteEntry struct {
+	Name string
+	Task Task
+	Opt  GenOptions
+}
+
+// Suite20 returns 20 task configurations spanning the eight families at
+// varied story lengths and entity counts — the same breadth-of-difficulty
+// averaging as the paper's 20 bAbI tasks: attention-sharp one-fact tasks,
+// multi-fact chaining, yes/no, and the skip-fragile counting family each
+// contribute in paper-like proportion.
+func Suite20(stories int) []SuiteEntry {
+	mk := func(name string, task Task, storyLen, people, locations int) SuiteEntry {
+		return SuiteEntry{
+			Name: name,
+			Task: task,
+			Opt:  GenOptions{Stories: stories, StoryLen: storyLen, People: people, Locations: locations},
+		}
+	}
+	return []SuiteEntry{
+		mk("single-fact-short", TaskSingleFact, 10, 4, 4),
+		mk("single-fact-long", TaskSingleFact, 30, 4, 4),
+		mk("single-fact-crowded", TaskSingleFact, 20, 6, 6),
+		mk("two-facts-short", TaskTwoFacts, 12, 4, 4),
+		mk("two-facts-long", TaskTwoFacts, 24, 4, 4),
+		mk("two-facts-crowded", TaskTwoFacts, 20, 6, 4),
+		mk("yes-no-short", TaskYesNo, 10, 4, 4),
+		mk("yes-no-long", TaskYesNo, 24, 4, 4),
+		mk("counting-short", TaskCounting, 12, 2, 2),
+		mk("counting-long", TaskCounting, 20, 2, 2),
+		mk("before-short", TaskBefore, 10, 4, 4),
+		mk("before-long", TaskBefore, 24, 4, 4),
+		mk("before-crowded", TaskBefore, 20, 6, 6),
+		mk("who-has-short", TaskWhoHas, 12, 4, 4),
+		mk("who-has-long", TaskWhoHas, 24, 4, 4),
+		mk("who-has-crowded", TaskWhoHas, 20, 6, 4),
+		mk("first-loc-short", TaskFirstLoc, 10, 4, 4),
+		mk("first-loc-long", TaskFirstLoc, 30, 4, 4),
+		mk("carrying-short", TaskCarrying, 12, 2, 2),
+		mk("carrying-long", TaskCarrying, 20, 2, 2),
+	}
+}

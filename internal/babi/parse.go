@@ -1,0 +1,122 @@
+package babi
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mnnfast/internal/vocab"
+)
+
+// Parse reads the genuine bAbI file format:
+//
+//	1 Mary moved to the bathroom.
+//	2 John went to the hallway.
+//	3 Where is Mary? 	bathroom	1
+//
+// Line numbers restart at 1 for a new story block. Question lines carry
+// tab-separated question text, answer, and space-separated supporting
+// line numbers. One Story is emitted per question, containing every
+// preceding non-question sentence of the block (questions themselves are
+// not added to the story memory, matching the standard preprocessing of
+// end-to-end memory networks).
+func Parse(r io.Reader, task string) (*Dataset, error) {
+	d := &Dataset{Task: task}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	var block [][]string // non-question sentences of the current story
+	// Initialized eagerly: a malformed file may start mid-block (first
+	// line number != 1), and the parser must cope rather than assume
+	// the id==1 reset has run.
+	lineToIdx := make(map[int]int)
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("babi: line %d: missing line number: %q", lineNum, line)
+		}
+		id, err := strconv.Atoi(line[:sp])
+		if err != nil {
+			return nil, fmt.Errorf("babi: line %d: bad line number: %v", lineNum, err)
+		}
+		rest := line[sp+1:]
+		if id == 1 {
+			block = nil
+			lineToIdx = make(map[int]int)
+		}
+		if tab := strings.IndexByte(rest, '\t'); tab >= 0 {
+			// Question line: question \t answer [\t supports]
+			fields := strings.Split(rest, "\t")
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("babi: line %d: malformed question: %q", lineNum, line)
+			}
+			q := vocab.Tokenize(fields[0])
+			answer := strings.ToLower(strings.TrimSpace(fields[1]))
+			if answer == "" {
+				return nil, fmt.Errorf("babi: line %d: empty answer", lineNum)
+			}
+			// Multi-answer tasks list comma-separated answers; keep the
+			// raw comma-joined token as a single label.
+			answer = strings.ReplaceAll(answer, ",", "-")
+			var support []int
+			if len(fields) >= 3 {
+				for _, f := range strings.Fields(fields[2]) {
+					n, err := strconv.Atoi(f)
+					if err != nil {
+						return nil, fmt.Errorf("babi: line %d: bad support id %q", lineNum, f)
+					}
+					if idx, ok := lineToIdx[n]; ok {
+						support = append(support, idx)
+					}
+				}
+			}
+			story := Story{
+				Sentences: append([][]string(nil), block...),
+				Question:  q,
+				Answer:    answer,
+				Support:   support,
+			}
+			d.Stories = append(d.Stories, story)
+			continue
+		}
+		// Plain story sentence.
+		lineToIdx[id] = len(block)
+		block = append(block, vocab.Tokenize(rest))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("babi: scan: %w", err)
+	}
+	return d, nil
+}
+
+// Format writes the dataset back in bAbI file format; Generate + Format
+// round-trips through Parse, which the tests rely on.
+func Format(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range d.Stories {
+		id := 1
+		for _, sent := range s.Sentences {
+			if _, err := fmt.Fprintf(bw, "%d %s.\n", id, strings.Join(sent, " ")); err != nil {
+				return err
+			}
+			id++
+		}
+		supports := make([]string, len(s.Support))
+		for i, idx := range s.Support {
+			supports[i] = strconv.Itoa(idx + 1) // line numbers are 1-based
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s?\t%s\t%s\n", id,
+			strings.Join(s.Question, " "), s.Answer, strings.Join(supports, " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,289 @@
+// Package cachesim models the memory hierarchy the MnnFast paper
+// measures with hardware counters: a set-associative shared last-level
+// cache, a region-aware hierarchy that replays engine access traces,
+// the paper's direct-mapped embedding cache (§3.3), and trace
+// record/replay utilities for the multi-tenant contention experiments
+// (Fig 4).
+//
+// The simulator is trace-driven: engines report logical accesses
+// through memtrace.Toucher, the hierarchy maps each region into a
+// disjoint address space, expands accesses to cache lines, and runs
+// them through the LLC. Demand misses and writebacks are the modelled
+// off-chip DRAM accesses — the quantity Figure 11 reports.
+package cachesim
+
+import (
+	"fmt"
+
+	"mnnfast/internal/memtrace"
+)
+
+// CacheConfig sizes a set-associative cache.
+type CacheConfig struct {
+	SizeBytes int64
+	LineBytes int
+	Ways      int
+}
+
+// DefaultLLC is a 20 MB, 20-way, 64 B-line cache — the class of shared
+// LLC in the paper's Xeon testbed (§2.2.1 cites 8–40 MB on-chip caches).
+func DefaultLLC() CacheConfig {
+	return CacheConfig{SizeBytes: 20 << 20, LineBytes: 64, Ways: 20}
+}
+
+func (c CacheConfig) validate() error {
+	switch {
+	case c.LineBytes < 1 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cachesim: line size %d not a positive power of two", c.LineBytes)
+	case c.Ways < 1:
+		return fmt.Errorf("cachesim: %d ways", c.Ways)
+	case c.SizeBytes < int64(c.LineBytes)*int64(c.Ways):
+		return fmt.Errorf("cachesim: size %d below one set (%d ways × %d B lines)", c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	return nil
+}
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64 // demand misses (reads + writes)
+	PrefetchFills int64 // lines installed by prefetch (not demand misses)
+	Writebacks    int64 // dirty evictions
+}
+
+// Accesses returns demand accesses (hits + misses).
+func (s CacheStats) Accesses() int64 { return s.Hits + s.Misses }
+
+// MissRate returns demand misses / demand accesses.
+func (s CacheStats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+type line struct {
+	tag   int64
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch tick; smaller = older
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement.
+type Cache struct {
+	cfg       CacheConfig
+	sets      [][]line
+	setMask   int64
+	lineShift uint
+	tick      uint64
+	Stats     CacheStats
+}
+
+// NewCache builds a cache; invalid configurations panic because they
+// are experiment bugs, not runtime conditions.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	numLines := cfg.SizeBytes / int64(cfg.LineBytes)
+	numSets := numLines / int64(cfg.Ways)
+	// Round sets down to a power of two for mask indexing.
+	p := int64(1)
+	for p*2 <= numSets {
+		p *= 2
+	}
+	numSets = p
+	c := &Cache{cfg: cfg, setMask: numSets - 1}
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		c.lineShift++
+	}
+	c.sets = make([][]line, numSets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int64 { return int64(len(c.sets)) * int64(c.cfg.Ways) }
+
+// Access runs one line-granular access. write marks the line dirty;
+// prefetch installs the line without counting a demand hit or miss.
+// It returns whether the line was present.
+func (c *Cache) Access(addr int64, write, prefetch bool) bool {
+	c.tick++
+	lineAddr := addr >> c.lineShift
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> uint(trailingBits(c.setMask+1))
+
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			if !prefetch {
+				c.Stats.Hits++
+			}
+			return true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	// Miss: fill into the victim way.
+	if set[victim].valid && set[victim].dirty {
+		c.Stats.Writebacks++
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	if prefetch {
+		c.Stats.PrefetchFills++
+	} else {
+		c.Stats.Misses++
+	}
+	return false
+}
+
+// Flush invalidates all lines, counting writebacks for dirty ones.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			if c.sets[i][j].valid && c.sets[i][j].dirty {
+				c.Stats.Writebacks++
+			}
+			c.sets[i][j] = line{}
+		}
+	}
+}
+
+// ResetStats clears counters without touching contents.
+func (c *Cache) ResetStats() { c.Stats = CacheStats{} }
+
+func trailingBits(x int64) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Hierarchy is a memtrace.Toucher that maps each logical region into a
+// disjoint address range and drives a shared LLC. Demand misses and
+// writebacks model off-chip DRAM accesses.
+type Hierarchy struct {
+	LLC *Cache
+	// BypassEmbedding models non-temporal embedding accesses (§3.3's
+	// cache-bypassing alternative): embedding-region accesses skip the
+	// LLC and count directly as DRAM traffic.
+	BypassEmbedding bool
+	// EmbCache, when non-nil, intercepts embedding-region accesses
+	// before the LLC — the paper's dedicated embedding cache.
+	EmbCache *EmbeddingCache
+	// OnDRAM, when non-nil, receives every line the hierarchy sends to
+	// DRAM (demand fills, prefetch fills, bypasses) with its mapped
+	// global address — the hook the DRAM row-buffer model consumes.
+	OnDRAM func(addr int64, bytes int)
+
+	// Per-region demand statistics.
+	RegionHits   [memtrace.NumRegions]int64
+	RegionMisses [memtrace.NumRegions]int64
+	DRAMBytes    int64 // bytes moved to/from DRAM (misses, writebacks, fills, bypasses)
+	BypassDRAM   int64 // demand DRAM accesses from bypassed embedding traffic
+}
+
+// NewHierarchy builds a hierarchy around an LLC configuration.
+func NewHierarchy(cfg CacheConfig) *Hierarchy {
+	return &Hierarchy{LLC: NewCache(cfg)}
+}
+
+// regionBase gives every region a disjoint 1 TiB-aligned address range
+// so traces from different structures can never alias.
+func regionBase(r memtrace.Region) int64 { return (int64(r) + 1) << 40 }
+
+// Touch implements memtrace.Toucher.
+func (h *Hierarchy) Touch(region memtrace.Region, op memtrace.Op, offset int64, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	if region == memtrace.RegionEmbedding {
+		if h.EmbCache != nil {
+			// Word-granular dedicated cache: one lookup per access.
+			if h.EmbCache.LookupOffset(offset) {
+				return
+			}
+			h.toDRAM(regionBase(region)+offset, bytes)
+			return
+		}
+		if h.BypassEmbedding {
+			h.BypassDRAM++
+			h.toDRAM(regionBase(region)+offset, bytes)
+			return
+		}
+	}
+	lb := int64(h.LLC.cfg.LineBytes)
+	base := regionBase(region) + offset
+	end := base + int64(bytes)
+	prefetch := op == memtrace.OpPrefetch
+	write := op == memtrace.OpWrite
+	for addr := base &^ (lb - 1); addr < end; addr += lb {
+		wbBefore := h.LLC.Stats.Writebacks
+		hit := h.LLC.Access(addr, write, prefetch)
+		if h.LLC.Stats.Writebacks > wbBefore {
+			h.DRAMBytes += lb // victim address unknown; bytes-only accounting
+		}
+		if hit {
+			if !prefetch {
+				h.RegionHits[region]++
+			}
+			continue
+		}
+		h.toDRAM(addr, int(lb))
+		if !prefetch {
+			h.RegionMisses[region]++
+		}
+	}
+}
+
+// toDRAM accounts a DRAM transfer and forwards it to the row-buffer
+// hook.
+func (h *Hierarchy) toDRAM(addr int64, bytes int) {
+	h.DRAMBytes += int64(bytes)
+	if h.OnDRAM != nil {
+		h.OnDRAM(addr, bytes)
+	}
+}
+
+// DemandMisses returns total demand misses across regions.
+func (h *Hierarchy) DemandMisses() int64 {
+	var t int64
+	for _, m := range h.RegionMisses {
+		t += m
+	}
+	return t + h.BypassDRAM
+}
+
+// DemandAccesses returns total demand accesses across regions.
+func (h *Hierarchy) DemandAccesses() int64 {
+	var t int64
+	for r := range h.RegionMisses {
+		t += h.RegionMisses[r] + h.RegionHits[r]
+	}
+	return t + h.BypassDRAM
+}
+
+// MissRateOf returns the demand miss rate of one region.
+func (h *Hierarchy) MissRateOf(r memtrace.Region) float64 {
+	total := h.RegionHits[r] + h.RegionMisses[r]
+	if total == 0 {
+		return 0
+	}
+	return float64(h.RegionMisses[r]) / float64(total)
+}

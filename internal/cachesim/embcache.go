@@ -1,0 +1,116 @@
+package cachesim
+
+import "fmt"
+
+// EmbeddingCache is the paper's dedicated embedding cache (§3.3): a
+// cache whose entries are (valid bit, word ID, state vector of ed
+// floats). Because the word size of the cache equals the embedding
+// dimension, each lookup either supplies the entire vector or fetches
+// it whole from DRAM. The paper's design is direct-mapped
+// (NewEmbeddingCache); NewEmbeddingCacheAssoc adds set associativity
+// with LRU replacement as a design-space extension — with enough ways
+// the hit rate approaches the top-k word-frequency mass, the
+// fully-associative bound the Fig 14 experiment reports.
+type EmbeddingCache struct {
+	dim    int
+	ways   int
+	sets   [][]embEntry
+	tick   uint64
+	Hits   int64
+	Misses int64
+}
+
+type embEntry struct {
+	valid bool
+	word  int
+	lru   uint64
+}
+
+// NewEmbeddingCache builds the paper's direct-mapped cache of sizeBytes
+// capacity for vectors of dimension ed. Entry payload is 4·ed bytes
+// (float32); the valid bit and word-ID tag are modelled as metadata
+// outside the data budget, matching how the paper reports cache sizes
+// (32 KB … 256 KB of vector storage).
+func NewEmbeddingCache(sizeBytes int64, ed int) *EmbeddingCache {
+	return NewEmbeddingCacheAssoc(sizeBytes, ed, 1)
+}
+
+// NewEmbeddingCacheAssoc builds a ways-associative embedding cache with
+// LRU replacement. ways must divide the entry count it implies.
+func NewEmbeddingCacheAssoc(sizeBytes int64, ed, ways int) *EmbeddingCache {
+	if ed < 1 {
+		panic(fmt.Sprintf("cachesim: embedding dim %d", ed))
+	}
+	if ways < 1 {
+		panic(fmt.Sprintf("cachesim: %d ways", ways))
+	}
+	entrySize := int64(4 * ed)
+	n := int(sizeBytes / entrySize)
+	if n < ways {
+		panic(fmt.Sprintf("cachesim: embedding cache of %d B cannot hold %d ways of %d B vectors", sizeBytes, ways, entrySize))
+	}
+	numSets := n / ways
+	e := &EmbeddingCache{dim: ed, ways: ways, sets: make([][]embEntry, numSets)}
+	for i := range e.sets {
+		e.sets[i] = make([]embEntry, ways)
+	}
+	return e
+}
+
+// Entries returns the entry count.
+func (e *EmbeddingCache) Entries() int { return len(e.sets) * e.ways }
+
+// Ways returns the associativity.
+func (e *EmbeddingCache) Ways() int { return e.ways }
+
+// Lookup checks for word and installs it on miss (index = word mod
+// sets, LRU within the set). It returns true on hit.
+func (e *EmbeddingCache) Lookup(word int) bool {
+	if word < 0 {
+		panic(fmt.Sprintf("cachesim: negative word ID %d", word))
+	}
+	e.tick++
+	set := e.sets[word%len(e.sets)]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].word == word {
+			set[i].lru = e.tick
+			e.Hits++
+			return true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = embEntry{valid: true, word: word, lru: e.tick}
+	e.Misses++
+	return false
+}
+
+// LookupOffset adapts a byte offset within the embedding region (as
+// reported by embed.Table lookups: word·ed·4) to a word-ID lookup.
+func (e *EmbeddingCache) LookupOffset(offset int64) bool {
+	return e.Lookup(int(offset / int64(4*e.dim)))
+}
+
+// HitRate returns hits / (hits + misses).
+func (e *EmbeddingCache) HitRate() float64 {
+	total := e.Hits + e.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(e.Hits) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (e *EmbeddingCache) Reset() {
+	for i := range e.sets {
+		for j := range e.sets[i] {
+			e.sets[i][j] = embEntry{}
+		}
+	}
+	e.Hits, e.Misses = 0, 0
+	e.tick = 0
+}

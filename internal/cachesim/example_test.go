@@ -1,0 +1,34 @@
+package cachesim_test
+
+import (
+	"fmt"
+
+	"mnnfast/internal/cachesim"
+	"mnnfast/internal/memtrace"
+)
+
+// ExampleEmbeddingCache shows the paper's dedicated embedding cache
+// (§3.3): word-keyed, whole-vector entries.
+func ExampleEmbeddingCache() {
+	ec := cachesim.NewEmbeddingCache(32<<10, 256) // 32 KB of ed=256 vectors
+	fmt.Println("entries:", ec.Entries())
+	ec.Lookup(7) // cold
+	ec.Lookup(7) // warm
+	fmt.Println("hits:", ec.Hits, "misses:", ec.Misses)
+	// Output:
+	// entries: 32
+	// hits: 1 misses: 1
+}
+
+// ExampleHierarchy shows tracing an access through the simulated shared
+// LLC: the first touch misses to DRAM, the second hits on chip.
+func ExampleHierarchy() {
+	h := cachesim.NewHierarchy(cachesim.DefaultLLC())
+	h.Touch(memtrace.RegionMemIn, memtrace.OpRead, 0, 64)
+	h.Touch(memtrace.RegionMemIn, memtrace.OpRead, 0, 64)
+	fmt.Println("demand misses:", h.DemandMisses())
+	fmt.Println("DRAM bytes:", h.DRAMBytes)
+	// Output:
+	// demand misses: 1
+	// DRAM bytes: 64
+}

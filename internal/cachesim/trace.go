@@ -1,0 +1,62 @@
+package cachesim
+
+import "mnnfast/internal/memtrace"
+
+// Access is one recorded logical memory access.
+type Access struct {
+	Region memtrace.Region
+	Op     memtrace.Op
+	Offset int64
+	Bytes  int
+}
+
+// Trace records accesses for later replay. It implements
+// memtrace.Toucher; engines run once with a Trace attached, and the
+// recorded stream can then be replayed against any hierarchy
+// configuration — alone or interleaved with other tenants.
+type Trace struct {
+	Accesses []Access
+}
+
+// Touch implements memtrace.Toucher.
+func (t *Trace) Touch(region memtrace.Region, op memtrace.Op, offset int64, bytes int) {
+	t.Accesses = append(t.Accesses, Access{Region: region, Op: op, Offset: offset, Bytes: bytes})
+}
+
+// Bytes returns the total traffic recorded.
+func (t *Trace) Bytes() int64 {
+	var n int64
+	for _, a := range t.Accesses {
+		n += int64(a.Bytes)
+	}
+	return n
+}
+
+// Replay feeds the trace to a toucher in order.
+func (t *Trace) Replay(dst memtrace.Toucher) {
+	for _, a := range t.Accesses {
+		dst.Touch(a.Region, a.Op, a.Offset, a.Bytes)
+	}
+}
+
+// ReplayInterleaved round-robins one access at a time across the
+// traces into dst until all are drained — the multi-tenant co-execution
+// of the paper's Figure 4, where embedding threads and inference
+// threads contend for one shared cache.
+func ReplayInterleaved(dst memtrace.Toucher, traces ...*Trace) {
+	idx := make([]int, len(traces))
+	for {
+		done := true
+		for i, tr := range traces {
+			if idx[i] < len(tr.Accesses) {
+				a := tr.Accesses[idx[i]]
+				dst.Touch(a.Region, a.Op, a.Offset, a.Bytes)
+				idx[i]++
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+	}
+}

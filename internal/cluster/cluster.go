@@ -1,0 +1,350 @@
+// Package cluster implements the paper's multi-node scale-out (§3.1,
+// §5.3): the knowledge database is partitioned across nodes, a question
+// fans out to every node, each node runs the column-based algorithm
+// over its shard, and only the O(ed) partial results (running max,
+// exponential sum, partial weighted sum) travel back for one lazy
+// softmax division at the coordinator. The paper's observation — "the
+// communication overhead for the synchronization would be negligible,
+// as the size of per-node results is quite small" — is literal here:
+// a reply is ed+2 floats regardless of how many million sentences the
+// node holds.
+//
+// The wire protocol is gob over TCP: one QueryRequest per inference,
+// one QueryReply per node. Node and Coordinator are both safe for
+// concurrent use.
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"mnnfast/internal/core"
+	"mnnfast/internal/tensor"
+)
+
+// QueryRequest is the coordinator→node message: one or more embedded
+// questions. A batch amortizes both the network round trip and the
+// node's pass over its shard (each memory chunk is read once for the
+// whole batch).
+type QueryRequest struct {
+	U []float32 // question vectors, nq×ed row-major
+	N int       // nq; 0 means 1 (single-question wire compatibility)
+}
+
+// QueryReply is the node→coordinator message: one partial per question
+// plus the work counters behind them.
+type QueryReply struct {
+	Max   []float32 // per question
+	Sum   []float32
+	O     []float32 // nq×ed row-major
+	Stats core.Stats
+	Err   string // non-empty on failure
+}
+
+// Node serves column-based inference over one shard of the database.
+type Node struct {
+	engine *core.Column
+	dim    int
+	lo, hi int // row range served
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewNode builds a node serving rows [lo, hi) of mem with the given
+// engine options.
+func NewNode(mem *core.Memory, lo, hi int, opt core.Options) (*Node, error) {
+	if lo < 0 || hi > mem.NS() || lo >= hi {
+		return nil, fmt.Errorf("cluster: node range [%d, %d) invalid for %d rows", lo, hi, mem.NS())
+	}
+	return &Node{
+		engine: core.NewColumn(mem, opt),
+		dim:    mem.Dim(),
+		lo:     lo,
+		hi:     hi,
+	}, nil
+}
+
+// Serve accepts connections on l until Close. It returns immediately;
+// handling happens on background goroutines.
+func (n *Node) Serve(l net.Listener) {
+	n.mu.Lock()
+	n.listener = l
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			n.mu.Lock()
+			if n.closed {
+				n.mu.Unlock()
+				conn.Close()
+				return
+			}
+			if n.conns == nil {
+				n.conns = make(map[net.Conn]struct{})
+			}
+			n.conns[conn] = struct{}{}
+			n.mu.Unlock()
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.handle(conn)
+				n.mu.Lock()
+				delete(n.conns, conn)
+				n.mu.Unlock()
+			}()
+		}
+	}()
+}
+
+// Listen starts serving on addr ("host:port", ":0" for ephemeral) and
+// returns the bound address.
+func (n *Node) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("cluster: listen: %w", err)
+	}
+	n.Serve(l)
+	return l.Addr().String(), nil
+}
+
+// Close stops accepting, severs open connections, and waits for the
+// handler goroutines to drain.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	l := n.listener
+	conns := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close() // unblocks handlers parked in Decode
+	}
+	n.wg.Wait()
+}
+
+// handle answers queries on one connection until it closes.
+func (n *Node) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req QueryRequest
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken peer
+		}
+		reply := n.answer(req)
+		if err := enc.Encode(&reply); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) answer(req QueryRequest) QueryReply {
+	nq := req.N
+	if nq == 0 {
+		nq = 1
+	}
+	if nq < 1 || len(req.U) != nq*n.dim {
+		return QueryReply{Err: fmt.Sprintf("question payload %d floats for %d questions of dim %d", len(req.U), nq, n.dim)}
+	}
+	if nq == 1 {
+		part := core.NewPartial(n.dim)
+		st := n.engine.InferPartial(tensor.Vector(req.U), part, n.lo, n.hi)
+		return QueryReply{Max: []float32{part.Max}, Sum: []float32{part.Sum}, O: part.O, Stats: st}
+	}
+	u := &tensor.Matrix{Rows: nq, Cols: n.dim, Data: req.U}
+	parts := make([]*core.Partial, nq)
+	for q := range parts {
+		parts[q] = core.NewPartial(n.dim)
+	}
+	st := n.engine.InferBatchPartial(u, parts, n.lo, n.hi)
+	reply := QueryReply{
+		Max:   make([]float32, nq),
+		Sum:   make([]float32, nq),
+		O:     make([]float32, 0, nq*n.dim),
+		Stats: st,
+	}
+	for q, p := range parts {
+		reply.Max[q] = p.Max
+		reply.Sum[q] = p.Sum
+		reply.O = append(reply.O, p.O...)
+	}
+	return reply
+}
+
+// Coordinator fans questions out to a set of nodes and merges their
+// partials. It implements core.Engine, so it is a drop-in replacement
+// for a local engine.
+type Coordinator struct {
+	dim   int
+	mu    sync.Mutex // serializes use of the per-node connections
+	conns []*nodeConn
+}
+
+type nodeConn struct {
+	addr string
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to every node address. The caller must Close the
+// coordinator when done.
+func Dial(dim int, addrs ...string) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no node addresses")
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("cluster: dim %d", dim)
+	}
+	c := &Coordinator{dim: dim}
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		c.conns = append(c.conns, &nodeConn{
+			addr: addr,
+			conn: conn,
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(conn),
+		})
+	}
+	return c, nil
+}
+
+// Nodes returns the number of connected nodes.
+func (c *Coordinator) Nodes() int { return len(c.conns) }
+
+// Name implements core.Engine.
+func (c *Coordinator) Name() string {
+	return fmt.Sprintf("cluster(%d nodes)", len(c.conns))
+}
+
+// Infer implements core.Engine: scatter u, gather and merge partials,
+// finalize with the lazy softmax division.
+func (c *Coordinator) Infer(u, o tensor.Vector) core.Stats {
+	st, err := c.TryInfer(u, o)
+	if err != nil {
+		panic(err) // Engine has no error channel; TryInfer is the checked path
+	}
+	return st
+}
+
+// TryInfer is Infer with error reporting (node failures, dim
+// mismatches).
+func (c *Coordinator) TryInfer(u, o tensor.Vector) (core.Stats, error) {
+	if len(u) != c.dim || len(o) != c.dim {
+		return core.Stats{}, fmt.Errorf("cluster: vector dims u=%d o=%d, want %d", len(u), len(o), c.dim)
+	}
+	um := &tensor.Matrix{Rows: 1, Cols: c.dim, Data: u}
+	om := &tensor.Matrix{Rows: 1, Cols: c.dim, Data: o}
+	st, err := c.TryInferBatch(um, om)
+	st.Inferences = 1
+	return st, err
+}
+
+// TryInferBatch answers every question in u (nq×ed) into the rows of o,
+// fanning the whole batch to each node in one round trip: the network
+// cost and each node's pass over its shard amortize across the batch.
+func (c *Coordinator) TryInferBatch(u, o *tensor.Matrix) (core.Stats, error) {
+	if u.Cols != c.dim || o.Cols != c.dim || u.Rows != o.Rows || u.Rows == 0 {
+		return core.Stats{}, fmt.Errorf("cluster: batch shapes u=%dx%d o=%dx%d, want dim %d",
+			u.Rows, u.Cols, o.Rows, o.Cols, c.dim)
+	}
+	nq := u.Rows
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	req := QueryRequest{U: u.Data, N: nq}
+	type result struct {
+		reply QueryReply
+		err   error
+	}
+	results := make(chan result, len(c.conns))
+	for _, nc := range c.conns {
+		go func(nc *nodeConn) {
+			var r result
+			if err := nc.enc.Encode(&req); err != nil {
+				r.err = fmt.Errorf("cluster: send to %s: %w", nc.addr, err)
+			} else if err := nc.dec.Decode(&r.reply); err != nil {
+				r.err = fmt.Errorf("cluster: recv from %s: %w", nc.addr, err)
+			} else if r.reply.Err != "" {
+				r.err = fmt.Errorf("cluster: node %s: %s", nc.addr, r.reply.Err)
+			} else if len(r.reply.Max) != nq || len(r.reply.Sum) != nq || len(r.reply.O) != nq*c.dim {
+				r.err = fmt.Errorf("cluster: node %s: malformed reply shapes", nc.addr)
+			}
+			results <- r
+		}(nc)
+	}
+
+	totals := make([]*core.Partial, nq)
+	for q := range totals {
+		totals[q] = core.NewPartial(c.dim)
+	}
+	var st core.Stats
+	var firstErr error
+	for range c.conns {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		for q := 0; q < nq; q++ {
+			part := &core.Partial{
+				Max: r.reply.Max[q],
+				Sum: r.reply.Sum[q],
+				O:   tensor.Vector(r.reply.O[q*c.dim : (q+1)*c.dim]),
+			}
+			totals[q].Merge(part)
+		}
+		st.Add(r.reply.Stats)
+	}
+	if firstErr != nil {
+		return core.Stats{}, firstErr
+	}
+	for q := 0; q < nq; q++ {
+		st.Divisions += totals[q].Finalize(o.Row(q))
+	}
+	st.Inferences = int64(nq)
+	return st, nil
+}
+
+// SyncBytesPerQuery returns the gather payload per question: one
+// Partial per node.
+func (c *Coordinator) SyncBytesPerQuery() int64 {
+	return int64(len(c.conns)) * int64(c.dim+2) * 4
+}
+
+// Close tears down all node connections.
+func (c *Coordinator) Close() {
+	for _, nc := range c.conns {
+		if nc != nil && nc.conn != nil {
+			nc.conn.Close()
+		}
+	}
+	c.conns = nil
+}

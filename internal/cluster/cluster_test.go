@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"mnnfast/internal/core"
+	"mnnfast/internal/tensor"
+)
+
+// testCluster spins up shards nodes over one shared memory on loopback
+// and returns a connected coordinator plus a cleanup func.
+func testCluster(t *testing.T, mem *core.Memory, shards int) (*Coordinator, func()) {
+	t.Helper()
+	per := (mem.NS() + shards - 1) / shards
+	var nodes []*Node
+	var addrs []string
+	for lo := 0; lo < mem.NS(); lo += per {
+		hi := lo + per
+		if hi > mem.NS() {
+			hi = mem.NS()
+		}
+		n, err := NewNode(mem, lo, hi, core.Options{ChunkSize: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := n.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		addrs = append(addrs, addr)
+	}
+	coord, err := Dial(mem.Dim(), addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, func() {
+		coord.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mem, err := core.NewMemory(
+		tensor.GaussianMatrix(rng, 10, 4, 1),
+		tensor.GaussianMatrix(rng, 10, 4, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{-1, 5}, {5, 5}, {5, 11}} {
+		if _, err := NewNode(mem, r[0], r[1], core.Options{}); err == nil {
+			t.Errorf("range %v accepted", r)
+		}
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial(4); err == nil {
+		t.Error("Dial with no addresses accepted")
+	}
+	if _, err := Dial(0, "127.0.0.1:1"); err == nil {
+		t.Error("Dial with dim 0 accepted")
+	}
+	if _, err := Dial(4, "127.0.0.1:1"); err == nil {
+		t.Error("Dial to a dead port succeeded")
+	}
+}
+
+func TestClusterMatchesLocalBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ns, ed := 4000, 32
+	mem, err := core.NewMemory(
+		tensor.GaussianMatrix(rng, ns, ed, 0.8),
+		tensor.GaussianMatrix(rng, ns, ed, 0.8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, cleanup := testCluster(t, mem, 3)
+	defer cleanup()
+	if coord.Nodes() != 3 {
+		t.Fatalf("Nodes = %d", coord.Nodes())
+	}
+
+	for q := 0; q < 5; q++ {
+		u := tensor.RandomVector(rng, ed, 1)
+		want := tensor.NewVector(ed)
+		core.NewBaseline(mem, core.Options{}).Infer(u, want)
+		got := tensor.NewVector(ed)
+		st, err := coord.TryInfer(u, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(want, got); d > 1e-4 {
+			t.Errorf("question %d: cluster differs from local baseline by %v", q, d)
+		}
+		if st.TotalRows != int64(ns) {
+			t.Errorf("question %d: cluster covered %d rows, want %d", q, st.TotalRows, ns)
+		}
+		if st.Divisions != int64(ed) {
+			t.Errorf("question %d: divisions = %d, want ed=%d (lazy softmax at the coordinator)", q, st.Divisions, ed)
+		}
+	}
+}
+
+func TestClusterImplementsEngine(t *testing.T) {
+	var _ core.Engine = (*Coordinator)(nil)
+}
+
+func TestClusterSyncPayloadIndependentOfNS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ed := 16
+	for _, ns := range []int{100, 10000} {
+		mem, err := core.NewMemory(
+			tensor.GaussianMatrix(rng, ns, ed, 1),
+			tensor.GaussianMatrix(rng, ns, ed, 1),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord, cleanup := testCluster(t, mem, 2)
+		want := int64(2 * (ed + 2) * 4)
+		if got := coord.SyncBytesPerQuery(); got != want {
+			t.Errorf("ns=%d: sync payload %d, want %d (must not depend on ns)", ns, got, want)
+		}
+		cleanup()
+	}
+}
+
+func TestClusterDimMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mem, err := core.NewMemory(
+		tensor.GaussianMatrix(rng, 64, 8, 1),
+		tensor.GaussianMatrix(rng, 64, 8, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, cleanup := testCluster(t, mem, 2)
+	defer cleanup()
+	if _, err := coord.TryInfer(tensor.NewVector(5), tensor.NewVector(8)); err == nil {
+		t.Error("coordinator accepted a mis-sized question")
+	}
+	// A coordinator dialed with the wrong dim is rejected by the node.
+	bad, err := Dial(5, coord.conns[0].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if _, err := bad.TryInfer(tensor.NewVector(5), tensor.NewVector(5)); err == nil {
+		t.Error("node accepted a question of the wrong dimension")
+	}
+}
+
+func TestClusterNodeFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mem, err := core.NewMemory(
+		tensor.GaussianMatrix(rng, 128, 8, 1),
+		tensor.GaussianMatrix(rng, 128, 8, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(mem, 0, 128, core.Options{ChunkSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := Dial(8, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	u := tensor.RandomVector(rng, 8, 1)
+	o := tensor.NewVector(8)
+	if _, err := coord.TryInfer(u, o); err != nil {
+		t.Fatalf("healthy query failed: %v", err)
+	}
+	n.Close() // kill the node
+	if _, err := coord.TryInfer(u, o); err == nil {
+		t.Error("query against a dead node succeeded")
+	}
+}
+
+func TestClusterConcurrentCoordinators(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ns, ed := 1024, 16
+	mem, err := core.NewMemory(
+		tensor.GaussianMatrix(rng, ns, ed, 0.8),
+		tensor.GaussianMatrix(rng, ns, ed, 0.8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One node, many coordinator clients hammering it concurrently.
+	n, err := NewNode(mem, 0, ns, core.Options{ChunkSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	u := tensor.RandomVector(rng, ed, 1)
+	want := tensor.NewVector(ed)
+	core.NewBaseline(mem, core.Options{}).Infer(u, want)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			coord, err := Dial(ed, addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer coord.Close()
+			o := tensor.NewVector(ed)
+			for q := 0; q < 10; q++ {
+				if _, err := coord.TryInfer(u, o); err != nil {
+					errs <- err
+					return
+				}
+				if d := tensor.MaxAbsDiff(want, o); d > 1e-4 {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestNodeCloseIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mem, err := core.NewMemory(
+		tensor.GaussianMatrix(rng, 16, 4, 1),
+		tensor.GaussianMatrix(rng, 16, 4, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(mem, 0, 16, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	n.Close() // must not panic or deadlock
+}
+
+func TestNodeSurvivesGarbageBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	mem, err := core.NewMemory(
+		tensor.GaussianMatrix(rng, 64, 8, 1),
+		tensor.GaussianMatrix(rng, 64, 8, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(mem, 0, 64, core.Options{ChunkSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// Throw raw garbage at the protocol port; the node must drop the
+	// connection without crashing.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\nnot gob at all")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// A well-formed client must still be served afterwards.
+	coord, err := Dial(8, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	o := tensor.NewVector(8)
+	if _, err := coord.TryInfer(tensor.RandomVector(rng, 8, 1), o); err != nil {
+		t.Fatalf("node unusable after garbage input: %v", err)
+	}
+}
+
+func TestClusterBatchMatchesLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ns, ed, nq := 2048, 16, 6
+	mem, err := core.NewMemory(
+		tensor.GaussianMatrix(rng, ns, ed, 0.8),
+		tensor.GaussianMatrix(rng, ns, ed, 0.8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, cleanup := testCluster(t, mem, 3)
+	defer cleanup()
+
+	u := tensor.RandomMatrix(rng, nq, ed, 1)
+	want := tensor.NewMatrix(nq, ed)
+	base := core.NewBaseline(mem, core.Options{})
+	for q := 0; q < nq; q++ {
+		base.Infer(u.Row(q), want.Row(q))
+	}
+	got := tensor.NewMatrix(nq, ed)
+	st, err := coord.TryInferBatch(u, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(want, got, 1e-4) {
+		t.Error("cluster batch differs from local baseline")
+	}
+	if st.Inferences != int64(nq) {
+		t.Errorf("%d inferences, want %d", st.Inferences, nq)
+	}
+	if st.TotalRows != int64(ns*nq) {
+		t.Errorf("covered %d rows, want %d", st.TotalRows, ns*nq)
+	}
+
+	// Batch shape validation.
+	if _, err := coord.TryInferBatch(tensor.NewMatrix(0, ed), tensor.NewMatrix(0, ed)); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := coord.TryInferBatch(tensor.NewMatrix(2, ed+1), tensor.NewMatrix(2, ed+1)); err == nil {
+		t.Error("wrong-dim batch accepted")
+	}
+}

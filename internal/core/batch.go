@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"mnnfast/internal/memtrace"
+	"mnnfast/internal/tensor"
+)
+
+// BatchEngine is implemented by engines that answer many questions in
+// one pass over the memories. Batching is how the paper's GPU
+// implementation works (§4.1.2): the inner product becomes a
+// matrix-matrix multiplication between M_IN and the nq×ed question
+// matrix, amortizing each memory row across the whole batch.
+type BatchEngine interface {
+	Engine
+	// InferBatch computes one response per row of u (nq×ed) into the
+	// corresponding row of o (nq×ed).
+	InferBatch(u, o *tensor.Matrix) Stats
+}
+
+// InferBatch answers every question in u with one pass per question —
+// the baseline has no cross-question reuse to exploit beyond the OS
+// page cache, which is exactly the inefficiency batching fixes.
+func (b *Baseline) InferBatch(u, o *tensor.Matrix) Stats {
+	checkBatchShapes(b.mem, u, o)
+	var st Stats
+	for q := 0; q < u.Rows; q++ {
+		st.Add(b.Infer(u.Row(q), o.Row(q)))
+	}
+	return st
+}
+
+// InferBatch processes all questions chunk-by-chunk: each memory chunk
+// is loaded once and used by every question before moving on, so the
+// memories stream from DRAM exactly once per batch instead of once per
+// question. Partials are per-question; the lazy-softmax division runs
+// once per question at the end.
+func (c *Column) InferBatch(u, o *tensor.Matrix) Stats {
+	checkBatchShapes(c.mem, u, o)
+	nq := u.Rows
+	ed := c.mem.Dim()
+	parts := make([]*Partial, nq)
+	for q := range parts {
+		parts[q] = NewPartial(ed)
+	}
+	st := c.InferBatchPartial(u, parts, 0, c.mem.NS())
+	for q := 0; q < nq; q++ {
+		st.Divisions += parts[q].Finalize(o.Row(q))
+		memtrace.Touch(c.opt.Tracer, memtrace.RegionOutput, memtrace.OpWrite, int64(q*ed*4), ed*4)
+	}
+	st.Inferences = int64(nq)
+	return st
+}
+
+// InferBatchPartial runs the chunk loop for all questions over rows
+// [lo, hi), merging into parts (one partial per question).
+func (c *Column) InferBatchPartial(u *tensor.Matrix, parts []*Partial, lo, hi int) Stats {
+	mem, tr := c.mem, c.opt.Tracer
+	cs := c.opt.chunkSize()
+	ed := mem.Dim()
+	rowBytes := ed * 4
+	nq := u.Rows
+	th := c.opt.SkipThreshold
+	logits := tensor.NewMatrix(min(cs, hi-lo), nq) // chunk×nq, cache-resident
+
+	var st Stats
+	for cLo := lo; cLo < hi; cLo += cs {
+		cHi := min(cLo+cs, hi)
+		n := cHi - cLo
+		if c.opt.Streaming {
+			c.prefetchChunk(cLo, cHi)
+		}
+		// Inner products for the whole batch against this chunk: the
+		// chunk's rows are read once and reused by every question.
+		for i := cLo; i < cHi; i++ {
+			memtrace.Touch(tr, memtrace.RegionMemIn, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
+			row := mem.In.Row(i)
+			for q := 0; q < nq; q++ {
+				logits.Set(i-cLo, q, tensor.Dot(u.Row(q), row))
+			}
+		}
+		st.InnerProductMuls += int64(n) * int64(nq) * int64(ed)
+
+		// Per-question running-max maintenance over the chunk.
+		for q := 0; q < nq; q++ {
+			p := parts[q]
+			chunkMax := logits.At(0, q)
+			for i := 1; i < n; i++ {
+				if x := logits.At(i, q); x > chunkMax {
+					chunkMax = x
+				}
+			}
+			if chunkMax > p.Max {
+				if p.Max != negInf && p.Sum != 0 {
+					scale := expf(p.Max - chunkMax)
+					p.Sum *= scale
+					p.O.Scale(scale)
+				}
+				p.Max = chunkMax
+			}
+		}
+
+		// Exponentials for the whole chunk × batch, accumulated into
+		// each question's P_sum before any skip decision (same sound,
+		// convergent rule as the single-question engine).
+		for i := cLo; i < cHi; i++ {
+			for q := 0; q < nq; q++ {
+				p := parts[q]
+				e := expf(logits.At(i-cLo, q) - p.Max)
+				logits.Set(i-cLo, q, e) // reuse the slot for the exponential
+				st.Exps++
+				p.Sum += e
+				st.TotalRows++
+			}
+		}
+
+		// Weighted sum with zero-skipping: each M_OUT row is read once
+		// and accumulated into every question that does not skip it.
+		for i := cLo; i < cHi; i++ {
+			outRow := mem.Out.Row(i)
+			touched := false
+			for q := 0; q < nq; q++ {
+				p := parts[q]
+				e := logits.At(i-cLo, q)
+				if th > 0 && e < th*p.Sum {
+					st.SkippedRows++
+					continue
+				}
+				if !touched {
+					memtrace.Touch(tr, memtrace.RegionMemOut, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
+					touched = true
+				}
+				tensor.Axpy(e, outRow, p.O)
+				st.WeightedSumMuls += int64(ed)
+			}
+		}
+	}
+	return st
+}
+
+func checkBatchShapes(mem *Memory, u, o *tensor.Matrix) {
+	if u.Cols != mem.Dim() || o.Cols != mem.Dim() || u.Rows != o.Rows || u.Rows == 0 {
+		panic(fmt.Sprintf("core: InferBatch shapes u=%dx%d o=%dx%d for memory dim %d",
+			u.Rows, u.Cols, o.Rows, o.Cols, mem.Dim()))
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mnnfast/internal/memtrace"
+	"mnnfast/internal/tensor"
+)
+
+func TestBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	ns, ed, nq := 1500, 32, 7
+	mem := randomMemory(t, rng, ns, ed)
+	u := tensor.RandomMatrix(rng, nq, ed, 1)
+
+	single := NewColumn(mem, Options{ChunkSize: 128})
+	want := tensor.NewMatrix(nq, ed)
+	for q := 0; q < nq; q++ {
+		single.Infer(u.Row(q), want.Row(q))
+	}
+
+	for _, mk := range []func() BatchEngine{
+		func() BatchEngine { return NewBaseline(mem, Options{}) },
+		func() BatchEngine { return NewColumn(mem, Options{ChunkSize: 128}) },
+		func() BatchEngine { return NewColumn(mem, Options{ChunkSize: 64, Streaming: true}) },
+	} {
+		eng := mk()
+		got := tensor.NewMatrix(nq, ed)
+		st := eng.InferBatch(u, got)
+		if !tensor.Equal(want, got, 1e-4) {
+			t.Errorf("%s: batch results differ from single-question inference", eng.Name())
+		}
+		if st.Inferences != int64(nq) {
+			t.Errorf("%s: stats report %d inferences, want %d", eng.Name(), st.Inferences, nq)
+		}
+	}
+}
+
+func TestBatchSkipReducesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ns, ed, nq := 3000, 24, 4
+	mem := randomMemory(t, rng, ns, ed)
+	for i := range mem.In.Data {
+		mem.In.Data[i] *= 4
+	}
+	u := tensor.RandomMatrix(rng, nq, ed, 1)
+	o := tensor.NewMatrix(nq, ed)
+
+	exact := NewColumn(mem, Options{ChunkSize: 256}).InferBatch(u, o)
+	skip := NewColumn(mem, Options{ChunkSize: 256, SkipThreshold: 0.01}).InferBatch(u, o)
+	if skip.SkippedRows == 0 || skip.WeightedSumMuls >= exact.WeightedSumMuls {
+		t.Errorf("batch zero-skipping ineffective: skipped=%d muls %d vs %d",
+			skip.SkippedRows, skip.WeightedSumMuls, exact.WeightedSumMuls)
+	}
+}
+
+func TestBatchMemoryReuse(t *testing.T) {
+	// The point of batching: M_IN is read once per batch, not once per
+	// question.
+	rng := rand.New(rand.NewSource(22))
+	ns, ed, nq := 1024, 16, 8
+	mem := randomMemory(t, rng, ns, ed)
+	u := tensor.RandomMatrix(rng, nq, ed, 1)
+	o := tensor.NewMatrix(nq, ed)
+
+	var batched memtrace.Counter
+	NewColumn(mem, Options{ChunkSize: 128, Tracer: &batched}).InferBatch(u, o)
+	var looped memtrace.Counter
+	loopEng := NewColumn(mem, Options{ChunkSize: 128, Tracer: &looped})
+	for q := 0; q < nq; q++ {
+		loopEng.Infer(u.Row(q), o.Row(q))
+	}
+
+	memBytes := int64(ns * ed * 4)
+	if got := batched.Bytes[memtrace.RegionMemIn][memtrace.OpRead]; got != memBytes {
+		t.Errorf("batched M_IN traffic = %d, want one pass = %d", got, memBytes)
+	}
+	if got := looped.Bytes[memtrace.RegionMemIn][memtrace.OpRead]; got != memBytes*int64(nq) {
+		t.Errorf("looped M_IN traffic = %d, want %d passes = %d", got, nq, memBytes*int64(nq))
+	}
+}
+
+func TestBatchShapePanics(t *testing.T) {
+	mem := randomMemory(t, rand.New(rand.NewSource(23)), 8, 4)
+	cases := []struct{ u, o *tensor.Matrix }{
+		{tensor.NewMatrix(2, 5), tensor.NewMatrix(2, 4)}, // wrong u dim
+		{tensor.NewMatrix(2, 4), tensor.NewMatrix(3, 4)}, // row mismatch
+		{tensor.NewMatrix(0, 4), tensor.NewMatrix(0, 4)}, // empty batch
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: bad batch shapes accepted", i)
+				}
+			}()
+			NewColumn(mem, Options{}).InferBatch(c.u, c.o)
+		}()
+	}
+}
+
+func TestShardedBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	ns, ed, nq := 2000, 24, 5
+	mem := randomMemory(t, rng, ns, ed)
+	u := tensor.RandomMatrix(rng, nq, ed, 1)
+
+	want := tensor.NewMatrix(nq, ed)
+	base := NewBaseline(mem, Options{})
+	for q := 0; q < nq; q++ {
+		base.Infer(u.Row(q), want.Row(q))
+	}
+
+	for _, par := range []bool{false, true} {
+		s, err := NewSharded(mem, 3, Options{ChunkSize: 100}, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tensor.NewMatrix(nq, ed)
+		st := s.InferBatch(u, got)
+		if !tensor.Equal(want, got, 1e-4) {
+			t.Errorf("par=%v: sharded batch differs from baseline", par)
+		}
+		if st.Inferences != int64(nq) {
+			t.Errorf("par=%v: %d inferences, want %d", par, st.Inferences, nq)
+		}
+		if st.Divisions != int64(nq*ed) {
+			t.Errorf("par=%v: %d divisions, want nq×ed = %d", par, st.Divisions, nq*ed)
+		}
+	}
+}
+
+func TestShardedImplementsBatchEngine(t *testing.T) {
+	var _ BatchEngine = (*Sharded)(nil)
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mnnfast/internal/memtrace"
+	"mnnfast/internal/tensor"
+)
+
+// Column is the MnnFast column-based engine (§3.1). The memories are
+// partitioned into chunks; every chunk is processed with chunk-sized
+// scratch (inner products and exponentials never materialize at ns
+// scale), the weighted sum accumulates directly, and softmax's division
+// is deferred to a single final pass of ed divisions (lazy softmax,
+// Equation 4).
+//
+// Numerical note: the paper's equations use raw exponentials; this
+// implementation additionally maintains a running maximum shift that is
+// folded into the partials (an online stabilized softmax). The shift
+// cancels in the final division, so results equal the baseline's
+// stabilized softmax while single-pass streaming is preserved.
+type Column struct {
+	mem *Memory
+	opt Options
+
+	// prefetchSink defeats dead-code elimination of the streaming
+	// prefetcher's warming loads.
+	prefetchSink atomic.Uint64
+}
+
+// NewColumn returns a column-based engine over mem.
+func NewColumn(mem *Memory, opt Options) *Column {
+	return &Column{mem: mem, opt: opt}
+}
+
+// Name implements Engine.
+func (c *Column) Name() string {
+	switch {
+	case c.opt.SkipThreshold > 0 && c.opt.Streaming:
+		return "mnnfast" // column + streaming + zero-skipping
+	case c.opt.Streaming:
+		return "column+stream"
+	case c.opt.SkipThreshold > 0:
+		return "column+skip"
+	}
+	return "column"
+}
+
+// Infer implements Engine.
+func (c *Column) Infer(u, o tensor.Vector) Stats {
+	part := NewPartial(c.mem.Dim())
+	st := c.InferPartial(u, part, 0, c.mem.NS())
+	st.Divisions += part.Finalize(o)
+	st.Inferences = 1
+	if tr := c.opt.Tracer; tr != nil {
+		memtrace.Touch(tr, memtrace.RegionOutput, memtrace.OpWrite, 0, c.mem.Dim()*4)
+	}
+	return st
+}
+
+// InferPartial processes rows [lo, hi) of the memory for question state
+// u, merging the result into part. It performs no final division, so
+// shards across workers or nodes can merge their partials before one
+// Finalize — the paper's scale-out dataflow, where only O(ed) partial
+// results synchronize (§3.1).
+func (c *Column) InferPartial(u tensor.Vector, part *Partial, lo, hi int) Stats {
+	n := hi - lo
+	if n <= 0 {
+		return Stats{}
+	}
+	w := c.opt.Pool.Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		var st Stats
+		wp := newWorkerPartial(c.mem.Dim(), c.opt.chunkSize())
+		c.processBand(u, lo, hi, 0, wp, &st)
+		part.Merge(&wp.Partial)
+		return st
+	}
+
+	// Contiguous row bands, one per worker; each worker chunks its own
+	// band and owns private scratch and partials.
+	var wg sync.WaitGroup
+	parts := make([]*workerPartial, w)
+	stats := make([]Stats, w)
+	band := (n + w - 1) / w
+	for b := 0; b < w; b++ {
+		bLo := lo + b*band
+		bHi := bLo + band
+		if bHi > hi {
+			bHi = hi
+		}
+		if bLo >= bHi {
+			break
+		}
+		wg.Add(1)
+		go func(b, bLo, bHi int) {
+			defer wg.Done()
+			wp := newWorkerPartial(c.mem.Dim(), c.opt.chunkSize())
+			c.processBand(u, bLo, bHi, b, wp, &stats[b])
+			parts[b] = wp
+		}(b, bLo, bHi)
+	}
+	wg.Wait()
+	var st Stats
+	for b := 0; b < w; b++ {
+		if parts[b] == nil {
+			continue
+		}
+		part.Merge(&parts[b].Partial)
+		st.Add(stats[b])
+	}
+	return st
+}
+
+// workerPartial is a Partial plus the chunk-sized scratch one worker
+// reuses across its chunks — the cache-resident T_IN of Figure 5(b).
+type workerPartial struct {
+	Partial
+	logits tensor.Vector
+}
+
+func newWorkerPartial(ed, chunk int) *workerPartial {
+	return &workerPartial{
+		Partial: Partial{Max: negInf, O: tensor.NewVector(ed)},
+		logits:  tensor.NewVector(chunk),
+	}
+}
+
+// processBand runs the chunk loop over rows [lo, hi) for one worker.
+func (c *Column) processBand(u tensor.Vector, lo, hi, worker int, wp *workerPartial, st *Stats) {
+	cs := c.opt.chunkSize()
+	if !c.opt.Streaming {
+		for cLo := lo; cLo < hi; cLo += cs {
+			cHi := cLo + cs
+			if cHi > hi {
+				cHi = hi
+			}
+			c.processChunk(u, cLo, cHi, worker, wp, st)
+		}
+		return
+	}
+
+	// Streaming: a prefetcher goroutine runs ahead of the compute loop,
+	// pulling upcoming chunks' memory rows toward the cache while the
+	// current chunk computes. The ready channel's buffer is the
+	// pipeline depth; the default of 1 is exactly the paper's
+	// double-buffer design.
+	depth := c.opt.PrefetchDepth
+	if depth < 1 {
+		depth = 1
+	}
+	type span struct{ lo, hi int }
+	ready := make(chan span, depth)
+	go func() {
+		defer close(ready)
+		for cLo := lo; cLo < hi; cLo += cs {
+			cHi := cLo + cs
+			if cHi > hi {
+				cHi = hi
+			}
+			c.prefetchChunk(cLo, cHi)
+			ready <- span{cLo, cHi}
+		}
+	}()
+	for sp := range ready {
+		c.processChunk(u, sp.lo, sp.hi, worker, wp, st)
+	}
+}
+
+// prefetchChunk warms rows [lo, hi): it reads one element per cache
+// line (genuine loads the compiler cannot elide) and reports the
+// accesses to the tracer as prefetches. M_OUT is prefetched only when
+// zero-skipping is off — with skipping enabled the weighted sum fetches
+// an output row only after its exponential passes the threshold (the
+// paper's FPGA dataflow, §4.2), so prefetching M_OUT wholesale would
+// waste the bandwidth the optimization saves.
+func (c *Column) prefetchChunk(lo, hi int) {
+	tr := c.opt.Tracer
+	ed := c.mem.Dim()
+	rowBytes := ed * 4
+	prefetchOut := c.opt.SkipThreshold <= 0
+	const lineFloats = 16 // 64-byte lines of float32
+	var sink float32
+	// One sequential burst per memory stream (not interleaved per row):
+	// long same-region runs ride open DRAM rows, which is where the
+	// streamed design's bandwidth efficiency comes from.
+	for i := lo; i < hi; i++ {
+		memtrace.Touch(tr, memtrace.RegionMemIn, memtrace.OpPrefetch, int64(i)*int64(rowBytes), rowBytes)
+		in := c.mem.In.Row(i)
+		for j := 0; j < ed; j += lineFloats {
+			sink += in[j]
+		}
+	}
+	if prefetchOut {
+		for i := lo; i < hi; i++ {
+			memtrace.Touch(tr, memtrace.RegionMemOut, memtrace.OpPrefetch, int64(i)*int64(rowBytes), rowBytes)
+			out := c.mem.Out.Row(i)
+			for j := 0; j < ed; j += lineFloats {
+				sink += out[j]
+			}
+		}
+	}
+	c.prefetchSink.Add(uint64(int64(sink)) & 1)
+}
+
+// processChunk computes inner products, exponentials, and the partial
+// weighted sum for rows [lo, hi), folding them into wp.
+func (c *Column) processChunk(u tensor.Vector, lo, hi, worker int, wp *workerPartial, st *Stats) {
+	mem, tr := c.mem, c.opt.Tracer
+	ed := mem.Dim()
+	rowBytes := ed * 4
+	n := hi - lo
+	t := wp.logits[:n]
+	// Scratch offsets are per worker so the trace reflects genuine
+	// reuse of a small buffer rather than an ns-sized spill.
+	scratchBase := int64(worker) * int64(c.opt.chunkSize()) * 4
+
+	// Step 1+2 of Fig 5(b): chunk inner products.
+	for i := lo; i < hi; i++ {
+		memtrace.Touch(tr, memtrace.RegionQuestion, memtrace.OpRead, 0, rowBytes)
+		memtrace.Touch(tr, memtrace.RegionMemIn, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
+		t[i-lo] = tensor.Dot(u, mem.In.Row(i))
+		memtrace.Touch(tr, memtrace.RegionTempIn, memtrace.OpWrite, scratchBase+int64(i-lo)*4, 4)
+	}
+	st.InnerProductMuls += int64(n) * int64(ed)
+
+	// Maintain the running maximum shift; rescale prior accumulation
+	// if this chunk raises it.
+	chunkMax := t[0]
+	for _, x := range t[1:] {
+		if x > chunkMax {
+			chunkMax = x
+		}
+	}
+	if chunkMax > wp.Max {
+		if wp.Max != negInf && wp.Sum != 0 {
+			scale := expf(wp.Max - chunkMax)
+			wp.Sum *= scale
+			wp.O.Scale(scale)
+		}
+		wp.Max = chunkMax
+	}
+
+	// Step 3 of Fig 5(b): partial softmax, accumulating the whole
+	// chunk's exponentials into P_sum (the chunk scratch is
+	// cache-resident, so this extra pass is free of DRAM traffic).
+	for i := lo; i < hi; i++ {
+		memtrace.Touch(tr, memtrace.RegionTempIn, memtrace.OpRead, scratchBase+int64(i-lo)*4, 4)
+		e := expf(t[i-lo] - wp.Max)
+		t[i-lo] = e // reuse the logit slot for the exponential
+		st.Exps++
+		wp.Sum += e
+		st.TotalRows++
+	}
+
+	// Weighted sum with zero-skipping (§3.2, Algorithm 1): a row is
+	// bypassed when its exponential is below th × the running sum.
+	// Because the running sum (previous chunks + this whole chunk) can
+	// only grow toward the final normalizer, every skip here would also
+	// be skipped by the exact p_i < th rule — sound, conservative, and
+	// convergent to the exact rule as ns grows.
+	th := c.opt.SkipThreshold
+	for i := lo; i < hi; i++ {
+		e := t[i-lo]
+		if th > 0 && e < th*wp.Sum {
+			st.SkippedRows++
+			continue
+		}
+		memtrace.Touch(tr, memtrace.RegionMemOut, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
+		tensor.Axpy(e, mem.Out.Row(i), wp.O)
+		st.WeightedSumMuls += int64(ed)
+	}
+}

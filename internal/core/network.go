@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mnnfast/internal/embed"
+	"mnnfast/internal/memtrace"
+	"mnnfast/internal/tensor"
+	"mnnfast/internal/vocab"
+)
+
+// Network is a complete question-answering service around an Engine:
+// it owns the embedding table (questions arrive as raw bag-of-words,
+// §4.1.1), the knowledge database (M_IN/M_OUT), the inference engine,
+// and the final fully connected layer that turns u + o into answer
+// logits. It is the object the examples and CLI tools program against.
+type Network struct {
+	Vocab   *vocab.Vocabulary
+	Table   *embed.Table
+	Mem     *Memory
+	Eng     Engine
+	Hops    int
+	W       *tensor.Matrix // answers×ed final FC layer
+	Answers []string
+	Tracer  memtrace.Toucher
+}
+
+// NetworkConfig assembles a Network.
+type NetworkConfig struct {
+	Vocab   *vocab.Vocabulary
+	Table   *embed.Table
+	Mem     *Memory
+	Engine  Engine
+	Hops    int
+	W       *tensor.Matrix
+	Answers []string
+	Tracer  memtrace.Toucher
+}
+
+// NewNetwork validates and builds a Network.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if cfg.Vocab == nil || cfg.Table == nil || cfg.Mem == nil || cfg.Engine == nil || cfg.W == nil {
+		return nil, fmt.Errorf("core: NewNetwork: missing component")
+	}
+	if cfg.Hops < 1 {
+		return nil, fmt.Errorf("core: NewNetwork: hops = %d", cfg.Hops)
+	}
+	if cfg.Table.Dim != cfg.Mem.Dim() {
+		return nil, fmt.Errorf("core: embedding dim %d != memory dim %d", cfg.Table.Dim, cfg.Mem.Dim())
+	}
+	if cfg.W.Cols != cfg.Mem.Dim() {
+		return nil, fmt.Errorf("core: FC layer dim %d != memory dim %d", cfg.W.Cols, cfg.Mem.Dim())
+	}
+	if len(cfg.Answers) != 0 && len(cfg.Answers) != cfg.W.Rows {
+		return nil, fmt.Errorf("core: %d answer labels for %d FC rows", len(cfg.Answers), cfg.W.Rows)
+	}
+	return &Network{
+		Vocab:   cfg.Vocab,
+		Table:   cfg.Table,
+		Mem:     cfg.Mem,
+		Eng:     cfg.Engine,
+		Hops:    cfg.Hops,
+		W:       cfg.W,
+		Answers: cfg.Answers,
+		Tracer:  cfg.Tracer,
+	}, nil
+}
+
+// Answer embeds the raw question, runs Hops rounds of memory inference
+// (input + output memory representation with u' = u + o), applies the
+// FC layer, and returns the argmax answer index, its label (if labels
+// were provided), and the accumulated work statistics.
+func (n *Network) Answer(question string) (int, string, Stats, error) {
+	words, err := n.Vocab.EncodeStrict(vocab.Tokenize(question))
+	if err != nil {
+		return 0, "", Stats{}, err
+	}
+	ed := n.Mem.Dim()
+	u := tensor.NewVector(ed)
+	n.Table.EncodeBoW(n.Tracer, words, u)
+
+	var st Stats
+	o := tensor.NewVector(ed)
+	for k := 0; k < n.Hops; k++ {
+		st.Add(n.Eng.Infer(u, o))
+		u.AddInPlace(o)
+	}
+
+	logits := tensor.NewVector(n.W.Rows)
+	tensor.MatVec(nil, n.W, u, logits)
+	memtrace.Touch(n.Tracer, memtrace.RegionWeights, memtrace.OpRead, 0, int(n.W.SizeBytes()))
+	tensor.Softmax(logits)
+	best := logits.ArgMax()
+	label := ""
+	if best >= 0 && best < len(n.Answers) {
+		label = n.Answers[best]
+	}
+	return best, label, st, nil
+}
+
+// AppendSentence embeds a new story sentence and appends its state
+// vector to both memories, growing the database in place — the
+// paper's Figure 8 dataflow where incoming story sentences stream
+// through the embedding into M_IN/M_OUT. It returns the new ns.
+//
+// The engine sees the grown memory on its next Infer because Memory
+// matrices are replaced atomically under the caller's control; callers
+// must not append concurrently with Infer.
+func (n *Network) AppendSentence(sentence string) (int, error) {
+	words, err := n.Vocab.EncodeStrict(vocab.Tokenize(sentence))
+	if err != nil {
+		return 0, err
+	}
+	ed := n.Mem.Dim()
+	v := tensor.NewVector(ed)
+	n.Table.EncodeBoW(n.Tracer, words, v)
+
+	grow := func(m *tensor.Matrix) *tensor.Matrix {
+		out := tensor.NewMatrix(m.Rows+1, m.Cols)
+		copy(out.Data, m.Data)
+		copy(out.Row(m.Rows), v)
+		return out
+	}
+	n.Mem.In = grow(n.Mem.In)
+	n.Mem.Out = grow(n.Mem.Out)
+	return n.Mem.NS(), nil
+}
+
+// RandomNetwork builds a synthetic Network for benchmarks and
+// quickstart examples: random embeddings, a random database of ns
+// sentences, and a random FC layer with the requested engine variant.
+func RandomNetwork(rng *rand.Rand, v *vocab.Vocabulary, ns, ed, hops, answers int, mkEngine func(*Memory) Engine) (*Network, error) {
+	table := embed.NewRandomTable(rng, v.Size(), ed)
+	mem, err := NewMemory(
+		tensor.GaussianMatrix(rng, ns, ed, 0.5),
+		tensor.GaussianMatrix(rng, ns, ed, 0.5),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return NewNetwork(NetworkConfig{
+		Vocab:  v,
+		Table:  table,
+		Mem:    mem,
+		Engine: mkEngine(mem),
+		Hops:   hops,
+		W:      tensor.GaussianMatrix(rng, answers, ed, 0.1),
+	})
+}

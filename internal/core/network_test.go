@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mnnfast/internal/tensor"
+	"mnnfast/internal/vocab"
+)
+
+func testVocab() *vocab.Vocabulary {
+	v := vocab.New()
+	v.AddAll(vocab.Tokenize("john mary went to the kitchen garden where is"))
+	return v
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	v := testVocab()
+	rng := rand.New(rand.NewSource(1))
+	ok, err := RandomNetwork(rng, v, 16, 8, 2, 4, func(m *Memory) Engine {
+		return NewColumn(m, Options{ChunkSize: 4})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break each required field in turn.
+	bad := NetworkConfig{Vocab: ok.Vocab, Table: ok.Table, Mem: ok.Mem, Engine: ok.Eng, Hops: 0, W: ok.W}
+	if _, err := NewNetwork(bad); err == nil {
+		t.Error("hops=0 accepted")
+	}
+	bad = NetworkConfig{Vocab: ok.Vocab, Table: ok.Table, Mem: ok.Mem, Engine: ok.Eng, Hops: 1, W: tensor.NewMatrix(4, 5)}
+	if _, err := NewNetwork(bad); err == nil {
+		t.Error("FC dim mismatch accepted")
+	}
+	bad = NetworkConfig{Vocab: ok.Vocab, Table: ok.Table, Mem: ok.Mem, Engine: ok.Eng, Hops: 1, W: ok.W,
+		Answers: []string{"only-one"}}
+	if _, err := NewNetwork(bad); err == nil {
+		t.Error("answer-label count mismatch accepted")
+	}
+}
+
+func TestNetworkAnswer(t *testing.T) {
+	v := testVocab()
+	rng := rand.New(rand.NewSource(2))
+	n, err := RandomNetwork(rng, v, 64, 16, 3, 5, func(m *Memory) Engine {
+		return NewColumn(m, Options{ChunkSize: 16})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Answers = []string{"a", "b", "c", "d", "e"}
+	idx, label, st, err := n.Answer("where is john?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx < 0 || idx >= 5 {
+		t.Errorf("answer index %d out of range", idx)
+	}
+	if label != n.Answers[idx] {
+		t.Errorf("label %q does not match index %d", label, idx)
+	}
+	if st.Inferences != 3 {
+		t.Errorf("stats report %d inferences, want 3 (hops)", st.Inferences)
+	}
+}
+
+func TestNetworkAnswerUnknownWord(t *testing.T) {
+	v := testVocab()
+	rng := rand.New(rand.NewSource(3))
+	n, err := RandomNetwork(rng, v, 8, 4, 1, 2, func(m *Memory) Engine {
+		return NewBaseline(m, Options{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := n.Answer("where is zanzibar?"); err == nil {
+		t.Error("unknown word accepted")
+	}
+}
+
+func TestNetworkAnswerEngineAgreement(t *testing.T) {
+	// The same network must answer identically regardless of engine.
+	v := testVocab()
+	rng := rand.New(rand.NewSource(4))
+	base, err := RandomNetwork(rng, v, 128, 16, 2, 6, func(m *Memory) Engine {
+		return NewBaseline(m, Options{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := *base
+	col.Eng = NewColumn(base.Mem, Options{ChunkSize: 32, Streaming: true, Pool: tensor.NewPool(2)})
+
+	i1, _, _, err := base.Answer("where is mary?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, _, _, err := col.Answer("where is mary?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1 != i2 {
+		t.Errorf("baseline answered %d, column answered %d", i1, i2)
+	}
+}
+
+func TestNetworkAppendSentence(t *testing.T) {
+	v := testVocab()
+	rng := rand.New(rand.NewSource(5))
+	n, err := RandomNetwork(rng, v, 4, 8, 1, 2, func(m *Memory) Engine {
+		return NewBaseline(m, Options{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := n.AppendSentence("john went to the garden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns != 5 || n.Mem.NS() != 5 {
+		t.Errorf("AppendSentence grew memory to %d, want 5", ns)
+	}
+	if _, err := n.AppendSentence("argle bargle"); err == nil {
+		t.Error("unknown words accepted by AppendSentence")
+	}
+	// Note the baseline engine caches scratch sized at construction; a
+	// fresh engine is needed after growth.
+	n.Eng = NewBaseline(n.Mem, Options{})
+	if _, _, _, err := n.Answer("where is john?"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mnnfast/internal/tensor"
+)
+
+// Sharded distributes a memory across multiple nodes (the paper's
+// scale-out architecture, §3.1 and §5.3). Each shard runs a column
+// engine over a contiguous row range; a question fans out to every
+// shard and the O(ed) partials merge at the coordinator before one
+// lazy-softmax division. The merge traffic is what the paper argues is
+// negligible — per node it is one Partial: ed+2 floats, independent of
+// ns.
+type Sharded struct {
+	mem     *Memory
+	engines []*Column
+	bounds  []int // len(engines)+1 row boundaries
+	par     bool  // run shards concurrently
+}
+
+// NewSharded splits mem into shards equal-sized row ranges, each served
+// by a column engine configured with opt. If parallel is true the
+// shards run concurrently (modelling distinct nodes/devices); otherwise
+// they run in sequence (useful for deterministic traces).
+func NewSharded(mem *Memory, shards int, opt Options, parallel bool) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("core: NewSharded with %d shards", shards)
+	}
+	if shards > mem.NS() {
+		return nil, fmt.Errorf("core: %d shards exceed %d memory rows", shards, mem.NS())
+	}
+	s := &Sharded{mem: mem, par: parallel}
+	per := (mem.NS() + shards - 1) / shards
+	for lo := 0; lo < mem.NS(); lo += per {
+		s.bounds = append(s.bounds, lo)
+		s.engines = append(s.engines, NewColumn(mem, opt))
+	}
+	s.bounds = append(s.bounds, mem.NS())
+	return s, nil
+}
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.engines) }
+
+// Name implements Engine.
+func (s *Sharded) Name() string {
+	return fmt.Sprintf("sharded(%d×%s)", len(s.engines), s.engines[0].Name())
+}
+
+// Infer implements Engine: scatter the question, gather and merge the
+// partials, finalize once.
+func (s *Sharded) Infer(u, o tensor.Vector) Stats {
+	ed := s.mem.Dim()
+	parts := make([]*Partial, len(s.engines))
+	stats := make([]Stats, len(s.engines))
+	run := func(i int) {
+		parts[i] = NewPartial(ed)
+		stats[i] = s.engines[i].InferPartial(u, parts[i], s.bounds[i], s.bounds[i+1])
+	}
+	if s.par {
+		var wg sync.WaitGroup
+		for i := range s.engines {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range s.engines {
+			run(i)
+		}
+	}
+	total := NewPartial(ed)
+	var st Stats
+	for i := range parts {
+		total.Merge(parts[i])
+		st.Add(stats[i])
+	}
+	st.Divisions += total.Finalize(o)
+	st.Inferences = 1
+	return st
+}
+
+// SyncBytes returns the scale-out synchronization payload per question:
+// every shard ships one Partial (ed floats + max + sum) to the
+// coordinator.
+func (s *Sharded) SyncBytes() int64 {
+	return int64(len(s.engines)) * int64(s.mem.Dim()+2) * 4
+}
+
+// InferBatch implements BatchEngine: every shard processes the whole
+// question batch over its row range (one pass over its shard), then the
+// per-question partials merge across shards.
+func (s *Sharded) InferBatch(u, o *tensor.Matrix) Stats {
+	checkBatchShapes(s.mem, u, o)
+	nq := u.Rows
+	ed := s.mem.Dim()
+
+	shardParts := make([][]*Partial, len(s.engines))
+	stats := make([]Stats, len(s.engines))
+	run := func(i int) {
+		parts := make([]*Partial, nq)
+		for q := range parts {
+			parts[q] = NewPartial(ed)
+		}
+		stats[i] = s.engines[i].InferBatchPartial(u, parts, s.bounds[i], s.bounds[i+1])
+		shardParts[i] = parts
+	}
+	if s.par {
+		var wg sync.WaitGroup
+		for i := range s.engines {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range s.engines {
+			run(i)
+		}
+	}
+
+	var st Stats
+	for i := range s.engines {
+		st.Add(stats[i])
+	}
+	for q := 0; q < nq; q++ {
+		total := NewPartial(ed)
+		for i := range s.engines {
+			total.Merge(shardParts[i][q])
+		}
+		st.Divisions += total.Finalize(o.Row(q))
+	}
+	st.Inferences = int64(nq)
+	return st
+}

@@ -1,0 +1,176 @@
+// Package dram models DRAM timing at bank/row-buffer granularity. The
+// higher-level performance models (internal/perfmodel) assume an
+// effective-bandwidth derate for demand-miss access patterns; this
+// package derives that derate from first principles: sequential
+// (streamed/prefetched) accesses hit open rows and sustain near-peak
+// bandwidth, while interleaved demand misses from different structures
+// keep closing and reopening rows, paying tRP + tRCD on most accesses.
+//
+// The geometry and timings default to one DDR4-2400 channel as in the
+// paper's CPU testbed.
+package dram
+
+import "fmt"
+
+// Config describes channel geometry and timing in memory-bus clock
+// cycles.
+type Config struct {
+	Channels        int
+	BanksPerChannel int
+	RowBytes        int64 // row-buffer coverage per bank
+	// Timings in bus cycles.
+	TRP  int // precharge (close row)
+	TRCD int // activate (open row)
+	TCAS int // column access
+	// BusBytesPerCycle is the per-channel transfer rate.
+	BusBytesPerCycle float64
+	ClockHz          float64
+}
+
+// DDR4_2400 returns one-to-four-channel DDR4-2400 with typical 17-17-17
+// timings (in bus-clock cycles at 1.2 GHz; DDR transfers 16 B/cycle on
+// a 64-bit channel).
+func DDR4_2400(channels int) Config {
+	return Config{
+		Channels:         channels,
+		BanksPerChannel:  16,
+		RowBytes:         8 << 10,
+		TRP:              17,
+		TRCD:             17,
+		TCAS:             17,
+		BusBytesPerCycle: 16,
+		ClockHz:          1.2e9,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Channels < 1:
+		return fmt.Errorf("dram: %d channels", c.Channels)
+	case c.BanksPerChannel < 1:
+		return fmt.Errorf("dram: %d banks", c.BanksPerChannel)
+	case c.RowBytes < 64:
+		return fmt.Errorf("dram: row of %d bytes", c.RowBytes)
+	case c.BusBytesPerCycle <= 0 || c.ClockHz <= 0:
+		return fmt.Errorf("dram: non-positive rates")
+	}
+	return nil
+}
+
+// Stats counts row-buffer behaviour.
+type Stats struct {
+	Accesses  int64
+	RowHits   int64
+	RowMisses int64 // precharge + activate paid
+	Bytes     int64
+}
+
+// HitRate returns row-buffer hits / accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
+// Sim is a cycle-accumulating DRAM model. Accesses are line-granular;
+// channels operate in parallel (total time is the busiest channel).
+type Sim struct {
+	cfg      Config
+	openRow  []int64 // per (channel, bank): open row id, -1 if closed
+	cycles   []int64 // per channel
+	Stats    Stats
+	lineSize int64
+}
+
+// NewSim builds a simulator; invalid configs panic (experiment bugs).
+func NewSim(cfg Config) *Sim {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Channels * cfg.BanksPerChannel
+	s := &Sim{cfg: cfg, openRow: make([]int64, n), cycles: make([]int64, cfg.Channels), lineSize: 64}
+	for i := range s.openRow {
+		s.openRow[i] = -1
+	}
+	return s
+}
+
+// Access runs one access of the given extent, expanded to 64 B lines.
+// Lines interleave across channels; each line maps to a bank and row
+// within its channel.
+func (s *Sim) Access(addr int64, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	end := addr + int64(bytes)
+	for a := addr &^ (s.lineSize - 1); a < end; a += s.lineSize {
+		s.accessLine(a)
+	}
+}
+
+func (s *Sim) accessLine(addr int64) {
+	line := addr / s.lineSize
+	ch := int(line % int64(s.cfg.Channels))
+	// Row id within the channel: consecutive lines on one channel fill
+	// a row before moving on.
+	chLine := line / int64(s.cfg.Channels)
+	linesPerRow := s.cfg.RowBytes / s.lineSize
+	row := chLine / linesPerRow
+	bank := int(row % int64(s.cfg.BanksPerChannel))
+	slot := ch*s.cfg.BanksPerChannel + bank
+
+	s.Stats.Accesses++
+	s.Stats.Bytes += s.lineSize
+	// Back-to-back reads of an open row pipeline: CAS latency hides
+	// behind the previous transfer, so a hit costs only bus cycles. A
+	// row miss serializes precharge + activate + CAS before the burst.
+	cost := int64(float64(s.lineSize) / s.cfg.BusBytesPerCycle)
+	if s.openRow[slot] != row {
+		s.Stats.RowMisses++
+		cost += int64(s.cfg.TRP + s.cfg.TRCD + s.cfg.TCAS)
+		s.openRow[slot] = row
+	} else {
+		s.Stats.RowHits++
+	}
+	s.cycles[ch] += cost
+}
+
+// Cycles returns the busiest channel's accumulated cycles.
+func (s *Sim) Cycles() int64 {
+	var m int64
+	for _, c := range s.cycles {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Seconds converts Cycles to time.
+func (s *Sim) Seconds() float64 { return float64(s.Cycles()) / s.cfg.ClockHz }
+
+// EffectiveBandwidth returns achieved bytes/second over the simulated
+// interval.
+func (s *Sim) EffectiveBandwidth() float64 {
+	sec := s.Seconds()
+	if sec == 0 {
+		return 0
+	}
+	return float64(s.Stats.Bytes) / sec
+}
+
+// PeakBandwidth returns the configuration's theoretical ceiling.
+func (s *Sim) PeakBandwidth() float64 {
+	return s.cfg.BusBytesPerCycle * s.cfg.ClockHz * float64(s.cfg.Channels)
+}
+
+// Efficiency returns achieved / peak bandwidth — the quantity
+// perfmodel.CPU's RandomAccessEff approximates with a constant.
+func (s *Sim) Efficiency() float64 {
+	p := s.PeakBandwidth()
+	if p == 0 {
+		return 0
+	}
+	return s.EffectiveBandwidth() / p
+}

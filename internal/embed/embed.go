@@ -1,0 +1,140 @@
+// Package embed implements the embedding operation of a memory network:
+// converting sentences into internal state vectors by bag-of-words
+// lookups into an embedding matrix (§2.1 of the MnnFast paper).
+//
+// The embedding matrix is stored word-major (V rows of ed floats) so a
+// word's vector is one contiguous O(1) lookup, matching the paper's
+// array implementation. Lookups are instrumented through memtrace so the
+// cache-contention (Fig 4) and embedding-cache (Fig 14) experiments can
+// replay the exact access stream.
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mnnfast/internal/memtrace"
+	"mnnfast/internal/tensor"
+)
+
+// Table is an embedding matrix with V rows of dimension ed.
+type Table struct {
+	Dim  int            // ed, the embedding dimension
+	Mat  *tensor.Matrix // V×ed, row i is the vector of word ID i
+	Term memtrace.Region
+}
+
+// NewTable returns a zero-initialized table for a vocabulary of v words.
+func NewTable(v, dim int) *Table {
+	if v < 1 || dim < 1 {
+		panic(fmt.Sprintf("embed: NewTable(%d, %d): invalid shape", v, dim))
+	}
+	return &Table{Dim: dim, Mat: tensor.NewMatrix(v, dim), Term: memtrace.RegionEmbedding}
+}
+
+// NewRandomTable returns a table with N(0, 0.1²) entries, the init used
+// by end-to-end memory networks.
+func NewRandomTable(rng *rand.Rand, v, dim int) *Table {
+	t := NewTable(v, dim)
+	t.Mat = tensor.GaussianMatrix(rng, v, dim, 0.1)
+	return t
+}
+
+// Words returns the vocabulary size V of the table.
+func (t *Table) Words() int { return t.Mat.Rows }
+
+// Vector returns the embedding vector of word ID w, reporting the lookup
+// to tr (if non-nil). The returned vector aliases table storage.
+func (t *Table) Vector(tr memtrace.Toucher, w int) tensor.Vector {
+	if w < 0 || w >= t.Mat.Rows {
+		panic(fmt.Sprintf("embed: word ID %d out of range [0, %d)", w, t.Mat.Rows))
+	}
+	memtrace.Touch(tr, t.Term, memtrace.OpRead, int64(w)*int64(t.Dim)*4, t.Dim*4)
+	return t.Mat.Row(w)
+}
+
+// EncodeBoW computes the bag-of-words sentence embedding: the sum of the
+// word vectors, written into dst (length ed). Word ID 0 (padding) is
+// skipped. This is the paper's embedding operation: one table lookup and
+// one vector add per word.
+func (t *Table) EncodeBoW(tr memtrace.Toucher, words []int, dst tensor.Vector) {
+	if len(dst) != t.Dim {
+		panic(fmt.Sprintf("embed: EncodeBoW dst length %d != dim %d", len(dst), t.Dim))
+	}
+	dst.Zero()
+	for _, w := range words {
+		if w == 0 {
+			continue
+		}
+		tensor.Axpy(1, t.Vector(tr, w), dst)
+	}
+}
+
+// EncodePosition computes the position-encoded sentence embedding of
+// Sukhbaatar et al. (2015): word j of J is weighted element-wise by
+//
+//	l_kj = (1 - j/J) - (k/ed)·(1 - 2j/J)
+//
+// (1-based j, k). Position encoding preserves word order information
+// that plain BoW discards; the paper notes some studies multiply
+// position weights before summing (§2.1 footnote).
+func (t *Table) EncodePosition(tr memtrace.Toucher, words []int, dst tensor.Vector) {
+	if len(dst) != t.Dim {
+		panic(fmt.Sprintf("embed: EncodePosition dst length %d != dim %d", len(dst), t.Dim))
+	}
+	dst.Zero()
+	nonPad := 0
+	for _, w := range words {
+		if w != 0 {
+			nonPad++
+		}
+	}
+	if nonPad == 0 {
+		return
+	}
+	j := 0
+	bigJ := float32(nonPad)
+	d := float32(t.Dim)
+	for _, w := range words {
+		if w == 0 {
+			continue
+		}
+		j++
+		vec := t.Vector(tr, w)
+		fj := float32(j)
+		a := 1 - fj/bigJ
+		b := 1 - 2*fj/bigJ
+		for k := 0; k < t.Dim; k++ {
+			l := a - (float32(k+1)/d)*b
+			dst[k] += l * vec[k]
+		}
+	}
+}
+
+// Encoder converts tokenized sentences into state vectors using a
+// Table and a configurable encoding scheme.
+type Encoder struct {
+	Table    *Table
+	Position bool // use position encoding instead of plain BoW
+}
+
+// Encode writes the sentence embedding of words into dst.
+func (e *Encoder) Encode(tr memtrace.Toucher, words []int, dst tensor.Vector) {
+	if e.Position {
+		e.Table.EncodePosition(tr, words, dst)
+		return
+	}
+	e.Table.EncodeBoW(tr, words, dst)
+}
+
+// EncodeAll encodes each sentence into the corresponding row of dst
+// (len(sentences)×ed).
+func (e *Encoder) EncodeAll(tr memtrace.Toucher, sentences [][]int, dst *tensor.Matrix) {
+	if dst.Rows != len(sentences) || dst.Cols != e.Table.Dim {
+		panic(fmt.Sprintf("embed: EncodeAll dst %dx%d does not fit %d sentences of dim %d",
+			dst.Rows, dst.Cols, len(sentences), e.Table.Dim))
+	}
+	for i, s := range sentences {
+		e.Encode(tr, s, dst.Row(i))
+	}
+}

@@ -1,0 +1,178 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+
+	"mnnfast/internal/memtrace"
+	"mnnfast/internal/tensor"
+)
+
+func TestNewTableShape(t *testing.T) {
+	tb := NewTable(10, 8)
+	if tb.Words() != 10 || tb.Dim != 8 {
+		t.Fatalf("table shape = %dx%d", tb.Words(), tb.Dim)
+	}
+}
+
+func TestNewTableInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTable(0, 4) did not panic")
+		}
+	}()
+	NewTable(0, 4)
+}
+
+func TestVectorLookupAndTrace(t *testing.T) {
+	tb := NewTable(5, 4)
+	tb.Mat.Set(3, 2, 7)
+	var c memtrace.Counter
+	v := tb.Vector(&c, 3)
+	if v[2] != 7 {
+		t.Errorf("Vector(3)[2] = %v, want 7", v[2])
+	}
+	if c.Accesses[memtrace.RegionEmbedding][memtrace.OpRead] != 1 {
+		t.Errorf("expected 1 traced read, got %+v", c.Accesses)
+	}
+	if c.Bytes[memtrace.RegionEmbedding][memtrace.OpRead] != 16 {
+		t.Errorf("expected 16 traced bytes (ed=4 × 4B), got %d", c.Bytes[memtrace.RegionEmbedding][memtrace.OpRead])
+	}
+}
+
+func TestVectorOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Vector(99) did not panic")
+		}
+	}()
+	NewTable(5, 4).Vector(nil, 99)
+}
+
+func TestEncodeBoWSumsVectors(t *testing.T) {
+	tb := NewTable(4, 3)
+	tb.Mat.Row(1).Fill(1)
+	tb.Mat.Row(2).Fill(10)
+	dst := tensor.NewVector(3)
+	tb.EncodeBoW(nil, []int{1, 2, 2}, dst)
+	for _, x := range dst {
+		if x != 21 {
+			t.Fatalf("EncodeBoW = %v, want all 21", dst)
+		}
+	}
+}
+
+func TestEncodeBoWSkipsPadding(t *testing.T) {
+	tb := NewTable(3, 2)
+	tb.Mat.Row(0).Fill(100) // pad vector must never contribute
+	tb.Mat.Row(1).Fill(1)
+	dst := tensor.NewVector(2)
+	var c memtrace.Counter
+	tb.EncodeBoW(&c, []int{0, 1, 0}, dst)
+	if dst[0] != 1 {
+		t.Errorf("padding contributed to the sum: %v", dst)
+	}
+	if got := c.Accesses[memtrace.RegionEmbedding][memtrace.OpRead]; got != 1 {
+		t.Errorf("padding lookups should not be traced: %d reads", got)
+	}
+}
+
+func TestEncodeBoWOverwritesDst(t *testing.T) {
+	tb := NewTable(2, 2)
+	dst := tensor.Vector{99, 99}
+	tb.EncodeBoW(nil, nil, dst)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Errorf("EncodeBoW must zero dst first: %v", dst)
+	}
+}
+
+func TestEncodePositionEmptySentence(t *testing.T) {
+	tb := NewTable(2, 2)
+	dst := tensor.Vector{5, 5}
+	tb.EncodePosition(nil, []int{0, 0}, dst)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Errorf("all-padding sentence should embed to zero: %v", dst)
+	}
+}
+
+func TestEncodePositionDiffersFromBoWOnReorderedWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tb := NewRandomTable(rng, 10, 6)
+	a := tensor.NewVector(6)
+	b := tensor.NewVector(6)
+	tb.EncodePosition(nil, []int{1, 2, 3}, a)
+	tb.EncodePosition(nil, []int{3, 2, 1}, b)
+	if tensor.MaxAbsDiff(a, b) < 1e-6 {
+		t.Error("position encoding should distinguish word order")
+	}
+	// BoW, by contrast, must not.
+	tb.EncodeBoW(nil, []int{1, 2, 3}, a)
+	tb.EncodeBoW(nil, []int{3, 2, 1}, b)
+	if tensor.MaxAbsDiff(a, b) > 1e-5 {
+		t.Error("BoW encoding must be order-invariant")
+	}
+}
+
+func TestEncodePositionWeightsSumToBoWForConstantVectors(t *testing.T) {
+	// With ed=1 the position weights are l_j = (1-j/J) - (1)·(1-2j/J)
+	// = j/J; their sum over j=1..J is (J+1)/2. For constant word
+	// vectors the position encoding is that multiple of the BoW sum.
+	tb := NewTable(3, 1)
+	tb.Mat.Row(1).Fill(2)
+	dst := tensor.NewVector(1)
+	tb.EncodePosition(nil, []int{1, 1, 1}, dst)
+	want := float32(2) * (1.0/3 + 2.0/3 + 3.0/3)
+	if d := dst[0] - want; d > 1e-5 || d < -1e-5 {
+		t.Errorf("EncodePosition = %v, want %v", dst[0], want)
+	}
+}
+
+func TestEncoderDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tb := NewRandomTable(rng, 8, 4)
+	bow := Encoder{Table: tb}
+	pos := Encoder{Table: tb, Position: true}
+	a := tensor.NewVector(4)
+	b := tensor.NewVector(4)
+	words := []int{1, 2, 3, 4}
+	bow.Encode(nil, words, a)
+	pos.Encode(nil, words, b)
+	if tensor.MaxAbsDiff(a, b) < 1e-6 {
+		t.Error("encoder Position flag had no effect")
+	}
+}
+
+func TestEncodeAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tb := NewRandomTable(rng, 8, 4)
+	enc := Encoder{Table: tb}
+	sentences := [][]int{{1, 2}, {3}, {4, 5, 6}}
+	dst := tensor.NewMatrix(3, 4)
+	enc.EncodeAll(nil, sentences, dst)
+	want := tensor.NewVector(4)
+	tb.EncodeBoW(nil, sentences[2], want)
+	if tensor.MaxAbsDiff(dst.Row(2), want) != 0 {
+		t.Error("EncodeAll row 2 does not match direct encoding")
+	}
+}
+
+func TestEncodeAllShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncodeAll with wrong dst shape did not panic")
+		}
+	}()
+	tb := NewTable(4, 4)
+	(&Encoder{Table: tb}).EncodeAll(nil, [][]int{{1}}, tensor.NewMatrix(2, 4))
+}
+
+func TestTraceBytesProportionalToWords(t *testing.T) {
+	tb := NewTable(100, 16)
+	var c memtrace.Counter
+	dst := tensor.NewVector(16)
+	tb.EncodeBoW(&c, []int{1, 2, 3, 4, 5}, dst)
+	wantBytes := int64(5 * 16 * 4)
+	if got := c.RegionBytes(memtrace.RegionEmbedding); got != wantBytes {
+		t.Errorf("traced bytes = %d, want %d", got, wantBytes)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"mnnfast/internal/cachesim"
+	"mnnfast/internal/core"
+	"mnnfast/internal/memtrace"
+	"mnnfast/internal/tensor"
+	"mnnfast/internal/vocab"
+)
+
+// BypassResult is the §3.3 design-space ablation: three ways to handle
+// the embedding stream next to an inference tenant —
+//
+//  1. shared LLC (the contention problem of Fig 4),
+//  2. cache bypassing with non-temporal accesses (isolates the LLC but
+//     sends every embedding access to DRAM), and
+//  3. the dedicated embedding cache (isolates the LLC and absorbs the
+//     word-locality hits).
+//
+// The paper argues bypassing has two drawbacks — embedding latency
+// pinned to DRAM and extra memory pressure — which is exactly what the
+// DRAM-access column shows.
+type BypassResult struct {
+	Policies []string
+	// InfMissRate is the inference tenant's M_IN demand miss rate.
+	InfMissRate []float64
+	// EmbDRAM counts embedding accesses served by DRAM.
+	EmbDRAM []int64
+	// EmbAccesses is the total embedding accesses issued.
+	EmbAccesses int64
+}
+
+// Bypass runs the ablation.
+func Bypass(cfg Config) *BypassResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ed := cfg.ED
+
+	// Inference tenant sized to fit the LLC alone.
+	ns := int(cfg.LLCBytes / 2 / int64(ed) / 4 / 2)
+	if ns < 64 {
+		ns = 64
+	}
+	mem := newDatabase(rng, ns, ed)
+	u := tensor.RandomVector(rng, ed, 1)
+	inf := &cachesim.Trace{}
+	eng := core.NewColumn(mem, core.Options{ChunkSize: cfg.Chunk, Tracer: inf})
+	o := tensor.NewVector(ed)
+	for rep := 0; rep < 3; rep++ {
+		eng.Infer(u, o)
+	}
+
+	// Embedding tenant: Zipf lookups, same volume as the inference
+	// trace.
+	zipf := vocab.NewZipfModel(200000, 1.0)
+	emb := &cachesim.Trace{}
+	r := rand.New(rand.NewSource(cfg.Seed + 99))
+	n := len(inf.Accesses)
+	for i := 0; i < n; i++ {
+		w := zipf.Sample(r)
+		emb.Touch(memtrace.RegionEmbedding, memtrace.OpRead, int64(w)*int64(ed)*4, ed*4)
+	}
+
+	res := &BypassResult{
+		Policies:    []string{"shared LLC", "bypass (non-temporal)", "embedding cache"},
+		EmbAccesses: int64(n),
+	}
+	for _, policy := range res.Policies {
+		h := cachesim.NewHierarchy(cachesim.CacheConfig{SizeBytes: cfg.LLCBytes, LineBytes: 64, Ways: 16})
+		switch policy {
+		case "bypass (non-temporal)":
+			h.BypassEmbedding = true
+		case "embedding cache":
+			h.EmbCache = cachesim.NewEmbeddingCache(128<<10, ed)
+		}
+		cachesim.ReplayInterleaved(h, inf, emb)
+		res.InfMissRate = append(res.InfMissRate, h.MissRateOf(memtrace.RegionMemIn))
+		var embDRAM int64
+		switch policy {
+		case "shared LLC":
+			embDRAM = h.RegionMisses[memtrace.RegionEmbedding]
+		case "bypass (non-temporal)":
+			embDRAM = h.BypassDRAM
+		case "embedding cache":
+			embDRAM = h.EmbCache.Misses
+		}
+		res.EmbDRAM = append(res.EmbDRAM, embDRAM)
+	}
+	return res
+}
+
+// Table renders the result.
+func (r *BypassResult) Table() *Table {
+	t := &Table{
+		ID:      "bypass",
+		Title:   "embedding isolation policies (§3.3): shared LLC vs non-temporal bypass vs embedding cache",
+		Headers: []string{"policy", "inference M_IN miss rate", "embedding DRAM accesses"},
+	}
+	for i, p := range r.Policies {
+		t.AddRow(p, pct(r.InfMissRate[i]), i64(r.EmbDRAM[i]))
+	}
+	t.Note("%d embedding accesses issued per run", r.EmbAccesses)
+	t.Note("paper argument: bypassing isolates the LLC but pins every embedding access to DRAM;")
+	t.Note("the dedicated cache isolates AND absorbs the Zipf word-locality hits")
+	return t
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"mnnfast/internal/perfmodel"
+	"mnnfast/internal/tensor"
+)
+
+// Fig10Result is the optimized-scalability experiment (paper
+// Figure 10): thread-scaling of the column-based algorithm without and
+// with streaming at each channel count.
+type Fig10Result struct {
+	Threads  []int
+	Channels []int
+	// Column[c][t] and ColumnStream[c][t] are speedups over the
+	// variant's own single-thread run.
+	Column       [][]float64
+	ColumnStream [][]float64
+}
+
+// Fig10 runs the experiment.
+func Fig10(cfg Config) *Fig10Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mem := newDatabase(rng, cfg.NS, cfg.ED)
+	u := tensor.RandomVector(rng, cfg.ED, 1)
+	cpu := perfmodel.DefaultCPU()
+
+	wCol := workloadOf(profileVariant(cfg, VariantColumn, mem, u))
+	wCS := workloadOf(profileVariant(cfg, VariantColumnStream, mem, u))
+
+	res := &Fig10Result{Threads: cfg.Threads, Channels: cfg.Channels}
+	for _, ch := range cfg.Channels {
+		col := make([]float64, len(cfg.Threads))
+		cs := make([]float64, len(cfg.Threads))
+		for i, t := range cfg.Threads {
+			col[i] = cpu.Speedup(wCol, t, ch)
+			cs[i] = cpu.Speedup(wCS, t, ch)
+		}
+		res.Column = append(res.Column, col)
+		res.ColumnStream = append(res.ColumnStream, cs)
+	}
+	return res
+}
+
+// Table renders the result.
+func (r *Fig10Result) Table() *Table {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "scalability of column-based algorithm (speedup over own 1-thread run)",
+		Headers: []string{"threads"},
+	}
+	for _, ch := range r.Channels {
+		t.Headers = append(t.Headers, "col@"+in(ch)+"ch", "col+S@"+in(ch)+"ch")
+	}
+	for i, th := range r.Threads {
+		row := []string{in(th)}
+		for c := range r.Channels {
+			row = append(row, f2(r.Column[c][i]), f2(r.ColumnStream[c][i]))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("paper shape: column saturates later than baseline; column+streaming reaches near-ideal scaling")
+	return t
+}
+
+// Fig11Result is the off-chip access experiment (paper Figure 11):
+// demand off-chip accesses of each design normalized to the baseline,
+// with total DRAM traffic (including prefetch fills) alongside.
+type Fig11Result struct {
+	Variants     []EngineVariant
+	DemandMisses []int64
+	DRAMBytes    []int64
+	// Normalized[v] = DemandMisses[v] / DemandMisses[baseline].
+	Normalized []float64
+}
+
+// Fig11 runs the experiment.
+func Fig11(cfg Config) *Fig11Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mem := newDatabase(rng, cfg.NS, cfg.ED)
+	u := tensor.RandomVector(rng, cfg.ED, 1)
+
+	res := &Fig11Result{Variants: []EngineVariant{VariantBaseline, VariantColumn, VariantColumnStream}}
+	for _, v := range res.Variants {
+		prof := profileVariant(cfg, v, mem, u)
+		res.DemandMisses = append(res.DemandMisses, prof.Demand)
+		res.DRAMBytes = append(res.DRAMBytes, prof.DRAMB)
+	}
+	base := float64(res.DemandMisses[0])
+	for _, m := range res.DemandMisses {
+		res.Normalized = append(res.Normalized, float64(m)/base)
+	}
+	return res
+}
+
+// Table renders the result.
+func (r *Fig11Result) Table() *Table {
+	t := &Table{
+		ID:      "fig11",
+		Title:   "off-chip memory accesses (normalized demand misses; total DRAM bytes incl. prefetch)",
+		Headers: []string{"variant", "demand misses", "normalized", "DRAM MB"},
+	}
+	for i, v := range r.Variants {
+		t.AddRow(v.String(),
+			i64(r.DemandMisses[i]),
+			f2(r.Normalized[i]),
+			f1(float64(r.DRAMBytes[i])/(1<<20)))
+	}
+	t.Note("paper shape: column removes the spill misses; column+streaming eliminates >60%% of demand accesses")
+	return t
+}

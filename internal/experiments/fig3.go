@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"mnnfast/internal/perfmodel"
+	"mnnfast/internal/tensor"
+)
+
+// blasChunkingOverhead models the baseline's extra DRAM traffic from
+// generic BLAS data chunking (§3.1: "the baseline MemNN also suffers
+// from inefficient data chunking of current matrix multiplication
+// libraries"): blocked GEMM re-reads panels of the operands. Applied
+// only to the baseline variant's modelled traffic.
+const blasChunkingOverhead = 1.25
+
+// Fig3Result is the baseline-scalability experiment (paper Figure 3):
+// speedup of the baseline MemNN versus thread count for each
+// memory-channel configuration, normalized to the corresponding
+// single-thread result.
+type Fig3Result struct {
+	Threads  []int
+	Channels []int
+	// Speedup[c][t] is the speedup at Channels[c] and Threads[t].
+	Speedup [][]float64
+	// Knee[c] is the thread count where scaling saturates.
+	Knee []int
+}
+
+// Fig3 runs the experiment.
+func Fig3(cfg Config) *Fig3Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mem := newDatabase(rng, cfg.NS, cfg.ED)
+	u := tensor.RandomVector(rng, cfg.ED, 1)
+
+	prof := profileVariant(cfg, VariantBaseline, mem, u)
+	w := workloadOf(prof)
+	w.DRAMBytes *= blasChunkingOverhead
+
+	cpu := perfmodel.DefaultCPU()
+	res := &Fig3Result{Threads: cfg.Threads, Channels: cfg.Channels}
+	for _, ch := range cfg.Channels {
+		row := make([]float64, len(cfg.Threads))
+		for i, t := range cfg.Threads {
+			row[i] = cpu.Speedup(w, t, ch)
+		}
+		res.Speedup = append(res.Speedup, row)
+		maxT := cfg.Threads[len(cfg.Threads)-1]
+		res.Knee = append(res.Knee, cpu.SaturationThreads(w, ch, maxT, 0.1))
+	}
+	return res
+}
+
+// Table renders the result.
+func (r *Fig3Result) Table() *Table {
+	t := &Table{
+		ID:    "fig3",
+		Title: "baseline MemNN scalability vs threads per memory-channel count (speedup over 1 thread)",
+	}
+	t.Headers = []string{"threads"}
+	for _, ch := range r.Channels {
+		t.Headers = append(t.Headers, in(ch)+"ch")
+	}
+	for i, th := range r.Threads {
+		row := []string{in(th)}
+		for c := range r.Channels {
+			row = append(row, f2(r.Speedup[c][i]))
+		}
+		t.AddRow(row...)
+	}
+	for c, ch := range r.Channels {
+		t.Note("%d channel(s): scaling saturates around %d threads", ch, r.Knee[c])
+	}
+	t.Note("paper shape: fewer channels saturate earlier — bandwidth bounds baseline scalability")
+	return t
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"mnnfast/internal/cachesim"
+	"mnnfast/internal/core"
+	"mnnfast/internal/memtrace"
+	"mnnfast/internal/perfmodel"
+	"mnnfast/internal/tensor"
+	"mnnfast/internal/vocab"
+)
+
+// Fig4Result is the cache-contention experiment (paper Figure 4):
+// inference performance under co-executed embedding threads, relative
+// to the 1-embedding-thread case, for several MemNN scales — plus the
+// same co-run with the dedicated embedding cache, which removes the
+// contention (§3.3).
+type Fig4Result struct {
+	EmbThreads []int
+	Dims       []int
+	// Relative[d][k] is inference performance (1.0 = no degradation)
+	// at Dims[d] with EmbThreads[k] embedding threads.
+	Relative [][]float64
+	// WithEmbCache[d] is relative performance at the largest embedding
+	// thread count when the embedding cache isolates the streams.
+	WithEmbCache []float64
+}
+
+// inferenceTimeUnder replays the inference trace against a hierarchy
+// co-run with k embedding traces and returns the modelled inference
+// time (compute + inference-region demand-miss traffic).
+func fig4InferenceTime(cfg Config, inf *cachesim.Trace, computeOps float64, embTraces []*cachesim.Trace, embCache bool) float64 {
+	h := cachesim.NewHierarchy(cachesim.CacheConfig{SizeBytes: cfg.LLCBytes, LineBytes: 64, Ways: 16})
+	if embCache {
+		h.EmbCache = cachesim.NewEmbeddingCache(cfg.LLCBytes/64, 256)
+	}
+	traces := append([]*cachesim.Trace{inf}, embTraces...)
+	cachesim.ReplayInterleaved(h, traces...)
+
+	var missLines int64
+	for _, r := range []memtrace.Region{
+		memtrace.RegionMemIn, memtrace.RegionMemOut,
+		memtrace.RegionTempIn, memtrace.RegionTempPexp, memtrace.RegionTempP,
+		memtrace.RegionQuestion, memtrace.RegionOutput,
+	} {
+		missLines += h.RegionMisses[r]
+	}
+	cpu := perfmodel.DefaultCPU()
+	w := perfmodel.Workload{ComputeOps: computeOps, DRAMBytes: float64(missLines * 64)}
+	return cpu.Time(w, 1, 1).Total
+}
+
+// Fig4 runs the experiment. The inference working set is sized to fit
+// the LLC when alone (the compute-intensive tenant the paper
+// describes), and each embedding thread is a stream of Zipf-distributed
+// lookups into a large embedding matrix.
+func Fig4(cfg Config) *Fig4Result {
+	res := &Fig4Result{
+		EmbThreads: []int{1, 2, 4, 8},
+		Dims:       []int{cfg.ED / 2, cfg.ED, cfg.ED * 2},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	for _, ed := range res.Dims {
+		// Inference tenant: repeated inferences over a database sized
+		// at half the LLC so that, alone, re-runs hit on chip.
+		ns := int(cfg.LLCBytes / 2 / int64(ed) / 4 / 2)
+		if ns < 64 {
+			ns = 64
+		}
+		mem := newDatabase(rng, ns, ed)
+		u := tensor.RandomVector(rng, ed, 1)
+		inf := &cachesim.Trace{}
+		eng := core.NewColumn(mem, core.Options{ChunkSize: cfg.Chunk, Tracer: inf})
+		o := tensor.NewVector(ed)
+		var ops float64
+		for rep := 0; rep < 3; rep++ {
+			st := eng.Infer(u, o)
+			ops += perfmodel.DefaultOpWeights().Ops(st.TotalMuls(), st.Exps, st.Divisions)
+		}
+
+		// Embedding tenants: Zipf word streams over a 200K-word table.
+		zipf := vocab.NewZipfModel(200000, 1.0)
+		mkEmb := func(seed int64) *cachesim.Trace {
+			tr := &cachesim.Trace{}
+			r := rand.New(rand.NewSource(seed))
+			words := len(inf.Accesses) / 2
+			for i := 0; i < words; i++ {
+				w := zipf.Sample(r)
+				tr.Touch(memtrace.RegionEmbedding, memtrace.OpRead, int64(w)*int64(ed)*4, ed*4)
+			}
+			return tr
+		}
+
+		base := fig4InferenceTime(cfg, inf, ops, []*cachesim.Trace{mkEmb(100)}, false)
+		var rel []float64
+		var embs []*cachesim.Trace
+		for k := 1; k <= 8; k++ {
+			embs = append(embs, mkEmb(100+int64(k)))
+			if k == 1 || k == 2 || k == 4 || k == 8 {
+				t := fig4InferenceTime(cfg, inf, ops, embs, false)
+				rel = append(rel, base/t)
+			}
+		}
+		res.Relative = append(res.Relative, rel)
+
+		cached := fig4InferenceTime(cfg, inf, ops, embs, true)
+		res.WithEmbCache = append(res.WithEmbCache, base/cached)
+	}
+	return res
+}
+
+// Table renders the result.
+func (r *Fig4Result) Table() *Table {
+	t := &Table{
+		ID:      "fig4",
+		Title:   "inference performance under co-executed embedding threads (relative to 1-embedding-thread case)",
+		Headers: []string{"emb threads"},
+	}
+	for _, d := range r.Dims {
+		t.Headers = append(t.Headers, "ed="+in(d))
+	}
+	for k, n := range r.EmbThreads {
+		row := []string{in(n)}
+		for d := range r.Dims {
+			row = append(row, f2(r.Relative[d][k]))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"8 + emb$"}
+	for d := range r.Dims {
+		row = append(row, f2(r.WithEmbCache[d]))
+	}
+	t.AddRow(row...)
+	t.Note("paper shape: degradation grows with embedding threads and with MemNN scale")
+	t.Note("'8 + emb$': 8 embedding threads with the dedicated embedding cache — contention removed")
+	return t
+}

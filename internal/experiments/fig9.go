@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"mnnfast/internal/perfmodel"
+	"mnnfast/internal/tensor"
+)
+
+// Fig9Result is the CPU performance experiment (paper Figure 9):
+// (a) the per-operation latency decomposition of each design and
+// (b) speedup over the baseline versus thread count.
+type Fig9Result struct {
+	Variants []EngineVariant
+	// Breakdown[v] decomposes variant v's single-thread modelled time.
+	Breakdown []Fig9Breakdown
+	Threads   []int
+	// Speedup[v][t] is variant v's speedup over the baseline at
+	// Threads[t] (4 memory channels).
+	Speedup [][]float64
+	// AvgSpeedup[v] averages the speedup across thread counts, and
+	// MaxSpeedup[v] is its maximum — the paper's 4.02× / 5.38× figures
+	// for MnnFast.
+	AvgSpeedup []float64
+	MaxSpeedup []float64
+}
+
+// Fig9Breakdown is one variant's modelled single-thread time split by
+// the paper's operations.
+type Fig9Breakdown struct {
+	InnerProduct float64 // seconds
+	Softmax      float64
+	WeightedSum  float64
+	Memory       float64 // non-overlapped memory time
+	Total        float64
+}
+
+// Fig9 runs the experiment.
+func Fig9(cfg Config) *Fig9Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mem := newDatabase(rng, cfg.NS, cfg.ED)
+	u := tensor.RandomVector(rng, cfg.ED, 1)
+	cpu := perfmodel.DefaultCPU()
+	ow := perfmodel.DefaultOpWeights()
+	channels := 4
+
+	res := &Fig9Result{Variants: AllVariants(), Threads: cfg.Threads}
+	workloads := make([]perfmodel.Workload, len(res.Variants))
+	for i, v := range res.Variants {
+		prof := profileVariant(cfg, v, mem, u)
+		w := workloadOf(prof)
+		if v == VariantBaseline {
+			w.DRAMBytes *= blasChunkingOverhead
+		}
+		workloads[i] = w
+
+		// Per-operation decomposition at one thread: compute split by
+		// operation counters; memory charged as the non-overlapped
+		// remainder.
+		rate := cpu.CoreGOPs * 1e9
+		bd := Fig9Breakdown{
+			InnerProduct: ow.Ops(prof.Stats.InnerProductMuls, 0, 0) / rate,
+			Softmax:      ow.Ops(0, prof.Stats.Exps, prof.Stats.Divisions) / rate,
+			WeightedSum:  ow.Ops(prof.Stats.WeightedSumMuls, 0, 0) / rate,
+		}
+		tm := cpu.Time(w, 1, channels)
+		bd.Total = tm.Total
+		compute := bd.InnerProduct + bd.Softmax + bd.WeightedSum
+		if bd.Total > compute {
+			bd.Memory = bd.Total - compute
+		}
+		res.Breakdown = append(res.Breakdown, bd)
+	}
+
+	for i := range res.Variants {
+		row := make([]float64, len(cfg.Threads))
+		var sum, max float64
+		for t, threads := range cfg.Threads {
+			base := cpu.Time(workloads[VariantBaseline], threads, channels).Total
+			mine := cpu.Time(workloads[i], threads, channels).Total
+			row[t] = base / mine
+			sum += row[t]
+			if row[t] > max {
+				max = row[t]
+			}
+		}
+		res.Speedup = append(res.Speedup, row)
+		res.AvgSpeedup = append(res.AvgSpeedup, sum/float64(len(cfg.Threads)))
+		res.MaxSpeedup = append(res.MaxSpeedup, max)
+	}
+	return res
+}
+
+// Table renders the result.
+func (r *Fig9Result) Table() *Table {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "CPU performance: per-op latency (1 thread, modelled seconds) and speedup vs baseline (4ch)",
+		Headers: []string{"variant", "inner", "softmax", "wsum", "memory", "total"},
+	}
+	for _, th := range r.Threads {
+		t.Headers = append(t.Headers, "x@"+in(th)+"T")
+	}
+	for i, v := range r.Variants {
+		b := r.Breakdown[i]
+		row := []string{v.String(),
+			fs(b.InnerProduct), fs(b.Softmax), fs(b.WeightedSum), fs(b.Memory), fs(b.Total)}
+		for t := range r.Threads {
+			row = append(row, f2(r.Speedup[i][t]))
+		}
+		t.AddRow(row...)
+	}
+	for i, v := range r.Variants {
+		if v == VariantBaseline {
+			continue
+		}
+		t.Note("%s: avg speedup %s, max %s", v, f2(r.AvgSpeedup[i]), f2(r.MaxSpeedup[i]))
+	}
+	t.Note("paper shape: column ≈1.2×, +streaming ≈3.3×, MnnFast ≈4× avg (5.38× at 20T)")
+	return t
+}
+
+func fs(seconds float64) string {
+	switch {
+	case seconds >= 1:
+		return f2(seconds) + "s"
+	case seconds >= 1e-3:
+		return f2(seconds*1e3) + "ms"
+	default:
+		return f2(seconds*1e6) + "us"
+	}
+}

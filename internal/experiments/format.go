@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FprintMarkdown renders the table as GitHub-flavored markdown, the
+// format EXPERIMENTS.md embeds.
+func (t *Table) FprintMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(escapeCells(t.Headers), " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "|%s|\n", strings.Join(seps, "|"))
+	for _, row := range t.Rows {
+		padded := make([]string, len(t.Headers))
+		copy(padded, escapeCells(row))
+		fmt.Fprintf(w, "| %s |\n", strings.Join(padded, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func escapeCells(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = strings.ReplaceAll(c, "|", "\\|")
+	}
+	return out
+}
+
+// FprintCSV renders the table as CSV (headers first; notes become
+// trailing comment-style rows with a single "# note" cell prefix).
+func (t *Table) FprintCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		padded := make([]string, len(t.Headers))
+		copy(padded, row)
+		if err := cw.Write(padded); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"# note", n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Format names a table rendering.
+type Format string
+
+// Supported table formats.
+const (
+	FormatText     Format = "text"
+	FormatMarkdown Format = "md"
+	FormatCSV      Format = "csv"
+)
+
+// Render writes the table in the requested format.
+func (t *Table) Render(w io.Writer, f Format) error {
+	switch f {
+	case FormatText, "":
+		t.Fprint(w)
+		return nil
+	case FormatMarkdown:
+		t.FprintMarkdown(w)
+		return nil
+	case FormatCSV:
+		return t.FprintCSV(w)
+	}
+	return fmt.Errorf("experiments: unknown format %q (text, md, csv)", f)
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{ID: "t1", Title: "demo", Headers: []string{"a", "b"}}
+	t.AddRow("1", "x|y") // pipe must be escaped in markdown
+	t.AddRow("2")        // short row must be padded
+	t.Note("a note")
+	return t
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	var sb strings.Builder
+	sampleTable().FprintMarkdown(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"### t1 — demo",
+		"| a | b |",
+		"|---|---|",
+		"x\\|y",
+		"> a note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Padded short row: two cells.
+	if !strings.Contains(out, "| 2 |  |") {
+		t.Errorf("short row not padded:\n%s", out)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleTable().FprintCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "a,b" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[3], "# note") {
+		t.Errorf("CSV note row = %q", lines[3])
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	tb := sampleTable()
+	for _, f := range []Format{FormatText, FormatMarkdown, FormatCSV, ""} {
+		var sb strings.Builder
+		if err := tb.Render(&sb, f); err != nil {
+			t.Errorf("Render(%q): %v", f, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("Render(%q) produced nothing", f)
+		}
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

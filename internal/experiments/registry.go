@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces a printable table for one experiment.
+type Runner func(cfg Config) (*Table, error)
+
+// Registry maps experiment IDs to runners, in the paper's order.
+var registry = map[string]Runner{
+	"table1": func(cfg Config) (*Table, error) { return Table1(), nil },
+	"fig3":   func(cfg Config) (*Table, error) { return Fig3(cfg).Table(), nil },
+	"fig4":   func(cfg Config) (*Table, error) { return Fig4(cfg).Table(), nil },
+	"fig6": func(cfg Config) (*Table, error) {
+		r, err := Fig6(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"fig7": func(cfg Config) (*Table, error) {
+		r, err := Fig7(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"fig9":     func(cfg Config) (*Table, error) { return Fig9(cfg).Table(), nil },
+	"fig10":    func(cfg Config) (*Table, error) { return Fig10(cfg).Table(), nil },
+	"fig11":    func(cfg Config) (*Table, error) { return Fig11(cfg).Table(), nil },
+	"fig12":    func(cfg Config) (*Table, error) { return Fig12(cfg).Table(), nil },
+	"fig13":    func(cfg Config) (*Table, error) { return Fig13(cfg).Table(), nil },
+	"fig14":    func(cfg Config) (*Table, error) { return Fig14(cfg).Table(), nil },
+	"energy":   func(cfg Config) (*Table, error) { return Energy(cfg).Table(), nil },
+	"measured": func(cfg Config) (*Table, error) { return Measured(cfg).Table(), nil },
+	"bypass":   func(cfg Config) (*Table, error) { return Bypass(cfg).Table(), nil },
+	"dramrow":  func(cfg Config) (*Table, error) { return DRAMRow(cfg).Table(), nil },
+}
+
+// order fixes the presentation sequence.
+var order = []string{
+	"table1", "fig3", "fig4", "fig6", "fig7", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "energy", "measured", "bypass", "dramrow",
+}
+
+// IDs returns all experiment IDs in presentation order.
+func IDs() []string {
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		known := make([]string, 0, len(registry))
+		for k := range registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+	}
+	return r(cfg)
+}

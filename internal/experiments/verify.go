@@ -1,0 +1,87 @@
+package experiments
+
+import "fmt"
+
+// Check is one verified claim-shape.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// VerifyAll runs the suite at the given config and checks every paper
+// claim-shape the reproduction is accountable for. It gives users a
+// one-command answer to "does this reproduction still hold?" without
+// reading the test suite.
+func VerifyAll(cfg Config) []Check {
+	var out []Check
+	add := func(name string, ok bool, format string, args ...any) {
+		out = append(out, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	f3 := Fig3(cfg)
+	last := len(f3.Threads) - 1
+	ok := true
+	for c := 1; c < len(f3.Channels); c++ {
+		ok = ok && f3.Speedup[c][last] > f3.Speedup[c-1][last]
+	}
+	add("fig3: more channels → more headroom", ok,
+		"max-thread speedups per channel: %v", func() []string {
+			var s []string
+			for c := range f3.Channels {
+				s = append(s, f2(f3.Speedup[c][last]))
+			}
+			return s
+		}())
+
+	f4 := Fig4(cfg)
+	d := len(f4.Dims) - 1
+	k := len(f4.EmbThreads) - 1
+	add("fig4: embedding co-tenants degrade inference", f4.Relative[d][k] < 1,
+		"relative perf at 8 embedding threads: %s", f2(f4.Relative[d][k]))
+	add("fig4: embedding cache relieves contention", f4.WithEmbCache[d] > f4.Relative[d][k],
+		"with cache: %s vs contended %s", f2(f4.WithEmbCache[d]), f2(f4.Relative[d][k]))
+
+	f9 := Fig9(cfg)
+	iCol, iCS, iMF := int(VariantColumn), int(VariantColumnStream), int(VariantMnnFast)
+	add("fig9: each optimization compounds",
+		f9.AvgSpeedup[iCol] > 1 && f9.AvgSpeedup[iCS] > f9.AvgSpeedup[iCol] && f9.AvgSpeedup[iMF] > f9.AvgSpeedup[iCS],
+		"avg speedups: column %s, +stream %s, mnnfast %s",
+		f2(f9.AvgSpeedup[iCol]), f2(f9.AvgSpeedup[iCS]), f2(f9.AvgSpeedup[iMF]))
+
+	f11 := Fig11(cfg)
+	add("fig11: streaming eliminates >60% of demand accesses", f11.Normalized[2] < 0.4,
+		"column+S normalized demand misses: %s", f2(f11.Normalized[2]))
+
+	f12 := Fig12(cfg)
+	sTop := f12.StreamSpeedup[len(f12.StreamSpeedup)-1]
+	gTop := f12.GPUSpeedup[len(f12.GPUSpeedup)-1]
+	add("fig12: streams ≈1.3× (memcpy-bound), 4 GPUs >3×",
+		sTop > 1.1 && sTop < 1.6 && gTop > 3,
+		"streams %s, 4 GPUs %s", f2(sTop), f2(gTop))
+
+	f13 := Fig13(cfg)
+	add("fig13: FPGA MnnFast ≈2× (paper 2.01×)",
+		f13.SpeedupAll > 1.7 && f13.SpeedupAll < 2.8,
+		"speedup %s, per-design normalized %v", f2(f13.SpeedupAll), fmtFloats(f13.Normalized))
+
+	f14 := Fig14(cfg)
+	add("fig14: embedding-cache bound matches paper band",
+		f14.BoundRed[0] > 0.30 && f14.BoundRed[0] < 0.40 &&
+			f14.BoundRed[len(f14.BoundRed)-1] > 0.47 && f14.BoundRed[len(f14.BoundRed)-1] < 0.58,
+		"bound reductions 32KB %s … 256KB %s", pct(f14.BoundRed[0]), pct(f14.BoundRed[len(f14.BoundRed)-1]))
+
+	en := Energy(cfg)
+	add("§5.5: FPGA energy advantage (paper up to 6.54×)", en.FPGAAdvantage > 2,
+		"advantage %s×", f2(en.FPGAAdvantage))
+
+	return out
+}
+
+func fmtFloats(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = f2(x)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"mnnfast/internal/cachesim"
+	"mnnfast/internal/core"
+	"mnnfast/internal/perfmodel"
+	"mnnfast/internal/tensor"
+)
+
+// EngineVariant names the four designs of the paper's ablation.
+type EngineVariant int
+
+// The paper's four evaluated designs (Fig 9, 13).
+const (
+	VariantBaseline EngineVariant = iota
+	VariantColumn
+	VariantColumnStream
+	VariantMnnFast // column + streaming + zero-skipping
+)
+
+var variantNames = [...]string{"baseline", "column", "column+S", "mnnfast"}
+
+// String returns the paper's label for the variant.
+func (v EngineVariant) String() string { return variantNames[v] }
+
+// AllVariants lists the designs in ablation order.
+func AllVariants() []EngineVariant {
+	return []EngineVariant{VariantBaseline, VariantColumn, VariantColumnStream, VariantMnnFast}
+}
+
+// skipThresholdDefault is the paper's CPU zero-skipping threshold
+// (§4.1.1: "skips ... whose weight is lower than 0.1"); applied to
+// max-shifted exponentials in the engines.
+const skipThresholdDefault = 0.1
+
+// buildEngine constructs the variant over mem.
+func buildEngine(v EngineVariant, mem *core.Memory, opt core.Options) core.Engine {
+	switch v {
+	case VariantBaseline:
+		return core.NewBaseline(mem, opt)
+	case VariantColumn:
+		opt.Streaming = false
+		opt.SkipThreshold = 0
+		return core.NewColumn(mem, opt)
+	case VariantColumnStream:
+		opt.Streaming = true
+		opt.SkipThreshold = 0
+		return core.NewColumn(mem, opt)
+	case VariantMnnFast:
+		opt.Streaming = true
+		opt.SkipThreshold = skipThresholdDefault
+		return core.NewColumn(mem, opt)
+	}
+	panic("experiments: unknown variant")
+}
+
+// sharpen scales the input-memory logits so trained-model attention
+// sparsity (Fig 6) is reflected in synthetic databases: only a handful
+// of rows carry non-negligible probability.
+func sharpen(mem *core.Memory, factor float32) {
+	for i := range mem.In.Data {
+		mem.In.Data[i] *= factor
+	}
+}
+
+// newDatabase builds a random knowledge database of ns×ed with
+// attention sharpened to trained-model sparsity.
+func newDatabase(rng *rand.Rand, ns, ed int) *core.Memory {
+	mem, err := core.NewMemory(
+		tensor.GaussianMatrix(rng, ns, ed, 0.5),
+		tensor.GaussianMatrix(rng, ns, ed, 0.5),
+	)
+	if err != nil {
+		panic(err)
+	}
+	sharpen(mem, 4)
+	return mem
+}
+
+// measured holds the per-inference profile of one engine variant:
+// operation counters plus simulated memory behaviour.
+type measured struct {
+	Variant EngineVariant
+	Stats   core.Stats
+	Demand  int64 // demand off-chip line misses
+	DRAMB   int64 // DRAM bytes (incl. prefetch fills and writebacks)
+}
+
+// profileVariant runs one traced inference of the variant through a
+// fresh hierarchy and returns its profile.
+func profileVariant(cfg Config, v EngineVariant, mem *core.Memory, u tensor.Vector) measured {
+	h := cachesim.NewHierarchy(cachesim.CacheConfig{SizeBytes: cfg.LLCBytes, LineBytes: 64, Ways: 16})
+	opt := core.Options{ChunkSize: cfg.Chunk, Tracer: h}
+	eng := buildEngine(v, mem, opt)
+	o := tensor.NewVector(mem.Dim())
+	st := eng.Infer(u, o)
+	return measured{Variant: v, Stats: st, Demand: h.DemandMisses(), DRAMB: h.DRAMBytes}
+}
+
+// workloadOf converts a profile into the perfmodel workload, weighting
+// exp/div against MACs and charging demand-line traffic (64 B each).
+func workloadOf(m measured) perfmodel.Workload {
+	w := perfmodel.DefaultOpWeights()
+	return perfmodel.Workload{
+		Name:       m.Variant.String(),
+		ComputeOps: w.Ops(m.Stats.TotalMuls(), m.Stats.Exps, m.Stats.Divisions),
+		DRAMBytes:  float64(m.DRAMB),
+		Streamed:   m.Variant == VariantColumnStream || m.Variant == VariantMnnFast,
+	}
+}

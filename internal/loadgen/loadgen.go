@@ -1,0 +1,177 @@
+// Package loadgen drives a QA inference service with concurrent
+// sessions and reports throughput and latency percentiles — the
+// multi-tenant serving scenario the paper's Figure 4 motivates
+// (many simultaneous question-answering tasks).
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config shapes a load run.
+type Config struct {
+	BaseURL   string // server root, e.g. http://localhost:8080
+	Sessions  int    // concurrent sessions
+	Questions int    // questions per session
+	StoryLen  int    // sentences loaded per session before asking
+	Seed      int64
+	Client    *http.Client // nil → http.DefaultClient
+}
+
+func (c *Config) normalize() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("loadgen: empty base URL")
+	}
+	if c.Sessions < 1 {
+		c.Sessions = 1
+	}
+	if c.Questions < 1 {
+		c.Questions = 1
+	}
+	if c.StoryLen < 1 {
+		c.StoryLen = 4
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return nil
+}
+
+// Result aggregates a run.
+type Result struct {
+	Requests  int
+	Errors    int
+	Elapsed   time.Duration
+	Latencies []time.Duration // sorted ascending
+}
+
+// Throughput returns successful requests per second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests-r.Errors) / r.Elapsed.Seconds()
+}
+
+// Percentile returns the p-th (0–100) latency percentile.
+func (r *Result) Percentile(p float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	idx := int(p / 100 * float64(len(r.Latencies)-1))
+	return r.Latencies[idx]
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("%d requests (%d errors) in %v — %.1f req/s; p50 %v, p95 %v, p99 %v",
+		r.Requests, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput(),
+		r.Percentile(50), r.Percentile(95), r.Percentile(99))
+}
+
+// storyPool provides in-vocabulary sentences and questions for the
+// default mnnfast-serve model.
+var (
+	genPeople    = []string{"john", "mary", "sandra", "daniel", "emily", "frank"}
+	genLocations = []string{"kitchen", "hallway", "garden", "bathroom", "office", "bedroom"}
+)
+
+// Run executes the load test.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	type sample struct {
+		d   time.Duration
+		err bool
+	}
+	samples := make(chan sample, cfg.Sessions*cfg.Questions)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(s)))
+			session := fmt.Sprintf("loadgen-%d", s)
+
+			// Build the session story.
+			sentences := make([]string, cfg.StoryLen)
+			for i := range sentences {
+				p := genPeople[rng.Intn(len(genPeople))]
+				l := genLocations[rng.Intn(len(genLocations))]
+				sentences[i] = p + " went to the " + l
+			}
+			if err := post(cfg, session, "/v1/story", map[string]any{
+				"sentences": sentences, "reset": true,
+			}, nil); err != nil {
+				for q := 0; q < cfg.Questions; q++ {
+					samples <- sample{err: true}
+				}
+				return
+			}
+
+			for q := 0; q < cfg.Questions; q++ {
+				p := genPeople[rng.Intn(len(genPeople))]
+				t0 := time.Now()
+				err := post(cfg, session, "/v1/answer", map[string]any{
+					"question": "where is " + p + "?",
+				}, nil)
+				samples <- sample{d: time.Since(t0), err: err != nil}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(samples)
+
+	res := &Result{Elapsed: time.Since(start)}
+	for s := range samples {
+		res.Requests++
+		if s.err {
+			res.Errors++
+			continue
+		}
+		res.Latencies = append(res.Latencies, s.d)
+	}
+	sort.Slice(res.Latencies, func(i, j int) bool { return res.Latencies[i] < res.Latencies[j] })
+	return res, nil
+}
+
+func post(cfg Config, session, path string, body any, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, cfg.BaseURL+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Session", session)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: %s: status %d", path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mnnfast/internal/babi"
+	"mnnfast/internal/memnn"
+	"mnnfast/internal/server"
+)
+
+func testService(t *testing.T) *httptest.Server {
+	t.Helper()
+	opt := babi.GenOptions{Stories: 200, StoryLen: 8, People: 6, Locations: 6}
+	d := babi.Generate(babi.TaskSingleFact, opt, rand.New(rand.NewSource(8)))
+	train, test := d.Split(0.9)
+	corpus := memnn.BuildCorpus(train, test, 0)
+	model, err := memnn.NewModel(memnn.Config{
+		Dim: 16, Hops: 2,
+		Vocab:   corpus.Vocab.Size(),
+		Answers: len(corpus.Answers),
+		MaxSent: corpus.MaxSent,
+	}, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topt := memnn.DefaultTrainOptions()
+	topt.Epochs = 10
+	if _, err := model.Train(corpus.Train, topt); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(model, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunAgainstLiveService(t *testing.T) {
+	ts := testService(t)
+	res, err := Run(Config{
+		BaseURL:   ts.URL,
+		Sessions:  4,
+		Questions: 5,
+		StoryLen:  6,
+		Seed:      1,
+		Client:    ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 20 {
+		t.Errorf("requests = %d, want 20", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d: %s", res.Errors, res)
+	}
+	if res.Throughput() <= 0 {
+		t.Errorf("throughput = %v", res.Throughput())
+	}
+	if res.Percentile(50) <= 0 || res.Percentile(99) < res.Percentile(50) {
+		t.Errorf("percentiles inconsistent: p50=%v p99=%v", res.Percentile(50), res.Percentile(99))
+	}
+	if res.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty base URL accepted")
+	}
+}
+
+func TestRunCountsServerErrors(t *testing.T) {
+	ts := testService(t)
+	// Questions reference a person outside the trained vocabulary? All
+	// loadgen people are in the generator vocabulary, so instead hit a
+	// dead endpoint to force transport errors.
+	res, err := Run(Config{
+		BaseURL:   "http://127.0.0.1:1",
+		Sessions:  2,
+		Questions: 3,
+		Seed:      1,
+		Client:    ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != res.Requests {
+		t.Errorf("dead endpoint: %d errors of %d requests", res.Errors, res.Requests)
+	}
+	if res.Throughput() != 0 {
+		t.Errorf("throughput with all errors = %v, want 0", res.Throughput())
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	r := &Result{Latencies: []time.Duration{1, 2, 3, 4}}
+	if r.Percentile(-5) != 1 || r.Percentile(200) != 4 {
+		t.Errorf("clamping broken: %v / %v", r.Percentile(-5), r.Percentile(200))
+	}
+	empty := &Result{}
+	if empty.Percentile(50) != 0 {
+		t.Error("empty percentiles should be 0")
+	}
+}

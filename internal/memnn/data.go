@@ -1,0 +1,130 @@
+// Package memnn implements end-to-end memory networks (Sukhbaatar et
+// al. 2015) — the MemNN the MnnFast paper accelerates. It provides the
+// model (multi-hop attention with adjacent weight sharing and temporal
+// encoding), full SGD training with backpropagation, the baseline
+// layer-by-layer inference dataflow of the paper's Figure 5(a), and the
+// evaluation helpers that the zero-skipping accuracy experiments use.
+package memnn
+
+import (
+	"fmt"
+
+	"mnnfast/internal/babi"
+	"mnnfast/internal/vocab"
+)
+
+// Example is a vectorized QA instance: token IDs per story sentence
+// (most recent last), question token IDs, and the answer class index.
+type Example struct {
+	Sentences [][]int
+	Question  []int
+	Answer    int
+	Support   []int // ground-truth supporting sentence indices (may be nil)
+}
+
+// Corpus is a vectorized dataset with a frozen vocabulary and answer
+// inventory shared by the train and test splits.
+type Corpus struct {
+	Vocab     *vocab.Vocabulary
+	Answers   []string       // answer class index → word
+	AnswerIdx map[string]int // word → answer class index
+	MaxSent   int            // memory capacity ns used for encoding
+	Train     []Example
+	Test      []Example
+}
+
+// BuildCorpus vectorizes train and test datasets with a shared
+// vocabulary. Stories longer than maxSent keep only their most recent
+// maxSent sentences (the standard bAbI preprocessing; supporting-fact
+// indices are remapped or dropped accordingly). maxSent <= 0 uses the
+// datasets' maximum story length.
+func BuildCorpus(train, test *babi.Dataset, maxSent int) *Corpus {
+	if maxSent <= 0 {
+		maxSent = train.MaxSentences()
+		if m := test.MaxSentences(); m > maxSent {
+			maxSent = m
+		}
+	}
+	c := &Corpus{
+		Vocab:     vocab.New(),
+		AnswerIdx: make(map[string]int),
+		MaxSent:   maxSent,
+	}
+	c.Train = c.vectorize(train, true)
+	c.Test = c.vectorize(test, true)
+	return c
+}
+
+func (c *Corpus) vectorize(d *babi.Dataset, grow bool) []Example {
+	if d == nil {
+		return nil
+	}
+	out := make([]Example, 0, len(d.Stories))
+	for _, s := range d.Stories {
+		sents := s.Sentences
+		drop := 0
+		if len(sents) > c.MaxSent {
+			drop = len(sents) - c.MaxSent
+			sents = sents[drop:]
+		}
+		ex := Example{
+			Sentences: make([][]int, len(sents)),
+			Question:  c.Vocab.Encode(s.Question),
+		}
+		for i, sent := range sents {
+			ex.Sentences[i] = c.Vocab.Encode(sent)
+		}
+		for _, sup := range s.Support {
+			if sup >= drop {
+				ex.Support = append(ex.Support, sup-drop)
+			}
+		}
+		idx, ok := c.AnswerIdx[s.Answer]
+		if !ok {
+			idx = len(c.Answers)
+			c.AnswerIdx[s.Answer] = idx
+			c.Answers = append(c.Answers, s.Answer)
+		}
+		ex.Answer = idx
+		out = append(out, ex)
+	}
+	return out
+}
+
+// AnswerWord returns the word of answer class i.
+func (c *Corpus) AnswerWord(i int) string {
+	if i < 0 || i >= len(c.Answers) {
+		panic(fmt.Sprintf("memnn: answer class %d out of range [0, %d)", i, len(c.Answers)))
+	}
+	return c.Answers[i]
+}
+
+// VectorizeStory converts a single story against the frozen corpus
+// vocabulary; unknown words are an error so inference cannot silently
+// drift from the trained vocabulary.
+func (c *Corpus) VectorizeStory(s babi.Story) (Example, error) {
+	var ex Example
+	sents := s.Sentences
+	if len(sents) > c.MaxSent {
+		sents = sents[len(sents)-c.MaxSent:]
+	}
+	ex.Sentences = make([][]int, len(sents))
+	for i, sent := range sents {
+		ids, err := c.Vocab.EncodeStrict(sent)
+		if err != nil {
+			return Example{}, fmt.Errorf("memnn: sentence %d: %w", i, err)
+		}
+		ex.Sentences[i] = ids
+	}
+	q, err := c.Vocab.EncodeStrict(s.Question)
+	if err != nil {
+		return Example{}, fmt.Errorf("memnn: question: %w", err)
+	}
+	ex.Question = q
+	if idx, ok := c.AnswerIdx[s.Answer]; ok {
+		ex.Answer = idx
+	} else {
+		ex.Answer = -1
+	}
+	return ex, nil
+}

@@ -1,0 +1,312 @@
+package memnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mnnfast/internal/tensor"
+)
+
+// Tying selects the weight-sharing scheme between hops (Sukhbaatar et
+// al. §2.2).
+type Tying int
+
+// Weight-tying schemes.
+const (
+	// TyingAdjacent: the memory-input embedding of hop k+1 is the
+	// memory-output embedding of hop k (A^{k+1} = C^k), and the
+	// internal state updates as u' = u + o.
+	TyingAdjacent Tying = iota
+	// TyingLayerwise: one A and one C shared by every hop (RNN-like),
+	// with a learned linear map H on the internal state:
+	// u' = H·u + o.
+	TyingLayerwise
+)
+
+// String names the scheme.
+func (t Tying) String() string {
+	switch t {
+	case TyingAdjacent:
+		return "adjacent"
+	case TyingLayerwise:
+		return "layerwise"
+	}
+	return fmt.Sprintf("tying(%d)", int(t))
+}
+
+// Config describes a K-hop end-to-end memory network.
+type Config struct {
+	Dim     int     // ed, embedding dimension
+	Hops    int     // K, number of memory hops
+	Vocab   int     // V, vocabulary size
+	Answers int     // number of answer classes
+	MaxSent int     // ns capacity, sizes the temporal encoding tables
+	InitStd float32 // weight init stddev (0 → 0.1, the paper's default)
+	// Position selects position encoding (PE) for sentence embeddings
+	// instead of plain bag-of-words, preserving word order (§4.1 of
+	// the MemN2N paper; the MnnFast paper's §2.1 footnote).
+	Position bool
+	// Tying selects the weight-sharing scheme; zero value is adjacent.
+	Tying Tying
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Dim < 1:
+		return fmt.Errorf("memnn: Dim = %d, want >= 1", c.Dim)
+	case c.Hops < 1:
+		return fmt.Errorf("memnn: Hops = %d, want >= 1", c.Hops)
+	case c.Vocab < 1:
+		return fmt.Errorf("memnn: Vocab = %d, want >= 1", c.Vocab)
+	case c.Answers < 1:
+		return fmt.Errorf("memnn: Answers = %d, want >= 1", c.Answers)
+	case c.MaxSent < 1:
+		return fmt.Errorf("memnn: MaxSent = %d, want >= 1", c.MaxSent)
+	case c.Tying != TyingAdjacent && c.Tying != TyingLayerwise:
+		return fmt.Errorf("memnn: unknown tying scheme %d", int(c.Tying))
+	}
+	return nil
+}
+
+// Model holds the learned parameters of a memory network. With adjacent
+// tying, Emb holds Hops+1 embedding matrices (A_k = Emb[k-1],
+// C_k = Emb[k]) and TimeIn/TimeOut hold one temporal table per hop.
+// With layer-wise tying, Emb holds exactly {A, C}, the temporal tables
+// are shared across hops (length 1), and H maps the internal state
+// between hops. The question embedding B is always separate, and W
+// maps the final internal state to answer logits.
+type Model struct {
+	Cfg     Config
+	B       *tensor.Matrix   // V×d, question embedding
+	Emb     []*tensor.Matrix // V×d embedding matrices (see Tying)
+	TimeIn  []*tensor.Matrix // MaxSent×d temporal encodings
+	TimeOut []*tensor.Matrix // MaxSent×d temporal encodings
+	H       *tensor.Matrix   // d×d state map (layer-wise tying only)
+	W       *tensor.Matrix   // Answers×d, final projection
+
+	// LinearAttention disables the attention softmax (raw inner
+	// products become weights) — the "linear start" training phase of
+	// the MemN2N paper, which helps escape poor local minima. The
+	// trainer toggles it; inference normally leaves it false.
+	LinearAttention bool
+}
+
+// NewModel initializes a model with N(0, InitStd²) weights from rng.
+func NewModel(cfg Config, rng *rand.Rand) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	std := cfg.InitStd
+	if std == 0 {
+		std = 0.1
+	}
+	m := &Model{Cfg: cfg}
+	m.B = tensor.GaussianMatrix(rng, cfg.Vocab, cfg.Dim, std)
+	nEmb, nTime := cfg.Hops+1, cfg.Hops
+	if cfg.Tying == TyingLayerwise {
+		nEmb, nTime = 2, 1
+		m.H = tensor.GaussianMatrix(rng, cfg.Dim, cfg.Dim, std)
+	}
+	m.Emb = make([]*tensor.Matrix, nEmb)
+	for i := range m.Emb {
+		m.Emb[i] = tensor.GaussianMatrix(rng, cfg.Vocab, cfg.Dim, std)
+	}
+	m.TimeIn = make([]*tensor.Matrix, nTime)
+	m.TimeOut = make([]*tensor.Matrix, nTime)
+	for k := 0; k < nTime; k++ {
+		m.TimeIn[k] = tensor.GaussianMatrix(rng, cfg.MaxSent, cfg.Dim, std)
+		m.TimeOut[k] = tensor.GaussianMatrix(rng, cfg.MaxSent, cfg.Dim, std)
+	}
+	m.W = tensor.GaussianMatrix(rng, cfg.Answers, cfg.Dim, std)
+	return m, nil
+}
+
+// embIn returns the memory-input embedding of hop k.
+func (m *Model) embIn(k int) *tensor.Matrix {
+	if m.Cfg.Tying == TyingLayerwise {
+		return m.Emb[0]
+	}
+	return m.Emb[k]
+}
+
+// embOut returns the memory-output embedding of hop k.
+func (m *Model) embOut(k int) *tensor.Matrix {
+	if m.Cfg.Tying == TyingLayerwise {
+		return m.Emb[1]
+	}
+	return m.Emb[k+1]
+}
+
+// timeIdx maps hop k to a temporal-table index.
+func (m *Model) timeIdx(k int) int {
+	if m.Cfg.Tying == TyingLayerwise {
+		return 0
+	}
+	return k
+}
+
+// Forward holds every intermediate of one example's forward pass; the
+// trainer reuses it for backprop and the evaluation code reads the
+// per-hop attention vectors from it.
+type Forward struct {
+	NS     int              // number of story sentences
+	U      []tensor.Vector  // Hops+1 internal states (U[0] = question)
+	MemIn  []*tensor.Matrix // per hop: ns×d input memory (embedded)
+	MemOut []*tensor.Matrix // per hop: ns×d output memory (embedded)
+	P      []tensor.Vector  // per hop: attention weights (length ns)
+	O      []tensor.Vector  // per hop: response vector
+	Logits tensor.Vector    // answer logits (length Answers)
+}
+
+// posWeight returns the position-encoding factor l_kj for the j-th of J
+// words (1-based) at embedding dimension k (0-based) of d:
+//
+//	l_kj = (1 - j/J) - ((k+1)/d)·(1 - 2j/J)
+func posWeight(j, bigJ, k, d int) float32 {
+	fj, fJ := float32(j), float32(bigJ)
+	return (1 - fj/fJ) - (float32(k+1)/float32(d))*(1-2*fj/fJ)
+}
+
+// encodeInto accumulates the sentence embedding of word IDs from table
+// emb plus the temporal vector into dst, with optional position
+// encoding.
+func (m *Model) encodeInto(emb *tensor.Matrix, words []int, temporal tensor.Vector, dst tensor.Vector) {
+	dst.Zero()
+	if m.Cfg.Position {
+		bigJ := 0
+		for _, w := range words {
+			if w != 0 {
+				bigJ++
+			}
+		}
+		j := 0
+		for _, w := range words {
+			if w == 0 {
+				continue
+			}
+			j++
+			row := emb.Row(w)
+			for k := range dst {
+				dst[k] += posWeight(j, bigJ, k, m.Cfg.Dim) * row[k]
+			}
+		}
+	} else {
+		for _, w := range words {
+			if w == 0 {
+				continue
+			}
+			tensor.Axpy(1, emb.Row(w), dst)
+		}
+	}
+	if temporal != nil {
+		dst.AddInPlace(temporal)
+	}
+}
+
+// temporalRow returns the temporal-encoding vector for sentence i of ns:
+// the most recent sentence uses row 0, matching how stories are trimmed
+// to the most recent MaxSent sentences.
+func (m *Model) temporalRow(table *tensor.Matrix, i, ns int) tensor.Vector {
+	return table.Row(ns - 1 - i)
+}
+
+// Apply runs the forward pass for one example and returns all
+// intermediates. The zero-skip threshold, if positive, zeroes attention
+// weights below it before the weighted sum (the paper's Algorithm 1);
+// the skipped mass is NOT renormalized, matching the paper's FPGA
+// implementation which accumulates every exp into P_sum but skips only
+// the weighted-sum work.
+func (m *Model) Apply(ex Example, skipThreshold float32) *Forward {
+	ns := len(ex.Sentences)
+	if ns == 0 {
+		panic("memnn: Apply on example with no story sentences")
+	}
+	if ns > m.Cfg.MaxSent {
+		panic(fmt.Sprintf("memnn: story of %d sentences exceeds MaxSent %d", ns, m.Cfg.MaxSent))
+	}
+	f := &Forward{
+		NS:     ns,
+		U:      make([]tensor.Vector, m.Cfg.Hops+1),
+		MemIn:  make([]*tensor.Matrix, m.Cfg.Hops),
+		MemOut: make([]*tensor.Matrix, m.Cfg.Hops),
+		P:      make([]tensor.Vector, m.Cfg.Hops),
+		O:      make([]tensor.Vector, m.Cfg.Hops),
+	}
+	d := m.Cfg.Dim
+
+	// Question embedding.
+	f.U[0] = tensor.NewVector(d)
+	m.encodeInto(m.B, ex.Question, nil, f.U[0])
+
+	for k := 0; k < m.Cfg.Hops; k++ {
+		in := tensor.NewMatrix(ns, d)
+		out := tensor.NewMatrix(ns, d)
+		ti := m.timeIdx(k)
+		for i := 0; i < ns; i++ {
+			m.encodeInto(m.embIn(k), ex.Sentences[i], m.temporalRow(m.TimeIn[ti], i, ns), in.Row(i))
+			m.encodeInto(m.embOut(k), ex.Sentences[i], m.temporalRow(m.TimeOut[ti], i, ns), out.Row(i))
+		}
+		f.MemIn[k], f.MemOut[k] = in, out
+
+		// Input memory representation: p = softmax(u · M_INᵀ), or the
+		// raw inner products during linear-start training.
+		p := tensor.NewVector(ns)
+		tensor.MatVec(nil, in, f.U[k], p)
+		if !m.LinearAttention {
+			tensor.Softmax(p)
+		}
+		f.P[k] = p
+
+		// Output memory representation: o = Σ pᵢ m_iᴼᵁᵀ, optionally
+		// skipping near-zero attention rows.
+		o := tensor.NewVector(d)
+		for i := 0; i < ns; i++ {
+			if skipThreshold > 0 && p[i] < skipThreshold {
+				continue
+			}
+			tensor.Axpy(p[i], out.Row(i), o)
+		}
+		f.O[k] = o
+
+		// Output calculation input: u' = u + o (adjacent) or
+		// u' = H·u + o (layer-wise).
+		u := tensor.NewVector(d)
+		if m.Cfg.Tying == TyingLayerwise {
+			tensor.MatVec(nil, m.H, f.U[k], u)
+		} else {
+			copy(u, f.U[k])
+		}
+		u.AddInPlace(o)
+		f.U[k+1] = u
+	}
+
+	f.Logits = tensor.NewVector(m.Cfg.Answers)
+	tensor.MatVec(nil, m.W, f.U[m.Cfg.Hops], f.Logits)
+	return f
+}
+
+// Predict returns the argmax answer class for the example.
+func (m *Model) Predict(ex Example) int {
+	return m.Apply(ex, 0).Logits.ArgMax()
+}
+
+// PredictSkip returns the argmax answer class with zero-skipping applied
+// at the given threshold.
+func (m *Model) PredictSkip(ex Example, threshold float32) int {
+	return m.Apply(ex, threshold).Logits.ArgMax()
+}
+
+// NumParams returns the total trainable parameter count.
+func (m *Model) NumParams() int {
+	n := len(m.B.Data) + len(m.W.Data)
+	for _, e := range m.Emb {
+		n += len(e.Data)
+	}
+	for k := range m.TimeIn {
+		n += len(m.TimeIn[k].Data) + len(m.TimeOut[k].Data)
+	}
+	if m.H != nil {
+		n += len(m.H.Data)
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package memnn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mnnfast/internal/tensor"
+	"mnnfast/internal/vocab"
+)
+
+// snapshot is the gob wire format of a model plus the corpus metadata
+// needed to use it (vocabulary and answer inventory).
+type snapshot struct {
+	Cfg     Config
+	B       *tensor.Matrix
+	Emb     []*tensor.Matrix
+	TimeIn  []*tensor.Matrix
+	TimeOut []*tensor.Matrix
+	H       *tensor.Matrix // layer-wise tying only; nil otherwise
+	W       *tensor.Matrix
+	Words   []string // vocabulary in ID order
+	Answers []string
+	MaxSent int
+}
+
+// Save writes the model and its corpus metadata to w in gob format.
+func Save(w io.Writer, m *Model, c *Corpus) error {
+	if m == nil || c == nil {
+		return fmt.Errorf("memnn: Save(nil)")
+	}
+	s := snapshot{
+		Cfg: m.Cfg, B: m.B, Emb: m.Emb,
+		TimeIn: m.TimeIn, TimeOut: m.TimeOut, H: m.H, W: m.W,
+		Words: c.Vocab.Words(), Answers: c.Answers, MaxSent: c.MaxSent,
+	}
+	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+		return fmt.Errorf("memnn: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model saved with Save. The returned Corpus carries the
+// frozen vocabulary and answer inventory (no train/test examples).
+func Load(r io.Reader) (*Model, *Corpus, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, nil, fmt.Errorf("memnn: decode: %w", err)
+	}
+	if err := s.Cfg.validate(); err != nil {
+		return nil, nil, fmt.Errorf("memnn: corrupt snapshot: %w", err)
+	}
+	wantEmb, wantTime := s.Cfg.Hops+1, s.Cfg.Hops
+	if s.Cfg.Tying == TyingLayerwise {
+		wantEmb, wantTime = 2, 1
+		if s.H == nil {
+			return nil, nil, fmt.Errorf("memnn: corrupt snapshot: layer-wise model missing H")
+		}
+	}
+	if len(s.Emb) != wantEmb || len(s.TimeIn) != wantTime || len(s.TimeOut) != wantTime {
+		return nil, nil, fmt.Errorf("memnn: corrupt snapshot: table counts do not match %d hops (%s tying)",
+			s.Cfg.Hops, s.Cfg.Tying)
+	}
+	m := &Model{
+		Cfg: s.Cfg, B: s.B, Emb: s.Emb,
+		TimeIn: s.TimeIn, TimeOut: s.TimeOut, H: s.H, W: s.W,
+	}
+	c := &Corpus{
+		Vocab:     rebuildVocab(s.Words),
+		Answers:   s.Answers,
+		AnswerIdx: make(map[string]int, len(s.Answers)),
+		MaxSent:   s.MaxSent,
+	}
+	for i, a := range s.Answers {
+		c.AnswerIdx[a] = i
+	}
+	return m, c, nil
+}
+
+func rebuildVocab(words []string) *vocab.Vocabulary {
+	v := vocab.New()
+	for i, w := range words {
+		if i == 0 {
+			continue // index 0 is the pad token New() already adds
+		}
+		v.Add(w)
+	}
+	return v
+}

@@ -1,0 +1,75 @@
+package memnn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mnnfast/internal/babi"
+	"mnnfast/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := smallCorpus(t, babi.TaskSingleFact, 60, 8, 31)
+	m := newTestModel(t, c, 2, 31)
+	opt := DefaultTrainOptions()
+	opt.Epochs = 5
+	if _, err := m.Train(c.Train, opt); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, m, c); err != nil {
+		t.Fatal(err)
+	}
+	m2, c2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Cfg != m.Cfg {
+		t.Errorf("config mismatch: %+v vs %+v", m2.Cfg, m.Cfg)
+	}
+	if !tensor.Equal(m2.W, m.W, 0) || !tensor.Equal(m2.B, m.B, 0) {
+		t.Error("weights differ after round trip")
+	}
+	if c2.Vocab.Size() != c.Vocab.Size() {
+		t.Errorf("vocabulary size %d != %d", c2.Vocab.Size(), c.Vocab.Size())
+	}
+	for i, a := range c.Answers {
+		if c2.Answers[i] != a || c2.AnswerIdx[a] != i {
+			t.Errorf("answer inventory mismatch at %d", i)
+		}
+	}
+	// Predictions must be identical through the loaded model.
+	for _, ex := range c.Test {
+		if m.Predict(ex) != m2.Predict(ex) {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+	// The loaded corpus must vectorize the same words to the same IDs.
+	d := babi.Generate(babi.TaskSingleFact, babi.GenOptions{Stories: 1, StoryLen: 6, People: 3, Locations: 3},
+		rand.New(rand.NewSource(31)))
+	e1, err1 := c.VectorizeStory(d.Stories[0])
+	e2, err2 := c2.VectorizeStory(d.Stories[0])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("vectorize errors: %v / %v", err1, err2)
+	}
+	for i := range e1.Question {
+		if e1.Question[i] != e2.Question[i] {
+			t.Fatal("question IDs differ through loaded vocabulary")
+		}
+	}
+}
+
+func TestSaveNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, nil, nil); err == nil {
+		t.Error("Save(nil) succeeded")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, _, err := Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Error("Load of garbage succeeded")
+	}
+}

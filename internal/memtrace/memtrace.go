@@ -1,0 +1,136 @@
+// Package memtrace defines the lightweight instrumentation contract
+// between the inference engines and the memory-hierarchy simulator.
+//
+// The MnnFast paper quantifies its claims with hardware performance
+// counters (off-chip access counts, Fig 11; cache contention, Fig 4) and
+// with a custom embedding cache (Fig 14). This repository reproduces
+// those measurements by having every engine optionally report its
+// logical memory accesses — at vector granularity, tagged with the data
+// region being touched — to a Toucher. The cache simulator
+// (internal/cachesim) implements Toucher and replays the accesses
+// against modelled caches and DRAM.
+//
+// Engines hold a possibly-nil Toucher; a nil Toucher costs one branch
+// per reported access, so real wall-clock benchmarks run untraced.
+package memtrace
+
+import "fmt"
+
+// Region identifies the logical data structure an access touches. The
+// paper's analysis distinguishes exactly these flows (Fig 5): the
+// embedding matrix, the input/output memories, the question state, the
+// intermediate spill vectors, and the model weights.
+type Region int
+
+// Data regions of the MemNN working set.
+const (
+	RegionEmbedding Region = iota // embedding matrix (ed×V)
+	RegionMemIn                   // input memory M_IN (ns×ed)
+	RegionMemOut                  // output memory M_OUT (ns×ed)
+	RegionQuestion                // question state U
+	RegionTempIn                  // intermediate T_IN = u·M_INᵀ (ns)
+	RegionTempPexp                // intermediate P_exp = exp(T_IN) (ns)
+	RegionTempP                   // intermediate P = softmax (ns)
+	RegionOutput                  // response/output vectors (ed)
+	RegionWeights                 // FC weights W
+	numRegions
+)
+
+// NumRegions is the count of distinct regions, for sizing per-region
+// statistics tables.
+const NumRegions = int(numRegions)
+
+var regionNames = [...]string{
+	"embedding", "mem_in", "mem_out", "question",
+	"temp_in", "temp_pexp", "temp_p", "output", "weights",
+}
+
+// String returns the lower-case region name used in experiment output.
+func (r Region) String() string {
+	if r < 0 || int(r) >= len(regionNames) {
+		return fmt.Sprintf("region(%d)", int(r))
+	}
+	return regionNames[r]
+}
+
+// Op distinguishes demand reads, writes, and prefetches. The cache
+// simulator fills lines on prefetch without counting a demand off-chip
+// access — which is how streaming converts compulsory misses into hits
+// (the paper's Fig 11 accounting).
+type Op int
+
+// Access operations.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpPrefetch
+	numOps
+)
+
+// NumOps is the count of distinct operations, for sizing statistics
+// tables.
+const NumOps = int(numOps)
+
+// String returns the operation name.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpPrefetch:
+		return "prefetch"
+	}
+	return "op(?)"
+}
+
+// Toucher receives logical memory accesses. Offset is the byte offset
+// within the region's address space and bytes is the contiguous extent
+// touched. Implementations must tolerate concurrent calls only if the
+// engine driving them is run with a parallel pool; the provided
+// simulator is used single-threaded by the experiments.
+type Toucher interface {
+	Touch(region Region, op Op, offset int64, bytes int)
+}
+
+// Touch reports an access to t if t is non-nil. All engine code funnels
+// through this helper so the untraced path stays a single branch.
+func Touch(t Toucher, region Region, op Op, offset int64, bytes int) {
+	if t != nil {
+		t.Touch(region, op, offset, bytes)
+	}
+}
+
+// Counter is a trivial Toucher that tallies bytes per region and op.
+// Tests and quick experiments use it when full cache simulation is not
+// needed.
+type Counter struct {
+	Bytes    [NumRegions][NumOps]int64
+	Accesses [NumRegions][NumOps]int64
+}
+
+// Touch implements Toucher.
+func (c *Counter) Touch(region Region, op Op, offset int64, bytes int) {
+	c.Bytes[region][op] += int64(bytes)
+	c.Accesses[region][op]++
+}
+
+// TotalBytes returns the sum of all traffic seen by the counter.
+func (c *Counter) TotalBytes() int64 {
+	var t int64
+	for r := 0; r < NumRegions; r++ {
+		for o := 0; o < NumOps; o++ {
+			t += c.Bytes[r][o]
+		}
+	}
+	return t
+}
+
+// RegionBytes returns the total bytes for one region across all ops.
+func (c *Counter) RegionBytes(r Region) int64 {
+	var t int64
+	for o := 0; o < NumOps; o++ {
+		t += c.Bytes[r][o]
+	}
+	return t
+}

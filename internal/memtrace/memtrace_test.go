@@ -1,0 +1,61 @@
+package memtrace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegionStrings(t *testing.T) {
+	want := map[Region]string{
+		RegionEmbedding: "embedding",
+		RegionMemIn:     "mem_in",
+		RegionMemOut:    "mem_out",
+		RegionQuestion:  "question",
+		RegionTempIn:    "temp_in",
+		RegionTempPexp:  "temp_pexp",
+		RegionTempP:     "temp_p",
+		RegionOutput:    "output",
+		RegionWeights:   "weights",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("Region(%d).String() = %q, want %q", int(r), r.String(), s)
+		}
+	}
+	if !strings.Contains(Region(99).String(), "99") {
+		t.Errorf("out-of-range region string = %q", Region(99).String())
+	}
+	if NumRegions != len(want) {
+		t.Errorf("NumRegions = %d, want %d", NumRegions, len(want))
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" || OpPrefetch.String() != "prefetch" {
+		t.Error("op names wrong")
+	}
+	if Op(9).String() != "op(?)" {
+		t.Errorf("unknown op string = %q", Op(9).String())
+	}
+}
+
+func TestTouchNilIsNoop(t *testing.T) {
+	// Must not panic.
+	Touch(nil, RegionMemIn, OpRead, 0, 64)
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	Touch(&c, RegionMemIn, OpRead, 0, 64)
+	Touch(&c, RegionMemIn, OpWrite, 64, 32)
+	Touch(&c, RegionEmbedding, OpPrefetch, 0, 128)
+	if c.TotalBytes() != 224 {
+		t.Errorf("TotalBytes = %d, want 224", c.TotalBytes())
+	}
+	if c.RegionBytes(RegionMemIn) != 96 {
+		t.Errorf("RegionBytes(mem_in) = %d, want 96", c.RegionBytes(RegionMemIn))
+	}
+	if c.Accesses[RegionEmbedding][OpPrefetch] != 1 {
+		t.Error("prefetch access not counted")
+	}
+}

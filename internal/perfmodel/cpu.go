@@ -1,0 +1,122 @@
+// Package perfmodel provides the analytic performance and energy models
+// that substitute for the MnnFast paper's hardware testbeds: a CPU
+// thread/bandwidth model (Fig 3, 9b, 10), a GPU stream/PCIe timeline
+// model (Fig 12), an FPGA pipeline cycle model (Fig 13, 14), and the
+// CPU-vs-FPGA energy comparison (§5.5).
+//
+// The models are deliberately first-order: every curve the paper
+// reports is a consequence of either a roofline (compute rate vs memory
+// bandwidth), an overlap rule (what may proceed concurrently), or a
+// counter ratio (skipped work, cache hits). Those are exactly the
+// quantities the engine instrumentation and the cache simulator
+// produce, so the modelled curves inherit their shapes from measured
+// workload properties rather than from tuned constants.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Workload summarizes what one inference (or batch) costs, as counted
+// by the engines and the cache simulator.
+type Workload struct {
+	Name       string
+	ComputeOps float64 // weighted scalar operations (muls + exp/div weights)
+	DRAMBytes  float64 // off-chip traffic
+	Streamed   bool    // true when accesses are prefetch-pipelined
+}
+
+// CPU models a multi-core socket with DDR channels.
+type CPU struct {
+	CoreGOPs        float64 // per-core sustained Gop/s on this kernel mix
+	ChannelGBs      float64 // per-memory-channel GB/s
+	RandomAccessEff float64 // fraction of peak bandwidth achieved by
+	// demand-miss (non-streamed) access patterns; prefetch-pipelined
+	// streams achieve 1.0
+
+	// LockstepBarrier is the cost of one cross-thread synchronization
+	// of the paper's lock-step layer parallelization (§4.1.1). It is
+	// negligible at Wikipedia-scale databases but dominates tiny
+	// (FPGA-scale) networks, which is why the energy comparison charges
+	// it per layer (see experiments.Energy).
+	LockstepBarrier float64
+}
+
+// DefaultCPU approximates one socket of the paper's Xeon E5-2650 v4
+// testbed with DDR4-2400 channels; the 2 µs barrier is a typical
+// 20-thread pthread-barrier round trip.
+func DefaultCPU() CPU {
+	return CPU{CoreGOPs: 8, ChannelGBs: 19.2, RandomAccessEff: 0.55, LockstepBarrier: 2e-6}
+}
+
+// CPUTime is the modelled execution-time decomposition.
+type CPUTime struct {
+	Compute float64 // seconds of compute at the given thread count
+	Memory  float64 // seconds of DRAM transfer at the given channel count
+	Total   float64
+}
+
+// Time models the workload on the given threads and channels.
+//
+// Without streaming, demand misses serialize against compute:
+// total = compute + memory (the paper's baseline stalls). With
+// streaming, prefetch overlaps transfer and compute, so the slower of
+// the two bounds execution (roofline): total = max(compute, memory).
+func (c CPU) Time(w Workload, threads, channels int) CPUTime {
+	if threads < 1 || channels < 1 {
+		panic(fmt.Sprintf("perfmodel: CPU.Time(threads=%d, channels=%d)", threads, channels))
+	}
+	t := CPUTime{
+		Compute: w.ComputeOps / (c.CoreGOPs * 1e9 * float64(threads)),
+	}
+	bw := c.ChannelGBs * 1e9 * float64(channels)
+	if w.Streamed {
+		t.Memory = w.DRAMBytes / bw
+		t.Total = math.Max(t.Compute, t.Memory)
+		return t
+	}
+	t.Memory = w.DRAMBytes / (bw * c.RandomAccessEff)
+	t.Total = t.Compute + t.Memory
+	return t
+}
+
+// Speedup returns time(1 thread) / time(threads) for the workload at
+// the given channel count — the normalization of Figures 3 and 10.
+func (c CPU) Speedup(w Workload, threads, channels int) float64 {
+	return c.Time(w, 1, channels).Total / c.Time(w, threads, channels).Total
+}
+
+// SaturationThreads returns the smallest thread count whose marginal
+// speedup over the previous count drops below eps — the knee the paper
+// reads off Figures 3 and 10.
+func (c CPU) SaturationThreads(w Workload, channels, maxThreads int, eps float64) int {
+	prev := c.Speedup(w, 1, channels)
+	for t := 2; t <= maxThreads; t++ {
+		s := c.Speedup(w, t, channels)
+		if s-prev < eps {
+			return t - 1
+		}
+		prev = s
+	}
+	return maxThreads
+}
+
+// OpWeights converts engine counters into weighted scalar operations:
+// multiply-accumulates count 1, exponentials and divisions cost several
+// multiply-equivalents (the paper highlights softmax's exponentiation
+// cost in §2.2.2).
+type OpWeights struct {
+	Mul float64
+	Exp float64
+	Div float64
+}
+
+// DefaultOpWeights uses 1 op per MAC, 20 per exp, 5 per division —
+// typical scalar-libm cost ratios.
+func DefaultOpWeights() OpWeights { return OpWeights{Mul: 1, Exp: 20, Div: 5} }
+
+// Ops folds raw counters into weighted operation counts.
+func (w OpWeights) Ops(muls, exps, divs int64) float64 {
+	return w.Mul*float64(muls) + w.Exp*float64(exps) + w.Div*float64(divs)
+}

@@ -1,0 +1,35 @@
+package perfmodel
+
+import "fmt"
+
+// EnergyModel compares platform energy for an equal quantity of QA
+// work (§5.5). The paper measures CPU power with turbostat and FPGA
+// power from Vivado's post-bitstream report; here both are device-class
+// constants applied to modelled (or measured) execution times.
+type EnergyModel struct {
+	CPUWatts  float64 // package power of the dual-socket Xeon under load
+	FPGAWatts float64 // Zynq-7020 PL+PS power estimate
+}
+
+// DefaultEnergy uses 170 W for the loaded dual E5-2650 v4 pair and
+// 2.5 W for the Zynq-7020 — Vivado-report territory for a design of
+// this size.
+func DefaultEnergy() EnergyModel {
+	return EnergyModel{CPUWatts: 170, FPGAWatts: 2.5}
+}
+
+// Efficiency is tasks per joule.
+func (e EnergyModel) Efficiency(tasks float64, seconds, watts float64) float64 {
+	if seconds <= 0 || watts <= 0 {
+		panic(fmt.Sprintf("perfmodel: Efficiency(seconds=%v, watts=%v)", seconds, watts))
+	}
+	return tasks / (seconds * watts)
+}
+
+// FPGAAdvantage returns how many times more energy-efficient the FPGA
+// is than the CPU for the same task count.
+func (e EnergyModel) FPGAAdvantage(tasks, cpuSeconds, fpgaSeconds float64) float64 {
+	cpu := e.Efficiency(tasks, cpuSeconds, e.CPUWatts)
+	fpga := e.Efficiency(tasks, fpgaSeconds, e.FPGAWatts)
+	return fpga / cpu
+}

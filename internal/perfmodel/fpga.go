@@ -1,0 +1,109 @@
+package perfmodel
+
+import "fmt"
+
+// FPGA models the paper's ZedBoard accelerator (§4.2, §5.4): 100 MHz
+// programmable logic with P parallel MAC lanes attached to a 32-bit
+// DDR3-533 memory. Latency is counted in cycles of the logic clock.
+type FPGA struct {
+	ClockHz  float64 // programmable-logic clock
+	MACLanes int     // parallel multiply-accumulate lanes
+	// DDRBytesPerCycle is the effective DRAM bytes deliverable per
+	// logic cycle: 32-bit × 533 MHz DDR ≈ 4.26 GB/s ≈ 42 B per 100 MHz
+	// cycle; derated for row misses.
+	DDRBytesPerCycle float64
+	// DRAMLatencyCycles is the access latency charged to each
+	// non-streamed (demand) burst.
+	DRAMLatencyCycles float64
+	// ExpCycles and DivCycles are the pipeline costs of the
+	// exponential and divider units.
+	ExpCycles float64
+	DivCycles float64
+	// SpillPenalty multiplies intermediate-vector DRAM bytes: the
+	// baseline's 4-byte spill elements interleave with the memory
+	// streams and each costs a wider DRAM burst (row-buffer conflicts),
+	// so their effective traffic exceeds their payload.
+	SpillPenalty float64
+}
+
+// DefaultFPGA approximates the Zynq-7020 configuration of Table 1:
+// 100 MHz logic, a 5-lane MAC datapath, and 32-bit DDR3-533 memory
+// (4.26 GB/s peak ≈ 42 B per logic cycle).
+func DefaultFPGA() FPGA {
+	return FPGA{
+		ClockHz:           100e6,
+		MACLanes:          5,
+		DDRBytesPerCycle:  42,
+		DRAMLatencyCycles: 20,
+		ExpCycles:         8,
+		DivCycles:         2, // pipelined divider, II=2
+		SpillPenalty:      8, // 4 B spill elements burn 32 B bursts
+	}
+}
+
+// FPGAWork counts what one inference costs on the accelerator.
+type FPGAWork struct {
+	InnerMuls   int64 // inner-product MACs
+	WeightedMul int64 // weighted-sum MACs after zero-skipping
+	Exps        int64
+	Divs        int64
+	DemandBytes int64 // DRAM bytes fetched on demand (stall per burst)
+	StreamBytes int64 // DRAM bytes fetched by the streaming prefetcher
+	SpillBytes  int64 // intermediate vectors written+read to DRAM
+	Bursts      int64 // demand bursts (for latency charging)
+}
+
+// FPGALatency is the modelled cycle decomposition.
+type FPGALatency struct {
+	Compute float64 // MAC/exp/div cycles
+	Memory  float64 // DRAM transfer + latency cycles
+	Total   float64 // with streaming: max overlap; without: sum
+	Seconds float64
+}
+
+// Latency models the work. streamed selects the overlap rule: the
+// streaming design double-buffers chunk loads behind compute, so the
+// larger of the two phases bounds the pipeline; the non-streamed design
+// stalls for memory between compute phases.
+func (f FPGA) Latency(w FPGAWork, streamed bool) FPGALatency {
+	if f.MACLanes < 1 || f.ClockHz <= 0 {
+		panic(fmt.Sprintf("perfmodel: invalid FPGA config %+v", f))
+	}
+	var l FPGALatency
+	l.Compute = float64(w.InnerMuls+w.WeightedMul)/float64(f.MACLanes) +
+		float64(w.Exps)*f.ExpCycles + float64(w.Divs)*f.DivCycles
+	spillPenalty := f.SpillPenalty
+	if spillPenalty == 0 {
+		spillPenalty = 1
+	}
+	bytes := float64(w.DemandBytes+w.StreamBytes) + float64(w.SpillBytes)*spillPenalty
+	l.Memory = bytes/f.DDRBytesPerCycle + float64(w.Bursts)*f.DRAMLatencyCycles
+	if streamed {
+		if l.Compute > l.Memory {
+			l.Total = l.Compute
+		} else {
+			l.Total = l.Memory
+		}
+	} else {
+		l.Total = l.Compute + l.Memory
+	}
+	l.Seconds = l.Total / f.ClockHz
+	return l
+}
+
+// EmbeddingLatency models the embedding operation of one word stream
+// against an embedding cache with the given hit rate (Fig 14). The
+// cache's word size equals the embedding dimension (§3.3), so a hit is
+// one wide BRAM read (single cycle); a miss fetches the whole
+// ed-vector from DDR3 and pays the access latency.
+func (f FPGA) EmbeddingLatency(words int64, hitRate float64, ed int) float64 {
+	if hitRate < 0 || hitRate > 1 {
+		panic(fmt.Sprintf("perfmodel: hit rate %v", hitRate))
+	}
+	hits := float64(words) * hitRate
+	misses := float64(words) - hits
+	vecBytes := float64(4 * ed)
+	hitCycles := hits // one ed-wide BRAM word per hit
+	missCycles := misses * (vecBytes/f.DDRBytesPerCycle + f.DRAMLatencyCycles)
+	return hitCycles + missCycles
+}

@@ -1,0 +1,94 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// GPU models the paper's multi-GPU testbed (§5.3): devices with a fixed
+// compute rate attached to one shared PCIe root. The overlap rules are
+// the ones the paper observes with CUDA streams: kernel/kernel and
+// kernel/memcpy overlap, but memcpy/memcpy never does, because each
+// copy saturates the full PCIe bandwidth.
+type GPU struct {
+	DeviceGOPs float64 // per-device sustained Gop/s
+	PCIeGBs    float64 // host-to-device bandwidth per device link
+	// ContentionFactor inflates each device's H2D copy when G devices
+	// transfer concurrently: copy × (1 + f·(G-1)). Multi-GPU copies
+	// overlap (each device has its own DMA engine and link) but share
+	// host memory and switch uplinks — the residual contention the
+	// paper measures as the worst-vs-ideal H2D gap (Fig 12b).
+	ContentionFactor float64
+}
+
+// DefaultGPU approximates a TITAN Xp-class device on PCIe 3.0 x16 in
+// the paper's SuperServer (two root complexes, PLX switches).
+func DefaultGPU() GPU {
+	return GPU{DeviceGOPs: 8000, PCIeGBs: 12, ContentionFactor: 0.15}
+}
+
+// GPUTimeline is the modelled execution of one inference batch.
+type GPUTimeline struct {
+	H2D    float64 // total host-to-device copy time on the shared bus
+	Kernel float64 // kernel execution time on the critical path
+	D2H    float64 // device-to-host result copy (partials: O(ed), tiny)
+	Total  float64
+}
+
+// MultiStream models S CUDA streams on a single device. The workload
+// is split into S chunks (the column-based algorithm makes the split
+// legal); each stream's H2D copy serializes on PCIe while its kernels
+// overlap preceding copies.
+func (g GPU) MultiStream(w Workload, streams int) GPUTimeline {
+	if streams < 1 {
+		panic(fmt.Sprintf("perfmodel: MultiStream(%d)", streams))
+	}
+	copyChunk := w.DRAMBytes / float64(streams) / (g.PCIeGBs * 1e9)
+	kernChunk := w.ComputeOps / float64(streams) / (g.DeviceGOPs * 1e9)
+
+	var copyEnd, kernEnd float64
+	for s := 0; s < streams; s++ {
+		copyEnd += copyChunk // memcpys serialize on the bus
+		start := math.Max(copyEnd, kernEnd)
+		kernEnd = start + kernChunk
+	}
+	tl := GPUTimeline{
+		H2D:    copyChunk * float64(streams),
+		Kernel: kernChunk * float64(streams),
+		D2H:    1e-6, // O(ed) partial result; negligible (§5.3)
+	}
+	tl.Total = kernEnd + tl.D2H
+	return tl
+}
+
+// MultiGPU models G devices, each processing 1/G of the memory with
+// column-based chunk streaming: every device overlaps its own H2D
+// copies with its kernels (total = max of the two phases), and unlike
+// single-device streams the copies of different devices overlap each
+// other (§5.3: "multiple GPUs can overlap between memcpy and memcpy
+// functions"). When idealPCIe is false, concurrent copies pay the
+// shared-fabric contention factor; the ideal case B removes it.
+func (g GPU) MultiGPU(w Workload, gpus int, idealPCIe bool) GPUTimeline {
+	if gpus < 1 {
+		panic(fmt.Sprintf("perfmodel: MultiGPU(%d)", gpus))
+	}
+	perCopy := w.DRAMBytes / float64(gpus) / (g.PCIeGBs * 1e9)
+	if !idealPCIe {
+		perCopy *= 1 + g.ContentionFactor*float64(gpus-1)
+	}
+	perKern := w.ComputeOps / float64(gpus) / (g.DeviceGOPs * 1e9)
+
+	tl := GPUTimeline{H2D: perCopy, Kernel: perKern, D2H: 1e-6}
+	tl.Total = math.Max(perCopy, perKern) + tl.D2H
+	return tl
+}
+
+// StreamSpeedup returns the multi-stream speedup over one stream.
+func (g GPU) StreamSpeedup(w Workload, streams int) float64 {
+	return g.MultiStream(w, 1).Total / g.MultiStream(w, streams).Total
+}
+
+// GPUSpeedup returns the multi-GPU speedup over one device.
+func (g GPU) GPUSpeedup(w Workload, gpus int, idealPCIe bool) float64 {
+	return g.MultiGPU(w, 1, idealPCIe).Total / g.MultiGPU(w, gpus, idealPCIe).Total
+}

@@ -1,0 +1,231 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func cpuWorkload(ops, bytes float64, streamed bool) Workload {
+	return Workload{Name: "w", ComputeOps: ops, DRAMBytes: bytes, Streamed: streamed}
+}
+
+func TestCPUTimeComponents(t *testing.T) {
+	c := CPU{CoreGOPs: 1, ChannelGBs: 1, RandomAccessEff: 0.5}
+	w := cpuWorkload(2e9, 1e9, false)
+	tm := c.Time(w, 2, 1)
+	if math.Abs(tm.Compute-1) > 1e-9 {
+		t.Errorf("compute = %v, want 1 (2e9 ops / 2 threads / 1 Gop/s)", tm.Compute)
+	}
+	if math.Abs(tm.Memory-2) > 1e-9 {
+		t.Errorf("memory = %v, want 2 (1 GB at 0.5 GB/s effective)", tm.Memory)
+	}
+	if math.Abs(tm.Total-3) > 1e-9 {
+		t.Errorf("non-streamed total = %v, want compute+memory = 3", tm.Total)
+	}
+	sw := cpuWorkload(2e9, 1e9, true)
+	stm := c.Time(sw, 2, 1)
+	if math.Abs(stm.Total-math.Max(stm.Compute, stm.Memory)) > 1e-9 {
+		t.Errorf("streamed total = %v, want max rule", stm.Total)
+	}
+	if stm.Memory >= tm.Memory {
+		t.Errorf("streamed access should reach full bandwidth: %v >= %v", stm.Memory, tm.Memory)
+	}
+}
+
+func TestCPUTimePanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("threads=0 accepted")
+		}
+	}()
+	DefaultCPU().Time(cpuWorkload(1, 1, false), 0, 1)
+}
+
+func TestCPUSpeedupSaturatesEarlierWithFewerChannels(t *testing.T) {
+	// Figure 3's claim: memory bandwidth bounds scalability.
+	c := DefaultCPU()
+	w := cpuWorkload(50e9, 10e9, false) // memory-heavy baseline-like mix
+	s1 := c.Speedup(w, 20, 1)
+	s2 := c.Speedup(w, 20, 2)
+	s4 := c.Speedup(w, 20, 4)
+	if !(s1 < s2 && s2 < s4) {
+		t.Errorf("20-thread speedup not increasing with channels: %v %v %v", s1, s2, s4)
+	}
+	k1 := c.SaturationThreads(w, 1, 20, 0.1)
+	k4 := c.SaturationThreads(w, 4, 20, 0.1)
+	if k1 >= k4 {
+		t.Errorf("saturation knee with 1ch (%d) should precede 4ch (%d)", k1, k4)
+	}
+}
+
+func TestCPUStreamedNearIdealScaling(t *testing.T) {
+	// Figure 10's claim: column+streaming reaches near-ideal speedup
+	// while bandwidth is not the binding constraint.
+	c := DefaultCPU()
+	w := cpuWorkload(100e9, 2e9, true)
+	for _, threads := range []int{2, 4, 8} {
+		s := c.Speedup(w, threads, 4)
+		if s < 0.9*float64(threads) {
+			t.Errorf("streamed speedup at %d threads = %v, want near-ideal", threads, s)
+		}
+	}
+}
+
+func TestCPUSpeedupMonotonicInThreads(t *testing.T) {
+	c := DefaultCPU()
+	w := cpuWorkload(20e9, 5e9, false)
+	prev := 0.0
+	for threads := 1; threads <= 24; threads++ {
+		s := c.Speedup(w, threads, 2)
+		if s < prev-1e-9 {
+			t.Fatalf("speedup decreased at %d threads: %v < %v", threads, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestOpWeights(t *testing.T) {
+	w := DefaultOpWeights()
+	if got := w.Ops(10, 2, 3); got != 10+40+15 {
+		t.Errorf("Ops = %v, want 65", got)
+	}
+	if got := (OpWeights{Mul: 1}).Ops(5, 100, 100); got != 5 {
+		t.Errorf("zero-weight ops leaked: %v", got)
+	}
+}
+
+func TestGPUMultiStreamOverlap(t *testing.T) {
+	g := GPU{DeviceGOPs: 1, PCIeGBs: 1}
+	// Copy time 1.0 s, kernel time 0.4 s for the whole workload.
+	w := cpuWorkload(0.4e9, 1e9, true)
+	one := g.MultiStream(w, 1)
+	if math.Abs(one.Total-(1.0+0.4+one.D2H)) > 1e-6 {
+		t.Errorf("single stream total = %v, want serial 1.4", one.Total)
+	}
+	four := g.MultiStream(w, 4)
+	// With 4 streams the last kernel chunk (0.1) trails the serialized
+	// copies (1.0): total ≈ 1.1.
+	if math.Abs(four.Total-(1.0+0.1+four.D2H)) > 1e-6 {
+		t.Errorf("4-stream total = %v, want ≈1.1", four.Total)
+	}
+	sp := g.StreamSpeedup(w, 4)
+	if sp < 1.2 || sp > 1.4 {
+		t.Errorf("stream speedup = %v, paper-shape is ≈1.33 when memcpy dominates", sp)
+	}
+	// More streams cannot beat the copy critical path.
+	sp16 := g.StreamSpeedup(w, 16)
+	if sp16 > 1.45 {
+		t.Errorf("16-stream speedup = %v, memcpy critical path should cap it", sp16)
+	}
+}
+
+func TestGPUMultiGPUContentionGap(t *testing.T) {
+	g := DefaultGPU()
+	// Copy-heavier mix (≈0.1 s kernel, ≈2 s copy per device-share):
+	// the regime where shared-PCIe contention visibly caps scaling.
+	w := cpuWorkload(800e9, 24e9, true)
+	prevGap := 0.0
+	for _, n := range []int{1, 2, 4} {
+		worst := g.MultiGPU(w, n, false)
+		ideal := g.MultiGPU(w, n, true)
+		if worst.Total < ideal.Total-1e-12 {
+			t.Fatalf("%d GPUs: contended total %v below ideal %v", n, worst.Total, ideal.Total)
+		}
+		gap := worst.H2D - ideal.H2D
+		if gap < prevGap-1e-12 {
+			t.Errorf("H2D contention gap should grow with GPU count: %v after %v", gap, prevGap)
+		}
+		prevGap = gap
+	}
+	// Scaling should still be substantial: the paper reports 4.34× on
+	// four GPUs with contention.
+	sp := g.GPUSpeedup(w, 4, false)
+	if sp < 2 || sp > 4 {
+		t.Errorf("4-GPU contended speedup = %v, want meaningful but sub-ideal", sp)
+	}
+	ideal := g.GPUSpeedup(w, 4, true)
+	if ideal <= sp {
+		t.Errorf("ideal speedup %v should exceed contended %v", ideal, sp)
+	}
+}
+
+func TestGPUPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MultiStream(0) accepted")
+		}
+	}()
+	DefaultGPU().MultiStream(cpuWorkload(1, 1, true), 0)
+}
+
+func TestFPGALatencyRules(t *testing.T) {
+	f := DefaultFPGA()
+	w := FPGAWork{
+		InnerMuls:   25000,
+		WeightedMul: 25000,
+		Exps:        1000,
+		Divs:        25,
+		DemandBytes: 200000,
+		Bursts:      2000,
+	}
+	stall := f.Latency(w, false)
+	stream := f.Latency(w, true)
+	if stall.Total != stall.Compute+stall.Memory {
+		t.Errorf("non-streamed total %v != compute+memory %v", stall.Total, stall.Compute+stall.Memory)
+	}
+	if stream.Total != math.Max(stream.Compute, stream.Memory) {
+		t.Errorf("streamed total %v != max rule", stream.Total)
+	}
+	if stream.Total >= stall.Total {
+		t.Errorf("streaming did not help: %v >= %v", stream.Total, stall.Total)
+	}
+	if stall.Seconds <= 0 {
+		t.Error("seconds not populated")
+	}
+}
+
+func TestFPGAEmbeddingLatencyDecreasesWithHitRate(t *testing.T) {
+	f := DefaultFPGA()
+	prev := math.Inf(1)
+	for _, hr := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		l := f.EmbeddingLatency(10000, hr, 256)
+		if l >= prev {
+			t.Errorf("embedding latency not decreasing: %v at hit rate %v", l, hr)
+		}
+		prev = l
+	}
+	// At full hit rate the latency must be one BRAM cycle per word.
+	if got := f.EmbeddingLatency(10000, 1, 256); math.Abs(got-10000) > 1e-6 {
+		t.Errorf("all-hit latency = %v, want 10000", got)
+	}
+}
+
+func TestFPGAEmbeddingLatencyPanicsOnBadHitRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hit rate 2 accepted")
+		}
+	}()
+	DefaultFPGA().EmbeddingLatency(10, 2, 16)
+}
+
+func TestEnergyModel(t *testing.T) {
+	e := EnergyModel{CPUWatts: 100, FPGAWatts: 2}
+	// FPGA 10× slower but 50× lower power → 5× more efficient.
+	adv := e.FPGAAdvantage(1000, 1, 10)
+	if math.Abs(adv-5) > 1e-9 {
+		t.Errorf("FPGAAdvantage = %v, want 5", adv)
+	}
+	if eff := e.Efficiency(100, 2, 50); math.Abs(eff-1) > 1e-9 {
+		t.Errorf("Efficiency = %v, want 1 task/J", eff)
+	}
+}
+
+func TestEnergyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero seconds accepted")
+		}
+	}()
+	DefaultEnergy().Efficiency(1, 0, 1)
+}

@@ -1,0 +1,209 @@
+// Package server exposes a trained memory network as an HTTP JSON
+// service — the "interactive applications" deployment the paper
+// sketches in §4.1.1, where the knowledge database is server-side state
+// and users submit raw questions.
+//
+// Endpoints:
+//
+//	POST /v1/story    {"sentences": ["john went to the kitchen", ...]}
+//	                  → appends to (or with "reset": true, replaces) the
+//	                    session story
+//	POST /v1/answer   {"question": "where is john?"}
+//	                  → {"answer": "kitchen", "index": 3, ...}
+//	GET  /v1/healthz  → {"status": "ok", ...model metadata}
+//
+// Sessions are keyed by the X-Session header (default "default") so
+// multiple users can hold independent stories against one model — the
+// multi-tenant setting of the paper's Figure 4.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mnnfast/internal/babi"
+	"mnnfast/internal/memnn"
+	"mnnfast/internal/vocab"
+)
+
+// Server serves QA requests against one trained model.
+type Server struct {
+	model  *memnn.Model
+	corpus *memnn.Corpus
+	// SkipThreshold applies zero-skipping to every answer; 0 = exact.
+	SkipThreshold float32
+
+	mu       sync.Mutex
+	sessions map[string]*babi.Story
+}
+
+// New builds a Server around a trained model and its corpus metadata.
+func New(model *memnn.Model, corpus *memnn.Corpus) (*Server, error) {
+	if model == nil || corpus == nil {
+		return nil, fmt.Errorf("server: nil model or corpus")
+	}
+	return &Server{
+		model:    model,
+		corpus:   corpus,
+		sessions: make(map[string]*babi.Story),
+	}, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/story", s.handleStory)
+	mux.HandleFunc("/v1/answer", s.handleAnswer)
+	mux.HandleFunc("/v1/healthz", s.handleHealth)
+	return mux
+}
+
+// StoryRequest is the body of POST /v1/story.
+type StoryRequest struct {
+	Sentences []string `json:"sentences"`
+	Reset     bool     `json:"reset,omitempty"`
+}
+
+// StoryResponse reports the session's story size.
+type StoryResponse struct {
+	Sentences int `json:"sentences"`
+}
+
+// AnswerRequest is the body of POST /v1/answer.
+type AnswerRequest struct {
+	Question string `json:"question"`
+}
+
+// AnswerResponse carries the prediction.
+type AnswerResponse struct {
+	Answer    string `json:"answer"`
+	Index     int    `json:"index"`
+	Sentences int    `json:"sentences"`
+}
+
+// HealthResponse describes the loaded model.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Vocab   int    `json:"vocab"`
+	Answers int    `json:"answers"`
+	Hops    int    `json:"hops"`
+	Dim     int    `json:"dim"`
+	MaxSent int    `json:"max_sentences"`
+}
+
+func (s *Server) session(r *http.Request) *babi.Story {
+	key := r.Header.Get("X-Session")
+	if key == "" {
+		key = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sessions[key]
+	if !ok {
+		st = &babi.Story{}
+		s.sessions[key] = st
+	}
+	return st
+}
+
+func (s *Server) handleStory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req StoryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	// Validate every sentence against the frozen vocabulary before
+	// mutating the session.
+	tokenized := make([][]string, 0, len(req.Sentences))
+	for i, raw := range req.Sentences {
+		words := vocab.Tokenize(raw)
+		if len(words) == 0 {
+			httpError(w, http.StatusBadRequest, "sentence %d is empty", i)
+			return
+		}
+		if _, err := s.corpus.Vocab.EncodeStrict(words); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "sentence %d: %v", i, err)
+			return
+		}
+		tokenized = append(tokenized, words)
+	}
+	story := s.session(r)
+	s.mu.Lock()
+	if req.Reset {
+		story.Sentences = nil
+	}
+	story.Sentences = append(story.Sentences, tokenized...)
+	n := len(story.Sentences)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StoryResponse{Sentences: n})
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req AnswerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	story := s.session(r)
+	s.mu.Lock()
+	snapshot := babi.Story{
+		Sentences: append([][]string(nil), story.Sentences...),
+		Question:  vocab.Tokenize(req.Question),
+	}
+	s.mu.Unlock()
+	if len(snapshot.Sentences) == 0 {
+		httpError(w, http.StatusConflict, "no story in session; POST /v1/story first")
+		return
+	}
+	if len(snapshot.Question) == 0 {
+		httpError(w, http.StatusBadRequest, "empty question")
+		return
+	}
+	ex, err := s.corpus.VectorizeStory(snapshot)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	idx := s.model.PredictSkip(ex, s.SkipThreshold)
+	writeJSON(w, http.StatusOK, AnswerResponse{
+		Answer:    s.corpus.AnswerWord(idx),
+		Index:     idx,
+		Sentences: len(snapshot.Sentences),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:  "ok",
+		Vocab:   s.corpus.Vocab.Size(),
+		Answers: len(s.corpus.Answers),
+		Hops:    s.model.Cfg.Hops,
+		Dim:     s.model.Cfg.Dim,
+		MaxSent: s.model.Cfg.MaxSent,
+	})
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,84 @@
+// Package sparse implements the matrix-compaction comparator the
+// MnnFast paper evaluates (and rejects) for GPU zero-skipping (§4.1.2):
+// compact the near-zero rows out of the probability vector and output
+// memory into a CSR-like dense form, then run a dense weighted sum over
+// the survivors. The paper ports the DeftNN synapse-vector-elimination
+// scheme and finds the transformation cost comparable to the weighted
+// sum itself; this package lets the repository reproduce that crossover
+// (see the compaction ablation bench).
+package sparse
+
+import (
+	"fmt"
+
+	"mnnfast/internal/tensor"
+)
+
+// CompactStats reports the cost of a compaction pass.
+type CompactStats struct {
+	Rows     int   // input rows
+	Kept     int   // surviving rows
+	MovedB   int64 // bytes copied during compaction
+	GatherOp int64 // index-gather operations (the indirect accesses the paper flags)
+}
+
+// Compacted is the dense form of the surviving rows.
+type Compacted struct {
+	Weights tensor.Vector  // surviving probability values
+	Rows    *tensor.Matrix // surviving output-memory rows, densely packed
+	Index   []int32        // original row of each packed row
+}
+
+// Compact packs the rows of out whose weight is at least threshold.
+// It is the data transformation a GPU must run before a dense kernel
+// can exploit sparsity.
+func Compact(weights tensor.Vector, out *tensor.Matrix, threshold float32) (*Compacted, CompactStats) {
+	if len(weights) != out.Rows {
+		panic(fmt.Sprintf("sparse: %d weights for %d rows", len(weights), out.Rows))
+	}
+	st := CompactStats{Rows: out.Rows}
+	c := &Compacted{}
+	for i, w := range weights {
+		st.GatherOp++
+		if w < threshold {
+			continue
+		}
+		c.Weights = append(c.Weights, w)
+		c.Index = append(c.Index, int32(i))
+	}
+	st.Kept = len(c.Index)
+	c.Rows = tensor.NewMatrix(st.Kept, out.Cols)
+	for j, src := range c.Index {
+		copy(c.Rows.Row(j), out.Row(int(src)))
+		st.MovedB += int64(out.Cols) * 4
+		st.GatherOp++
+	}
+	return c, st
+}
+
+// WeightedSum computes o = Σ wⱼ·rowⱼ over the compacted rows.
+func (c *Compacted) WeightedSum(o tensor.Vector) {
+	o.Zero()
+	for j, w := range c.Weights {
+		tensor.Axpy(w, c.Rows.Row(j), o)
+	}
+}
+
+// DirectSkipSum computes the same result without compaction: a single
+// pass that tests each weight inline (the MnnFast zero-skipping way).
+// It returns the number of rows actually accumulated.
+func DirectSkipSum(weights tensor.Vector, out *tensor.Matrix, threshold float32, o tensor.Vector) int {
+	if len(weights) != out.Rows {
+		panic(fmt.Sprintf("sparse: %d weights for %d rows", len(weights), out.Rows))
+	}
+	o.Zero()
+	kept := 0
+	for i, w := range weights {
+		if w < threshold {
+			continue
+		}
+		tensor.Axpy(w, out.Row(i), o)
+		kept++
+	}
+	return kept
+}

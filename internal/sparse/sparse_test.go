@@ -1,0 +1,122 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"mnnfast/internal/tensor"
+)
+
+func sparseWeights(rng *rand.Rand, n int, density float64) tensor.Vector {
+	w := tensor.NewVector(n)
+	for i := range w {
+		if rng.Float64() < density {
+			w[i] = rng.Float32()*0.5 + 0.2
+		} else {
+			w[i] = rng.Float32() * 0.001
+		}
+	}
+	return w
+}
+
+func TestCompactKeepsOnlySurvivors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	out := tensor.RandomMatrix(rng, 100, 8, 1)
+	w := sparseWeights(rng, 100, 0.1)
+	c, st := Compact(w, out, 0.1)
+	if st.Rows != 100 {
+		t.Errorf("Rows = %d", st.Rows)
+	}
+	if st.Kept != len(c.Index) || st.Kept != c.Rows.Rows {
+		t.Errorf("inconsistent kept counts: %d / %d / %d", st.Kept, len(c.Index), c.Rows.Rows)
+	}
+	for j, src := range c.Index {
+		if w[src] < 0.1 {
+			t.Fatalf("kept row %d has weight %v below threshold", src, w[src])
+		}
+		if tensor.MaxAbsDiff(c.Rows.Row(j), out.Row(int(src))) != 0 {
+			t.Fatalf("packed row %d does not match source", j)
+		}
+	}
+	if st.MovedB != int64(st.Kept)*8*4 {
+		t.Errorf("MovedB = %d, want %d", st.MovedB, st.Kept*32)
+	}
+}
+
+func TestCompactedSumMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	out := tensor.RandomMatrix(rng, 500, 16, 1)
+	w := sparseWeights(rng, 500, 0.05)
+	const th = 0.1
+
+	c, _ := Compact(w, out, th)
+	a := tensor.NewVector(16)
+	c.WeightedSum(a)
+
+	b := tensor.NewVector(16)
+	kept := DirectSkipSum(w, out, th, b)
+	if kept != len(c.Index) {
+		t.Errorf("direct kept %d rows, compaction kept %d", kept, len(c.Index))
+	}
+	if d := tensor.MaxAbsDiff(a, b); d > 1e-5 {
+		t.Errorf("compacted and direct sums differ by %v", d)
+	}
+}
+
+func TestCompactThresholdZeroKeepsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	out := tensor.RandomMatrix(rng, 20, 4, 1)
+	w := sparseWeights(rng, 20, 0.5)
+	c, st := Compact(w, out, 0)
+	if st.Kept != 20 || len(c.Weights) != 20 {
+		t.Errorf("threshold 0 dropped rows: kept %d", st.Kept)
+	}
+}
+
+func TestCompactAllSkipped(t *testing.T) {
+	out := tensor.NewMatrix(10, 4)
+	w := tensor.NewVector(10)
+	c, st := Compact(w, out, 0.5)
+	if st.Kept != 0 {
+		t.Errorf("kept %d rows of all-zero weights", st.Kept)
+	}
+	o := tensor.Vector{1, 2, 3, 4}
+	c.WeightedSum(o)
+	if o.Norm2() != 0 {
+		t.Errorf("empty compaction produced non-zero sum %v", o)
+	}
+}
+
+func TestCompactShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched shapes accepted")
+		}
+	}()
+	Compact(tensor.NewVector(3), tensor.NewMatrix(4, 2), 0.1)
+}
+
+func TestDirectSkipSumShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched shapes accepted")
+		}
+	}()
+	DirectSkipSum(tensor.NewVector(3), tensor.NewMatrix(4, 2), 0.1, tensor.NewVector(2))
+}
+
+func TestCompactionCostGrowsWithRows(t *testing.T) {
+	// The paper's argument: the transformation touches every row, so
+	// its cost scales with ns regardless of sparsity.
+	rng := rand.New(rand.NewSource(4))
+	var prev int64
+	for _, n := range []int{100, 1000, 10000} {
+		out := tensor.RandomMatrix(rng, n, 8, 1)
+		w := sparseWeights(rng, n, 0.01)
+		_, st := Compact(w, out, 0.1)
+		if st.GatherOp <= prev {
+			t.Errorf("gather ops did not grow with rows: %d after %d", st.GatherOp, prev)
+		}
+		prev = st.GatherOp
+	}
+}

@@ -1,0 +1,48 @@
+package tensor_test
+
+import (
+	"fmt"
+
+	"mnnfast/internal/tensor"
+)
+
+// ExampleSoftmax shows the stabilized softmax.
+func ExampleSoftmax() {
+	v := tensor.Vector{0, 0, 0, 0}
+	tensor.Softmax(v)
+	fmt.Printf("%.2f\n", v)
+	// Output:
+	// [0.25 0.25 0.25 0.25]
+}
+
+// ExampleExpInto shows the lazy-softmax building block of the
+// column-based algorithm: chunked exponentials plus one final division
+// equal a direct softmax (Equation 4 of the paper).
+func ExampleExpInto() {
+	logits := tensor.Vector{1, 2, 3, 4, 5, 6}
+	shift := logits.Max()
+
+	lazy := tensor.NewVector(len(logits))
+	var sum float32
+	for lo := 0; lo < len(logits); lo += 2 { // chunks of 2
+		sum += tensor.ExpInto(lazy[lo:lo+2], logits[lo:lo+2], shift)
+	}
+	lazy.Scale(1 / sum)
+
+	direct := logits.Clone()
+	tensor.Softmax(direct)
+	fmt.Printf("lazy equals direct: %v\n", tensor.MaxAbsDiff(lazy, direct) < 1e-6)
+	// Output:
+	// lazy equals direct: true
+}
+
+// ExampleMatVec shows the inner-product primitive of the input memory
+// representation.
+func ExampleMatVec() {
+	a := tensor.FromRows([][]float32{{1, 0}, {0, 1}, {1, 1}})
+	y := tensor.NewVector(3)
+	tensor.MatVec(nil, a, tensor.Vector{2, 3}, y)
+	fmt.Println(y)
+	// Output:
+	// [2 3 5]
+}

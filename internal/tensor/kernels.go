@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MatVec computes y = A·x where A is rows×cols and x has length cols.
+// y must have length rows. The pool, if non-nil, parallelizes over rows.
+func MatVec(p *Pool, a *Matrix, x, y Vector) {
+	if a.Cols != len(x) || a.Rows != len(y) {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch A=%dx%d x=%d y=%d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	p.ParallelFor(a.Rows, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = Dot(a.Row(i), x)
+		}
+	})
+}
+
+// VecMat computes y = xᵀ·A where A is rows×cols and x has length rows.
+// y must have length cols. This is the access pattern of the weighted
+// sum o = Σ pᵢ·m_iᴼᵁᵀ: one streaming pass over the rows of A.
+func VecMat(p *Pool, x Vector, a *Matrix, y Vector) {
+	if a.Rows != len(x) || a.Cols != len(y) {
+		panic(fmt.Sprintf("tensor: VecMat shape mismatch x=%d A=%dx%d y=%d", len(x), a.Rows, a.Cols, len(y)))
+	}
+	if w := p.Workers(); w > 1 && a.Rows >= 2*w {
+		// Parallelize over row bands with private accumulators, then
+		// reduce. Rows are the long axis (ns), columns are short (ed),
+		// so the reduction is cheap — exactly the scale-out argument of
+		// the paper's column-based algorithm (§3.1).
+		var wg sync.WaitGroup
+		partials := make([]Vector, w)
+		band := (a.Rows + w - 1) / w
+		for b := 0; b < w; b++ {
+			lo, hi := b*band, min((b+1)*band, a.Rows)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(b, lo, hi int) {
+				defer wg.Done()
+				acc := NewVector(a.Cols)
+				for i := lo; i < hi; i++ {
+					Axpy(x[i], a.Row(i), acc)
+				}
+				partials[b] = acc
+			}(b, lo, hi)
+		}
+		wg.Wait()
+		y.Zero()
+		for _, part := range partials {
+			if part != nil {
+				y.AddInPlace(part)
+			}
+		}
+		return
+	}
+	y.Zero()
+	for i := 0; i < a.Rows; i++ {
+		Axpy(x[i], a.Row(i), y)
+	}
+}
+
+// MatMul computes C = A·B with a cache-blocked i-k-j loop order. A is
+// m×k, B is k×n, C must be m×n and is overwritten. The pool, if
+// non-nil, parallelizes over row blocks of C.
+func MatMul(p *Pool, a, b, c *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch A=%dx%d B=%dx%d C=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	const blk = 64
+	c.Zero()
+	p.ParallelFor(a.Rows, blk, func(lo, hi int) {
+		for i0 := lo; i0 < hi; i0 += blk {
+			i1 := min(i0+blk, hi)
+			for k0 := 0; k0 < a.Cols; k0 += blk {
+				k1 := min(k0+blk, a.Cols)
+				for i := i0; i < i1; i++ {
+					ci := c.Row(i)
+					ai := a.Row(i)
+					for k := k0; k < k1; k++ {
+						Axpy(ai[k], b.Row(k), ci)
+					}
+				}
+			}
+		}
+	})
+}
+
+// AddBias adds vector b to every row of m.
+func AddBias(m *Matrix, b Vector) {
+	if m.Cols != len(b) {
+		panic(fmt.Sprintf("tensor: AddBias shape mismatch m.Cols=%d b=%d", m.Cols, len(b)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Row(i).AddInPlace(b)
+	}
+}
+
+// OuterAccumulate computes A += x·yᵀ, the rank-1 update used by the
+// training gradients. x has length A.Rows, y has length A.Cols.
+func OuterAccumulate(a *Matrix, x, y Vector, scale float32) {
+	if a.Rows != len(x) || a.Cols != len(y) {
+		panic(fmt.Sprintf("tensor: OuterAccumulate shape mismatch A=%dx%d x=%d y=%d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := range x {
+		Axpy(scale*x[i], y, a.Row(i))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-width parallel executor used by the blocked kernels
+// and by the MnnFast chunk engines. A nil *Pool is valid and means
+// "run serially", which keeps single-threaded baselines free of any
+// goroutine overhead.
+//
+// The pool does not own long-lived goroutines; it bounds the fan-out of
+// each ParallelFor call instead. That keeps the package trivially
+// leak-free (nothing to Close) while still letting callers pin an exact
+// worker count, which the scalability experiments need when they model
+// "N threads".
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool that runs at most workers goroutines per call.
+// workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the parallel width of the pool. A nil pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// ParallelFor splits [0, n) into contiguous spans of at least grain
+// elements and invokes fn(lo, hi) for each span, using up to
+// p.Workers() goroutines. fn must be safe to call concurrently on
+// disjoint spans. ParallelFor returns once every span has completed.
+func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := p.Workers()
+	if w == 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	// Choose a span size that gives every worker something to do but
+	// never goes below the requested grain.
+	span := (n + w - 1) / w
+	if span < grain {
+		span = grain
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += span {
+		hi := lo + span
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) with bounded parallelism. It is
+// ParallelFor with grain 1 and a per-index callback.
+func (p *Pool) Map(n int, fn func(i int)) {
+	p.ParallelFor(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// String describes the pool for logs and experiment headers.
+func (p *Pool) String() string {
+	return fmt.Sprintf("tensor.Pool(workers=%d)", p.Workers())
+}

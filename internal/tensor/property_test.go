@@ -1,0 +1,170 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// clean replaces NaN/huge values so float32 arithmetic stays finite.
+func clean(raw []float32) Vector {
+	v := make(Vector, len(raw))
+	for i, x := range raw {
+		switch {
+		case x != x: // NaN
+			v[i] = 0
+		case x > 100:
+			v[i] = 100
+		case x < -100:
+			v[i] = -100
+		default:
+			v[i] = x
+		}
+	}
+	return v
+}
+
+func TestQuickMatVecLinearity(t *testing.T) {
+	// A·(x + y) == A·x + A·y within float32 tolerance.
+	rng := rand.New(rand.NewSource(70))
+	f := func(seed int64, rowsRaw, colsRaw uint8) bool {
+		rows := 1 + int(rowsRaw)%40
+		cols := 1 + int(colsRaw)%40
+		r := rand.New(rand.NewSource(seed))
+		a := RandomMatrix(r, rows, cols, 1)
+		x := RandomVector(r, cols, 1)
+		y := RandomVector(r, cols, 1)
+
+		sum := x.Clone()
+		sum.AddInPlace(y)
+		lhs := NewVector(rows)
+		MatVec(nil, a, sum, lhs)
+
+		ax := NewVector(rows)
+		ay := NewVector(rows)
+		MatVec(nil, a, x, ax)
+		MatVec(nil, a, y, ay)
+		ax.AddInPlace(ay)
+		return MaxAbsDiff(lhs, ax) <= 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVecMatEqualsTransposedMatVec(t *testing.T) {
+	// xᵀ·A == (Aᵀ·x)ᵀ.
+	rng := rand.New(rand.NewSource(71))
+	f := func(seed int64, rowsRaw, colsRaw uint8) bool {
+		rows := 1 + int(rowsRaw)%40
+		cols := 1 + int(colsRaw)%40
+		r := rand.New(rand.NewSource(seed))
+		a := RandomMatrix(r, rows, cols, 1)
+		x := RandomVector(r, rows, 1)
+
+		viaVecMat := NewVector(cols)
+		VecMat(nil, x, a, viaVecMat)
+		viaTranspose := NewVector(cols)
+		MatVec(nil, a.Transpose(), x, viaTranspose)
+		return MaxAbsDiff(viaVecMat, viaTranspose) <= 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMatMulAssociatesWithVector(t *testing.T) {
+	// (A·B)·x == A·(B·x).
+	rng := rand.New(rand.NewSource(72))
+	f := func(seed int64, mRaw, kRaw, nRaw uint8) bool {
+		m := 1 + int(mRaw)%20
+		k := 1 + int(kRaw)%20
+		n := 1 + int(nRaw)%20
+		r := rand.New(rand.NewSource(seed))
+		a := RandomMatrix(r, m, k, 1)
+		b := RandomMatrix(r, k, n, 1)
+		x := RandomVector(r, n, 1)
+
+		ab := NewMatrix(m, n)
+		MatMul(nil, a, b, ab)
+		lhs := NewVector(m)
+		MatVec(nil, ab, x, lhs)
+
+		bx := NewVector(k)
+		MatVec(nil, b, x, bx)
+		rhs := NewVector(m)
+		MatVec(nil, a, bx, rhs)
+		return MaxAbsDiff(lhs, rhs) <= 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSoftmaxShiftInvariance(t *testing.T) {
+	// softmax(x) == softmax(x + c) for any constant shift.
+	f := func(raw []float32, shift float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if shift != shift || shift > 100 || shift < -100 {
+			return true
+		}
+		v := clean(raw)
+		shifted := v.Clone()
+		for i := range shifted {
+			shifted[i] += shift
+		}
+		Softmax(v)
+		Softmax(shifted)
+		return MaxAbsDiff(v, shifted) <= 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExpIntoShiftConsistency(t *testing.T) {
+	// For any shift, ExpInto's normalized result equals Softmax.
+	f := func(raw []float32, shiftRaw float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := clean(raw)
+		shift := v.Max() // stable shift
+		if shiftRaw == shiftRaw && shiftRaw > -50 && shiftRaw < 50 {
+			shift += shiftRaw / 10 // perturb: correctness must not depend on the exact shift
+		}
+		exp := NewVector(len(v))
+		sum := ExpInto(exp, v, shift)
+		if sum <= 0 {
+			return false
+		}
+		exp.Scale(1 / sum)
+
+		direct := v.Clone()
+		Softmax(direct)
+		return MaxAbsDiff(exp, direct) <= 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPoolMatVecAgreesAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	f := func(seed int64, workersRaw uint8) bool {
+		workers := 1 + int(workersRaw)%8
+		r := rand.New(rand.NewSource(seed))
+		a := RandomMatrix(r, 257, 31, 1)
+		x := RandomVector(r, 31, 1)
+		serial := NewVector(257)
+		MatVec(nil, a, x, serial)
+		par := NewVector(257)
+		MatVec(NewPool(workers), a, x, par)
+		return MaxAbsDiff(serial, par) <= 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

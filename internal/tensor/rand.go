@@ -1,0 +1,34 @@
+package tensor
+
+import "math/rand"
+
+// RandomMatrix returns a rows×cols matrix with i.i.d. entries drawn
+// uniformly from [-scale, scale] using rng. Experiments pass their own
+// seeded source so every run is reproducible.
+func RandomMatrix(rng *rand.Rand, rows, cols int, scale float32) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return m
+}
+
+// RandomVector returns a vector with i.i.d. entries uniform in
+// [-scale, scale].
+func RandomVector(rng *rand.Rand, n int, scale float32) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return v
+}
+
+// GaussianMatrix returns a rows×cols matrix with i.i.d. N(0, stddev²)
+// entries, the init the end-to-end MemNN paper uses (σ = 0.1).
+func GaussianMatrix(rng *rand.Rand, rows, cols int, stddev float32) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64()) * stddev
+	}
+	return m
+}

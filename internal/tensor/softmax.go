@@ -1,0 +1,68 @@
+package tensor
+
+import "math"
+
+// Softmax overwrites v with softmax(v) computed with the usual
+// max-subtraction stabilization: softmax(x)_i = exp(x_i - max) / Σ.
+// It returns the normalizing sum Σ exp(x_i - max).
+func Softmax(v Vector) float32 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v.Max()
+	var sum float64
+	for i, x := range v {
+		e := float32(math.Exp(float64(x - m)))
+		v[i] = e
+		sum += float64(e)
+	}
+	inv := float32(1 / sum)
+	for i := range v {
+		v[i] *= inv
+	}
+	return float32(sum)
+}
+
+// ExpInto writes exp(src_i - shift) into dst and returns the sum of the
+// written values. It is the first half of the paper's lazy softmax: the
+// column-based algorithm applies ExpInto per chunk, accumulates the
+// returned partial sums, and divides only once at the end (Equation 4).
+//
+// shift plays the role of the global max in the stabilized softmax; the
+// column engine obtains it from a bound on the logits (see core) so
+// that per-chunk results remain combinable.
+func ExpInto(dst, src Vector, shift float32) float32 {
+	if len(dst) != len(src) {
+		panic("tensor: ExpInto length mismatch")
+	}
+	var sum float64
+	for i, x := range src {
+		e := float32(math.Exp(float64(x - shift)))
+		dst[i] = e
+		sum += float64(e)
+	}
+	return float32(sum)
+}
+
+// LogSumExp returns log Σ exp(v_i), computed stably. The training code
+// uses it for the cross-entropy loss.
+func LogSumExp(v Vector) float32 {
+	if len(v) == 0 {
+		return float32(math.Inf(-1))
+	}
+	m := v.Max()
+	var sum float64
+	for _, x := range v {
+		sum += math.Exp(float64(x - m))
+	}
+	return m + float32(math.Log(sum))
+}
+
+// SoftmaxRows applies Softmax independently to every row of m.
+func SoftmaxRows(p *Pool, m *Matrix) {
+	p.ParallelFor(m.Rows, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			Softmax(m.Row(i))
+		}
+	})
+}

@@ -1,0 +1,269 @@
+// Package tensor provides the dense float32 linear-algebra kernels that
+// the rest of the repository builds on: vectors, row-major matrices,
+// blocked matrix multiplication, and the fused primitives (dot products,
+// axpy, softmax) used by memory-network inference.
+//
+// It is the portable stand-in for the BLAS libraries the MnnFast paper
+// uses (OpenBLAS on CPU, cuBLAS on GPU). The kernels are written for
+// clarity and cache-friendliness rather than SIMD peak: all of the
+// paper's optimizations are algorithmic (dataflow, spill size, operation
+// counts), so they are observable on top of any dense kernel set.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Vector is a dense float32 vector.
+type Vector []float32
+
+// NewVector returns a zeroed vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every element of v to x.
+func (v Vector) Fill(x float32) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Zero sets every element of v to 0.
+func (v Vector) Zero() { v.Fill(0) }
+
+// Sum returns the sum of the elements of v, accumulated in float64 to
+// limit rounding drift on long vectors.
+func (v Vector) Sum() float32 {
+	var s float64
+	for _, x := range v {
+		s += float64(x)
+	}
+	return float32(s)
+}
+
+// Max returns the maximum element of v. It panics on an empty vector.
+func (v Vector) Max() float32 {
+	if len(v) == 0 {
+		panic("tensor: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the first maximal element of v, or -1 for
+// an empty vector.
+func (v Vector) ArgMax() int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Scale multiplies every element of v by a.
+func (v Vector) Scale(a float32) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// AddInPlace adds w into v element-wise. The lengths must match.
+func (v Vector) AddInPlace(w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: AddInPlace length mismatch %d != %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float32 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// Dot returns the inner product of a and b. The lengths must match.
+func Dot(a, b Vector) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float32
+	// Four-way unrolled accumulation: measurably faster without SIMD and
+	// slightly more accurate than a single serial accumulator.
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s + s0 + s1 + s2 + s3
+}
+
+// Axpy computes y += a*x element-wise. The lengths must match.
+func Axpy(a float32, x, y Vector) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	if a == 0 {
+		return
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols, row-major
+}
+
+// ErrShape reports incompatible matrix/vector shapes passed to a kernel
+// that returns errors rather than panicking.
+var ErrShape = errors.New("tensor: incompatible shapes")
+
+// NewMatrix returns a zeroed rows×cols matrix. It panics if either
+// dimension is negative.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: NewMatrix(%d, %d): negative dimension", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix from equal-length rows. It panics if the rows
+// are ragged.
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: FromRows ragged row %d: %d != %d", i, len(r), cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, x float32) { m.Data[i*m.Cols+j] = x }
+
+// Row returns row i as a Vector aliasing the matrix storage.
+func (m *Matrix) Row(i int) Vector {
+	return Vector(m.Data[i*m.Cols : (i+1)*m.Cols])
+}
+
+// RowSlice returns rows [lo, hi) as a matrix aliasing the same storage.
+func (m *Matrix) RowSlice(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("tensor: RowSlice [%d, %d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// Clone returns an independent copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element of m to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to x.
+func (m *Matrix) Fill(x float32) {
+	for i := range m.Data {
+		m.Data[i] = x
+	}
+}
+
+// SizeBytes returns the storage footprint of the matrix payload. The
+// cache and bandwidth models size working sets with it.
+func (m *Matrix) SizeBytes() int64 { return int64(len(m.Data)) * 4 }
+
+// Transpose returns a newly allocated mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		for j, x := range ri {
+			t.Data[j*t.Cols+i] = x
+		}
+	}
+	return t
+}
+
+// Equal reports whether a and b have the same shape and elements within
+// absolute tolerance tol.
+func Equal(a, b *Matrix, tol float32) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, x := range a.Data {
+		if absf(x-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between
+// equal-length vectors a and b.
+func MaxAbsDiff(a, b Vector) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff length mismatch %d != %d", len(a), len(b)))
+	}
+	var m float32
+	for i := range a {
+		if d := absf(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func absf(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,542 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(4)
+	if len(v) != 4 {
+		t.Fatalf("NewVector(4) length = %d", len(v))
+	}
+	v.Fill(2)
+	if got := v.Sum(); got != 8 {
+		t.Errorf("Sum after Fill(2) = %v, want 8", got)
+	}
+	v.Scale(0.5)
+	if got := v.Sum(); got != 4 {
+		t.Errorf("Sum after Scale(0.5) = %v, want 4", got)
+	}
+	v.Zero()
+	if got := v.Sum(); got != 0 {
+		t.Errorf("Sum after Zero = %v, want 0", got)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Errorf("Clone aliases original: v[0] = %v", v[0])
+	}
+}
+
+func TestVectorMaxArgMax(t *testing.T) {
+	v := Vector{-3, 7, 2, 7}
+	if got := v.Max(); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if got := v.ArgMax(); got != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first maximum)", got)
+	}
+	if got := Vector(nil).ArgMax(); got != -1 {
+		t.Errorf("ArgMax(empty) = %d, want -1", got)
+	}
+}
+
+func TestVectorMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max of empty vector did not panic")
+		}
+	}()
+	Vector{}.Max()
+}
+
+func TestAddInPlace(t *testing.T) {
+	v := Vector{1, 2}
+	v.AddInPlace(Vector{10, 20})
+	if v[0] != 11 || v[1] != 22 {
+		t.Errorf("AddInPlace = %v, want [11 22]", v)
+	}
+}
+
+func TestAddInPlaceMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddInPlace length mismatch did not panic")
+		}
+	}()
+	Vector{1}.AddInPlace(Vector{1, 2})
+}
+
+func TestDot(t *testing.T) {
+	a := Vector{1, 2, 3, 4, 5}
+	b := Vector{5, 4, 3, 2, 1}
+	if got := Dot(a, b); got != 35 {
+		t.Errorf("Dot = %v, want 35", got)
+	}
+	if got := Dot(Vector{}, Vector{}); got != 0 {
+		t.Errorf("Dot(empty) = %v, want 0", got)
+	}
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		a := RandomVector(rng, n, 1)
+		b := RandomVector(rng, n, 1)
+		var want float32
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		got := Dot(a, b)
+		if absf(got-want) > 1e-3 {
+			t.Fatalf("n=%d: Dot = %v, naive = %v", n, got, want)
+		}
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	x := Vector{1, 2, 3}
+	y := Vector{10, 10, 10}
+	Axpy(2, x, y)
+	want := Vector{12, 14, 16}
+	if MaxAbsDiff(y, want) != 0 {
+		t.Errorf("Axpy = %v, want %v", y, want)
+	}
+	// a == 0 must be a no-op (the zero-skip fast path relies on it).
+	Axpy(0, x, y)
+	if MaxAbsDiff(y, want) != 0 {
+		t.Errorf("Axpy(0,...) modified y: %v", y)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("NewMatrix shape = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Set(1, 2, 42)
+	if got := m.At(1, 2); got != 42 {
+		t.Errorf("At(1,2) = %v, want 42", got)
+	}
+	if got := m.Row(1)[2]; got != 42 {
+		t.Errorf("Row(1)[2] = %v, want 42", got)
+	}
+	if got := m.SizeBytes(); got != 24 {
+		t.Errorf("SizeBytes = %d, want 24", got)
+	}
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(-1, 2) did not panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("FromRows content wrong: %+v", m)
+	}
+	empty := FromRows(nil)
+	if empty.Rows != 0 || empty.Cols != 0 {
+		t.Errorf("FromRows(nil) = %dx%d, want 0x0", empty.Rows, empty.Cols)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}
+
+func TestRowSlice(t *testing.T) {
+	m := FromRows([][]float32{{1}, {2}, {3}, {4}})
+	s := m.RowSlice(1, 3)
+	if s.Rows != 2 || s.At(0, 0) != 2 || s.At(1, 0) != 3 {
+		t.Errorf("RowSlice content wrong: %+v", s)
+	}
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 99 {
+		t.Error("RowSlice should alias the parent storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("Transpose shape = %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("Transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := RandomMatrix(rng, 13, 29, 1)
+	if !Equal(m, m.Transpose().Transpose(), 0) {
+		t.Error("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	x := Vector{1, 1}
+	y := NewVector(3)
+	MatVec(nil, a, x, y)
+	want := Vector{3, 7, 11}
+	if MaxAbsDiff(y, want) != 0 {
+		t.Errorf("MatVec = %v, want %v", y, want)
+	}
+}
+
+func TestMatVecParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandomMatrix(rng, 500, 37, 1)
+	x := RandomVector(rng, 37, 1)
+	ySerial := NewVector(500)
+	yPar := NewVector(500)
+	MatVec(nil, a, x, ySerial)
+	MatVec(NewPool(4), a, x, yPar)
+	if d := MaxAbsDiff(ySerial, yPar); d > 1e-5 {
+		t.Errorf("parallel MatVec diverges from serial by %v", d)
+	}
+}
+
+func TestVecMat(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	x := Vector{1, 0, 2}
+	y := NewVector(2)
+	VecMat(nil, x, a, y)
+	want := Vector{11, 14}
+	if MaxAbsDiff(y, want) != 0 {
+		t.Errorf("VecMat = %v, want %v", y, want)
+	}
+}
+
+func TestVecMatParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandomMatrix(rng, 999, 48, 1)
+	x := RandomVector(rng, 999, 1)
+	ySerial := NewVector(48)
+	yPar := NewVector(48)
+	VecMat(nil, x, a, ySerial)
+	VecMat(NewPool(8), x, a, yPar)
+	if d := MaxAbsDiff(ySerial, yPar); d > 1e-3 {
+		t.Errorf("parallel VecMat diverges from serial by %v", d)
+	}
+}
+
+func matMulNaive(a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			for j := 0; j < b.Cols; j++ {
+				c.Data[i*c.Cols+j] += aik * b.At(k, j)
+			}
+		}
+	}
+	return c
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, shape := range [][3]int{{1, 1, 1}, {3, 5, 7}, {64, 64, 64}, {65, 33, 129}, {128, 1, 9}} {
+		a := RandomMatrix(rng, shape[0], shape[1], 1)
+		b := RandomMatrix(rng, shape[1], shape[2], 1)
+		c := NewMatrix(shape[0], shape[2])
+		MatMul(NewPool(3), a, b, c)
+		want := matMulNaive(a, b)
+		if !Equal(c, want, 1e-3) {
+			t.Fatalf("MatMul mismatch for shape %v", shape)
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul shape mismatch did not panic")
+		}
+	}()
+	MatMul(nil, NewMatrix(2, 3), NewMatrix(4, 5), NewMatrix(2, 5))
+}
+
+func TestAddBias(t *testing.T) {
+	m := FromRows([][]float32{{1, 1}, {2, 2}})
+	AddBias(m, Vector{10, 20})
+	if m.At(0, 0) != 11 || m.At(1, 1) != 22 {
+		t.Errorf("AddBias result wrong: %+v", m)
+	}
+}
+
+func TestOuterAccumulate(t *testing.T) {
+	a := NewMatrix(2, 3)
+	OuterAccumulate(a, Vector{1, 2}, Vector{1, 10, 100}, 1)
+	want := FromRows([][]float32{{1, 10, 100}, {2, 20, 200}})
+	if !Equal(a, want, 0) {
+		t.Errorf("OuterAccumulate = %+v, want %+v", a, want)
+	}
+	OuterAccumulate(a, Vector{1, 2}, Vector{1, 10, 100}, -1)
+	if !Equal(a, NewMatrix(2, 3), 0) {
+		t.Error("scale=-1 should cancel the previous update")
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(300)
+		v := RandomVector(rng, n, 10)
+		orig := v.Clone()
+		Softmax(v)
+		var sum float64
+		for i, x := range v {
+			if x < 0 || x > 1 {
+				t.Fatalf("softmax value out of range: %v", x)
+			}
+			sum += float64(x)
+			_ = i
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("softmax does not sum to 1: %v", sum)
+		}
+		// Order preservation: argmax must not move.
+		if v.ArgMax() != orig.ArgMax() {
+			t.Fatal("softmax changed the argmax")
+		}
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	v := Vector{1000, 1000, 1000}
+	Softmax(v)
+	for _, x := range v {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			t.Fatalf("softmax overflowed on large logits: %v", v)
+		}
+		if absf(x-1.0/3.0) > 1e-5 {
+			t.Fatalf("uniform large logits should give 1/3, got %v", v)
+		}
+	}
+}
+
+func TestExpIntoLazySoftmaxEquivalence(t *testing.T) {
+	// The heart of the column-based algorithm: chunked ExpInto + a final
+	// division must equal a direct softmax (Equation 3 vs Equation 4).
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		logits := RandomVector(rng, n, 5)
+		direct := logits.Clone()
+		Softmax(direct)
+
+		shift := logits.Max()
+		chunk := 1 + rng.Intn(64)
+		lazy := NewVector(n)
+		var total float32
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			total += ExpInto(lazy[lo:hi], logits[lo:hi], shift)
+		}
+		lazy.Scale(1 / total)
+		if d := MaxAbsDiff(direct, lazy); d > 1e-5 {
+			t.Fatalf("n=%d chunk=%d: lazy softmax differs from direct by %v", n, chunk, d)
+		}
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	v := Vector{0, 0}
+	want := float32(math.Log(2))
+	if got := LogSumExp(v); absf(got-want) > 1e-6 {
+		t.Errorf("LogSumExp([0 0]) = %v, want %v", got, want)
+	}
+	// Stability at large magnitude.
+	if got := LogSumExp(Vector{1000, 1000}); absf(got-(1000+want)) > 1e-3 {
+		t.Errorf("LogSumExp([1000 1000]) = %v, want %v", got, 1000+want)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := RandomMatrix(rng, 17, 23, 3)
+	SoftmaxRows(NewPool(4), m)
+	for i := 0; i < m.Rows; i++ {
+		s := m.Row(i).Sum()
+		if absf(s-1) > 1e-4 {
+			t.Fatalf("row %d sums to %v after SoftmaxRows", i, s)
+		}
+	}
+}
+
+func TestQuickDotSymmetry(t *testing.T) {
+	f := func(raw []float32) bool {
+		for _, x := range raw {
+			if x != x || x > 1e6 || x < -1e6 { // skip NaN and values whose products overflow
+				return true
+			}
+		}
+		a := Vector(raw)
+		b := make(Vector, len(a))
+		for i := range b {
+			b[i] = a[len(a)-1-i]
+		}
+		// Dot(a, b) must equal Dot(b, a) exactly (same multiply pairs,
+		// different summation order can differ — allow tolerance scaled
+		// to magnitude).
+		d1, d2 := Dot(a, b), Dot(b, a)
+		tol := 1e-3 * (1 + absf(d1))
+		return absf(d1-d2) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAxpyLinearity(t *testing.T) {
+	f := func(raw []float32, a float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if a != a || a > 1e6 || a < -1e6 { // skip NaN / huge scales
+			return true
+		}
+		for _, x := range raw {
+			if x != x || x > 1e6 || x < -1e6 {
+				return true
+			}
+		}
+		x := Vector(raw)
+		y1 := NewVector(len(x))
+		Axpy(a, x, y1)
+		y2 := NewVector(len(x))
+		Axpy(a/2, x, y2)
+		Axpy(a/2, x, y2)
+		return MaxAbsDiff(y1, y2) <= 1e-2*(1+absf(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTransposePreservesElements(t *testing.T) {
+	f := func(raw []float32) bool {
+		n := len(raw)
+		if n == 0 {
+			return true
+		}
+		cols := 1 + n%7
+		rows := n / cols
+		if rows == 0 {
+			return true
+		}
+		m := &Matrix{Rows: rows, Cols: cols, Data: raw[:rows*cols]}
+		tr := m.Transpose()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				a, b := m.At(i, j), tr.At(j, i)
+				if a != b && !(a != a && b != b) { // NaN-tolerant compare
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolWorkers(t *testing.T) {
+	if got := (*Pool)(nil).Workers(); got != 1 {
+		t.Errorf("nil pool Workers = %d, want 1", got)
+	}
+	if got := NewPool(5).Workers(); got != 5 {
+		t.Errorf("NewPool(5).Workers = %d", got)
+	}
+	if got := NewPool(0).Workers(); got < 1 {
+		t.Errorf("NewPool(0).Workers = %d, want >= 1", got)
+	}
+}
+
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 7, 100, 1001} {
+			p := NewPool(workers)
+			seen := make([]int32, n)
+			var mu sync.Mutex
+			p.ParallelFor(n, 3, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolMap(t *testing.T) {
+	p := NewPool(4)
+	var count int64
+	p.Map(100, func(i int) { atomic.AddInt64(&count, 1) })
+	if count != 100 {
+		t.Errorf("Map invoked fn %d times, want 100", count)
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a := RandomMatrix(rand.New(rand.NewSource(42)), 5, 5, 1)
+	b := RandomMatrix(rand.New(rand.NewSource(42)), 5, 5, 1)
+	if !Equal(a, b, 0) {
+		t.Error("RandomMatrix is not deterministic for a fixed seed")
+	}
+	g := GaussianMatrix(rand.New(rand.NewSource(42)), 4, 4, 0.1)
+	h := GaussianMatrix(rand.New(rand.NewSource(42)), 4, 4, 0.1)
+	if !Equal(g, h, 0) {
+		t.Error("GaussianMatrix is not deterministic for a fixed seed")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff(Vector{1, 2}, Vector{1, 5}); got != 3 {
+		t.Errorf("MaxAbsDiff = %v, want 3", got)
+	}
+}
+
+func TestEqualShapes(t *testing.T) {
+	if Equal(NewMatrix(1, 2), NewMatrix(2, 1), 1) {
+		t.Error("Equal must reject different shapes")
+	}
+}

@@ -1,0 +1,40 @@
+package vocab_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mnnfast/internal/vocab"
+)
+
+// ExampleTokenize shows bAbI-style tokenization.
+func ExampleTokenize() {
+	fmt.Println(vocab.Tokenize("Where is the TV?"))
+	// Output:
+	// [where is the tv]
+}
+
+// ExampleVocabulary shows interning and strict lookup.
+func ExampleVocabulary() {
+	v := vocab.New()
+	ids := v.Encode(vocab.Tokenize("john went to the kitchen"))
+	fmt.Println("words interned:", len(ids))
+	if _, err := v.EncodeStrict([]string{"unseen"}); err != nil {
+		fmt.Println("strict lookup rejects unknown words")
+	}
+	// Output:
+	// words interned: 5
+	// strict lookup rejects unknown words
+}
+
+// ExampleZipfModel shows the word-frequency skew that makes small
+// embedding caches effective (§3.3).
+func ExampleZipfModel() {
+	m := vocab.NewZipfModel(50000, 1.0)
+	fmt.Printf("top 256 of 50000 words carry %.0f%% of all usage\n", 100*m.TopMass(256))
+	s := m.Stream(rand.New(rand.NewSource(1)), 3)
+	fmt.Println("sampled ranks:", len(s))
+	// Output:
+	// top 256 of 50000 words carry 54% of all usage
+	// sampled ranks: 3
+}

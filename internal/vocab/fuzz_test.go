@@ -1,0 +1,34 @@
+package vocab
+
+import "testing"
+
+// FuzzTokenize: tokenization must never produce empty tokens or panic,
+// and must be idempotent under re-joining.
+func FuzzTokenize(f *testing.F) {
+	f.Add("Where is the TV?")
+	f.Add("")
+	f.Add("...!!!???")
+	f.Add("ünïcödé wörds\tand\ntabs")
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, sep := range []byte{' ', '\t', '.', '?', ',', '!', '\n', '\r'} {
+				for i := 0; i < len(tok); i++ {
+					if tok[i] == sep {
+						t.Fatalf("token %q contains separator %q", tok, sep)
+					}
+				}
+			}
+		}
+		// Re-tokenizing a single token yields that token.
+		for _, tok := range toks {
+			again := Tokenize(tok)
+			if len(again) != 1 || again[0] != tok {
+				t.Fatalf("tokenization not idempotent for %q: %v", tok, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Package vocab provides the text substrate for the MnnFast
+// reproduction: a word vocabulary with stable integer IDs, a tokenizer
+// for bAbI-style text, and a Zipfian word-frequency model that stands in
+// for the Corpus of Contemporary American English (COCA) word-frequency
+// data the paper drives its embedding-cache experiment with (§5.4.2).
+package vocab
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NilID is returned by Lookup for unknown words.
+const NilID = -1
+
+// Vocabulary maps words to dense integer IDs. ID 0 is reserved for the
+// padding token so that fixed-width sentence encodings can zero-fill.
+type Vocabulary struct {
+	words map[string]int
+	byID  []string
+}
+
+// PadToken is the reserved word at ID 0.
+const PadToken = "<pad>"
+
+// New returns a vocabulary containing only the padding token.
+func New() *Vocabulary {
+	v := &Vocabulary{words: make(map[string]int)}
+	v.Add(PadToken)
+	return v
+}
+
+// Add interns word and returns its ID, allocating a new ID for unseen
+// words. Words are case-sensitive; callers normalize beforehand.
+func (v *Vocabulary) Add(word string) int {
+	if id, ok := v.words[word]; ok {
+		return id
+	}
+	id := len(v.byID)
+	v.words[word] = id
+	v.byID = append(v.byID, word)
+	return id
+}
+
+// Lookup returns the ID of word, or NilID if it was never added.
+func (v *Vocabulary) Lookup(word string) int {
+	if id, ok := v.words[word]; ok {
+		return id
+	}
+	return NilID
+}
+
+// Word returns the word with the given ID. It panics on out-of-range
+// IDs, which always indicate a programming error upstream.
+func (v *Vocabulary) Word(id int) string {
+	if id < 0 || id >= len(v.byID) {
+		panic(fmt.Sprintf("vocab: Word(%d) out of range [0, %d)", id, len(v.byID)))
+	}
+	return v.byID[id]
+}
+
+// Size returns the number of interned words, including the pad token.
+// This is the V dimension of the embedding matrix (ed×V in the paper).
+func (v *Vocabulary) Size() int { return len(v.byID) }
+
+// AddAll interns every word of every sentence and returns v for
+// chaining.
+func (v *Vocabulary) AddAll(sentences ...[]string) *Vocabulary {
+	for _, s := range sentences {
+		for _, w := range s {
+			v.Add(w)
+		}
+	}
+	return v
+}
+
+// Encode maps words to IDs, adding unknown words. It is the bag-of-words
+// front end of the embedding operation.
+func (v *Vocabulary) Encode(words []string) []int {
+	ids := make([]int, len(words))
+	for i, w := range words {
+		ids[i] = v.Add(w)
+	}
+	return ids
+}
+
+// EncodeStrict maps words to IDs and returns an error naming the first
+// unknown word instead of growing the vocabulary. Inference paths use it
+// so that a trained model's vocabulary stays frozen.
+func (v *Vocabulary) EncodeStrict(words []string) ([]int, error) {
+	ids := make([]int, len(words))
+	for i, w := range words {
+		id := v.Lookup(w)
+		if id == NilID {
+			return nil, fmt.Errorf("vocab: unknown word %q", w)
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// Words returns all interned words in ID order. The slice is a copy.
+func (v *Vocabulary) Words() []string {
+	out := make([]string, len(v.byID))
+	copy(out, v.byID)
+	return out
+}
+
+// Tokenize splits bAbI-style text into lower-case word tokens, treating
+// '.', '?' and ',' as separators. It never returns empty tokens.
+func Tokenize(s string) []string {
+	s = strings.ToLower(s)
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		switch r {
+		case ' ', '\t', '.', '?', ',', '!', '\n', '\r':
+			return true
+		}
+		return false
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SortedByWord returns the vocabulary's words in lexicographic order;
+// useful for stable debugging output.
+func (v *Vocabulary) SortedByWord() []string {
+	out := v.Words()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,91 @@
+package vocab
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ZipfModel is a word-frequency model with Zipf-law rank-frequency
+// structure: the k-th most frequent of V words has probability
+// proportional to 1/k^s. It substitutes for the COCA word-frequency data
+// the paper uses to drive its embedding-cache evaluation — linguistics
+// holds that natural corpora follow Zipf's law with s ≈ 1, which is
+// exactly the "high locality in word usage" the paper cites (§3.3).
+type ZipfModel struct {
+	V   int     // vocabulary size
+	S   float64 // skew exponent
+	cdf []float64
+}
+
+// NewZipfModel builds the rank-probability table for V words with skew
+// s. It panics if V < 1 or s < 0, which indicate a miswired experiment.
+func NewZipfModel(v int, s float64) *ZipfModel {
+	if v < 1 || s < 0 {
+		panic(fmt.Sprintf("vocab: NewZipfModel(%d, %g): invalid parameters", v, s))
+	}
+	m := &ZipfModel{V: v, S: s, cdf: make([]float64, v)}
+	var total float64
+	for k := 1; k <= v; k++ {
+		total += 1 / math.Pow(float64(k), s)
+	}
+	var cum float64
+	for k := 1; k <= v; k++ {
+		cum += 1 / math.Pow(float64(k), s) / total
+		m.cdf[k-1] = cum
+	}
+	m.cdf[v-1] = 1 // guard against rounding
+	return m
+}
+
+// Probability returns the model probability of the word with frequency
+// rank k (0-based, rank 0 = most frequent).
+func (m *ZipfModel) Probability(rank int) float64 {
+	if rank < 0 || rank >= m.V {
+		return 0
+	}
+	if rank == 0 {
+		return m.cdf[0]
+	}
+	return m.cdf[rank] - m.cdf[rank-1]
+}
+
+// Sample draws one word rank from the model using rng.
+func (m *ZipfModel) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, m.V-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Stream returns n word ranks sampled i.i.d. from the model. The
+// embedding-cache experiments replay such streams against the cache
+// simulator.
+func (m *ZipfModel) Stream(rng *rand.Rand, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = m.Sample(rng)
+	}
+	return out
+}
+
+// TopMass returns the total probability mass of the k most frequent
+// words — the analytic upper bound on the hit rate of a k-entry
+// word-keyed cache under this model.
+func (m *ZipfModel) TopMass(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= m.V {
+		return 1
+	}
+	return m.cdf[k-1]
+}
