@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"mnnfast/internal/core"
+	"mnnfast/internal/tensor"
+)
+
+// BenchEntry is one engine measurement in the machine-readable
+// benchmark file (BENCH_column.json): single-query inference latency
+// and allocation counts at a fixed memory shape. Entries accumulate
+// across runs so labelled before/after comparisons live side by side.
+type BenchEntry struct {
+	Label       string  `json:"label"`
+	Engine      string  `json:"engine"`
+	NS          int     `json:"ns"`
+	ED          int     `json:"ed"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchFile is the top-level JSON document.
+type BenchFile struct {
+	Entries []BenchEntry `json:"entries"`
+}
+
+// runBenchJSON measures the single-query latency of the baseline,
+// column, and full-mnnfast engines at ns×ed via testing.Benchmark and
+// appends the results to the JSON file at path (creating it if absent).
+func runBenchJSON(path, label string, ns, ed, chunk int) error {
+	if ns <= 0 {
+		ns = 10000
+	}
+	if ed <= 0 {
+		ed = 128
+	}
+	if chunk <= 0 {
+		chunk = 1000
+	}
+	rng := rand.New(rand.NewSource(7))
+	mem, err := core.NewMemory(
+		tensor.GaussianMatrix(rng, ns, ed, 0.5),
+		tensor.GaussianMatrix(rng, ns, ed, 0.5),
+	)
+	if err != nil {
+		return err
+	}
+	engines := []core.Engine{
+		core.NewBaseline(mem, core.Options{}),
+		core.NewColumn(mem, core.Options{ChunkSize: chunk}),
+		core.NewColumn(mem, core.Options{ChunkSize: chunk, Streaming: true, SkipThreshold: 0.1}),
+	}
+
+	var file BenchFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("existing %s is not a benchmark file: %w", path, err)
+		}
+	}
+
+	u := tensor.RandomVector(rng, ed, 1)
+	o := tensor.NewVector(ed)
+	for _, eng := range engines {
+		eng := eng
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			eng.Infer(u, o) // warm scratch pools outside the timed loop
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Infer(u, o)
+			}
+		})
+		entry := BenchEntry{
+			Label:       label,
+			Engine:      eng.Name(),
+			NS:          ns,
+			ED:          ed,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		file.Entries = append(file.Entries, entry)
+		fmt.Printf("%-12s %-10s ns=%d ed=%d  %12.0f ns/op  %6d B/op  %4d allocs/op\n",
+			label, entry.Engine, ns, ed, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp)
+	}
+
+	raw, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -34,8 +34,18 @@ func main() {
 		stories = flag.Int("stories", 0, "override training-set size (fig6/fig7)")
 		epochs  = flag.Int("epochs", 0, "override training epochs (fig6/fig7)")
 		format  = flag.String("format", "text", "output format: text, md, csv")
+		bjson   = flag.String("benchjson", "", "append single-query engine benchmarks to this JSON file and exit")
+		label   = flag.String("label", "dev", "label for -benchjson entries (e.g. pre-pr, post-pr)")
 	)
 	flag.Parse()
+
+	if *bjson != "" {
+		if err := runBenchJSON(*bjson, *label, *ns, *ed, *chunk); err != nil {
+			fmt.Fprintf(os.Stderr, "mnnfast-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

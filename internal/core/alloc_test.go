@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"mnnfast/internal/tensor"
+)
+
+// Steady-state allocation assertions for the serving hot path. After a
+// warm-up query populates the scratch pools at the working shape,
+// repeated queries must allocate nothing — the per-query cost is pure
+// compute on pooled buffers and persistent workers.
+//
+// The streaming engine is excluded by design: its prefetcher is a
+// per-query pipeline goroutine (see Column.processBand).
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; allocation counts are not meaningful")
+	}
+}
+
+func TestInferAllocs(t *testing.T) {
+	skipUnderRace(t)
+	rng := rand.New(rand.NewSource(42))
+	mem := randomMemory(t, rng, 4096, 64)
+	u := tensor.RandomVector(rng, 64, 1)
+	o := tensor.NewVector(64)
+
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"serial", Options{ChunkSize: 512}},
+		{"skip", Options{ChunkSize: 512, SkipThreshold: 0.01}},
+		{"parallel", Options{ChunkSize: 512, Pool: tensor.NewPool(4)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewColumn(mem, tc.opt)
+			c.Infer(u, o) // warm up pools at this shape
+			allocs := testing.AllocsPerRun(100, func() {
+				c.Infer(u, o)
+			})
+			if allocs != 0 {
+				t.Errorf("Column.Infer allocates %v per call, want 0", allocs)
+			}
+			tc.opt.Pool.Close()
+		})
+	}
+}
+
+func TestInferBatchAllocs(t *testing.T) {
+	skipUnderRace(t)
+	rng := rand.New(rand.NewSource(43))
+	mem := randomMemory(t, rng, 4096, 64)
+	const nq = 8
+	u := tensor.GaussianMatrix(rng, nq, 64, 1)
+	o := tensor.NewMatrix(nq, 64)
+
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"plain", Options{ChunkSize: 512}},
+		{"skip", Options{ChunkSize: 512, SkipThreshold: 0.01}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewColumn(mem, tc.opt)
+			c.InferBatch(u, o) // warm up pools at this shape
+			allocs := testing.AllocsPerRun(100, func() {
+				c.InferBatch(u, o)
+			})
+			if allocs != 0 {
+				t.Errorf("Column.InferBatch allocates %v per call, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestInferBatchIntoAllocs pins the caller-owned-scratch variant, which
+// must be allocation-free even on its first call after the scratch has
+// seen the shape once.
+func TestInferBatchIntoAllocs(t *testing.T) {
+	skipUnderRace(t)
+	rng := rand.New(rand.NewSource(44))
+	mem := randomMemory(t, rng, 2048, 32)
+	const nq = 5 // not a multiple of the Dot4 block
+	u := tensor.GaussianMatrix(rng, nq, 32, 1)
+	o := tensor.NewMatrix(nq, 32)
+	c := NewColumn(mem, Options{ChunkSize: 256})
+	var s BatchScratch
+	c.InferBatchInto(u, o, &s)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.InferBatchInto(u, o, &s)
+	})
+	if allocs != 0 {
+		t.Errorf("Column.InferBatchInto allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestInferSpawnsNoGoroutines checks the steady state also spawns
+// nothing: worker parallelism rides the persistent pool.
+func TestInferSpawnsNoGoroutines(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	mem := randomMemory(t, rng, 4096, 32)
+	u := tensor.RandomVector(rng, 32, 1)
+	o := tensor.NewVector(32)
+	p := tensor.NewPool(4)
+	defer p.Close()
+	c := NewColumn(mem, Options{ChunkSize: 512, Pool: p})
+	c.Infer(u, o) // spawns the persistent workers
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		c.Infer(u, o)
+	}
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Errorf("goroutine count grew from %d to %d across steady-state queries", before, after)
+	}
+}

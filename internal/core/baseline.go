@@ -1,13 +1,13 @@
 package core
 
 import (
-	"math"
-
 	"mnnfast/internal/memtrace"
 	"mnnfast/internal/tensor"
 )
 
-func expf(x float32) float32 { return float32(math.Exp(float64(x))) }
+// expf is the engines' scalar exponential — the float32 fast-exp
+// (see tensor.Expf for the documented error bound).
+func expf(x float32) float32 { return tensor.Expf(x) }
 
 // Baseline is the layer-by-layer MemNN inference of the paper's
 // Figure 5(a): it materializes the full ns-length intermediate vectors

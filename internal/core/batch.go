@@ -36,17 +36,30 @@ func (b *Baseline) InferBatch(u, o *tensor.Matrix) Stats {
 // memories stream from DRAM exactly once per batch instead of once per
 // question. Partials are per-question; the lazy-softmax division runs
 // once per question at the end.
+//
+// Scratch comes from a process-wide pool, so steady-state calls at a
+// fixed batch shape allocate nothing; callers running a serving loop
+// can instead own a BatchScratch and use InferBatchInto.
 func (c *Column) InferBatch(u, o *tensor.Matrix) Stats {
+	s := batchScratchPool.Get().(*BatchScratch)
+	st := c.InferBatchInto(u, o, s)
+	batchScratchPool.Put(s)
+	return st
+}
+
+// InferBatchInto is InferBatch with caller-provided scratch. The
+// scratch is reshaped (grow-only) to fit this call and may be reused
+// across calls of any shape; it must not be shared between concurrent
+// calls.
+func (c *Column) InferBatchInto(u, o *tensor.Matrix, s *BatchScratch) Stats {
 	checkBatchShapes(c.mem, u, o)
 	nq := u.Rows
 	ed := c.mem.Dim()
-	parts := make([]*Partial, nq)
-	for q := range parts {
-		parts[q] = NewPartial(ed)
-	}
-	st := c.InferBatchPartial(u, parts, 0, c.mem.NS())
+	ns := c.mem.NS()
+	s.ensure(nq, ed, min(c.opt.chunkSize(), ns))
+	st := c.inferBatchPartial(u, s.parts, 0, ns, &s.logits)
 	for q := 0; q < nq; q++ {
-		st.Divisions += parts[q].Finalize(o.Row(q))
+		st.Divisions += s.parts[q].Finalize(o.Row(q))
 		memtrace.Touch(c.opt.Tracer, memtrace.RegionOutput, memtrace.OpWrite, int64(q*ed*4), ed*4)
 	}
 	st.Inferences = int64(nq)
@@ -54,15 +67,32 @@ func (c *Column) InferBatch(u, o *tensor.Matrix) Stats {
 }
 
 // InferBatchPartial runs the chunk loop for all questions over rows
-// [lo, hi), merging into parts (one partial per question).
+// [lo, hi), merging into parts (one partial per question). The chunk
+// logits block comes from the tensor arena, so the call is
+// allocation-free at steady state.
 func (c *Column) InferBatchPartial(u *tensor.Matrix, parts []*Partial, lo, hi int) Stats {
+	if hi <= lo {
+		return Stats{}
+	}
+	m := tensor.GetMatrix(min(c.opt.chunkSize(), hi-lo), u.Rows)
+	st := c.inferBatchPartial(u, parts, lo, hi, m)
+	tensor.PutMatrix(m)
+	return st
+}
+
+// inferBatchPartial is the batched chunk loop over a caller-provided
+// chunk×nq logits block. All per-question inner loops walk contiguous
+// row slices of the block (never element-wise At/Set accessor calls),
+// and the chunk inner products are 4-question register-blocked.
+func (c *Column) inferBatchPartial(u *tensor.Matrix, parts []*Partial, lo, hi int, logits *tensor.Matrix) Stats {
 	mem, tr := c.mem, c.opt.Tracer
 	cs := c.opt.chunkSize()
 	ed := mem.Dim()
 	rowBytes := ed * 4
 	nq := u.Rows
 	th := c.opt.SkipThreshold
-	logits := tensor.NewMatrix(min(cs, hi-lo), nq) // chunk×nq, cache-resident
+	cmaxp := tensor.GetVector(nq) // per-question chunk maxima
+	cmax := *cmaxp
 
 	var st Stats
 	for cLo := lo; cLo < hi; cLo += cs {
@@ -71,58 +101,74 @@ func (c *Column) InferBatchPartial(u *tensor.Matrix, parts []*Partial, lo, hi in
 		if c.opt.Streaming {
 			c.prefetchChunk(cLo, cHi)
 		}
-		// Inner products for the whole batch against this chunk: the
-		// chunk's rows are read once and reused by every question.
+		// Inner products for the whole batch against this chunk: each
+		// chunk row is read once and dotted with four questions per
+		// pass, writing one contiguous logits row.
 		for i := cLo; i < cHi; i++ {
-			memtrace.Touch(tr, memtrace.RegionMemIn, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
 			row := mem.In.Row(i)
-			for q := 0; q < nq; q++ {
-				logits.Set(i-cLo, q, tensor.Dot(u.Row(q), row))
+			lr := logits.Row(i - cLo)[:nq]
+			q := 0
+			for ; q+4 <= nq; q += 4 {
+				lr[q], lr[q+1], lr[q+2], lr[q+3] =
+					tensor.Dot4(row, u.Row(q), u.Row(q+1), u.Row(q+2), u.Row(q+3))
+			}
+			for ; q < nq; q++ {
+				lr[q] = tensor.Dot(row, u.Row(q))
+			}
+		}
+		if tr != nil {
+			for i := cLo; i < cHi; i++ {
+				memtrace.Touch(tr, memtrace.RegionMemIn, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
 			}
 		}
 		st.InnerProductMuls += int64(n) * int64(nq) * int64(ed)
 
-		// Per-question running-max maintenance over the chunk.
-		for q := 0; q < nq; q++ {
-			p := parts[q]
-			chunkMax := logits.At(0, q)
-			for i := 1; i < n; i++ {
-				if x := logits.At(i, q); x > chunkMax {
-					chunkMax = x
+		// Per-question running-max maintenance over the chunk, folded
+		// column-wise from the row slices.
+		copy(cmax, logits.Row(0)[:nq])
+		for i := 1; i < n; i++ {
+			lr := logits.Row(i)[:nq]
+			for q, x := range lr {
+				if x > cmax[q] {
+					cmax[q] = x
 				}
 			}
-			if chunkMax > p.Max {
+		}
+		for q := 0; q < nq; q++ {
+			p := parts[q]
+			if cmax[q] > p.Max {
 				if p.Max != negInf && p.Sum != 0 {
-					scale := expf(p.Max - chunkMax)
+					scale := expf(p.Max - cmax[q])
 					p.Sum *= scale
 					p.O.Scale(scale)
 				}
-				p.Max = chunkMax
+				p.Max = cmax[q]
 			}
 		}
 
 		// Exponentials for the whole chunk × batch, accumulated into
 		// each question's P_sum before any skip decision (same sound,
-		// convergent rule as the single-question engine).
-		for i := cLo; i < cHi; i++ {
-			for q := 0; q < nq; q++ {
-				p := parts[q]
-				e := expf(logits.At(i-cLo, q) - p.Max)
-				logits.Set(i-cLo, q, e) // reuse the slot for the exponential
-				st.Exps++
-				p.Sum += e
-				st.TotalRows++
+		// convergent rule as the single-question engine). The logit
+		// slots are reused for the exponentials.
+		for i := 0; i < n; i++ {
+			lr := logits.Row(i)[:nq]
+			for q, x := range lr {
+				e := tensor.Expf(x - parts[q].Max)
+				lr[q] = e
+				parts[q].Sum += e
 			}
 		}
+		st.Exps += int64(n) * int64(nq)
+		st.TotalRows += int64(n) * int64(nq)
 
 		// Weighted sum with zero-skipping: each M_OUT row is read once
 		// and accumulated into every question that does not skip it.
 		for i := cLo; i < cHi; i++ {
 			outRow := mem.Out.Row(i)
+			lr := logits.Row(i - cLo)[:nq]
 			touched := false
-			for q := 0; q < nq; q++ {
+			for q, e := range lr {
 				p := parts[q]
-				e := logits.At(i-cLo, q)
 				if th > 0 && e < th*p.Sum {
 					st.SkippedRows++
 					continue
@@ -136,6 +182,7 @@ func (c *Column) InferBatchPartial(u *tensor.Matrix, parts []*Partial, lo, hi in
 			}
 		}
 	}
+	tensor.PutVector(cmaxp)
 	return st
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"mnnfast/internal/memtrace"
@@ -20,6 +19,14 @@ import (
 // folded into the partials (an online stabilized softmax). The shift
 // cancels in the final division, so results equal the baseline's
 // stabilized softmax while single-pass streaming is preserved.
+//
+// Runtime note: the steady-state query path is allocation- and
+// spawn-free. Per-query partials and per-worker chunk scratch come from
+// process-wide sync.Pools (scratch.go), worker parallelism rides the
+// persistent tensor.Pool workers, and the dense loops use the blocked
+// Dot4/Axpy4 kernels and the float32 fast-exp. The one exception is
+// Streaming mode, whose prefetcher is inherently a pipeline and spawns
+// one goroutine per worker band per query.
 type Column struct {
 	mem *Memory
 	opt Options
@@ -49,9 +56,10 @@ func (c *Column) Name() string {
 
 // Infer implements Engine.
 func (c *Column) Infer(u, o tensor.Vector) Stats {
-	part := NewPartial(c.mem.Dim())
+	part := GetPartial(c.mem.Dim())
 	st := c.InferPartial(u, part, 0, c.mem.NS())
 	st.Divisions += part.Finalize(o)
+	PutPartial(part)
 	st.Inferences = 1
 	if tr := c.opt.Tracer; tr != nil {
 		memtrace.Touch(tr, memtrace.RegionOutput, memtrace.OpWrite, 0, c.mem.Dim()*4)
@@ -64,6 +72,10 @@ func (c *Column) Infer(u, o tensor.Vector) Stats {
 // shards across workers or nodes can merge their partials before one
 // Finalize — the paper's scale-out dataflow, where only O(ed) partial
 // results synchronize (§3.1).
+//
+// Worker bands run on the persistent pool workers with pooled
+// per-worker scratch: at steady state the call allocates nothing and
+// spawns nothing.
 func (c *Column) InferPartial(u tensor.Vector, part *Partial, lo, hi int) Stats {
 	n := hi - lo
 	if n <= 0 {
@@ -73,46 +85,18 @@ func (c *Column) InferPartial(u tensor.Vector, part *Partial, lo, hi int) Stats 
 	if w > n {
 		w = n
 	}
+	s := getInferScratch(c, u, lo, w)
 	if w == 1 {
-		var st Stats
-		wp := newWorkerPartial(c.mem.Dim(), c.opt.chunkSize())
-		c.processBand(u, lo, hi, 0, wp, &st)
-		part.Merge(&wp.Partial)
-		return st
+		c.processBand(u, lo, hi, 0, s.wps[0], &s.stats[0])
+	} else {
+		c.opt.Pool.ParallelForWorker(n, 1, s.fn)
 	}
-
-	// Contiguous row bands, one per worker; each worker chunks its own
-	// band and owns private scratch and partials.
-	var wg sync.WaitGroup
-	parts := make([]*workerPartial, w)
-	stats := make([]Stats, w)
-	band := (n + w - 1) / w
-	for b := 0; b < w; b++ {
-		bLo := lo + b*band
-		bHi := bLo + band
-		if bHi > hi {
-			bHi = hi
-		}
-		if bLo >= bHi {
-			break
-		}
-		wg.Add(1)
-		go func(b, bLo, bHi int) {
-			defer wg.Done()
-			wp := newWorkerPartial(c.mem.Dim(), c.opt.chunkSize())
-			c.processBand(u, bLo, bHi, b, wp, &stats[b])
-			parts[b] = wp
-		}(b, bLo, bHi)
-	}
-	wg.Wait()
 	var st Stats
-	for b := 0; b < w; b++ {
-		if parts[b] == nil {
-			continue
-		}
-		part.Merge(&parts[b].Partial)
-		st.Add(stats[b])
+	for b := range s.wps {
+		part.Merge(&s.wps[b].Partial)
+		st.Add(s.stats[b])
 	}
+	putInferScratch(s)
 	return st
 }
 
@@ -208,34 +192,44 @@ func (c *Column) prefetchChunk(lo, hi int) {
 }
 
 // processChunk computes inner products, exponentials, and the partial
-// weighted sum for rows [lo, hi), folding them into wp.
+// weighted sum for rows [lo, hi), folding them into wp. The dense loops
+// are 4-row register-blocked (Dot4/Axpy4) and the exponentials use the
+// vectorized fast-exp; tracer bookkeeping is hoisted behind nil checks
+// so the untraced serving path pays nothing for it.
 func (c *Column) processChunk(u tensor.Vector, lo, hi, worker int, wp *workerPartial, st *Stats) {
 	mem, tr := c.mem, c.opt.Tracer
 	ed := mem.Dim()
 	rowBytes := ed * 4
 	n := hi - lo
 	t := wp.logits[:n]
-	// Scratch offsets are per worker so the trace reflects genuine
-	// reuse of a small buffer rather than an ns-sized spill.
-	scratchBase := int64(worker) * int64(c.opt.chunkSize()) * 4
 
-	// Step 1+2 of Fig 5(b): chunk inner products.
-	for i := lo; i < hi; i++ {
-		memtrace.Touch(tr, memtrace.RegionQuestion, memtrace.OpRead, 0, rowBytes)
-		memtrace.Touch(tr, memtrace.RegionMemIn, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
-		t[i-lo] = tensor.Dot(u, mem.In.Row(i))
-		memtrace.Touch(tr, memtrace.RegionTempIn, memtrace.OpWrite, scratchBase+int64(i-lo)*4, 4)
+	// Step 1+2 of Fig 5(b): chunk inner products, four memory rows per
+	// pass so each question element is loaded once per four rows.
+	in := mem.In
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		t[i-lo], t[i-lo+1], t[i-lo+2], t[i-lo+3] =
+			tensor.Dot4(u, in.Row(i), in.Row(i+1), in.Row(i+2), in.Row(i+3))
+	}
+	for ; i < hi; i++ {
+		t[i-lo] = tensor.Dot(u, in.Row(i))
+	}
+	if tr != nil {
+		// Scratch offsets are per worker so the trace reflects genuine
+		// reuse of a small buffer rather than an ns-sized spill.
+		scratchBase := int64(worker) * int64(c.opt.chunkSize()) * 4
+		for i := lo; i < hi; i++ {
+			memtrace.Touch(tr, memtrace.RegionQuestion, memtrace.OpRead, 0, rowBytes)
+			memtrace.Touch(tr, memtrace.RegionMemIn, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
+			memtrace.Touch(tr, memtrace.RegionTempIn, memtrace.OpWrite, scratchBase+int64(i-lo)*4, 4)
+			memtrace.Touch(tr, memtrace.RegionTempIn, memtrace.OpRead, scratchBase+int64(i-lo)*4, 4)
+		}
 	}
 	st.InnerProductMuls += int64(n) * int64(ed)
 
 	// Maintain the running maximum shift; rescale prior accumulation
 	// if this chunk raises it.
-	chunkMax := t[0]
-	for _, x := range t[1:] {
-		if x > chunkMax {
-			chunkMax = x
-		}
-	}
+	chunkMax := t.Max()
 	if chunkMax > wp.Max {
 		if wp.Max != negInf && wp.Sum != 0 {
 			scale := expf(wp.Max - chunkMax)
@@ -247,15 +241,11 @@ func (c *Column) processChunk(u tensor.Vector, lo, hi, worker int, wp *workerPar
 
 	// Step 3 of Fig 5(b): partial softmax, accumulating the whole
 	// chunk's exponentials into P_sum (the chunk scratch is
-	// cache-resident, so this extra pass is free of DRAM traffic).
-	for i := lo; i < hi; i++ {
-		memtrace.Touch(tr, memtrace.RegionTempIn, memtrace.OpRead, scratchBase+int64(i-lo)*4, 4)
-		e := expf(t[i-lo] - wp.Max)
-		t[i-lo] = e // reuse the logit slot for the exponential
-		st.Exps++
-		wp.Sum += e
-		st.TotalRows++
-	}
+	// cache-resident, so this extra pass is free of DRAM traffic). The
+	// logit slots are reused for the exponentials.
+	wp.Sum += tensor.ExpInto(t, t, wp.Max)
+	st.Exps += int64(n)
+	st.TotalRows += int64(n)
 
 	// Weighted sum with zero-skipping (§3.2, Algorithm 1): a row is
 	// bypassed when its exponential is below th × the running sum.
@@ -264,14 +254,38 @@ func (c *Column) processChunk(u tensor.Vector, lo, hi, worker int, wp *workerPar
 	// be skipped by the exact p_i < th rule — sound, conservative, and
 	// convergent to the exact rule as ns grows.
 	th := c.opt.SkipThreshold
-	for i := lo; i < hi; i++ {
-		e := t[i-lo]
-		if th > 0 && e < th*wp.Sum {
-			st.SkippedRows++
-			continue
+	out := mem.Out
+	if th > 0 {
+		cut := th * wp.Sum
+		for i := lo; i < hi; i++ {
+			e := t[i-lo]
+			if e < cut {
+				st.SkippedRows++
+				continue
+			}
+			if tr != nil {
+				memtrace.Touch(tr, memtrace.RegionMemOut, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
+			}
+			tensor.Axpy(e, out.Row(i), wp.O)
+			st.WeightedSumMuls += int64(ed)
 		}
-		memtrace.Touch(tr, memtrace.RegionMemOut, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
-		tensor.Axpy(e, mem.Out.Row(i), wp.O)
-		st.WeightedSumMuls += int64(ed)
+		return
 	}
+	// No skipping: consume four output rows per pass so each element of
+	// the accumulator is loaded and stored once per four rows.
+	i = lo
+	for ; i+4 <= hi; i += 4 {
+		k := i - lo
+		tensor.Axpy4(t[k], t[k+1], t[k+2], t[k+3],
+			out.Row(i), out.Row(i+1), out.Row(i+2), out.Row(i+3), wp.O)
+	}
+	for ; i < hi; i++ {
+		tensor.Axpy(t[i-lo], out.Row(i), wp.O)
+	}
+	if tr != nil {
+		for i := lo; i < hi; i++ {
+			memtrace.Touch(tr, memtrace.RegionMemOut, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
+		}
+	}
+	st.WeightedSumMuls += int64(n) * int64(ed)
 }

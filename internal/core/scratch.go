@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync"
+
+	"mnnfast/internal/tensor"
+)
+
+// Steady-state scratch for the serving hot path.
+//
+// A production MnnFast node answers queries indefinitely against a
+// fixed memory; the per-query state (the mergeable Partial, each
+// worker's chunk logits and partial accumulators) has the same shape
+// query after query. Everything here is therefore drawn from
+// process-wide sync.Pools with grow-only buffers: after the first
+// query at a given shape, Column.Infer and Column.InferBatch perform
+// zero allocations (asserted by TestInferAllocs / TestInferBatchAllocs)
+// and spawn no goroutines beyond the pool's persistent workers.
+
+var partialPool = sync.Pool{New: func() any { return new(Partial) }}
+
+// GetPartial returns an empty partial of dimension ed drawn from a
+// process-wide pool — the allocation-free twin of NewPartial for the
+// shard/cluster merge path. Release it with PutPartial.
+func GetPartial(ed int) *Partial {
+	p := partialPool.Get().(*Partial)
+	p.reset(ed)
+	return p
+}
+
+// PutPartial returns a partial to the pool. The partial must not be
+// used afterwards.
+func PutPartial(p *Partial) { partialPool.Put(p) }
+
+// reset re-initializes p as an empty partial of dimension ed, reusing
+// the O buffer when it is large enough.
+func (p *Partial) reset(ed int) {
+	p.Max, p.Sum = negInf, 0
+	if cap(p.O) < ed {
+		p.O = tensor.NewVector(ed)
+		return
+	}
+	p.O = p.O[:ed]
+	p.O.Zero()
+}
+
+// inferScratch is the reusable state of one Column.InferPartial call:
+// per-worker partials and chunk scratch, per-worker stats, and a
+// dispatch closure built once per scratch object so the steady-state
+// dispatch allocates nothing (a fresh closure per call would escape to
+// the heap on every query).
+type inferScratch struct {
+	col   *Column
+	u     tensor.Vector
+	base  int // absolute row offset of the dispatched [0, n) range
+	wps   []*workerPartial
+	stats []Stats
+	fn    func(worker, lo, hi int)
+}
+
+var inferScratchPool = sync.Pool{New: func() any {
+	s := new(inferScratch)
+	s.fn = func(worker, lo, hi int) {
+		s.col.processBand(s.u, s.base+lo, s.base+hi, worker, s.wps[worker], &s.stats[worker])
+	}
+	return s
+}}
+
+// getInferScratch prepares scratch for one InferPartial call over w
+// workers against c's memory shape.
+func getInferScratch(c *Column, u tensor.Vector, base, w int) *inferScratch {
+	s := inferScratchPool.Get().(*inferScratch)
+	s.col, s.u, s.base = c, u, base
+	ed, chunk := c.mem.Dim(), c.opt.chunkSize()
+	if cap(s.wps) < w {
+		wps := make([]*workerPartial, w)
+		copy(wps, s.wps[:cap(s.wps)])
+		s.wps = wps
+		s.stats = make([]Stats, w)
+	}
+	s.wps = s.wps[:w]
+	s.stats = s.stats[:w]
+	for i, wp := range s.wps {
+		if wp == nil {
+			s.wps[i] = newWorkerPartial(ed, chunk)
+			continue
+		}
+		wp.reset(ed)
+		if cap(wp.logits) < chunk {
+			wp.logits = tensor.NewVector(chunk)
+		}
+		wp.logits = wp.logits[:chunk]
+	}
+	for i := range s.stats {
+		s.stats[i] = Stats{}
+	}
+	return s
+}
+
+// putInferScratch releases s, dropping references to caller data so the
+// pool does not pin question vectors between queries.
+func putInferScratch(s *inferScratch) {
+	s.col, s.u = nil, nil
+	inferScratchPool.Put(s)
+}
+
+// BatchScratch holds the reusable state of a batched inference: one
+// Partial per question plus the chunk×nq logits block. Callers that
+// answer batches in a loop can own one BatchScratch and pass it to
+// InferBatchInto to make the steady state allocation-free;
+// Column.InferBatch draws one from a process-wide pool, which
+// amortizes to the same thing.
+type BatchScratch struct {
+	parts  []*Partial
+	logits tensor.Matrix
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(BatchScratch) }}
+
+// ensure shapes the scratch for nq questions of dimension ed with
+// chunk-row logits, reusing existing buffers wherever they fit.
+func (s *BatchScratch) ensure(nq, ed, rows int) {
+	if cap(s.parts) < nq {
+		parts := make([]*Partial, nq)
+		copy(parts, s.parts[:cap(s.parts)])
+		s.parts = parts
+	}
+	s.parts = s.parts[:nq]
+	for q, p := range s.parts {
+		if p == nil {
+			s.parts[q] = NewPartial(ed)
+			continue
+		}
+		p.reset(ed)
+	}
+	n := rows * nq
+	if cap(s.logits.Data) < n {
+		s.logits.Data = make([]float32, n)
+	}
+	s.logits.Data = s.logits.Data[:n]
+	s.logits.Rows, s.logits.Cols = rows, nq
+}

@@ -57,7 +57,7 @@ func (s *Sharded) Infer(u, o tensor.Vector) Stats {
 	parts := make([]*Partial, len(s.engines))
 	stats := make([]Stats, len(s.engines))
 	run := func(i int) {
-		parts[i] = NewPartial(ed)
+		parts[i] = GetPartial(ed)
 		stats[i] = s.engines[i].InferPartial(u, parts[i], s.bounds[i], s.bounds[i+1])
 	}
 	if s.par {
@@ -75,13 +75,15 @@ func (s *Sharded) Infer(u, o tensor.Vector) Stats {
 			run(i)
 		}
 	}
-	total := NewPartial(ed)
+	total := GetPartial(ed)
 	var st Stats
 	for i := range parts {
 		total.Merge(parts[i])
+		PutPartial(parts[i])
 		st.Add(stats[i])
 	}
 	st.Divisions += total.Finalize(o)
+	PutPartial(total)
 	st.Inferences = 1
 	return st
 }
@@ -106,7 +108,7 @@ func (s *Sharded) InferBatch(u, o *tensor.Matrix) Stats {
 	run := func(i int) {
 		parts := make([]*Partial, nq)
 		for q := range parts {
-			parts[q] = NewPartial(ed)
+			parts[q] = GetPartial(ed)
 		}
 		stats[i] = s.engines[i].InferBatchPartial(u, parts, s.bounds[i], s.bounds[i+1])
 		shardParts[i] = parts
@@ -131,13 +133,16 @@ func (s *Sharded) InferBatch(u, o *tensor.Matrix) Stats {
 	for i := range s.engines {
 		st.Add(stats[i])
 	}
+	total := GetPartial(ed)
 	for q := 0; q < nq; q++ {
-		total := NewPartial(ed)
+		total.reset(ed)
 		for i := range s.engines {
 			total.Merge(shardParts[i][q])
+			PutPartial(shardParts[i][q])
 		}
 		st.Divisions += total.Finalize(o.Row(q))
 	}
+	PutPartial(total)
 	st.Inferences = int64(nq)
 	return st
 }

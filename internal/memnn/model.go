@@ -217,6 +217,37 @@ func (m *Model) temporalRow(table *tensor.Matrix, i, ns int) tensor.Vector {
 // implementation which accumulates every exp into P_sum but skips only
 // the weighted-sum work.
 func (m *Model) Apply(ex Example, skipThreshold float32) *Forward {
+	return m.ApplyInto(ex, skipThreshold, new(Forward))
+}
+
+// growVec returns a length-n vector reusing v's storage when possible.
+func growVec(v tensor.Vector, n int) tensor.Vector {
+	if cap(v) < n {
+		return tensor.NewVector(n)
+	}
+	return v[:n]
+}
+
+// growMat reshapes mat to rows×cols, reusing its storage when possible.
+func growMat(mat *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if mat == nil {
+		return tensor.NewMatrix(rows, cols)
+	}
+	n := rows * cols
+	if cap(mat.Data) < n {
+		mat.Data = make([]float32, n)
+	}
+	mat.Data = mat.Data[:n]
+	mat.Rows, mat.Cols = rows, cols
+	return mat
+}
+
+// ApplyInto is Apply with a caller-provided Forward whose buffers are
+// reshaped (grow-only) and reused. A serving loop that owns one Forward
+// per goroutine runs the whole forward pass without allocating once the
+// buffers reach steady-state size. f must not be shared between
+// concurrent calls.
+func (m *Model) ApplyInto(ex Example, skipThreshold float32, f *Forward) *Forward {
 	ns := len(ex.Sentences)
 	if ns == 0 {
 		panic("memnn: Apply on example with no story sentences")
@@ -224,64 +255,70 @@ func (m *Model) Apply(ex Example, skipThreshold float32) *Forward {
 	if ns > m.Cfg.MaxSent {
 		panic(fmt.Sprintf("memnn: story of %d sentences exceeds MaxSent %d", ns, m.Cfg.MaxSent))
 	}
-	f := &Forward{
-		NS:     ns,
-		U:      make([]tensor.Vector, m.Cfg.Hops+1),
-		MemIn:  make([]*tensor.Matrix, m.Cfg.Hops),
-		MemOut: make([]*tensor.Matrix, m.Cfg.Hops),
-		P:      make([]tensor.Vector, m.Cfg.Hops),
-		O:      make([]tensor.Vector, m.Cfg.Hops),
+	hops, d := m.Cfg.Hops, m.Cfg.Dim
+	f.NS = ns
+	if cap(f.U) < hops+1 {
+		f.U = make([]tensor.Vector, hops+1)
 	}
-	d := m.Cfg.Dim
+	f.U = f.U[:hops+1]
+	if cap(f.MemIn) < hops {
+		f.MemIn = make([]*tensor.Matrix, hops)
+		f.MemOut = make([]*tensor.Matrix, hops)
+		f.P = make([]tensor.Vector, hops)
+		f.O = make([]tensor.Vector, hops)
+	}
+	f.MemIn, f.MemOut = f.MemIn[:hops], f.MemOut[:hops]
+	f.P, f.O = f.P[:hops], f.O[:hops]
 
 	// Question embedding.
-	f.U[0] = tensor.NewVector(d)
+	f.U[0] = growVec(f.U[0], d)
 	m.encodeInto(m.B, ex.Question, nil, f.U[0])
 
-	for k := 0; k < m.Cfg.Hops; k++ {
-		in := tensor.NewMatrix(ns, d)
-		out := tensor.NewMatrix(ns, d)
+	for k := 0; k < hops; k++ {
+		in := growMat(f.MemIn[k], ns, d)
+		out := growMat(f.MemOut[k], ns, d)
+		f.MemIn[k], f.MemOut[k] = in, out
 		ti := m.timeIdx(k)
 		for i := 0; i < ns; i++ {
 			m.encodeInto(m.embIn(k), ex.Sentences[i], m.temporalRow(m.TimeIn[ti], i, ns), in.Row(i))
 			m.encodeInto(m.embOut(k), ex.Sentences[i], m.temporalRow(m.TimeOut[ti], i, ns), out.Row(i))
 		}
-		f.MemIn[k], f.MemOut[k] = in, out
 
 		// Input memory representation: p = softmax(u · M_INᵀ), or the
 		// raw inner products during linear-start training.
-		p := tensor.NewVector(ns)
+		p := growVec(f.P[k], ns)
+		f.P[k] = p
 		tensor.MatVec(nil, in, f.U[k], p)
 		if !m.LinearAttention {
 			tensor.Softmax(p)
 		}
-		f.P[k] = p
 
 		// Output memory representation: o = Σ pᵢ m_iᴼᵁᵀ, optionally
 		// skipping near-zero attention rows.
-		o := tensor.NewVector(d)
+		o := growVec(f.O[k], d)
+		f.O[k] = o
+		o.Zero()
 		for i := 0; i < ns; i++ {
 			if skipThreshold > 0 && p[i] < skipThreshold {
 				continue
 			}
 			tensor.Axpy(p[i], out.Row(i), o)
 		}
-		f.O[k] = o
 
 		// Output calculation input: u' = u + o (adjacent) or
 		// u' = H·u + o (layer-wise).
-		u := tensor.NewVector(d)
+		u := growVec(f.U[k+1], d)
+		f.U[k+1] = u
 		if m.Cfg.Tying == TyingLayerwise {
 			tensor.MatVec(nil, m.H, f.U[k], u)
 		} else {
 			copy(u, f.U[k])
 		}
 		u.AddInPlace(o)
-		f.U[k+1] = u
 	}
 
-	f.Logits = tensor.NewVector(m.Cfg.Answers)
-	tensor.MatVec(nil, m.W, f.U[m.Cfg.Hops], f.Logits)
+	f.Logits = growVec(f.Logits, m.Cfg.Answers)
+	tensor.MatVec(nil, m.W, f.U[hops], f.Logits)
 	return f
 }
 
@@ -294,6 +331,12 @@ func (m *Model) Predict(ex Example) int {
 // at the given threshold.
 func (m *Model) PredictSkip(ex Example, threshold float32) int {
 	return m.Apply(ex, threshold).Logits.ArgMax()
+}
+
+// PredictSkipInto is PredictSkip with a caller-provided Forward reused
+// across calls — the allocation-free serving path (see ApplyInto).
+func (m *Model) PredictSkipInto(ex Example, threshold float32, f *Forward) int {
+	return m.ApplyInto(ex, threshold, f).Logits.ArgMax()
 }
 
 // NumParams returns the total trainable parameter count.

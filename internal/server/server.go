@@ -37,6 +37,11 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*babi.Story
+
+	// forwards recycles forward-pass buffers across answer requests:
+	// the inference core of a steady-state request allocates nothing
+	// (see memnn.ApplyInto); concurrent requests each draw their own.
+	forwards sync.Pool
 }
 
 // New builds a Server around a trained model and its corpus metadata.
@@ -174,12 +179,24 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	idx := s.model.PredictSkip(ex, s.SkipThreshold)
+	idx := s.predict(ex)
 	writeJSON(w, http.StatusOK, AnswerResponse{
 		Answer:    s.corpus.AnswerWord(idx),
 		Index:     idx,
 		Sentences: len(snapshot.Sentences),
 	})
+}
+
+// predict runs the model over one vectorized example with pooled
+// forward-pass buffers.
+func (s *Server) predict(ex memnn.Example) int {
+	f, _ := s.forwards.Get().(*memnn.Forward)
+	if f == nil {
+		f = new(memnn.Forward)
+	}
+	idx := s.model.PredictSkipInto(ex, s.SkipThreshold, f)
+	s.forwards.Put(f)
+	return idx
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

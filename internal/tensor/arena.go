@@ -1,0 +1,57 @@
+package tensor
+
+import "sync"
+
+// Scratch arenas: process-wide recycled buffers for kernel temporaries.
+//
+// The hot serving path must not allocate per call, but several kernels
+// need short-lived working storage whose size is only known at call
+// time (VecMat's per-worker accumulators, the batch engine's chunk×nq
+// logits). These helpers hand out grow-only buffers from sync.Pools:
+// at steady state — same shapes query after query — every Get is
+// satisfied from the pool and the path performs zero allocations.
+//
+// The pools hold pointers (not slice values) so that returning a buffer
+// does not box a slice header on every Put.
+
+var vecArena = sync.Pool{New: func() any { return new(Vector) }}
+
+// GetVector returns a zeroed length-n vector drawn from the arena. The
+// returned handle must be released with PutVector; the Vector it points
+// to is only valid until then.
+func GetVector(n int) *Vector {
+	vp := vecArena.Get().(*Vector)
+	if cap(*vp) < n {
+		*vp = make(Vector, n)
+	} else {
+		*vp = (*vp)[:n]
+		vp.Zero()
+	}
+	return vp
+}
+
+// PutVector returns a vector handle to the arena.
+func PutVector(vp *Vector) { vecArena.Put(vp) }
+
+var matArena = sync.Pool{New: func() any { return new(Matrix) }}
+
+// GetMatrix returns a zeroed rows×cols matrix drawn from the arena. The
+// returned matrix must be released with PutMatrix and is only valid
+// until then.
+func GetMatrix(rows, cols int) *Matrix {
+	m := matArena.Get().(*Matrix)
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	} else {
+		m.Data = m.Data[:n]
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// PutMatrix returns a matrix to the arena.
+func PutMatrix(m *Matrix) { matArena.Put(m) }

@@ -1,0 +1,114 @@
+package tensor
+
+import "math"
+
+// Fast float32 exponential.
+//
+// The serving hot path evaluates one exponential per story sentence per
+// query (the partial-softmax step of the column-based algorithm), and
+// math.Exp costs a float32→float64→float32 round-trip plus a float64
+// polynomial sized for 53-bit precision that a float32 pipeline cannot
+// use. Expf computes exp(x) entirely in float32 with the classic
+// range-reduction + degree-5 minimax polynomial (the Cephes expf
+// scheme): x = n·ln2 + r with |r| ≤ ln2/2, exp(r) from the polynomial,
+// and the 2ⁿ scale applied by direct exponent-field construction.
+//
+// Measured accuracy (asserted by TestExpfErrorBound): the maximum
+// relative error against float64 math.Exp over [-87.3, 88.7] is
+// 8.31e-8, below one ulp of float32 (the test asserts the slightly
+// looser 1.2e-7 to stay robust across compilers and FMA contraction).
+// That is at the rounding floor of float32 — the stabilized-softmax
+// tolerances used throughout this repository (1e-4) are three orders
+// of magnitude looser.
+
+const (
+	expLog2e = 1.4426950408889634 // 1/ln2
+	// ln2 split into a high part exactly representable in float32 and a
+	// low correction, so r = x - n·ln2 keeps full float32 precision.
+	expC1 float32 = 0.693359375
+	expC2 float32 = -2.12194440e-4
+
+	// Degree-5 minimax coefficients for exp(r) on [-ln2/2, ln2/2].
+	expP0 float32 = 1.9875691500e-4
+	expP1 float32 = 1.3981999507e-3
+	expP2 float32 = 8.3334519073e-3
+	expP3 float32 = 4.1665795894e-2
+	expP4 float32 = 1.6666665459e-1
+	expP5 float32 = 5.0000001201e-1
+
+	// Input clamps: below expLo the true result underflows float32 to 0;
+	// above expHi it overflows to +Inf.
+	expLo float32 = -87.33654
+	expHi float32 = 88.72283
+
+	// Adding then subtracting 1.5·2²³ rounds a float32 in (−2²², 2²²) to
+	// the nearest integer in round-to-nearest hardware arithmetic.
+	expRound float32 = 12582912.0
+)
+
+// Expf returns exp(x) computed in float32. NaN propagates; inputs
+// beyond the representable range saturate to 0 or +Inf exactly like
+// float32(math.Exp(float64(x))).
+func Expf(x float32) float32 {
+	switch {
+	case x != x: // NaN
+		return x
+	case x > expHi:
+		return float32(math.Inf(1))
+	case x < expLo:
+		return 0
+	}
+	// n = round(x/ln2); r = x - n·ln2 via the split constant.
+	t := x*float32(expLog2e) + expRound
+	n := t - expRound
+	r := x - n*expC1
+	r -= n * expC2
+	// exp(r) by Horner evaluation.
+	p := expP0
+	p = p*r + expP1
+	p = p*r + expP2
+	p = p*r + expP3
+	p = p*r + expP4
+	p = p*r + expP5
+	p = p*r*r + r + 1
+	// Scale by 2ⁿ in two steps: after the input clamp n is integral in
+	// [-126, 128], and 128 (reachable just below the overflow threshold,
+	// where x/ln2 rounds up) does not fit a single biased exponent
+	// field. Splitting n keeps both factors representable.
+	ni := int32(n)
+	half := ni / 2
+	return p * expScale(half) * expScale(ni-half)
+}
+
+// expScale returns 2ⁿ for integral n in [-126, 127].
+func expScale(n int32) float32 {
+	return math.Float32frombits(uint32(n+127) << 23)
+}
+
+// expInto4 is the vectorized body shared by ExpInto and Softmax: it
+// writes exp(src_i - shift) into dst four lanes at a time and returns
+// the sum of the written values, accumulated in float64 per lane to
+// limit rounding drift on long vectors. Lengths must already match.
+func expInto4(dst, src Vector, shift float32) float32 {
+	var s0, s1, s2, s3 float64
+	n := len(src)
+	dst = dst[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		e0 := Expf(src[i] - shift)
+		e1 := Expf(src[i+1] - shift)
+		e2 := Expf(src[i+2] - shift)
+		e3 := Expf(src[i+3] - shift)
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = e0, e1, e2, e3
+		s0 += float64(e0)
+		s1 += float64(e1)
+		s2 += float64(e2)
+		s3 += float64(e3)
+	}
+	for ; i < n; i++ {
+		e := Expf(src[i] - shift)
+		dst[i] = e
+		s0 += float64(e)
+	}
+	return float32((s0 + s1) + (s2 + s3))
+}

@@ -11,6 +11,16 @@ func MatVec(p *Pool, a *Matrix, x, y Vector) {
 	if a.Cols != len(x) || a.Rows != len(y) {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch A=%dx%d x=%d y=%d", a.Rows, a.Cols, len(x), len(y)))
 	}
+	if p.Workers() == 1 || a.Rows < 2*64 {
+		// Serial path without the closure literal: the parallel branch
+		// stores its closure in pooled dispatch state, which forces a
+		// heap allocation at the call site — constructing it only when
+		// actually parallelizing keeps serial callers allocation-free.
+		for i := 0; i < a.Rows; i++ {
+			y[i] = Dot(a.Row(i), x)
+		}
+		return
+	}
 	p.ParallelFor(a.Rows, 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			y[i] = Dot(a.Row(i), x)
@@ -26,35 +36,25 @@ func VecMat(p *Pool, x Vector, a *Matrix, y Vector) {
 		panic(fmt.Sprintf("tensor: VecMat shape mismatch x=%d A=%dx%d y=%d", len(x), a.Rows, a.Cols, len(y)))
 	}
 	if w := p.Workers(); w > 1 && a.Rows >= 2*w {
-		// Parallelize over row bands with private accumulators, then
-		// reduce. Rows are the long axis (ns), columns are short (ed),
-		// so the reduction is cheap — exactly the scale-out argument of
-		// the paper's column-based algorithm (§3.1).
-		var wg sync.WaitGroup
-		partials := make([]Vector, w)
-		band := (a.Rows + w - 1) / w
-		for b := 0; b < w; b++ {
-			lo, hi := b*band, min((b+1)*band, a.Rows)
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(b, lo, hi int) {
-				defer wg.Done()
-				acc := NewVector(a.Cols)
-				for i := lo; i < hi; i++ {
-					Axpy(x[i], a.Row(i), acc)
-				}
-				partials[b] = acc
-			}(b, lo, hi)
-		}
-		wg.Wait()
+		// Parallelize over row bands with private arena accumulators,
+		// reduced into y under a short lock. Rows are the long axis
+		// (ns), columns are short (ed), so the reduction is cheap —
+		// exactly the scale-out argument of the paper's column-based
+		// algorithm (§3.1). The accumulators come from the vector arena:
+		// no per-worker allocation at steady state.
 		y.Zero()
-		for _, part := range partials {
-			if part != nil {
-				y.AddInPlace(part)
+		var mu sync.Mutex
+		p.ParallelFor(a.Rows, 64, func(lo, hi int) {
+			accp := GetVector(a.Cols)
+			acc := *accp
+			for i := lo; i < hi; i++ {
+				Axpy(x[i], a.Row(i), acc)
 			}
-		}
+			mu.Lock()
+			y.AddInPlace(acc)
+			mu.Unlock()
+			PutVector(accp)
+		})
 		return
 	}
 	y.Zero()

@@ -1,0 +1,195 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests pinning the unrolled/blocked kernels against their
+// scalar reference twins (kernels_scalar.go), and the fast-exp against
+// float64 math.Exp. Tolerances reflect reassociation only: the unrolled
+// kernels perform the same multiplies in a different summation order.
+
+func TestQuickDotMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw) // includes 0 and non-multiples of 4
+		r := rand.New(rand.NewSource(seed))
+		a := RandomVector(r, n, 1)
+		b := RandomVector(r, n, 1)
+		got := Dot(a, b)
+		want := DotScalar(a, b)
+		return absf(got-want) <= 1e-3*(1+absf(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDot4MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)
+		r := rand.New(rand.NewSource(seed))
+		u := RandomVector(r, n, 1)
+		rows := [4]Vector{}
+		for i := range rows {
+			rows[i] = RandomVector(r, n, 1)
+		}
+		d0, d1, d2, d3 := Dot4(u, rows[0], rows[1], rows[2], rows[3])
+		for i, got := range []float32{d0, d1, d2, d3} {
+			want := DotScalar(u, rows[i])
+			if absf(got-want) > 1e-3*(1+absf(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAxpyMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	f := func(seed int64, nRaw uint8, a float32) bool {
+		if a != a || a > 100 || a < -100 {
+			return true
+		}
+		n := int(nRaw)
+		r := rand.New(rand.NewSource(seed))
+		x := RandomVector(r, n, 1)
+		y := RandomVector(r, n, 1)
+		yRef := y.Clone()
+		Axpy(a, x, y)
+		AxpyScalar(a, x, yRef)
+		return MaxAbsDiff(y, yRef) <= 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAxpy4MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)
+		r := rand.New(rand.NewSource(seed))
+		var as [4]float32
+		var xs [4]Vector
+		for i := range xs {
+			as[i] = r.Float32()*4 - 2
+			xs[i] = RandomVector(r, n, 1)
+		}
+		y := RandomVector(r, n, 1)
+		yRef := y.Clone()
+		Axpy4(as[0], as[1], as[2], as[3], xs[0], xs[1], xs[2], xs[3], y)
+		for i := range xs {
+			AxpyScalar(as[i], xs[i], yRef)
+		}
+		return MaxAbsDiff(y, yRef) <= 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickScaleAndAddMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	f := func(seed int64, nRaw uint8, a float32) bool {
+		if a != a || a > 100 || a < -100 {
+			return true
+		}
+		n := int(nRaw)
+		r := rand.New(rand.NewSource(seed))
+		v := RandomVector(r, n, 1)
+		w := RandomVector(r, n, 1)
+		vRef, wRef := v.Clone(), w.Clone()
+
+		v.Scale(a)
+		ScaleScalar(vRef, a)
+		if MaxAbsDiff(v, vRef) > 0 { // same multiplies, same order: exact
+			return false
+		}
+		v.AddInPlace(w)
+		AddScalar(vRef, wRef)
+		return MaxAbsDiff(v, vRef) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExpfErrorBound asserts the documented accuracy of the fast-exp:
+// max relative error vs float64 math.Exp below 1.2e-7 over the full
+// representable range (measured 8.31e-8; see exp.go).
+func TestExpfErrorBound(t *testing.T) {
+	const bound = 1.2e-7
+	var worst float64
+	var at float32
+	check := func(x float32) {
+		want := math.Exp(float64(x))
+		got := float64(Expf(x))
+		if want == 0 || math.IsInf(want, 1) {
+			return
+		}
+		rel := math.Abs(got-want) / want
+		if rel > worst {
+			worst, at = rel, x
+		}
+	}
+	// Dense sweep plus randomized fill-in.
+	for x := float32(-87.3); x < 88.7; x += 0.001 {
+		check(x)
+	}
+	rng := rand.New(rand.NewSource(85))
+	for i := 0; i < 200000; i++ {
+		check(rng.Float32()*176 - 87.3)
+	}
+	if worst > bound {
+		t.Errorf("Expf max relative error %.3e at x=%v, want <= %.1e", worst, at, bound)
+	}
+	t.Logf("Expf max relative error %.3e at x=%v", worst, at)
+}
+
+func TestExpfEdgeCases(t *testing.T) {
+	if got := Expf(0); got != 1 {
+		t.Errorf("Expf(0) = %v, want 1", got)
+	}
+	if got := Expf(-100); got != 0 {
+		t.Errorf("Expf(-100) = %v, want 0 (underflow)", got)
+	}
+	if got := Expf(200); !math.IsInf(float64(got), 1) {
+		t.Errorf("Expf(200) = %v, want +Inf", got)
+	}
+	if got := Expf(float32(math.NaN())); got == got {
+		t.Errorf("Expf(NaN) = %v, want NaN", got)
+	}
+	// Just below the overflow threshold the result is finite and huge —
+	// the two-step 2ⁿ scaling must not overflow early.
+	if got := Expf(88.4); math.IsInf(float64(got), 1) || got < 1e38 {
+		t.Errorf("Expf(88.4) = %v, want finite ~2.2e38", got)
+	}
+}
+
+func TestQuickExpIntoMatchesScalar(t *testing.T) {
+	f := func(raw []float32, shift float32) bool {
+		if shift != shift || shift > 50 || shift < -50 {
+			return true
+		}
+		src := clean(raw)
+		dst := NewVector(len(src))
+		dstRef := NewVector(len(src))
+		sum := ExpInto(dst, src, shift)
+		sumRef := ExpIntoScalar(dstRef, src, shift)
+		if MaxAbsDiff(dst, dstRef) > 1e-4*(1+absf(sumRef)) {
+			return false
+		}
+		return absf(sum-sumRef) <= 1e-4*(1+absf(sumRef))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a fixed-width parallel executor used by the blocked kernels
@@ -11,22 +12,67 @@ import (
 // "run serially", which keeps single-threaded baselines free of any
 // goroutine overhead.
 //
-// The pool does not own long-lived goroutines; it bounds the fan-out of
-// each ParallelFor call instead. That keeps the package trivially
-// leak-free (nothing to Close) while still letting callers pin an exact
-// worker count, which the scalability experiments need when they model
-// "N threads".
+// The pool owns long-lived worker goroutines fed over a channel — the
+// software analogue of the paper's pinned OpenBLAS threads (§4.1.1):
+// compute units stay alive across queries and receive work descriptors,
+// so the steady-state serving path never pays goroutine spawn or
+// scheduler ramp-up per request. Workers start lazily on the first
+// parallel dispatch (a pool that only ever runs serially spawns
+// nothing) and live until Close.
+//
+// Dispatch is allocation-free at steady state: work spans travel as
+// plain structs over a buffered channel, per-dispatch bookkeeping is
+// drawn from a process-wide sync.Pool, and the caller participates as
+// worker 0 rather than idling. Concurrent and nested ParallelFor calls
+// are safe: a full dispatch queue degrades to inline execution in the
+// caller, and a waiting dispatcher helps drain queued spans before
+// parking, so the pool cannot deadlock on its own queue.
 type Pool struct {
 	workers int
+	tasks   chan task
+	start   sync.Once
+	closed  atomic.Bool
 }
 
-// NewPool returns a pool that runs at most workers goroutines per call.
-// workers <= 0 selects GOMAXPROCS.
+// task is one contiguous span of a dispatch. It is sent by value: no
+// allocation per span.
+type task struct {
+	d      *dispatch
+	worker int
+	lo, hi int
+}
+
+// dispatch is the shared bookkeeping of one ParallelFor call. Exactly
+// one of fn/fnw is set. Instances are reused through dispatchPool, so a
+// steady-state dispatch allocates nothing.
+type dispatch struct {
+	fn  func(lo, hi int)
+	fnw func(worker, lo, hi int)
+	wg  sync.WaitGroup
+}
+
+var dispatchPool = sync.Pool{New: func() any { return new(dispatch) }}
+
+func (t task) run() {
+	if t.d.fnw != nil {
+		t.d.fnw(t.worker, t.lo, t.hi)
+	} else {
+		t.d.fn(t.lo, t.hi)
+	}
+	t.d.wg.Done()
+}
+
+// NewPool returns a pool that runs on at most workers goroutines
+// (including the dispatching caller). workers <= 0 selects GOMAXPROCS.
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.tasks = make(chan task, 4*workers)
+	}
+	return p
 }
 
 // Workers reports the parallel width of the pool. A nil pool reports 1.
@@ -37,6 +83,33 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// Close stops the pool's worker goroutines. The pool must not be
+// dispatching when Close is called, and must not dispatch afterwards.
+// Closing a nil, serial, or never-dispatched pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil || p.tasks == nil {
+		return
+	}
+	if p.closed.CompareAndSwap(false, true) {
+		// Start (idempotently) before closing so workers observe the
+		// close rather than leaking a half-initialized channel.
+		p.start.Do(p.spawn)
+		close(p.tasks)
+	}
+}
+
+// spawn launches the persistent workers. The caller of every dispatch
+// acts as worker 0, so workers-1 goroutines give full width.
+func (p *Pool) spawn() {
+	for i := 1; i < p.workers; i++ {
+		go func() {
+			for t := range p.tasks {
+				t.run()
+			}
+		}()
+	}
+}
+
 // ParallelFor splits [0, n) into contiguous spans of at least grain
 // elements and invokes fn(lo, hi) for each span, using up to
 // p.Workers() goroutines. fn must be safe to call concurrently on
@@ -45,33 +118,82 @@ func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if grain < 1 {
-		grain = 1
-	}
-	w := p.Workers()
-	if w == 1 || n <= grain {
+	if p.Workers() == 1 || n <= max(grain, 1) {
 		fn(0, n)
 		return
 	}
-	// Choose a span size that gives every worker something to do but
-	// never goes below the requested grain.
-	span := (n + w - 1) / w
+	p.dispatch(n, grain, fn, nil)
+}
+
+// ParallelForWorker is ParallelFor with worker-indexed spans: fn
+// receives a worker index in [0, Workers()) that is unique among the
+// concurrently running spans of this dispatch. Callers use it to give
+// each span private scratch (per-worker partials, chunk logits) without
+// any locking. The dispatching goroutine itself runs a span as worker
+// 0, so index 0 is always used.
+func (p *Pool) ParallelForWorker(n, grain int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.Workers() == 1 || n <= max(grain, 1) {
+		fn(0, 0, n)
+		return
+	}
+	p.dispatch(n, grain, nil, fn)
+}
+
+// dispatch fans spans out to the persistent workers and runs span 0 in
+// the caller. Exactly one of fn/fnw is non-nil.
+func (p *Pool) dispatch(n, grain int, fn func(lo, hi int), fnw func(worker, lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	// Span size: give every worker something to do, never below grain.
+	span := (n + p.workers - 1) / p.workers
 	if span < grain {
 		span = grain
 	}
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += span {
-		hi := lo + span
-		if hi > n {
-			hi = n
+	p.start.Do(p.spawn)
+
+	d := dispatchPool.Get().(*dispatch)
+	d.fn, d.fnw = fn, fnw
+
+	// Enqueue spans 1.. for the workers; span 0 stays with the caller.
+	// A full queue means every worker is busy — run the span inline
+	// instead of blocking, which also makes nested dispatch deadlock-free.
+	worker := 1
+	for lo := span; lo < n; lo += span {
+		hi := min(lo+span, n)
+		t := task{d: d, worker: worker, lo: lo, hi: hi}
+		d.wg.Add(1)
+		select {
+		case p.tasks <- t:
+		default:
+			t.run()
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		worker++
 	}
-	wg.Wait()
+	if fnw != nil {
+		fnw(0, 0, min(span, n))
+	} else {
+		fn(0, min(span, n))
+	}
+
+	// Help drain queued spans (ours or another dispatch's) before
+	// parking: keeps nested and concurrent dispatches live and puts the
+	// waiting goroutine to work.
+	for {
+		select {
+		case t := <-p.tasks:
+			t.run()
+			continue
+		default:
+		}
+		break
+	}
+	d.wg.Wait()
+	d.fn, d.fnw = nil, nil
+	dispatchPool.Put(d)
 }
 
 // Map runs fn(i) for every i in [0, n) with bounded parallelism. It is
@@ -87,4 +209,11 @@ func (p *Pool) Map(n int, fn func(i int)) {
 // String describes the pool for logs and experiment headers.
 func (p *Pool) String() string {
 	return fmt.Sprintf("tensor.Pool(workers=%d)", p.Workers())
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -4,23 +4,16 @@ import "math"
 
 // Softmax overwrites v with softmax(v) computed with the usual
 // max-subtraction stabilization: softmax(x)_i = exp(x_i - max) / Σ.
-// It returns the normalizing sum Σ exp(x_i - max).
+// It returns the normalizing sum Σ exp(x_i - max). The exponentials use
+// the vectorized float32 fast-exp (see exp.go for the error bound);
+// ExpIntoScalar is the math.Exp reference twin.
 func Softmax(v Vector) float32 {
 	if len(v) == 0 {
 		return 0
 	}
-	m := v.Max()
-	var sum float64
-	for i, x := range v {
-		e := float32(math.Exp(float64(x - m)))
-		v[i] = e
-		sum += float64(e)
-	}
-	inv := float32(1 / sum)
-	for i := range v {
-		v[i] *= inv
-	}
-	return float32(sum)
+	sum := expInto4(v, v, v.Max())
+	v.Scale(1 / sum)
+	return sum
 }
 
 // ExpInto writes exp(src_i - shift) into dst and returns the sum of the
@@ -35,17 +28,13 @@ func ExpInto(dst, src Vector, shift float32) float32 {
 	if len(dst) != len(src) {
 		panic("tensor: ExpInto length mismatch")
 	}
-	var sum float64
-	for i, x := range src {
-		e := float32(math.Exp(float64(x - shift)))
-		dst[i] = e
-		sum += float64(e)
-	}
-	return float32(sum)
+	return expInto4(dst, src, shift)
 }
 
 // LogSumExp returns log Σ exp(v_i), computed stably. The training code
-// uses it for the cross-entropy loss.
+// uses it for the cross-entropy loss, so it stays on float64 math.Exp:
+// loss curves are compared across runs at tolerances tighter than the
+// fast-exp bound, and this path is not latency-critical.
 func LogSumExp(v Vector) float32 {
 	if len(v) == 0 {
 		return float32(math.Inf(-1))

@@ -78,19 +78,39 @@ func (v Vector) ArgMax() int {
 	return best
 }
 
-// Scale multiplies every element of v by a.
+// Scale multiplies every element of v by a. The loop is 4-way unrolled;
+// ScaleScalar is the reference twin.
 func (v Vector) Scale(a float32) {
-	for i := range v {
+	n := len(v)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		v[i] *= a
+		v[i+1] *= a
+		v[i+2] *= a
+		v[i+3] *= a
+	}
+	for ; i < n; i++ {
 		v[i] *= a
 	}
 }
 
-// AddInPlace adds w into v element-wise. The lengths must match.
+// AddInPlace adds w into v element-wise. The lengths must match. The
+// loop is 4-way unrolled with the bounds check hoisted; AddScalar is the
+// reference twin.
 func (v Vector) AddInPlace(w Vector) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("tensor: AddInPlace length mismatch %d != %d", len(v), len(w)))
 	}
-	for i := range v {
+	n := len(v)
+	w = w[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		v[i] += w[i]
+		v[i+1] += w[i+1]
+		v[i+2] += w[i+2]
+		v[i+3] += w[i+3]
+	}
+	for ; i < n; i++ {
 		v[i] += w[i]
 	}
 }
@@ -105,15 +125,17 @@ func (v Vector) Norm2() float32 {
 }
 
 // Dot returns the inner product of a and b. The lengths must match.
+// Four-way unrolled accumulation with the bounds check hoisted:
+// measurably faster without SIMD and slightly more accurate than a
+// single serial accumulator. DotScalar is the reference twin.
 func Dot(a, b Vector) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(a), len(b)))
 	}
 	var s float32
-	// Four-way unrolled accumulation: measurably faster without SIMD and
-	// slightly more accurate than a single serial accumulator.
 	var s0, s1, s2, s3 float32
 	n := len(a)
+	b = b[:n]
 	i := 0
 	for ; i+4 <= n; i += 4 {
 		s0 += a[i] * b[i]
@@ -127,7 +149,32 @@ func Dot(a, b Vector) float32 {
 	return s + s0 + s1 + s2 + s3
 }
 
-// Axpy computes y += a*x element-wise. The lengths must match.
+// Dot4 computes four inner products of u against r0..r3 in one pass.
+// Register blocking over rows: each element of u is loaded once and
+// multiplied into four accumulators, cutting the load count per
+// multiply-add nearly in half versus four Dot calls. The chunk engines
+// use it for the inner-product step, where consecutive memory rows
+// share the question vector.
+func Dot4(u, r0, r1, r2, r3 Vector) (d0, d1, d2, d3 float32) {
+	n := len(u)
+	if len(r0) != n || len(r1) != n || len(r2) != n || len(r3) != n {
+		panic("tensor: Dot4 length mismatch")
+	}
+	r0, r1, r2, r3 = r0[:n], r1[:n], r2[:n], r3[:n]
+	var s0, s1, s2, s3 float32
+	for i := 0; i < n; i++ {
+		x := u[i]
+		s0 += x * r0[i]
+		s1 += x * r1[i]
+		s2 += x * r2[i]
+		s3 += x * r3[i]
+	}
+	return s0, s1, s2, s3
+}
+
+// Axpy computes y += a*x element-wise. The lengths must match. The loop
+// is 4-way unrolled with the bounds check hoisted; AxpyScalar is the
+// reference twin.
 func Axpy(a float32, x, y Vector) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d != %d", len(x), len(y)))
@@ -135,8 +182,33 @@ func Axpy(a float32, x, y Vector) {
 	if a == 0 {
 		return
 	}
-	for i := range x {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
 		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// Axpy4 computes y += a0·x0 + a1·x1 + a2·x2 + a3·x3 in one pass.
+// Register blocking over sources: each element of y is loaded and
+// stored once per four multiply-adds instead of once per one, which is
+// the dominant saving in the weighted-sum step o += Σ eᵢ·m_iᴼᵁᵀ when
+// zero-skipping is off and rows are consumed in order.
+func Axpy4(a0, a1, a2, a3 float32, x0, x1, x2, x3, y Vector) {
+	n := len(y)
+	if len(x0) != n || len(x1) != n || len(x2) != n || len(x3) != n {
+		panic("tensor: Axpy4 length mismatch")
+	}
+	x0, x1, x2, x3 = x0[:n], x1[:n], x2[:n], x3[:n]
+	for i := 0; i < n; i++ {
+		y[i] += a0*x0[i] + a1*x1[i] + a2*x2[i] + a3*x3[i]
 	}
 }
 
