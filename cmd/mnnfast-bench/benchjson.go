@@ -6,23 +6,33 @@ import (
 	"math/rand"
 	"os"
 	"testing"
+	"time"
 
 	"mnnfast/internal/core"
+	"mnnfast/internal/obs"
 	"mnnfast/internal/tensor"
 )
 
 // BenchEntry is one engine measurement in the machine-readable
 // benchmark file (BENCH_column.json): single-query inference latency
-// and allocation counts at a fixed memory shape. Entries accumulate
-// across runs so labelled before/after comparisons live side by side.
+// and allocation counts at a fixed memory shape, plus the stage-timing
+// snapshot — a latency histogram with percentiles and the per-stage
+// work counters (inner-product / exp / division / weighted-sum ops,
+// zero-skip ratio) that mirror the paper's per-operation breakdown.
+// Entries accumulate across runs so labelled before/after comparisons
+// live side by side.
 type BenchEntry struct {
-	Label       string  `json:"label"`
-	Engine      string  `json:"engine"`
-	NS          int     `json:"ns"`
-	ED          int     `json:"ed"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Label        string                `json:"label"`
+	Engine       string                `json:"engine"`
+	NS           int                   `json:"ns"`
+	ED           int                   `json:"ed"`
+	NsPerOp      float64               `json:"ns_per_op"`
+	BytesPerOp   int64                 `json:"bytes_per_op"`
+	AllocsPerOp  int64                 `json:"allocs_per_op"`
+	Latency      obs.HistogramSnapshot `json:"latency"`
+	Work         core.Stats            `json:"work"`
+	SkipFraction float64               `json:"skip_fraction"`
+	Pool         tensor.PoolStats      `json:"pool"`
 }
 
 // BenchFile is the top-level JSON document.
@@ -76,18 +86,37 @@ func runBenchJSON(path, label string, ns, ed, chunk int) error {
 				eng.Infer(u, o)
 			}
 		})
+
+		// Stage-timing snapshot: a second, histogram-observed pass that
+		// also accumulates the engine's per-operation work counters.
+		hist := obs.NewRegistry().Histogram("bench_infer_seconds", "")
+		var work core.Stats
+		const obsIters = 200
+		for i := 0; i < obsIters; i++ {
+			t0 := time.Now()
+			st := eng.Infer(u, o)
+			hist.Observe(time.Since(t0))
+			work.Add(st)
+		}
+
 		entry := BenchEntry{
-			Label:       label,
-			Engine:      eng.Name(),
-			NS:          ns,
-			ED:          ed,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
+			Label:        label,
+			Engine:       eng.Name(),
+			NS:           ns,
+			ED:           ed,
+			NsPerOp:      float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:   res.AllocedBytesPerOp(),
+			AllocsPerOp:  res.AllocsPerOp(),
+			Latency:      hist.Snapshot(),
+			Work:         work,
+			SkipFraction: work.SkipFraction(),
+			Pool:         tensor.ReadPoolStats(),
 		}
 		file.Entries = append(file.Entries, entry)
-		fmt.Printf("%-12s %-10s ns=%d ed=%d  %12.0f ns/op  %6d B/op  %4d allocs/op\n",
-			label, entry.Engine, ns, ed, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp)
+		fmt.Printf("%-12s %-10s ns=%d ed=%d  %12.0f ns/op  %6d B/op  %4d allocs/op  p50 %s p99 %s  skip %.1f%%\n",
+			label, entry.Engine, ns, ed, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp,
+			time.Duration(entry.Latency.P50NS), time.Duration(entry.Latency.P99NS),
+			entry.SkipFraction*100)
 	}
 
 	raw, err := json.MarshalIndent(&file, "", "  ")

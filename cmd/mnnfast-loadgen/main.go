@@ -18,26 +18,33 @@ import (
 
 func main() {
 	var (
-		url       = flag.String("url", "http://localhost:8080", "service base URL")
-		sessions  = flag.Int("sessions", 8, "concurrent sessions")
-		questions = flag.Int("questions", 20, "questions per session")
-		storyLen  = flag.Int("storylen", 8, "story sentences per session")
-		seed      = flag.Int64("seed", 1, "workload seed")
+		url         = flag.String("url", "http://localhost:8080", "service base URL")
+		sessions    = flag.Int("sessions", 8, "concurrent sessions")
+		questions   = flag.Int("questions", 20, "questions per session")
+		storyLen    = flag.Int("storylen", 8, "story sentences per session")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		serverStats = flag.Bool("server-stats", true, "scrape /v1/metrics before/after and print the server-side stage breakdown")
 	)
 	flag.Parse()
 
 	res, err := loadgen.Run(loadgen.Config{
-		BaseURL:   *url,
-		Sessions:  *sessions,
-		Questions: *questions,
-		StoryLen:  *storyLen,
-		Seed:      *seed,
+		BaseURL:       *url,
+		Sessions:      *sessions,
+		Questions:     *questions,
+		StoryLen:      *storyLen,
+		Seed:          *seed,
+		ServerMetrics: *serverStats,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnnfast-loadgen:", err)
 		os.Exit(1)
 	}
 	fmt.Println(res)
+	if report := res.ServerReport(); report != "" {
+		fmt.Println(report)
+	} else if *serverStats {
+		fmt.Println("(no server-side metrics: /v1/metrics unavailable)")
+	}
 	if res.Errors > 0 {
 		os.Exit(1)
 	}

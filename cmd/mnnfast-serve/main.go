@@ -9,8 +9,12 @@
 //	curl -XPOST localhost:8080/v1/story \
 //	     -d '{"sentences":["john went to the kitchen"]}'
 //	curl -XPOST localhost:8080/v1/answer -d '{"question":"where is john?"}'
+//	curl localhost:8080/v1/metrics          # Prometheus text exposition
+//	curl localhost:8080/v1/statz            # JSON snapshot with percentiles
 //
-// Without -model, a small single-fact model is trained at startup.
+// -pprof exposes net/http/pprof under /debug/pprof/ and -access-log
+// emits one structured line per request. Without -model, a small
+// single-fact model is trained at startup.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"mnnfast/internal/babi"
@@ -28,9 +33,11 @@ import (
 
 func main() {
 	var (
-		modelPath = flag.String("model", "", "model file from mnnfast-train (default: train one now)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		skip      = flag.Float64("skip", 0, "zero-skipping threshold for inference (0 = exact)")
+		modelPath   = flag.String("model", "", "model file from mnnfast-train (default: train one now)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		skip        = flag.Float64("skip", 0, "zero-skipping threshold for inference (0 = exact)")
+		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		accessLog   = flag.Bool("access-log", false, "log one structured line per request to stderr")
 	)
 	flag.Parse()
 
@@ -43,10 +50,24 @@ func main() {
 		log.Fatal("mnnfast-serve: ", err)
 	}
 	srv.SkipThreshold = float32(*skip)
+	if *accessLog {
+		srv.AccessLog = log.New(os.Stderr, "", log.LstdFlags)
+	}
 
-	log.Printf("serving on %s (vocab %d, answers %d, hops %d)",
+	root := http.NewServeMux()
+	root.Handle("/", srv.Handler())
+	if *enablePprof {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+
+	log.Printf("serving on %s (vocab %d, answers %d, hops %d); metrics at /v1/metrics",
 		*addr, corpus.Vocab.Size(), len(corpus.Answers), model.Cfg.Hops)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	log.Fatal(http.ListenAndServe(*addr, root))
 }
 
 func obtainModel(path string) (*memnn.Model, *memnn.Corpus, error) {

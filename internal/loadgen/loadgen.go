@@ -11,8 +11,11 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"mnnfast/internal/obs"
 )
 
 // Config shapes a load run.
@@ -23,6 +26,11 @@ type Config struct {
 	StoryLen  int    // sentences loaded per session before asking
 	Seed      int64
 	Client    *http.Client // nil → http.DefaultClient
+	// ServerMetrics scrapes GET /v1/metrics before and after the run and
+	// attaches the diff, so the report shows the server-side per-stage
+	// breakdown next to the client-side percentiles. A server without
+	// the endpoint degrades gracefully (ServerDiff stays nil).
+	ServerMetrics bool
 }
 
 func (c *Config) normalize() error {
@@ -50,6 +58,9 @@ type Result struct {
 	Errors    int
 	Elapsed   time.Duration
 	Latencies []time.Duration // sorted ascending
+	// ServerDiff is the server's /v1/metrics delta over the run (nil
+	// when scraping was disabled or unavailable).
+	ServerDiff obs.Scrape
 }
 
 // Throughput returns successful requests per second.
@@ -82,6 +93,69 @@ func (r *Result) String() string {
 		r.Percentile(50), r.Percentile(95), r.Percentile(99))
 }
 
+// stageFamily is the server's per-stage histogram family (see
+// internal/server metrics).
+const stageFamily = "mnnfast_stage_duration_seconds"
+
+// ServerReport renders the server-side stage breakdown from the
+// scraped metrics diff: per-stage time share (the paper's embedding vs.
+// inference accounting, measured over this run), zero-skip ratio, and
+// embedding-cache effectiveness. Empty when no diff was captured.
+func (r *Result) ServerReport() string {
+	d := r.ServerDiff
+	if d == nil {
+		return ""
+	}
+	stages := []string{"vectorize", "embed", "attention", "output"}
+	var totalSec float64
+	for _, st := range stages {
+		totalSec += d.Value(obs.HistKey(stageFamily, "sum", `stage="`+st+`"`))
+	}
+	var b strings.Builder
+	b.WriteString("server stages (Δ over run):\n")
+	for _, st := range stages {
+		count := d.Value(obs.HistKey(stageFamily, "count", `stage="`+st+`"`))
+		sum := d.Value(obs.HistKey(stageFamily, "sum", `stage="`+st+`"`))
+		avgUS, share := 0.0, 0.0
+		if count > 0 {
+			avgUS = sum / count * 1e6
+		}
+		if totalSec > 0 {
+			share = sum / totalSec * 100
+		}
+		fmt.Fprintf(&b, "  %-10s n=%-7.0f total %9.3fms  avg %8.1fµs  %5.1f%%\n",
+			st, count, sum*1e3, avgUS, share)
+	}
+	skipped := d.Value("mnnfast_skipped_rows_total")
+	total := d.Value("mnnfast_total_rows_total")
+	skipPct := 0.0
+	if total > 0 {
+		skipPct = skipped / total * 100
+	}
+	hits := d.Value("mnnfast_embedding_cache_hits_total")
+	misses := d.Value("mnnfast_embedding_cache_misses_total")
+	hitPct := 0.0
+	if hits+misses > 0 {
+		hitPct = hits / (hits + misses) * 100
+	}
+	fmt.Fprintf(&b, "zero-skip: %.0f/%.0f rows skipped (%.1f%%); embedding cache: %.0f hits / %.0f misses (%.1f%% hit)",
+		skipped, total, skipPct, hits, misses, hitPct)
+	return b.String()
+}
+
+// scrapeMetrics fetches and parses the server's Prometheus exposition.
+func scrapeMetrics(cfg Config) (obs.Scrape, error) {
+	resp, err := cfg.Client.Get(cfg.BaseURL + "/v1/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /v1/metrics: status %d", resp.StatusCode)
+	}
+	return obs.ParseText(resp.Body)
+}
+
 // storyPool provides in-vocabulary sentences and questions for the
 // default mnnfast-serve model.
 var (
@@ -99,6 +173,11 @@ func Run(cfg Config) (*Result, error) {
 		err bool
 	}
 	samples := make(chan sample, cfg.Sessions*cfg.Questions)
+
+	var before obs.Scrape
+	if cfg.ServerMetrics {
+		before, _ = scrapeMetrics(cfg) // nil on older servers; diff skipped below
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -148,6 +227,11 @@ func Run(cfg Config) (*Result, error) {
 		res.Latencies = append(res.Latencies, s.d)
 	}
 	sort.Slice(res.Latencies, func(i, j int) bool { return res.Latencies[i] < res.Latencies[j] })
+	if before != nil {
+		if after, err := scrapeMetrics(cfg); err == nil {
+			res.ServerDiff = after.Sub(before)
+		}
+	}
 	return res, nil
 }
 

@@ -2,7 +2,9 @@ package loadgen
 
 import (
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -67,6 +69,57 @@ func TestRunAgainstLiveService(t *testing.T) {
 	}
 	if res.String() == "" {
 		t.Error("empty summary")
+	}
+}
+
+// TestServerMetricsDiff runs with metrics scraping on and checks the
+// server-side stage breakdown reflects exactly this run's traffic.
+func TestServerMetricsDiff(t *testing.T) {
+	ts := testService(t)
+	res, err := Run(Config{
+		BaseURL:       ts.URL,
+		Sessions:      3,
+		Questions:     4,
+		StoryLen:      5,
+		Seed:          2,
+		Client:        ts.Client(),
+		ServerMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerDiff == nil {
+		t.Fatal("ServerDiff not captured")
+	}
+	if got := res.ServerDiff.Value(`mnnfast_http_requests_total{handler="answer"}`); got != 12 {
+		t.Errorf("answer requests diff = %v, want 12", got)
+	}
+	// 3 sessions each embed once, then hit the cache for the rest.
+	if misses := res.ServerDiff.Value("mnnfast_embedding_cache_misses_total"); misses != 3 {
+		t.Errorf("cache misses diff = %v, want 3", misses)
+	}
+	if hits := res.ServerDiff.Value("mnnfast_embedding_cache_hits_total"); hits != 9 {
+		t.Errorf("cache hits diff = %v, want 9", hits)
+	}
+	report := res.ServerReport()
+	for _, want := range []string{"attention", "embed", "vectorize", "output", "zero-skip", "embedding cache"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestServerMetricsUnavailable degrades gracefully against a server
+// without /v1/metrics.
+func TestServerMetricsUnavailable(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	t.Cleanup(ts.Close)
+	res := &Result{}
+	if res.ServerReport() != "" {
+		t.Error("nil diff should render empty report")
+	}
+	if _, err := scrapeMetrics(Config{BaseURL: ts.URL, Client: ts.Client()}); err == nil {
+		t.Error("scrape of 404 endpoint succeeded")
 	}
 }
 

@@ -1,0 +1,136 @@
+package memnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"mnnfast/internal/babi"
+)
+
+func instrumentCorpus(t *testing.T) (*Model, *Corpus) {
+	t.Helper()
+	opt := babi.GenOptions{Stories: 60, StoryLen: 6, People: 4, Locations: 4}
+	d := babi.Generate(babi.TaskSingleFact, opt, rand.New(rand.NewSource(11)))
+	train, test := d.Split(0.8)
+	c := BuildCorpus(train, test, 0)
+	m, err := NewModel(Config{
+		Dim: 18, Hops: 2,
+		Vocab:   c.Vocab.Size(),
+		Answers: len(c.Answers),
+		MaxSent: c.MaxSent,
+	}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, c
+}
+
+// TestApplyInstrumentedMatchesApply checks that the instrumented and
+// embedded-story-cached paths are bit-identical to the plain forward
+// pass across examples and skip thresholds.
+func TestApplyInstrumentedMatchesApply(t *testing.T) {
+	m, c := instrumentCorpus(t)
+	var es EmbeddedStory
+	var ins Instrumentation
+	for _, th := range []float32{0, 0.05, 0.5} {
+		for i, ex := range c.Train[:12] {
+			want := m.Apply(ex, th)
+			m.EmbedStoryInto(ex, &es)
+			got := m.ApplyInstrumented(ex, th, new(Forward), &es, &ins)
+			if len(want.Logits) != len(got.Logits) {
+				t.Fatalf("logit lengths differ")
+			}
+			for j := range want.Logits {
+				if want.Logits[j] != got.Logits[j] {
+					t.Fatalf("th=%v ex=%d logit %d: cached %v != plain %v",
+						th, i, j, got.Logits[j], want.Logits[j])
+				}
+			}
+			if want.Logits.ArgMax() != m.PredictInstrumented(ex, th, new(Forward), &es, &ins) {
+				t.Fatalf("th=%v ex=%d: PredictInstrumented disagrees", th, i)
+			}
+		}
+	}
+}
+
+// TestInstrumentationCounters checks stage times and skip counters are
+// populated and consistent.
+func TestInstrumentationCounters(t *testing.T) {
+	m, c := instrumentCorpus(t)
+	ex := c.Train[0]
+	var ins Instrumentation
+	m.PredictInstrumented(ex, 0, new(Forward), nil, &ins)
+	if ins.EmbedNS <= 0 || ins.AttentionNS <= 0 || ins.OutputNS < 0 {
+		t.Errorf("stage times not populated: %+v", ins)
+	}
+	wantRows := int64(len(ex.Sentences) * m.Cfg.Hops)
+	if ins.TotalRows != wantRows || ins.SkippedRows != 0 {
+		t.Errorf("rows = %d skipped %d, want %d skipped 0", ins.TotalRows, ins.SkippedRows, wantRows)
+	}
+
+	// An absurd threshold skips every row.
+	ins.Reset()
+	if ins.TotalRows != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+	m.PredictInstrumented(ex, 2, new(Forward), nil, &ins)
+	if ins.SkippedRows != wantRows {
+		t.Errorf("threshold 2 skipped %d of %d rows, want all", ins.SkippedRows, ins.TotalRows)
+	}
+
+	// With a cached story, embed time covers only the question.
+	var es EmbeddedStory
+	m.EmbedStoryInto(ex, &es)
+	var cached, plain Instrumentation
+	m.PredictInstrumented(ex, 0, new(Forward), &es, &cached)
+	m.PredictInstrumented(ex, 0, new(Forward), nil, &plain)
+	if cached.TotalRows != plain.TotalRows {
+		t.Errorf("cached path row accounting differs: %d vs %d", cached.TotalRows, plain.TotalRows)
+	}
+}
+
+// TestEmbeddedStoryMismatchPanics guards against applying a stale cache
+// after the story length changed.
+func TestEmbeddedStoryMismatchPanics(t *testing.T) {
+	m, c := instrumentCorpus(t)
+	ex := c.Train[0]
+	var es EmbeddedStory
+	m.EmbedStoryInto(ex, &es)
+	short := ex
+	short.Sentences = ex.Sentences[:len(ex.Sentences)-1]
+	if len(short.Sentences) == 0 {
+		t.Skip("story too short for the mismatch case")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("stale EmbeddedStory accepted")
+		}
+	}()
+	m.ApplyInstrumented(short, 0, new(Forward), &es, nil)
+}
+
+// TestEmbedStoryIntoReuse checks grow-only buffer reuse across stories
+// of different lengths.
+func TestEmbedStoryIntoReuse(t *testing.T) {
+	m, c := instrumentCorpus(t)
+	var es EmbeddedStory
+	long, short := c.Train[0], c.Train[0]
+	if len(long.Sentences) < 2 {
+		t.Skip("need a story of >= 2 sentences")
+	}
+	short.Sentences = long.Sentences[:1]
+
+	m.EmbedStoryInto(long, &es)
+	m.EmbedStoryInto(short, &es)
+	if es.NS != 1 || es.MemIn[0].Rows != 1 {
+		t.Errorf("shrunk cache NS=%d rows=%d, want 1", es.NS, es.MemIn[0].Rows)
+	}
+	m.EmbedStoryInto(long, &es)
+	want := m.Apply(long, 0)
+	got := m.ApplyInstrumented(long, 0, new(Forward), &es, nil)
+	for j := range want.Logits {
+		if want.Logits[j] != got.Logits[j] {
+			t.Fatalf("after regrow, logit %d: %v != %v", j, got.Logits[j], want.Logits[j])
+		}
+	}
+}

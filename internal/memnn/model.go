@@ -3,6 +3,7 @@ package memnn
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"mnnfast/internal/tensor"
 )
@@ -248,12 +249,24 @@ func growMat(mat *tensor.Matrix, rows, cols int) *tensor.Matrix {
 // buffers reach steady-state size. f must not be shared between
 // concurrent calls.
 func (m *Model) ApplyInto(ex Example, skipThreshold float32, f *Forward) *Forward {
+	return m.applyInto(ex, skipThreshold, f, nil, nil)
+}
+
+// applyInto is the forward pass shared by ApplyInto and
+// ApplyInstrumented. es, when non-nil, supplies pre-embedded memories
+// for the story (skipping the per-hop encode); ins, when non-nil,
+// accumulates per-stage wall time and zero-skip counters. Both paths
+// stay allocation-free at steady state.
+func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *EmbeddedStory, ins *Instrumentation) *Forward {
 	ns := len(ex.Sentences)
 	if ns == 0 {
 		panic("memnn: Apply on example with no story sentences")
 	}
 	if ns > m.Cfg.MaxSent {
 		panic(fmt.Sprintf("memnn: story of %d sentences exceeds MaxSent %d", ns, m.Cfg.MaxSent))
+	}
+	if es != nil && es.NS != ns {
+		panic(fmt.Sprintf("memnn: EmbeddedStory built for %d sentences applied to story of %d", es.NS, ns))
 	}
 	hops, d := m.Cfg.Hops, m.Cfg.Dim
 	f.NS = ns
@@ -270,18 +283,34 @@ func (m *Model) ApplyInto(ex Example, skipThreshold float32, f *Forward) *Forwar
 	f.MemIn, f.MemOut = f.MemIn[:hops], f.MemOut[:hops]
 	f.P, f.O = f.P[:hops], f.O[:hops]
 
+	var mark time.Time
+	if ins != nil {
+		mark = time.Now()
+	}
+
 	// Question embedding.
 	f.U[0] = growVec(f.U[0], d)
 	m.encodeInto(m.B, ex.Question, nil, f.U[0])
+	if ins != nil {
+		lap(&mark, &ins.EmbedNS)
+	}
 
 	for k := 0; k < hops; k++ {
-		in := growMat(f.MemIn[k], ns, d)
-		out := growMat(f.MemOut[k], ns, d)
-		f.MemIn[k], f.MemOut[k] = in, out
-		ti := m.timeIdx(k)
-		for i := 0; i < ns; i++ {
-			m.encodeInto(m.embIn(k), ex.Sentences[i], m.temporalRow(m.TimeIn[ti], i, ns), in.Row(i))
-			m.encodeInto(m.embOut(k), ex.Sentences[i], m.temporalRow(m.TimeOut[ti], i, ns), out.Row(i))
+		var in, out *tensor.Matrix
+		if es != nil {
+			in, out = es.MemIn[k], es.MemOut[k]
+		} else {
+			in = growMat(f.MemIn[k], ns, d)
+			out = growMat(f.MemOut[k], ns, d)
+			f.MemIn[k], f.MemOut[k] = in, out
+			ti := m.timeIdx(k)
+			for i := 0; i < ns; i++ {
+				m.encodeInto(m.embIn(k), ex.Sentences[i], m.temporalRow(m.TimeIn[ti], i, ns), in.Row(i))
+				m.encodeInto(m.embOut(k), ex.Sentences[i], m.temporalRow(m.TimeOut[ti], i, ns), out.Row(i))
+			}
+			if ins != nil {
+				lap(&mark, &ins.EmbedNS)
+			}
 		}
 
 		// Input memory representation: p = softmax(u · M_INᵀ), or the
@@ -298,8 +327,10 @@ func (m *Model) ApplyInto(ex Example, skipThreshold float32, f *Forward) *Forwar
 		o := growVec(f.O[k], d)
 		f.O[k] = o
 		o.Zero()
+		skipped := 0
 		for i := 0; i < ns; i++ {
 			if skipThreshold > 0 && p[i] < skipThreshold {
+				skipped++
 				continue
 			}
 			tensor.Axpy(p[i], out.Row(i), o)
@@ -315,10 +346,18 @@ func (m *Model) ApplyInto(ex Example, skipThreshold float32, f *Forward) *Forwar
 			copy(u, f.U[k])
 		}
 		u.AddInPlace(o)
+		if ins != nil {
+			ins.SkippedRows += int64(skipped)
+			ins.TotalRows += int64(ns)
+			lap(&mark, &ins.AttentionNS)
+		}
 	}
 
 	f.Logits = growVec(f.Logits, m.Cfg.Answers)
 	tensor.MatVec(nil, m.W, f.U[hops], f.Logits)
+	if ins != nil {
+		lap(&mark, &ins.OutputNS)
+	}
 	return f
 }
 

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4). Histograms follow the standard
+// convention: cumulative <name>_bucket{le="…"} counts with bounds in
+// seconds, then <name>_sum (seconds) and <name>_count. Metrics of one
+// family share a single HELP/TYPE header, so same-family metrics should
+// be registered consecutively.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]any(nil), r.metrics...)
+	r.mu.Unlock()
+
+	lastFamily := ""
+	for _, m := range metrics {
+		var err error
+		switch m := m.(type) {
+		case *Counter:
+			err = writeScalar(w, &m.m, "counter", m.Value(), &lastFamily)
+		case *Gauge:
+			err = writeScalar(w, &m.m, "gauge", m.Value(), &lastFamily)
+		case *funcMetric:
+			typ := "gauge"
+			if m.counter {
+				typ = "counter"
+			}
+			err = writeScalar(w, &m.m, typ, m.fn(), &lastFamily)
+		case *Histogram:
+			err = writeHistogram(w, m, &lastFamily)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, m *meta, typ string, lastFamily *string) error {
+	if m.name == *lastFamily {
+		return nil
+	}
+	*lastFamily = m.name
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, typ)
+	return err
+}
+
+func writeScalar(w io.Writer, m *meta, typ string, v int64, lastFamily *string) error {
+	if err := writeHeader(w, m, typ, lastFamily); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels(""), v)
+	return err
+}
+
+// seconds renders a nanosecond quantity as a Prometheus seconds float.
+func seconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+func writeHistogram(w io.Writer, h *Histogram, lastFamily *string) error {
+	if err := writeHeader(w, &h.m, "histogram", lastFamily); err != nil {
+		return err
+	}
+	s := h.Snapshot()
+	var cum int64
+	for i := 0; i < NumBuckets-1; i++ {
+		cum += s.Buckets[i]
+		le := `le="` + seconds(BucketUpperNS(i)) + `"`
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.m.name, h.m.labels(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.m.name, h.m.labels(`le="+Inf"`), s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", h.m.name, h.m.labels(""), seconds(s.SumNS)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", h.m.name, h.m.labels(""), s.Count)
+	return err
+}
+
+// Snapshot is a point-in-time copy of a whole registry, keyed by metric
+// identity (name plus rendered label pair). It serializes to JSON for
+// the /v1/statz endpoint and subtracts for before/after diffs.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered metric. Func metrics are collected
+// as gauges or counters per their exported type.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	metrics := append([]any(nil), r.metrics...)
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, m := range metrics {
+		switch m := m.(type) {
+		case *Counter:
+			s.Counters[m.m.id()] = m.Value()
+		case *Gauge:
+			s.Gauges[m.m.id()] = m.Value()
+		case *funcMetric:
+			if m.counter {
+				s.Counters[m.m.id()] = m.fn()
+			} else {
+				s.Gauges[m.m.id()] = m.fn()
+			}
+		case *Histogram:
+			s.Histograms[m.m.id()] = m.Snapshot()
+		}
+	}
+	return s
+}
+
+// Sub returns the interval view s − prev: counters and histograms are
+// differenced (missing previous entries count as zero), gauges keep
+// their current values (an instantaneous reading has no meaningful
+// delta).
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		d.Counters[k] = v - prev.Counters[k]
+	}
+	for k, v := range s.Gauges {
+		d.Gauges[k] = v
+	}
+	for k, v := range s.Histograms {
+		d.Histograms[k] = v.Sub(prev.Histograms[k])
+	}
+	return d
+}

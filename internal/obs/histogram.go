@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram bucket scheme is fixed and log-spaced: NumBuckets-1
+// finite buckets whose upper bounds double from 2^bucketMinShift ns
+// (256 ns) up to 2^42 ns (≈73 min), plus one overflow (+Inf) bucket.
+// Fixed buckets mean Observe is a shift, a clamp, and two atomic adds —
+// no locks, no allocation, no per-histogram configuration to get wrong.
+// Factor-2 spacing bounds the within-bucket quantile interpolation
+// error at 2×, which is ample for stage breakdowns that span orders of
+// magnitude.
+const (
+	// NumBuckets is the fixed bucket count of every Histogram.
+	NumBuckets     = 36
+	bucketMinShift = 8
+)
+
+// BucketUpperNS returns the upper bound (inclusive, nanoseconds) of
+// finite bucket i. Bucket NumBuckets-1 is the +Inf overflow bucket.
+func BucketUpperNS(i int) int64 {
+	return 1 << (bucketMinShift + i)
+}
+
+// bucketIndex maps an observation in nanoseconds to its bucket.
+func bucketIndex(ns int64) int {
+	if ns <= 1<<bucketMinShift {
+		return 0
+	}
+	b := bits.Len64(uint64(ns-1)) - bucketMinShift
+	if b > NumBuckets-1 {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// Histogram is a fixed-bucket log-spaced latency histogram. Observe is
+// lock-free and allocation-free; quantile extraction and snapshots read
+// the buckets without stopping writers (each bucket is individually
+// atomic, so a concurrent snapshot is approximate by at most the
+// observations in flight — fine for monitoring).
+type Histogram struct {
+	m       meta
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// Observe records a duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNS(int64(d)) }
+
+// ObserveNS records a duration in nanoseconds. Negative values clamp
+// to zero.
+func (h *Histogram) ObserveNS(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.sumNS.Add(ns)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumNS returns the sum of all observations in nanoseconds.
+func (h *Histogram) SumNS() int64 { return h.sumNS.Load() }
+
+// Name returns the metric family name.
+func (h *Histogram) Name() string { return h.m.name }
+
+// Quantile returns the q-th quantile (q in [0,1]) in nanoseconds,
+// linearly interpolated within the containing bucket. It returns 0 for
+// an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	s := h.Snapshot()
+	return quantileFromBuckets(&s.Buckets, s.Count, q)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram with derived
+// percentiles; snapshots subtract to give interval views.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	SumNS   int64             `json:"sum_ns"`
+	P50NS   int64             `json:"p50_ns"`
+	P90NS   int64             `json:"p90_ns"`
+	P99NS   int64             `json:"p99_ns"`
+	P999NS  int64             `json:"p999_ns"`
+	Buckets [NumBuckets]int64 `json:"-"`
+}
+
+// Snapshot copies the histogram state and computes percentiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.SumNS = h.sumNS.Load()
+	s.fillQuantiles()
+	return s
+}
+
+// Sub returns the interval view s − prev: the histogram of observations
+// recorded between the two snapshots, with percentiles recomputed over
+// the interval alone.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	var d HistogramSnapshot
+	d.SumNS = s.SumNS - prev.SumNS
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+		d.Count += d.Buckets[i]
+	}
+	d.fillQuantiles()
+	return d
+}
+
+// MeanNS returns the mean observation in nanoseconds (0 when empty).
+func (s HistogramSnapshot) MeanNS() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNS) / float64(s.Count)
+}
+
+func (s *HistogramSnapshot) fillQuantiles() {
+	s.P50NS = quantileFromBuckets(&s.Buckets, s.Count, 0.50)
+	s.P90NS = quantileFromBuckets(&s.Buckets, s.Count, 0.90)
+	s.P99NS = quantileFromBuckets(&s.Buckets, s.Count, 0.99)
+	s.P999NS = quantileFromBuckets(&s.Buckets, s.Count, 0.999)
+}
+
+// quantileFromBuckets walks the cumulative distribution to the bucket
+// containing the target rank and interpolates linearly inside it. The
+// +Inf bucket reports the last finite bound (a floor, not an estimate).
+func quantileFromBuckets(buckets *[NumBuckets]int64, count int64, q float64) int64 {
+	if count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(count)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, b := range buckets {
+		if b == 0 {
+			continue
+		}
+		next := cum + float64(b)
+		if next >= target {
+			if i == NumBuckets-1 {
+				return BucketUpperNS(NumBuckets - 2)
+			}
+			lower := int64(0)
+			if i > 0 {
+				lower = BucketUpperNS(i - 1)
+			}
+			upper := BucketUpperNS(i)
+			frac := (target - cum) / float64(b)
+			return lower + int64(frac*float64(upper-lower))
+		}
+		cum = next
+	}
+	return BucketUpperNS(NumBuckets - 2)
+}

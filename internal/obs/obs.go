@@ -1,0 +1,178 @@
+// Package obs is the runtime observability core: atomic counters,
+// gauges, and fixed-bucket log-spaced latency histograms whose hot-path
+// operations (Observe, Inc, Add) are lock-free and allocation-free, so
+// the serving stack can account for every request without perturbing
+// the zero-allocation inference runtime it measures.
+//
+// The package is dependency-free (stdlib only) and deliberately small:
+// metrics register into a Registry at construction time, the hot path
+// only touches sync/atomic, and everything else — Prometheus text
+// exposition, JSON snapshots, snapshot diffing, and a scrape parser for
+// clients — happens off the hot path.
+//
+// The paper's evaluation method is per-stage accounting (embedding vs.
+// inference time, zero-skip ratios, embedding-cache hit rates); this
+// package is the serving-side realization of that discipline.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// meta identifies a metric: a family name plus at most one label pair.
+// Metrics of the same family (same name, same label key, different
+// label values) share one HELP/TYPE header in the Prometheus output.
+type meta struct {
+	name, help         string
+	labelKey, labelVal string
+}
+
+// id renders the unique identity of a metric, e.g.
+// mnnfast_stage_duration_seconds{stage="embed"}.
+func (m *meta) id() string {
+	if m.labelKey == "" {
+		return m.name
+	}
+	return m.name + "{" + m.labelKey + `="` + m.labelVal + `"}`
+}
+
+// labels renders extra label pairs joined onto the metric's own label
+// set, for bucket lines: labels(`le="0.001"`) → {stage="embed",le="0.001"}.
+func (m *meta) labels(extra string) string {
+	switch {
+	case m.labelKey == "" && extra == "":
+		return ""
+	case m.labelKey == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + m.labelKey + `="` + m.labelVal + `"}`
+	}
+	return "{" + m.labelKey + `="` + m.labelVal + `",` + extra + "}"
+}
+
+// Counter is a monotonically increasing atomic counter. Inc and Add are
+// lock-free and allocation-free.
+type Counter struct {
+	m meta
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the counter to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the metric family name.
+func (c *Counter) Name() string { return c.m.name }
+
+// Gauge is an atomic instantaneous value. Set and Add are lock-free and
+// allocation-free.
+type Gauge struct {
+	m meta
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative n decrements).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the metric family name.
+func (g *Gauge) Name() string { return g.m.name }
+
+// funcMetric evaluates a callback at collection time — for values owned
+// elsewhere (session-map size, tensor pool dispatch counters).
+type funcMetric struct {
+	m       meta
+	counter bool // exported TYPE: counter instead of gauge
+	fn      func() int64
+}
+
+// Registry holds an ordered set of metrics and renders them as
+// Prometheus text or JSON snapshots. Registration is cheap but not
+// hot-path; it normally happens once at server construction.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []any // *Counter | *Gauge | *funcMetric | *Histogram, in registration order
+	ids     map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ids: make(map[string]struct{})}
+}
+
+// add registers a metric, panicking on identity collision — duplicate
+// registration is a programming error worth failing loudly on.
+func (r *Registry) add(id string, m any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.ids[id]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %s", id))
+	}
+	r.ids[id] = struct{}{}
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{m: meta{name: name, help: help}}
+	r.add(c.m.id(), c)
+	return c
+}
+
+// LabeledCounter registers a counter carrying one constant label pair.
+// Counters of one family should be registered consecutively so the
+// exposition groups them under a single HELP/TYPE header.
+func (r *Registry) LabeledCounter(name, help, labelKey, labelVal string) *Counter {
+	c := &Counter{m: meta{name: name, help: help, labelKey: labelKey, labelVal: labelVal}}
+	r.add(c.m.id(), c)
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{m: meta{name: name, help: help}}
+	r.add(g.m.id(), g)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at collection
+// time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	f := &funcMetric{m: meta{name: name, help: help}, fn: fn}
+	r.add(f.m.id(), f)
+}
+
+// CounterFunc is GaugeFunc exported with TYPE counter — for monotonic
+// totals owned outside the registry.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	f := &funcMetric{m: meta{name: name, help: help}, counter: true, fn: fn}
+	r.add(f.m.id(), f)
+}
+
+// Histogram registers and returns a latency histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{m: meta{name: name, help: help}}
+	r.add(h.m.id(), h)
+	return h
+}
+
+// LabeledHistogram registers a histogram carrying one constant label
+// pair (e.g. stage="embed"). Histograms of one family should be
+// registered consecutively.
+func (r *Registry) LabeledHistogram(name, help, labelKey, labelVal string) *Histogram {
+	h := &Histogram{m: meta{name: name, help: help, labelKey: labelKey, labelVal: labelVal}}
+	r.add(h.m.id(), h)
+	return h
+}

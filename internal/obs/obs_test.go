@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	g := r.Gauge("test_gauge", "a gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Value())
+	}
+	if c.Name() != "test_total" || g.Name() != "test_gauge" {
+		t.Errorf("names = %q, %q", c.Name(), g.Name())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "")
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {256, 0}, {257, 1}, {512, 1}, {513, 2},
+		{BucketUpperNS(10), 10}, {BucketUpperNS(10) + 1, 11},
+		{BucketUpperNS(NumBuckets - 2), NumBuckets - 2},
+		{BucketUpperNS(NumBuckets-2) + 1, NumBuckets - 1},
+		{1 << 62, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		ns := c.ns
+		if ns < 0 {
+			ns = 0 // ObserveNS clamps before indexing
+		}
+		if got := bucketIndex(ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latencies")
+	// 1000 observations spread uniformly over 1µs..1ms.
+	for i := 1; i <= 1000; i++ {
+		h.ObserveNS(int64(i) * 1000)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantSum := int64(1000*1001/2) * 1000
+	if h.SumNS() != wantSum {
+		t.Errorf("sum = %d, want %d", h.SumNS(), wantSum)
+	}
+	p50, p90, p99 := h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%d p90=%d p99=%d", p50, p90, p99)
+	}
+	// Factor-2 buckets bound the interpolation error: each estimate must
+	// land within the true value's bucket neighborhood (±2×).
+	if p50 < 250_000 || p50 > 1_000_000 {
+		t.Errorf("p50 = %dns, want ~500µs within 2×", p50)
+	}
+	if p99 < 495_000 || p99 > 2_000_000 {
+		t.Errorf("p99 = %dns, want ~990µs within 2×", p99)
+	}
+	if h.Quantile(1) < h.Quantile(0) {
+		t.Error("q1 < q0")
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "")
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Observe(2 * time.Hour) // beyond the last finite bucket
+	if got := h.Quantile(0.5); got != BucketUpperNS(NumBuckets-2) {
+		t.Errorf("overflow quantile = %d, want last finite bound %d", got, BucketUpperNS(NumBuckets-2))
+	}
+	if h.SumNS() != int64(2*time.Hour) {
+		t.Errorf("sum = %d", h.SumNS())
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h_seconds", "")
+	c.Add(3)
+	h.ObserveNS(1000)
+	before := r.Snapshot()
+	c.Add(5)
+	h.ObserveNS(2000)
+	h.ObserveNS(4000)
+	diff := r.Snapshot().Sub(before)
+	if diff.Counters["c_total"] != 5 {
+		t.Errorf("counter diff = %d, want 5", diff.Counters["c_total"])
+	}
+	hd := diff.Histograms["h_seconds"]
+	if hd.Count != 2 || hd.SumNS != 6000 {
+		t.Errorf("histogram diff = %+v, want count 2 sum 6000", hd)
+	}
+	if hd.MeanNS() != 3000 {
+		t.Errorf("mean = %v, want 3000", hd.MeanNS())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(2)
+	r.LabeledHistogram("s_seconds", "", "stage", "embed").ObserveNS(5000)
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c_total"] != 2 {
+		t.Errorf("counters = %v", back.Counters)
+	}
+	hs, ok := back.Histograms[`s_seconds{stage="embed"}`]
+	if !ok || hs.Count != 1 {
+		t.Errorf("histograms = %v", back.Histograms)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("req_total", "requests", "handler", "answer").Add(7)
+	r.LabeledCounter("req_total", "requests", "handler", "story").Add(3)
+	r.Gauge("inflight", "in-flight").Set(2)
+	r.GaugeFunc("sessions", "live sessions", func() int64 { return 4 })
+	r.CounterFunc("dispatches_total", "dispatches", func() int64 { return 9 })
+	h := r.LabeledHistogram("stage_seconds", "stage latency", "stage", "embed")
+	h.ObserveNS(300)  // bucket 1 (256 < 300 <= 512)
+	h.ObserveNS(100)  // bucket 0
+	h.ObserveNS(5000) // higher bucket
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	// Family header appears exactly once per family.
+	if got := strings.Count(text, "# TYPE req_total counter"); got != 1 {
+		t.Errorf("req_total TYPE lines = %d, want 1\n%s", got, text)
+	}
+	if !strings.Contains(text, "# TYPE stage_seconds histogram") {
+		t.Error("missing histogram TYPE")
+	}
+	if !strings.Contains(text, "# TYPE dispatches_total counter") {
+		t.Error("CounterFunc not exported as counter")
+	}
+
+	sc, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v", err)
+	}
+	if sc.Value(`req_total{handler="answer"}`) != 7 || sc.Value(`req_total{handler="story"}`) != 3 {
+		t.Errorf("counters scraped wrong: %v", sc)
+	}
+	if sc.Value("inflight") != 2 || sc.Value("sessions") != 4 {
+		t.Errorf("gauges scraped wrong")
+	}
+	if sc.Value(HistKey("stage_seconds", "count", `stage="embed"`)) != 3 {
+		t.Errorf("histogram count scraped wrong: %v", sc)
+	}
+	wantSum := 5400.0 / 1e9
+	if got := sc.Value(HistKey("stage_seconds", "sum", `stage="embed"`)); got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+
+	// Cumulative buckets are monotone and end at the count on +Inf.
+	var prevCum float64
+	for i := 0; i < NumBuckets-1; i++ {
+		le := `stage="embed",le="` + seconds(BucketUpperNS(i)) + `"`
+		cum := sc.Value(`stage_seconds_bucket{` + le + `}`)
+		if cum < prevCum {
+			t.Fatalf("bucket %d not cumulative: %v < %v", i, cum, prevCum)
+		}
+		prevCum = cum
+	}
+	if inf := sc.Value(`stage_seconds_bucket{stage="embed",le="+Inf"}`); inf != 3 {
+		t.Errorf("+Inf bucket = %v, want 3", inf)
+	}
+}
+
+func TestScrapeSub(t *testing.T) {
+	a := Scrape{"x_total": 10, "y_total": 1}
+	b := Scrape{"x_total": 25, "y_total": 1, "z_total": 4}
+	d := b.Sub(a)
+	if d["x_total"] != 15 || d["y_total"] != 0 || d["z_total"] != 4 {
+		t.Errorf("diff = %v", d)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	if _, err := ParseText(strings.NewReader("just_a_name\n")); err == nil {
+		t.Error("line without value accepted")
+	}
+	if _, err := ParseText(strings.NewReader("name not_a_number\n")); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+	s, err := ParseText(strings.NewReader("# comment\n\n  \nok_total 3\n"))
+	if err != nil || s.Value("ok_total") != 3 {
+		t.Errorf("comments/blank lines mishandled: %v %v", s, err)
+	}
+}
+
+// TestConcurrentObserve hammers one histogram and counter from many
+// goroutines; run under -race this is the lock-free-correctness check,
+// and the totals must still balance.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "")
+	c := r.Counter("conc_total", "")
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveNS(int64(w*1000 + i))
+				c.Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent readers while writers run
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			_ = r.WritePrometheus(&buf)
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != workers*per || c.Value() != workers*per {
+		t.Errorf("count = %d / %d, want %d", h.Count(), c.Value(), workers*per)
+	}
+	s := h.Snapshot()
+	var sum int64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if sum != s.Count {
+		t.Errorf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+// TestHotPathAllocs asserts the acceptance criterion: Observe and
+// counter/gauge increments allocate nothing.
+func TestHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	r := NewRegistry()
+	h := r.Histogram("alloc_seconds", "")
+	c := r.Counter("alloc_total", "")
+	g := r.Gauge("alloc_gauge", "")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.ObserveNS(12345)
+		c.Inc()
+		c.Add(3)
+		g.Set(9)
+		g.Add(-1)
+	}); allocs != 0 {
+		t.Errorf("hot path allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNS(int64(i))
+	}
+}

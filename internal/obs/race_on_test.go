@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is active. Allocation
+// counts are not meaningful under -race instrumentation.
+const raceEnabled = true

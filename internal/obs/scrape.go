@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Scrape is a flat view of one Prometheus text exposition: sample name
+// (with its label set rendered exactly as emitted) → value. It is the
+// client half of the snapshot/diff story: a load generator scrapes
+// /v1/metrics before and after a run and subtracts to isolate what the
+// run itself did on the server.
+type Scrape map[string]float64
+
+// ParseText parses Prometheus text exposition format as written by
+// WritePrometheus (and by any conforming exporter): comment and blank
+// lines are skipped, every other line is `name[{labels}] value`.
+func ParseText(r io.Reader) (Scrape, error) {
+	s := make(Scrape)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		// The value is the field after the last space; the key is
+		// everything before it (label values never contain spaces in
+		// our exposition).
+		cut := strings.LastIndexByte(text, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("obs: metrics line %d: no value in %q", line, text)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(text[cut+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: %v", line, err)
+		}
+		s[strings.TrimSpace(text[:cut])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading metrics: %v", err)
+	}
+	return s, nil
+}
+
+// Sub returns the per-sample difference s − prev; samples absent from
+// prev diff against zero.
+func (s Scrape) Sub(prev Scrape) Scrape {
+	d := make(Scrape, len(s))
+	for k, v := range s {
+		d[k] = v - prev[k]
+	}
+	return d
+}
+
+// Value returns the sample with the exact key, or 0 when absent.
+func (s Scrape) Value(key string) float64 { return s[key] }
+
+// HistKey builds the key of a histogram sub-sample: HistKey("f", "sum",
+// `stage="embed"`) → `f_sum{stage="embed"}`. An empty labels string
+// drops the braces.
+func HistKey(family, sample, labels string) string {
+	if labels == "" {
+		return family + "_" + sample
+	}
+	return family + "_" + sample + "{" + labels + "}"
+}

@@ -1,24 +1,49 @@
 package server
 
-import "testing"
+import (
+	"testing"
+
+	"mnnfast/internal/memnn"
+)
 
 // TestAnswerPredictAllocs asserts the inference core of an answer
 // request — everything from vectorized example to predicted answer
-// index — allocates nothing at steady state: forward-pass buffers are
-// pooled across requests (Server.forwards). The HTTP/JSON envelope is
-// deliberately outside the measurement; net/http and encoding/json
-// allocate per request by design and are off the paper's hot path.
+// index, including the per-stage metric observations — allocates
+// nothing at steady state: forward-pass buffers are pooled across
+// requests (Server.forwards) and obs.Histogram.Observe is lock-free
+// atomics. The HTTP/JSON envelope is deliberately outside the
+// measurement; net/http and encoding/json allocate per request by
+// design and are off the paper's hot path.
 func TestAnswerPredictAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("sync.Pool drops items at random under -race; allocation counts are not meaningful")
 	}
 	s := testServer(t)
 	ex := s.corpus.Test[0]
-	s.predict(ex) // warm the forward pool at this shape
+	s.predict(ex, nil) // warm the forward pool at this shape
 	allocs := testing.AllocsPerRun(100, func() {
-		s.predict(ex)
+		s.predict(ex, nil)
 	})
 	if allocs != 0 {
 		t.Errorf("answer predict path allocates %v per request, want 0", allocs)
+	}
+}
+
+// TestCachedPredictAllocs is the same assertion on the embedding-cache
+// hit path: predicting against a session's cached EmbeddedStory.
+func TestCachedPredictAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; allocation counts are not meaningful")
+	}
+	s := testServer(t)
+	ex := s.corpus.Test[0]
+	var es memnn.EmbeddedStory
+	s.model.EmbedStoryInto(ex, &es)
+	s.predict(ex, &es)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.predict(ex, &es)
+	})
+	if allocs != 0 {
+		t.Errorf("cached predict path allocates %v per request, want 0", allocs)
 	}
 }

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"mnnfast/internal/memnn"
+	"mnnfast/internal/obs"
+	"mnnfast/internal/tensor"
+)
+
+// handlerLabels enumerates the request-handler label values; per-handler
+// counters and duration histograms are registered for exactly this set
+// so the hot path never formats or allocates label strings.
+var handlerLabels = []string{"story", "answer", "healthz", "metrics", "statz", "other"}
+
+// handlerLabel maps a request path to its metrics label.
+func handlerLabel(path string) string {
+	switch path {
+	case "/v1/story":
+		return "story"
+	case "/v1/answer":
+		return "answer"
+	case "/v1/healthz":
+		return "healthz"
+	case "/v1/metrics":
+		return "metrics"
+	case "/v1/statz":
+		return "statz"
+	}
+	return "other"
+}
+
+// metrics is the server's observability surface: every counter, gauge,
+// and histogram it maintains, all registered into one obs.Registry that
+// /v1/metrics and /v1/statz render. Hot-path updates are atomic adds
+// and allocation-free.
+type metrics struct {
+	reg *obs.Registry
+
+	requests  map[string]*obs.Counter   // per handler
+	durations map[string]*obs.Histogram // per handler
+	errors    *obs.Counter
+	inflight  *obs.Gauge
+
+	// Per-stage inference accounting (the paper's embedding vs.
+	// inference split, measured on the serving path).
+	stageVectorize *obs.Histogram
+	stageEmbed     *obs.Histogram
+	stageAttention *obs.Histogram
+	stageOutput    *obs.Histogram
+
+	skippedRows *obs.Counter
+	totalRows   *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+}
+
+// newMetrics builds and registers the full metric set. sessionCount is
+// sampled at collection time for the live-session gauge.
+func newMetrics(sessionCount func() int64) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:       reg,
+		requests:  make(map[string]*obs.Counter, len(handlerLabels)),
+		durations: make(map[string]*obs.Histogram, len(handlerLabels)),
+	}
+	for _, h := range handlerLabels {
+		m.requests[h] = reg.LabeledCounter("mnnfast_http_requests_total",
+			"HTTP requests served, by handler.", "handler", h)
+	}
+	m.errors = reg.Counter("mnnfast_http_errors_total",
+		"HTTP responses with status >= 400.")
+	m.inflight = reg.Gauge("mnnfast_requests_in_flight",
+		"HTTP requests currently being served.")
+	reg.GaugeFunc("mnnfast_sessions",
+		"Live QA sessions (distinct X-Session keys seen).", sessionCount)
+	for _, h := range handlerLabels {
+		m.durations[h] = reg.LabeledHistogram("mnnfast_http_request_duration_seconds",
+			"End-to-end HTTP request latency, by handler.", "handler", h)
+	}
+
+	stage := func(name string) *obs.Histogram {
+		return reg.LabeledHistogram("mnnfast_stage_duration_seconds",
+			"Per-stage inference latency: vectorize (tokenize+encode), embed "+
+				"(question+memory embedding), attention (per-hop softmax and "+
+				"weighted sum), output (final projection).", "stage", name)
+	}
+	m.stageVectorize = stage("vectorize")
+	m.stageEmbed = stage("embed")
+	m.stageAttention = stage("attention")
+	m.stageOutput = stage("output")
+
+	m.skippedRows = reg.Counter("mnnfast_skipped_rows_total",
+		"Weighted-sum rows bypassed by zero-skipping.")
+	m.totalRows = reg.Counter("mnnfast_total_rows_total",
+		"Weighted-sum rows considered.")
+	m.cacheHits = reg.Counter("mnnfast_embedding_cache_hits_total",
+		"Answers served from a session's cached embedded story.")
+	m.cacheMisses = reg.Counter("mnnfast_embedding_cache_misses_total",
+		"Answers that had to (re)embed the session story.")
+
+	// Process-wide tensor pool dispatch accounting (see tensor.ReadPoolStats).
+	reg.CounterFunc("mnnfast_tensor_pool_dispatches_total",
+		"Parallel dispatches issued by tensor.Pool.",
+		func() int64 { return tensor.ReadPoolStats().Dispatches })
+	reg.CounterFunc("mnnfast_tensor_pool_dispatch_reuses_total",
+		"Dispatch descriptors recycled instead of allocated.",
+		func() int64 { return tensor.ReadPoolStats().DispatchReuses })
+	reg.CounterFunc("mnnfast_tensor_pool_spans_queued_total",
+		"Work spans handed to persistent pool workers.",
+		func() int64 { return tensor.ReadPoolStats().SpansQueued })
+	reg.CounterFunc("mnnfast_tensor_pool_spans_inline_total",
+		"Work spans run inline because the dispatch queue was full.",
+		func() int64 { return tensor.ReadPoolStats().SpansInline })
+	return m
+}
+
+// observeInference drains one request's Instrumentation into the stage
+// histograms and skip counters. Allocation-free.
+func (m *metrics) observeInference(ins *memnn.Instrumentation) {
+	m.stageEmbed.ObserveNS(ins.EmbedNS)
+	m.stageAttention.ObserveNS(ins.AttentionNS)
+	m.stageOutput.ObserveNS(ins.OutputNS)
+	m.skippedRows.Add(ins.SkippedRows)
+	m.totalRows.Add(ins.TotalRows)
+}

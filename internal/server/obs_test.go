@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mnnfast/internal/obs"
+)
+
+func getBody(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestMetricsEndpoint exercises the acceptance criterion: after serving
+// answers, GET /v1/metrics returns parseable Prometheus text containing
+// the stage histograms, skip counters, embedding-cache counters, and
+// the in-flight gauge — with values consistent with the traffic served.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+
+	post(t, ts, "/v1/story", "obs", StoryRequest{Reset: true,
+		Sentences: []string{"john went to the kitchen", "mary went to the garden"}})
+	for i := 0; i < 3; i++ {
+		resp, _ := post(t, ts, "/v1/answer", "obs", AnswerRequest{Question: "where is john?"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("answer status %d", resp.StatusCode)
+		}
+	}
+
+	resp, body := getBody(t, ts, "/v1/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	sc, err := obs.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("metrics output does not parse: %v", err)
+	}
+
+	if v := sc.Value(`mnnfast_http_requests_total{handler="answer"}`); v < 3 {
+		t.Errorf("answer requests = %v, want >= 3", v)
+	}
+	for _, stage := range []string{"vectorize", "embed", "attention", "output"} {
+		count := sc.Value(obs.HistKey("mnnfast_stage_duration_seconds", "count", `stage="`+stage+`"`))
+		sum := sc.Value(obs.HistKey("mnnfast_stage_duration_seconds", "sum", `stage="`+stage+`"`))
+		if count <= 0 {
+			t.Errorf("stage %s count = %v, want > 0", stage, count)
+		}
+		if sum < 0 {
+			t.Errorf("stage %s sum = %v", stage, sum)
+		}
+	}
+	if sc.Value("mnnfast_total_rows_total") <= 0 {
+		t.Error("total_rows_total not populated")
+	}
+	if _, ok := sc["mnnfast_skipped_rows_total"]; !ok {
+		t.Error("skipped_rows_total missing")
+	}
+	if _, ok := sc["mnnfast_requests_in_flight"]; !ok {
+		t.Error("requests_in_flight missing")
+	}
+	// 3 answers on one unchanged story: 1 miss, 2 hits.
+	if hits := sc.Value("mnnfast_embedding_cache_hits_total"); hits < 2 {
+		t.Errorf("cache hits = %v, want >= 2", hits)
+	}
+	if misses := sc.Value("mnnfast_embedding_cache_misses_total"); misses < 1 {
+		t.Errorf("cache misses = %v, want >= 1", misses)
+	}
+	if sessions := sc.Value("mnnfast_sessions"); sessions < 1 {
+		t.Errorf("sessions gauge = %v, want >= 1", sessions)
+	}
+}
+
+// TestStatzEndpoint checks the JSON snapshot decodes and carries
+// percentile fields.
+func TestStatzEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	post(t, ts, "/v1/story", "statz", StoryRequest{Reset: true,
+		Sentences: []string{"john went to the kitchen"}})
+	post(t, ts, "/v1/answer", "statz", AnswerRequest{Question: "where is john?"})
+
+	resp, body := getBody(t, ts, "/v1/statz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statz status %d: %s", resp.StatusCode, body)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("statz not a snapshot: %v", err)
+	}
+	hs, ok := snap.Histograms[`mnnfast_stage_duration_seconds{stage="attention"}`]
+	if !ok {
+		t.Fatalf("attention stage missing from statz: %v", snap.Histograms)
+	}
+	if hs.Count <= 0 || hs.P50NS < 0 || hs.P999NS < hs.P50NS {
+		t.Errorf("attention snapshot inconsistent: %+v", hs)
+	}
+}
+
+// TestObservabilityMethodChecks: the GET-only endpoints reject other
+// methods, matching the POST handlers' discipline.
+func TestObservabilityMethodChecks(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	for _, path := range []string{"/v1/healthz", "/v1/metrics", "/v1/statz"} {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestEmbeddingCacheInvalidation: appending to the story forces a
+// re-embed (miss), and repeated questions afterwards hit again; answers
+// agree between the cached and freshly embedded paths.
+func TestEmbeddingCacheInvalidation(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	sess := "inval"
+
+	hits0, miss0 := s.met.cacheHits.Value(), s.met.cacheMisses.Value()
+	post(t, ts, "/v1/story", sess, StoryRequest{Reset: true,
+		Sentences: []string{"john went to the kitchen"}})
+	_, b1 := post(t, ts, "/v1/answer", sess, AnswerRequest{Question: "where is john?"})
+	_, b2 := post(t, ts, "/v1/answer", sess, AnswerRequest{Question: "where is john?"})
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("cached answer differs from first answer: %s vs %s", b1, b2)
+	}
+	if s.met.cacheMisses.Value()-miss0 != 1 || s.met.cacheHits.Value()-hits0 != 1 {
+		t.Errorf("after 2 answers: misses +%d hits +%d, want +1/+1",
+			s.met.cacheMisses.Value()-miss0, s.met.cacheHits.Value()-hits0)
+	}
+
+	post(t, ts, "/v1/story", sess, StoryRequest{
+		Sentences: []string{"john went to the garden"}})
+	_, b3 := post(t, ts, "/v1/answer", sess, AnswerRequest{Question: "where is john?"})
+	if s.met.cacheMisses.Value()-miss0 != 2 {
+		t.Errorf("story append did not invalidate the cache: misses +%d, want +2",
+			s.met.cacheMisses.Value()-miss0)
+	}
+	var ar AnswerResponse
+	if err := json.Unmarshal(b3, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Sentences != 2 {
+		t.Errorf("after append, sentences = %d, want 2", ar.Sentences)
+	}
+	if srvAcc > 0.9 && ar.Answer != "garden" {
+		t.Errorf("after append, answer = %q, want garden (accuracy %.2f)", ar.Answer, srvAcc)
+	}
+}
+
+// TestRequestIDAndAccessLog checks X-Request-ID propagation (supplied
+// and generated) and the structured access log line.
+func TestRequestIDAndAccessLog(t *testing.T) {
+	s := testServer(t)
+	var logBuf bytes.Buffer
+	s.AccessLog = log.New(&logBuf, "", 0)
+	defer func() { s.AccessLog = nil }()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", "test-id-42")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "test-id-42" {
+		t.Errorf("request id not echoed: %q", got)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); !strings.HasPrefix(got, "req-") {
+		t.Errorf("generated request id = %q, want req-<n>", got)
+	}
+
+	logs := logBuf.String()
+	if !strings.Contains(logs, "request_id=test-id-42") ||
+		!strings.Contains(logs, "path=/v1/healthz") ||
+		!strings.Contains(logs, "status=200") {
+		t.Errorf("access log missing fields:\n%s", logs)
+	}
+}
+
+// TestErrorPathsCounted checks error responses land in the error
+// counter and per-handler accounting covers unknown paths.
+func TestErrorPathsCounted(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	errs0 := s.met.errors.Value()
+
+	// bad JSON → 400
+	resp, err := ts.Client().Post(ts.URL+"/v1/answer", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// unknown path → 404 from the mux, counted under handler="other"
+	other0 := s.met.requests["other"].Value()
+	resp, err = ts.Client().Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if got := s.met.errors.Value() - errs0; got < 2 {
+		t.Errorf("error counter delta = %d, want >= 2", got)
+	}
+	if s.met.requests["other"].Value() != other0+1 {
+		t.Errorf("unknown path not counted under other")
+	}
+}

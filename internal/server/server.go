@@ -11,22 +11,60 @@
 //	POST /v1/answer   {"question": "where is john?"}
 //	                  → {"answer": "kitchen", "index": 3, ...}
 //	GET  /v1/healthz  → {"status": "ok", ...model metadata}
+//	GET  /v1/metrics  → Prometheus text exposition of the runtime metrics
+//	GET  /v1/statz    → the same metrics as a JSON snapshot with percentiles
 //
 // Sessions are keyed by the X-Session header (default "default") so
 // multiple users can hold independent stories against one model — the
-// multi-tenant setting of the paper's Figure 4.
+// multi-tenant setting of the paper's Figure 4. Each session carries its
+// own lock plus a cache of its embedded story (the serving-side analogue
+// of the paper's §3.3 embedding cache): answers against an unchanged
+// story skip the memory-embedding stage entirely, and concurrent answers
+// on different sessions never serialize on shared state.
+//
+// Every request is tagged with an X-Request-ID (caller-supplied or
+// generated), echoed in the response and in the optional structured
+// access log (Server.AccessLog).
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mnnfast/internal/babi"
 	"mnnfast/internal/memnn"
+	"mnnfast/internal/obs"
 	"mnnfast/internal/vocab"
 )
+
+// session is one user's state: the story, and a cache of its embedded
+// memories. The per-session lock means answer traffic on different
+// sessions proceeds in parallel; within one session, answers share the
+// cache under a read lock and only story mutations (or the first answer
+// after one) take the write lock.
+type session struct {
+	mu    sync.RWMutex
+	story babi.Story
+
+	// Embedding cache: valid means cachedSentences/emb reflect the
+	// current story. Any story mutation invalidates it.
+	cacheValid      bool
+	cachedSentences [][]int // vectorized story (trimmed to MaxSent)
+	emb             memnn.EmbeddedStory
+}
+
+// forwardState bundles the pooled per-request inference buffers: the
+// forward-pass scratch and the per-stage instrumentation accumulator.
+type forwardState struct {
+	f   memnn.Forward
+	ins memnn.Instrumentation
+}
 
 // Server serves QA requests against one trained model.
 type Server struct {
@@ -34,14 +72,20 @@ type Server struct {
 	corpus *memnn.Corpus
 	// SkipThreshold applies zero-skipping to every answer; 0 = exact.
 	SkipThreshold float32
+	// AccessLog, when non-nil, receives one structured line per request:
+	// request_id, method, path, session, status, duration.
+	AccessLog *log.Logger
 
-	mu       sync.Mutex
-	sessions map[string]*babi.Story
+	mu       sync.RWMutex // guards the sessions map (not the sessions)
+	sessions map[string]*session
 
 	// forwards recycles forward-pass buffers across answer requests:
 	// the inference core of a steady-state request allocates nothing
 	// (see memnn.ApplyInto); concurrent requests each draw their own.
 	forwards sync.Pool
+
+	met    *metrics
+	reqSeq atomic.Uint64
 }
 
 // New builds a Server around a trained model and its corpus metadata.
@@ -49,20 +93,76 @@ func New(model *memnn.Model, corpus *memnn.Corpus) (*Server, error) {
 	if model == nil || corpus == nil {
 		return nil, fmt.Errorf("server: nil model or corpus")
 	}
-	return &Server{
+	s := &Server{
 		model:    model,
 		corpus:   corpus,
-		sessions: make(map[string]*babi.Story),
-	}, nil
+		sessions: make(map[string]*session),
+	}
+	s.met = newMetrics(func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return int64(len(s.sessions))
+	})
+	return s, nil
 }
 
-// Handler returns the HTTP handler tree.
+// Metrics returns the server's metric registry, for embedding into
+// other HTTP surfaces or reading in tests.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// Handler returns the HTTP handler tree, wrapped in the metrics and
+// access-log middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/story", s.handleStory)
 	mux.HandleFunc("/v1/answer", s.handleAnswer)
 	mux.HandleFunc("/v1/healthz", s.handleHealth)
-	return mux
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/statz", s.handleStatz)
+	return s.instrument(mux)
+}
+
+// statusWriter captures the response status for metrics and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with request-ID tagging, in-flight and
+// per-handler accounting, and the optional access log.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = "req-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		}
+		w.Header().Set("X-Request-ID", id)
+		label := handlerLabel(r.URL.Path)
+		s.met.inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		d := time.Since(t0)
+		s.met.inflight.Add(-1)
+		s.met.requests[label].Inc()
+		s.met.durations[label].Observe(d)
+		if sw.status >= 400 {
+			s.met.errors.Inc()
+		}
+		if s.AccessLog != nil {
+			sess := r.Header.Get("X-Session")
+			if sess == "" {
+				sess = "default"
+			}
+			s.AccessLog.Printf("request_id=%s method=%s path=%s session=%s status=%d dur_us=%d",
+				id, r.Method, r.URL.Path, sess, sw.status, d.Microseconds())
+		}
+	})
 }
 
 // StoryRequest is the body of POST /v1/story.
@@ -98,16 +198,21 @@ type HealthResponse struct {
 	MaxSent int    `json:"max_sentences"`
 }
 
-func (s *Server) session(r *http.Request) *babi.Story {
+func (s *Server) session(r *http.Request) *session {
 	key := r.Header.Get("X-Session")
 	if key == "" {
 		key = "default"
 	}
+	s.mu.RLock()
+	st := s.sessions[key]
+	s.mu.RUnlock()
+	if st != nil {
+		return st
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st, ok := s.sessions[key]
-	if !ok {
-		st = &babi.Story{}
+	if st = s.sessions[key]; st == nil {
+		st = &session{}
 		s.sessions[key] = st
 	}
 	return st
@@ -138,14 +243,15 @@ func (s *Server) handleStory(w http.ResponseWriter, r *http.Request) {
 		}
 		tokenized = append(tokenized, words)
 	}
-	story := s.session(r)
-	s.mu.Lock()
+	sess := s.session(r)
+	sess.mu.Lock()
 	if req.Reset {
-		story.Sentences = nil
+		sess.story.Sentences = nil
 	}
-	story.Sentences = append(story.Sentences, tokenized...)
-	n := len(story.Sentences)
-	s.mu.Unlock()
+	sess.story.Sentences = append(sess.story.Sentences, tokenized...)
+	sess.cacheValid = false
+	n := len(sess.story.Sentences)
+	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, StoryResponse{Sentences: n})
 }
 
@@ -159,47 +265,100 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	story := s.session(r)
-	s.mu.Lock()
-	snapshot := babi.Story{
-		Sentences: append([][]string(nil), story.Sentences...),
-		Question:  vocab.Tokenize(req.Question),
-	}
-	s.mu.Unlock()
-	if len(snapshot.Sentences) == 0 {
-		httpError(w, http.StatusConflict, "no story in session; POST /v1/story first")
-		return
-	}
-	if len(snapshot.Question) == 0 {
+	t0 := time.Now()
+	qWords := vocab.Tokenize(req.Question)
+	if len(qWords) == 0 {
 		httpError(w, http.StatusBadRequest, "empty question")
 		return
 	}
-	ex, err := s.corpus.VectorizeStory(snapshot)
+	qIDs, err := s.corpus.Vocab.EncodeStrict(qWords)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		httpError(w, http.StatusUnprocessableEntity, "memnn: question: %v", err)
 		return
 	}
-	idx := s.predict(ex)
+	s.met.stageVectorize.Observe(time.Since(t0))
+	sess := s.session(r)
+
+	// Fast path: the session's embedded story is cached — answer under
+	// the read lock so concurrent questions on this session (and any
+	// traffic on other sessions) proceed in parallel. A valid cache
+	// implies a non-empty story.
+	sess.mu.RLock()
+	if sess.cacheValid {
+		idx := s.predict(memnn.Example{Sentences: sess.cachedSentences, Question: qIDs}, &sess.emb)
+		n := len(sess.story.Sentences)
+		sess.mu.RUnlock()
+		s.met.cacheHits.Inc()
+		writeJSON(w, http.StatusOK, AnswerResponse{
+			Answer: s.corpus.AnswerWord(idx), Index: idx, Sentences: n,
+		})
+		return
+	}
+	sess.mu.RUnlock()
+
+	// Slow path: first answer after a story mutation — (re)embed the
+	// story under the write lock, then answer while still holding it.
+	sess.mu.Lock()
+	if len(sess.story.Sentences) == 0 {
+		sess.mu.Unlock()
+		httpError(w, http.StatusConflict, "no story in session; POST /v1/story first")
+		return
+	}
+	if !sess.cacheValid {
+		if err := s.embedSession(sess); err != nil {
+			sess.mu.Unlock()
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		s.met.cacheMisses.Inc()
+	} else {
+		s.met.cacheHits.Inc() // another goroutine embedded it meanwhile
+	}
+	idx := s.predict(memnn.Example{Sentences: sess.cachedSentences, Question: qIDs}, &sess.emb)
+	n := len(sess.story.Sentences)
+	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, AnswerResponse{
-		Answer:    s.corpus.AnswerWord(idx),
-		Index:     idx,
-		Sentences: len(snapshot.Sentences),
+		Answer: s.corpus.AnswerWord(idx), Index: idx, Sentences: n,
 	})
 }
 
-// predict runs the model over one vectorized example with pooled
-// forward-pass buffers.
-func (s *Server) predict(ex memnn.Example) int {
-	f, _ := s.forwards.Get().(*memnn.Forward)
-	if f == nil {
-		f = new(memnn.Forward)
+// embedSession vectorizes and embeds the session's story into its
+// cache. Caller holds the session write lock. The embedding time lands
+// in the embed-stage histogram, so cache effectiveness is directly
+// visible as vanished embed time on the hit path.
+func (s *Server) embedSession(sess *session) error {
+	t0 := time.Now()
+	ex, err := s.corpus.VectorizeStory(babi.Story{Sentences: sess.story.Sentences})
+	if err != nil {
+		return err
 	}
-	idx := s.model.PredictSkipInto(ex, s.SkipThreshold, f)
-	s.forwards.Put(f)
+	sess.cachedSentences = ex.Sentences
+	s.model.EmbedStoryInto(memnn.Example{Sentences: ex.Sentences}, &sess.emb)
+	sess.cacheValid = true
+	s.met.stageEmbed.Observe(time.Since(t0))
+	return nil
+}
+
+// predict runs the model over one vectorized example with pooled
+// forward-pass buffers and drains the per-stage instrumentation into
+// the metrics. es, when non-nil, supplies the cached embedded story.
+func (s *Server) predict(ex memnn.Example, es *memnn.EmbeddedStory) int {
+	st, _ := s.forwards.Get().(*forwardState)
+	if st == nil {
+		st = new(forwardState)
+	}
+	st.ins.Reset()
+	idx := s.model.PredictInstrumented(ex, s.SkipThreshold, &st.f, es, &st.ins)
+	s.met.observeInference(&st.ins)
+	s.forwards.Put(st)
 	return idx
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:  "ok",
 		Vocab:   s.corpus.Vocab.Size(),
@@ -208,6 +367,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Dim:     s.model.Cfg.Dim,
 		MaxSent: s.model.Cfg.MaxSent,
 	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.met.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.met.reg.Snapshot())
 }
 
 // errorBody is the JSON error envelope.

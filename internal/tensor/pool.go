@@ -51,7 +51,46 @@ type dispatch struct {
 	wg  sync.WaitGroup
 }
 
-var dispatchPool = sync.Pool{New: func() any { return new(dispatch) }}
+var dispatchPool = sync.Pool{New: func() any {
+	poolCounters.dispatchAllocs.Add(1)
+	return new(dispatch)
+}}
+
+// poolCounters are process-wide dispatch accounting, shared by every
+// Pool because the dispatch descriptors themselves are. They feed the
+// observability layer (obs CounterFunc) and the benchmark emitter;
+// updates are single atomic adds on the dispatch path, far off the
+// per-element hot loops.
+var poolCounters struct {
+	dispatches     atomic.Int64
+	spansQueued    atomic.Int64
+	spansInline    atomic.Int64
+	dispatchAllocs atomic.Int64
+}
+
+// PoolStats is a snapshot of the process-wide dispatch counters.
+type PoolStats struct {
+	Dispatches     int64 // parallel dispatches issued (serial fast paths excluded)
+	SpansQueued    int64 // spans handed to persistent workers
+	SpansInline    int64 // spans run inline because the queue was full
+	DispatchAllocs int64 // dispatch descriptors freshly allocated
+	DispatchReuses int64 // dispatch descriptors recycled from the pool
+}
+
+// ReadPoolStats snapshots the dispatch counters. DispatchReuses is
+// derived: every dispatch draws exactly one descriptor, so reuses are
+// dispatches minus fresh allocations.
+func ReadPoolStats() PoolStats {
+	d := poolCounters.dispatches.Load()
+	a := poolCounters.dispatchAllocs.Load()
+	return PoolStats{
+		Dispatches:     d,
+		SpansQueued:    poolCounters.spansQueued.Load(),
+		SpansInline:    poolCounters.spansInline.Load(),
+		DispatchAllocs: a,
+		DispatchReuses: d - a,
+	}
+}
 
 func (t task) run() {
 	if t.d.fnw != nil {
@@ -155,6 +194,7 @@ func (p *Pool) dispatch(n, grain int, fn func(lo, hi int), fnw func(worker, lo, 
 	}
 	p.start.Do(p.spawn)
 
+	poolCounters.dispatches.Add(1)
 	d := dispatchPool.Get().(*dispatch)
 	d.fn, d.fnw = fn, fnw
 
@@ -168,7 +208,9 @@ func (p *Pool) dispatch(n, grain int, fn func(lo, hi int), fnw func(worker, lo, 
 		d.wg.Add(1)
 		select {
 		case p.tasks <- t:
+			poolCounters.spansQueued.Add(1)
 		default:
+			poolCounters.spansInline.Add(1)
 			t.run()
 		}
 		worker++

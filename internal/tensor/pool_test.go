@@ -135,3 +135,32 @@ func TestPoolCloseIdempotent(t *testing.T) {
 	r.Close()
 	r.Close()
 }
+
+// TestPoolStatsCounters checks the process-wide dispatch accounting:
+// parallel dispatches are counted, their spans land in queued or inline,
+// and the serial fast path stays invisible. Counters are global, so the
+// test asserts deltas, tolerating concurrent test packages only by
+// running its own dispatches between reads.
+func TestPoolStatsCounters(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	before := ReadPoolStats()
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		p.ParallelFor(4096, 64, func(lo, hi int) {})
+	}
+	p.ParallelFor(1, 64, func(lo, hi int) {}) // n <= grain: serial, uncounted
+	d := ReadPoolStats()
+	if got := d.Dispatches - before.Dispatches; got != rounds {
+		t.Errorf("dispatches delta = %d, want %d", got, rounds)
+	}
+	spans := (d.SpansQueued - before.SpansQueued) + (d.SpansInline - before.SpansInline)
+	// Each 4-worker dispatch enqueues 3 spans (span 0 runs in the caller).
+	if spans != 3*rounds {
+		t.Errorf("spans delta = %d, want %d", spans, 3*rounds)
+	}
+	if d.DispatchAllocs+d.DispatchReuses != d.Dispatches {
+		t.Errorf("allocs %d + reuses %d != dispatches %d",
+			d.DispatchAllocs, d.DispatchReuses, d.Dispatches)
+	}
+}
