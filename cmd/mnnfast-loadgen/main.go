@@ -23,7 +23,7 @@ func main() {
 		questions   = flag.Int("questions", 20, "questions per session")
 		storyLen    = flag.Int("storylen", 8, "story sentences per session")
 		seed        = flag.Int64("seed", 1, "workload seed")
-		serverStats = flag.Bool("server-stats", true, "scrape /v1/metrics before/after and print the server-side stage breakdown")
+		serverStats = flag.Bool("server-stats", true, "scrape /v1/metrics before/after and print the server-side stage breakdown (plus batching stats when the server micro-batches)")
 	)
 	flag.Parse()
 

@@ -12,12 +12,21 @@
 //	curl localhost:8080/v1/metrics          # Prometheus text exposition
 //	curl localhost:8080/v1/statz            # JSON snapshot with percentiles
 //
+// Concurrent answers are micro-batched into one batched inference call
+// per flush (the paper's §4.1.2 batching argument): -batch-max sets the
+// flush size (0 disables batching), -batch-wait how long a partial
+// batch waits for stragglers, and -queue-depth the admission bound —
+// beyond it requests are shed with 429 + Retry-After. SIGINT/SIGTERM
+// drain in-flight batches before exit.
+//
 // -pprof exposes net/http/pprof under /debug/pprof/ and -access-log
 // emits one structured line per request. Without -model, a small
 // single-fact model is trained at startup.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -25,8 +34,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"mnnfast/internal/babi"
+	"mnnfast/internal/batcher"
 	"mnnfast/internal/memnn"
 	"mnnfast/internal/server"
 )
@@ -38,6 +51,9 @@ func main() {
 		skip        = flag.Float64("skip", 0, "zero-skipping threshold for inference (0 = exact)")
 		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		accessLog   = flag.Bool("access-log", false, "log one structured line per request to stderr")
+		batchMax    = flag.Int("batch-max", batcher.DefaultMaxBatch, "micro-batch flush size for /v1/answer (0 = no batching)")
+		batchWait   = flag.Duration("batch-wait", batcher.DefaultMaxWait, "how long a partial batch waits for stragglers")
+		queueDepth  = flag.Int("queue-depth", 0, "bounded answer queue; beyond it requests get 429 (0 = 4x batch-max)")
 	)
 	flag.Parse()
 
@@ -53,6 +69,14 @@ func main() {
 	if *accessLog {
 		srv.AccessLog = log.New(os.Stderr, "", log.LstdFlags)
 	}
+	if *batchMax > 0 {
+		srv.EnableBatching(server.BatchOptions{
+			MaxBatch:   *batchMax,
+			MaxWait:    *batchWait,
+			QueueDepth: *queueDepth,
+		})
+		log.Printf("micro-batching: max batch %d, max wait %v", *batchMax, *batchWait)
+	}
 
 	root := http.NewServeMux()
 	root.Handle("/", srv.Handler())
@@ -67,7 +91,27 @@ func main() {
 
 	log.Printf("serving on %s (vocab %d, answers %d, hops %d); metrics at /v1/metrics",
 		*addr, corpus.Vocab.Size(), len(corpus.Answers), model.Cfg.Hops)
-	log.Fatal(http.ListenAndServe(*addr, root))
+
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting
+	// connections, finish in-flight requests, and flush any queued
+	// answer batches before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: root}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal("mnnfast-serve: ", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining connections and queued batches")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mnnfast-serve: shutdown: %v", err)
+	}
+	srv.Close()
 }
 
 func obtainModel(path string) (*memnn.Model, *memnn.Corpus, error) {

@@ -1,0 +1,474 @@
+package batcher
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mnnfast/internal/obs"
+)
+
+// fakeClock drives the MaxWait timer deterministically: time moves only
+// when the test calls Advance.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	ch    chan time.Time
+	at    time.Time
+	fired bool
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{ch: make(chan time.Time, 1), at: c.now.Add(d)}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	for _, t := range c.timers {
+		if !t.fired && !t.at.After(c.now) {
+			t.fired = true
+			t.ch <- c.now
+		}
+	}
+}
+
+func (c *fakeClock) timerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	return true // the dispatcher only stops timers it no longer selects on
+}
+
+// waitFor polls cond for up to ~2s; the conditions under test are
+// driven by a live dispatcher goroutine, not by wall time.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// req is the test request type: run doubles X into Y.
+type req struct {
+	X, Y int
+}
+
+func doubler(batch []*req) {
+	for _, r := range batch {
+		r.Y = 2 * r.X
+	}
+}
+
+func TestFlushOnMaxBatch(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	b := New(doubler, Options{MaxBatch: 4, MaxWait: time.Hour, QueueDepth: 16, Metrics: m})
+	defer b.Close()
+
+	const n = 8 // a multiple of MaxBatch, so no partial batch waits out the hour
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	reqs := make([]*req, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reqs[i] = &req{X: i}
+			errs[i] = b.Do(context.Background(), reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("Do %d: %v", i, errs[i])
+		}
+		if reqs[i].Y != 2*i {
+			t.Errorf("req %d: Y = %d, want %d", i, reqs[i].Y, 2*i)
+		}
+	}
+	if got := m.BatchSize.Sum(); got != n {
+		t.Errorf("batch size sum = %d, want %d", got, n)
+	}
+	if fl := m.Flushes.Value(); fl < 2 || fl > n {
+		t.Errorf("flushes = %d, want in [2, %d]", fl, n)
+	}
+}
+
+func TestFlushOnMaxWaitTimer(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	var mu sync.Mutex
+	var sizes []int
+	b := New(func(batch []*req) {
+		mu.Lock()
+		sizes = append(sizes, len(batch))
+		mu.Unlock()
+		started <- struct{}{}
+		<-gate
+		doubler(batch)
+	}, Options{MaxBatch: 8, MaxWait: 50 * time.Millisecond, Clock: clk, Metrics: m})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	do := func(x int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.Do(context.Background(), &req{X: x}); err != nil {
+				t.Errorf("Do(%d): %v", x, err)
+			}
+		}()
+	}
+	// A lone request cannot fill MaxBatch=8; only the timer flushes it.
+	do(0)
+	waitFor(t, "timer armed", func() bool { return clk.timerCount() == 1 })
+	clk.Advance(50 * time.Millisecond)
+	<-started // batch [0] flushed by the timer; run now blocks on the gate
+
+	// Three stragglers pile up while the dispatcher is busy; the next
+	// collect grabs all of them at once and, still short of MaxBatch,
+	// arms a second timer.
+	do(1)
+	do(2)
+	do(3)
+	waitFor(t, "stragglers queued", func() bool { return b.QueueLen() == 3 })
+	close(gate) // release batch [0]; later runs pass the gate instantly
+	waitFor(t, "second timer armed", func() bool { return clk.timerCount() == 2 })
+	clk.Advance(50 * time.Millisecond)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != 3 {
+		t.Errorf("flush sizes = %v, want [1 3]", sizes)
+	}
+	if m.BatchSize.Count() != 2 || m.BatchSize.Sum() != 4 {
+		t.Errorf("batch size count/sum = %d/%d, want 2/4", m.BatchSize.Count(), m.BatchSize.Sum())
+	}
+	// Each request waited (in fake time) at most the 50ms MaxWait; the
+	// histogram quantile reports the covering power-of-two bucket bound,
+	// so allow up to 2^26ns ≈ 67ms.
+	if m.QueueWait.Count() != 4 {
+		t.Errorf("queue wait count = %d, want 4", m.QueueWait.Count())
+	}
+	if max := m.QueueWait.Quantile(1); max > int64(1)<<26 {
+		t.Errorf("max queue wait = %dns, want <= 2^26ns (bucket covering 50ms)", max)
+	}
+}
+
+// gatedBatcher builds a batcher whose run blocks until the gate opens,
+// so tests can hold a batch in flight while probing admission.
+func gatedBatcher(opt Options) (b *Batcher[*req], gate chan struct{}, started chan struct{}, ran *atomic.Int64) {
+	gate = make(chan struct{})
+	started = make(chan struct{}, 64)
+	ran = new(atomic.Int64)
+	b = New(func(batch []*req) {
+		started <- struct{}{}
+		<-gate
+		ran.Add(int64(len(batch)))
+		doubler(batch)
+	}, opt)
+	return b, gate, started, ran
+}
+
+func TestQueueFullShedsImmediately(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	b, gate, started, _ := gatedBatcher(Options{MaxBatch: 1, MaxWait: time.Hour, QueueDepth: 2, Metrics: m})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ { // 1 in flight + 2 queued
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := b.Do(context.Background(), &req{X: i}); err != nil {
+				t.Errorf("Do(%d): %v", i, err)
+			}
+		}(i)
+	}
+	<-started // batch 1 is in run, holding the dispatcher
+	waitFor(t, "queue full", func() bool { return b.QueueLen() == 2 })
+
+	// Admission control: the 4th request is rejected NOW, not queued.
+	t0 := time.Now()
+	err := b.Do(context.Background(), &req{X: 99})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Do on full queue = %v, want ErrQueueFull", err)
+	}
+	if d := time.Since(t0); d > time.Second {
+		t.Errorf("full-queue rejection took %v, want immediate", d)
+	}
+	if m.Shed.Value() != 1 {
+		t.Errorf("shed = %d, want 1", m.Shed.Value())
+	}
+
+	close(gate) // release the in-flight batch and let the queue drain
+	wg.Wait()
+	b.Close()
+}
+
+func TestExpiredWhileQueuedSkipsBatchSlot(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	b, gate, started, ran := gatedBatcher(Options{MaxBatch: 1, MaxWait: time.Hour, QueueDepth: 4, Metrics: m})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := b.Do(context.Background(), &req{X: 1}); err != nil {
+			t.Errorf("Do(1): %v", err)
+		}
+	}()
+	<-started // first batch in flight, dispatcher blocked in run
+
+	// Queue a request, then cancel it while it waits.
+	ctx, cancel := context.WithCancel(context.Background())
+	expired := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		expired <- b.Do(ctx, &req{X: 2})
+	}()
+	waitFor(t, "second request queued", func() bool { return b.QueueLen() == 1 })
+	cancel()
+	if err := <-expired; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Do = %v, want context.Canceled", err)
+	}
+
+	close(gate) // release the first batch; dispatcher collects the corpse
+	wg.Wait()
+	waitFor(t, "expiry accounted", func() bool { return m.Expired.Value() == 1 })
+
+	// The canceled request never reached run: only request 1 executed,
+	// and only one flush was recorded.
+	if got := ran.Load(); got != 1 {
+		t.Errorf("run saw %d requests, want 1 (expired request occupied a batch slot)", got)
+	}
+	if m.Flushes.Value() != 1 || m.BatchSize.Count() != 1 {
+		t.Errorf("flushes/batches = %d/%d, want 1/1", m.Flushes.Value(), m.BatchSize.Count())
+	}
+}
+
+func TestCloseDrainsInFlightAndQueued(t *testing.T) {
+	b, gate, started, ran := gatedBatcher(Options{MaxBatch: 1, MaxWait: time.Hour, QueueDepth: 8})
+
+	const n = 3
+	var wg sync.WaitGroup
+	reqs := make([]*req, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reqs[i] = &req{X: i}
+			if err := b.Do(context.Background(), reqs[i]); err != nil {
+				t.Errorf("Do(%d): %v", i, err)
+			}
+		}(i)
+	}
+	<-started
+	waitFor(t, "remaining requests queued", func() bool { return b.QueueLen() == n-1 })
+
+	closed := make(chan struct{})
+	go func() {
+		b.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a batch was still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(gate) // let the drain proceed
+	<-closed
+	wg.Wait()
+	if got := ran.Load(); got != n {
+		t.Errorf("drained %d requests, want %d", got, n)
+	}
+	for i, r := range reqs {
+		if r.Y != 2*i {
+			t.Errorf("req %d: Y = %d, want %d (lost in drain)", i, r.Y, 2*i)
+		}
+	}
+
+	// Post-close admission fails fast; a second Close is a no-op.
+	if err := b.Do(context.Background(), &req{X: 9}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Do after Close = %v, want ErrClosed", err)
+	}
+	b.Close()
+}
+
+// TestInterleavingEquivalence is the batcher-level correctness
+// property, testing/quick-style with a seeded generator: whatever the
+// arrival interleaving, batch-size limit, and wait policy, every Do
+// returns exactly its own request's answer.
+func TestInterleavingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 30; trial++ {
+		maxBatch := 1 + rng.Intn(8)
+		var batches atomic.Int64
+		b := New(func(batch []*req) {
+			if len(batch) < 1 || len(batch) > maxBatch {
+				t.Errorf("trial %d: batch size %d outside [1, %d]", trial, len(batch), maxBatch)
+			}
+			batches.Add(1)
+			doubler(batch)
+		}, Options{
+			MaxBatch:   maxBatch,
+			MaxWait:    time.Duration(rng.Intn(3)) * time.Millisecond,
+			QueueDepth: 64,
+		})
+
+		goroutines := 1 + rng.Intn(8)
+		perG := 1 + rng.Intn(10)
+		jitter := make([][]time.Duration, goroutines)
+		for g := range jitter {
+			jitter[g] = make([]time.Duration, perG)
+			for i := range jitter[g] {
+				jitter[g][i] = time.Duration(rng.Intn(300)) * time.Microsecond
+			}
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					time.Sleep(jitter[g][i])
+					r := &req{X: g*1000 + i}
+					if err := b.Do(context.Background(), r); err != nil {
+						t.Errorf("trial %d: Do: %v", trial, err)
+						return
+					}
+					if r.Y != 2*r.X {
+						t.Errorf("trial %d: got %d for input %d, want %d (cross-request mixup)",
+							trial, r.Y, r.X, 2*r.X)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		b.Close()
+		if batches.Load() == 0 {
+			t.Errorf("trial %d: no batches ran", trial)
+		}
+	}
+}
+
+// TestConcurrentStress hammers one batcher from many goroutines with
+// cancellations and a racing Close — run under -race in CI.
+func TestConcurrentStress(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	b := New(doubler, Options{MaxBatch: 8, MaxWait: 200 * time.Microsecond, QueueDepth: 32, Metrics: m})
+
+	const goroutines = 16
+	const perG = 50
+	var wg sync.WaitGroup
+	var ok, shed, gone atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if i%7 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%3)*100*time.Microsecond)
+				}
+				r := &req{X: i}
+				err := b.Do(ctx, r)
+				if cancel != nil {
+					cancel()
+				}
+				switch {
+				case err == nil:
+					ok.Add(1)
+					if r.Y != 2*i {
+						t.Errorf("wrong answer under stress: %d for %d", r.Y, i)
+					}
+				case errors.Is(err, ErrQueueFull):
+					shed.Add(1)
+				case errors.Is(err, ErrClosed), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+					gone.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.Close()
+	t.Logf("stress: %d ok, %d shed, %d expired/closed; %d flushes, batch p50 %d",
+		ok.Load(), shed.Load(), gone.Load(), m.Flushes.Value(), m.BatchSize.Quantile(0.5))
+	if ok.Load() == 0 {
+		t.Error("no request succeeded under stress")
+	}
+	if got := m.BatchSize.Sum(); got != ok.Load() {
+		t.Errorf("batch size sum %d != successful requests %d", got, ok.Load())
+	}
+}
+
+// TestDoAllocs: with a full batch of one (no timer armed) the whole
+// Do→collect→flush→complete round trip allocates nothing at steady
+// state — pending wrappers are pooled and completion channels reused.
+// This is the "0 allocs/op outside the flush boundary" guarantee: the
+// model-side counterpart lives in memnn's TestPredictBatchAllocs.
+func TestDoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; allocation counts are not meaningful")
+	}
+	b := New(doubler, Options{MaxBatch: 1, MaxWait: time.Hour, QueueDepth: 4})
+	defer b.Close()
+	r := &req{X: 3}
+	ctx := context.Background()
+	if err := b.Do(ctx, r); err != nil { // warm the wrapper pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := b.Do(ctx, r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Do allocates %v per request, want 0", allocs)
+	}
+}

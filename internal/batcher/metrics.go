@@ -1,0 +1,38 @@
+package batcher
+
+import "mnnfast/internal/obs"
+
+// Metrics is the batcher's observability surface. All hooks are
+// optional (a nil Metrics disables them) and every update is the usual
+// lock-free obs hot path.
+type Metrics struct {
+	// BatchSize records the number of live requests in each flush.
+	BatchSize *obs.SizeHistogram
+	// QueueWait records how long each flushed request sat queued.
+	QueueWait *obs.Histogram
+	// Flushes counts batches handed to the run function.
+	Flushes *obs.Counter
+	// Shed counts requests rejected at admission because the queue was
+	// full (the server's 429s).
+	Shed *obs.Counter
+	// Expired counts requests whose context ended while they were
+	// queued; they are completed with the context error and never
+	// occupy a batch slot (the server's 504s).
+	Expired *obs.Counter
+}
+
+// NewMetrics registers the standard batcher metric set into reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		BatchSize: reg.SizeHistogram("mnnfast_batch_size",
+			"Live requests per batch flush."),
+		QueueWait: reg.Histogram("mnnfast_batch_queue_wait_seconds",
+			"Time each flushed request spent queued before its batch ran."),
+		Flushes: reg.Counter("mnnfast_batch_flushes_total",
+			"Batches handed to the inference runner."),
+		Shed: reg.Counter("mnnfast_batch_shed_total",
+			"Requests rejected at admission because the queue was full."),
+		Expired: reg.Counter("mnnfast_batch_expired_total",
+			"Requests whose context ended while queued."),
+	}
+}

@@ -1,0 +1,5 @@
+//go:build race
+
+package batcher
+
+const raceEnabled = true

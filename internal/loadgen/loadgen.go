@@ -140,6 +140,23 @@ func (r *Result) ServerReport() string {
 	}
 	fmt.Fprintf(&b, "zero-skip: %.0f/%.0f rows skipped (%.1f%%); embedding cache: %.0f hits / %.0f misses (%.1f%% hit)",
 		skipped, total, skipPct, hits, misses, hitPct)
+
+	// Batching telemetry, present only when the server ran with
+	// micro-batching enabled (mnnfast-serve -batch-max > 0).
+	if flushes := d.Value("mnnfast_batch_flushes_total"); flushes > 0 {
+		answered := d.Value("mnnfast_batch_size_sum")
+		meanBatch := answered / flushes
+		p50 := d.Quantile("mnnfast_batch_size", "", 0.5)
+		waitAvgUS := 0.0
+		if wc := d.Value("mnnfast_batch_queue_wait_seconds_count"); wc > 0 {
+			waitAvgUS = d.Value("mnnfast_batch_queue_wait_seconds_sum") / wc * 1e6
+		}
+		fmt.Fprintf(&b, "\nbatching: %.0f answers in %.0f flushes (mean batch %.2f, p50 %.1f); queue wait avg %.1fµs; shed %.0f, expired %.0f",
+			answered, flushes, meanBatch, p50,
+			waitAvgUS,
+			d.Value("mnnfast_batch_shed_total"),
+			d.Value("mnnfast_batch_expired_total"))
+	}
 	return b.String()
 }
 

@@ -15,6 +15,13 @@ import (
 
 func testService(t *testing.T) *httptest.Server {
 	t.Helper()
+	return testServiceWith(t, nil)
+}
+
+// testServiceWith builds the QA service, optionally with micro-batching
+// (configure != nil runs against the built server before serving).
+func testServiceWith(t *testing.T, configure func(*server.Server)) *httptest.Server {
+	t.Helper()
 	opt := babi.GenOptions{Stories: 200, StoryLen: 8, People: 6, Locations: 6}
 	d := babi.Generate(babi.TaskSingleFact, opt, rand.New(rand.NewSource(8)))
 	train, test := d.Split(0.9)
@@ -37,9 +44,53 @@ func testService(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if configure != nil {
+		configure(srv)
+		t.Cleanup(srv.Close)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// TestBatchedServerReport runs concurrent sessions against a batched
+// service and checks the report's batching section — including the
+// acceptance criterion that concurrency ≥ 8 yields a batch-size p50
+// above 1 (requests really coalesce).
+func TestBatchedServerReport(t *testing.T) {
+	ts := testServiceWith(t, func(s *server.Server) {
+		s.EnableBatching(server.BatchOptions{MaxBatch: 8, MaxWait: 5 * time.Millisecond})
+	})
+	res, err := Run(Config{
+		BaseURL:       ts.URL,
+		Sessions:      8,
+		Questions:     20,
+		StoryLen:      5,
+		Seed:          3,
+		Client:        ts.Client(),
+		ServerMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d: %s", res.Errors, res)
+	}
+	if res.ServerDiff == nil {
+		t.Fatal("ServerDiff not captured")
+	}
+	if got := res.ServerDiff.Value("mnnfast_batch_size_sum"); got != 160 {
+		t.Errorf("batched answers = %v, want 160", got)
+	}
+	if p50 := res.ServerDiff.Quantile("mnnfast_batch_size", "", 0.5); p50 <= 1 {
+		t.Errorf("batch size p50 = %v under 8 concurrent sessions, want > 1", p50)
+	}
+	report := res.ServerReport()
+	for _, want := range []string{"batching:", "flushes", "queue wait", "shed"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
 }
 
 func TestRunAgainstLiveService(t *testing.T) {

@@ -1,0 +1,246 @@
+package memnn
+
+import (
+	"fmt"
+	"time"
+
+	"mnnfast/internal/tensor"
+)
+
+// Batched inference: answer several questions in one forward pass,
+// sharing every memory-row read across the questions that attend to it.
+// This is the serving-side realization of the paper's batching argument
+// (§4.1.2): with B questions in flight, each row of M_IN/M_OUT (and
+// each row of the output projection W) is streamed from memory once per
+// batch instead of once per question, so throughput stays flat as
+// concurrency grows instead of degrading with redundant memory traffic.
+//
+// Bit-exactness contract: the batched pass performs exactly the same
+// float32 operations in exactly the same order per question as the
+// single-question path (applyInto with a cached EmbeddedStory) — the
+// same tensor.Dot per attention logit, the same tensor.Softmax, the
+// same ascending-row tensor.Axpy accumulation, the same output
+// projection. Only the loop nesting changes (rows outer, questions
+// inner), which affects locality, not results. The equivalence property
+// test in batch_test.go pins this down to the bit level; any kernel
+// change that breaks it (e.g. swapping the per-question Dot for the
+// differently-associated Dot4) is a behavior change, not a refactor.
+
+// BatchForward holds the per-question forward state and the grouping
+// scratch of one batched predict. Buffers are reshaped grow-only and
+// reused across calls of any shape; at steady state a serving loop that
+// owns one BatchForward runs PredictBatchInto without allocating. It
+// must not be shared between concurrent calls.
+type BatchForward struct {
+	fs []Forward // one per question
+
+	// Grouping scratch: order is a permutation of [0, n) with questions
+	// that share an EmbeddedStory adjacent; groups holds the end offset
+	// of each group within order.
+	order   []int
+	groups  []int
+	grouped []bool
+}
+
+// Logits returns question i's answer logits from the last batched pass,
+// for equivalence testing and introspection.
+func (bf *BatchForward) Logits(i int) tensor.Vector { return bf.fs[i].Logits }
+
+// ensure reshapes the per-question state for a batch of n.
+func (bf *BatchForward) ensure(n int) {
+	if cap(bf.fs) < n {
+		fs := make([]Forward, n)
+		copy(fs, bf.fs[:cap(bf.fs)])
+		bf.fs = fs
+	}
+	bf.fs = bf.fs[:n]
+	if cap(bf.grouped) < n {
+		bf.grouped = make([]bool, n)
+	}
+	bf.grouped = bf.grouped[:n]
+}
+
+// group orders the batch so questions sharing an EmbeddedStory are
+// adjacent (pointer identity — two sessions never share one cache).
+func (bf *BatchForward) group(stories []*EmbeddedStory) {
+	n := len(stories)
+	bf.order = bf.order[:0]
+	bf.groups = bf.groups[:0]
+	for i := range bf.grouped {
+		bf.grouped[i] = false
+	}
+	for i := 0; i < n; i++ {
+		if bf.grouped[i] {
+			continue
+		}
+		bf.order = append(bf.order, i)
+		for j := i + 1; j < n; j++ {
+			if !bf.grouped[j] && stories[j] == stories[i] {
+				bf.grouped[j] = true
+				bf.order = append(bf.order, j)
+			}
+		}
+		bf.groups = append(bf.groups, len(bf.order))
+	}
+}
+
+// PredictBatchInto answers every question in exs, writing the argmax
+// answer class of question i into out[i]. stories[i] supplies question
+// i's pre-embedded memories (see EmbedStoryInto); every entry must be
+// non-nil with NS matching its example. Questions sharing an
+// EmbeddedStory (pointer identity) share one pass over its rows.
+func (m *Model) PredictBatchInto(exs []Example, skipThreshold float32, stories []*EmbeddedStory, bf *BatchForward, out []int) {
+	m.PredictBatchInstrumented(exs, skipThreshold, stories, bf, nil, out)
+}
+
+// PredictBatchInstrumented is PredictBatchInto with an optional
+// per-stage time and skip-counter accumulator covering the whole batch.
+func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, stories []*EmbeddedStory, bf *BatchForward, ins *Instrumentation, out []int) {
+	n := len(exs)
+	if len(stories) != n || len(out) != n {
+		panic(fmt.Sprintf("memnn: PredictBatch length mismatch exs=%d stories=%d out=%d", n, len(stories), len(out)))
+	}
+	if n == 0 {
+		return
+	}
+	for i, es := range stories {
+		if es == nil {
+			panic(fmt.Sprintf("memnn: PredictBatch question %d has nil EmbeddedStory", i))
+		}
+		if es.NS != len(exs[i].Sentences) {
+			panic(fmt.Sprintf("memnn: EmbeddedStory built for %d sentences applied to story of %d", es.NS, len(exs[i].Sentences)))
+		}
+	}
+	hops, d := m.Cfg.Hops, m.Cfg.Dim
+	bf.ensure(n)
+	bf.group(stories)
+
+	var mark time.Time
+	if ins != nil {
+		mark = time.Now()
+	}
+
+	// Question embeddings (per question — the B-table gathers touch
+	// disjoint rows, nothing to share).
+	for q := 0; q < n; q++ {
+		f := &bf.fs[q]
+		f.NS = stories[q].NS
+		if cap(f.U) < hops+1 {
+			f.U = make([]tensor.Vector, hops+1)
+		}
+		f.U = f.U[:hops+1]
+		if cap(f.P) < hops {
+			f.P = make([]tensor.Vector, hops)
+			f.O = make([]tensor.Vector, hops)
+		}
+		f.P, f.O = f.P[:hops], f.O[:hops]
+		f.U[0] = growVec(f.U[0], d)
+		m.encodeInto(m.B, exs[q].Question, nil, f.U[0])
+	}
+	if ins != nil {
+		lap(&mark, &ins.EmbedNS)
+	}
+
+	for k := 0; k < hops; k++ {
+		start := 0
+		for _, end := range bf.groups {
+			group := bf.order[start:end]
+			start = end
+			es := stories[group[0]]
+			in, outMem := es.MemIn[k], es.MemOut[k]
+			ns := es.NS
+
+			// Attention logits: rows outer, questions inner — each
+			// memory row is read once for the whole group. Per question
+			// this is exactly MatVec's serial loop (one tensor.Dot per
+			// row), so the logits are bit-identical to the single path.
+			for _, q := range group {
+				f := &bf.fs[q]
+				f.P[k] = growVec(f.P[k], ns)
+			}
+			for r := 0; r < ns; r++ {
+				row := in.Row(r)
+				for _, q := range group {
+					bf.fs[q].P[k][r] = tensor.Dot(row, bf.fs[q].U[k])
+				}
+			}
+			for _, q := range group {
+				if !m.LinearAttention {
+					tensor.Softmax(bf.fs[q].P[k])
+				}
+			}
+
+			// Weighted sum with zero-skipping, rows outer again: each
+			// M_OUT row is read once and accumulated into every
+			// question of the group that does not skip it, in the same
+			// ascending-row Axpy order as the single path.
+			for _, q := range group {
+				f := &bf.fs[q]
+				f.O[k] = growVec(f.O[k], d)
+				f.O[k].Zero()
+			}
+			skipped := 0
+			for r := 0; r < ns; r++ {
+				outRow := outMem.Row(r)
+				for _, q := range group {
+					f := &bf.fs[q]
+					p := f.P[k][r]
+					if skipThreshold > 0 && p < skipThreshold {
+						skipped++
+						continue
+					}
+					tensor.Axpy(p, outRow, f.O[k])
+				}
+			}
+			if ins != nil {
+				ins.SkippedRows += int64(skipped)
+				ins.TotalRows += int64(ns) * int64(len(group))
+			}
+		}
+
+		// State update u' = u + o (adjacent) or u' = H·u + o
+		// (layer-wise). H is model-global, so its rows are shared
+		// across the entire batch, not just within a story group.
+		for q := 0; q < n; q++ {
+			f := &bf.fs[q]
+			f.U[k+1] = growVec(f.U[k+1], d)
+		}
+		if m.Cfg.Tying == TyingLayerwise {
+			for r := 0; r < d; r++ {
+				hrow := m.H.Row(r)
+				for q := 0; q < n; q++ {
+					bf.fs[q].U[k+1][r] = tensor.Dot(hrow, bf.fs[q].U[k])
+				}
+			}
+		} else {
+			for q := 0; q < n; q++ {
+				copy(bf.fs[q].U[k+1], bf.fs[q].U[k])
+			}
+		}
+		for q := 0; q < n; q++ {
+			bf.fs[q].U[k+1].AddInPlace(bf.fs[q].O[k])
+		}
+		if ins != nil {
+			lap(&mark, &ins.AttentionNS)
+		}
+	}
+
+	// Output projection: W is model-global too — each of its rows is
+	// read once for the whole batch, the largest cross-session saving.
+	for q := 0; q < n; q++ {
+		f := &bf.fs[q]
+		f.Logits = growVec(f.Logits, m.Cfg.Answers)
+	}
+	for r := 0; r < m.Cfg.Answers; r++ {
+		wrow := m.W.Row(r)
+		for q := 0; q < n; q++ {
+			bf.fs[q].Logits[r] = tensor.Dot(wrow, bf.fs[q].U[hops])
+		}
+	}
+	if ins != nil {
+		lap(&mark, &ins.OutputNS)
+	}
+	for q := 0; q < n; q++ {
+		out[q] = bf.fs[q].Logits.ArgMax()
+	}
+}

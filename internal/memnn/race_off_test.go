@@ -1,0 +1,5 @@
+//go:build !race
+
+package memnn
+
+const raceEnabled = false

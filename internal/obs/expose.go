@@ -33,6 +33,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			err = writeScalar(w, &m.m, typ, m.fn(), &lastFamily)
 		case *Histogram:
 			err = writeHistogram(w, m, &lastFamily)
+		case *SizeHistogram:
+			err = writeSizeHistogram(w, m, &lastFamily)
 		}
 		if err != nil {
 			return err
@@ -86,13 +88,39 @@ func writeHistogram(w io.Writer, h *Histogram, lastFamily *string) error {
 	return err
 }
 
+// writeSizeHistogram renders a count histogram: the le bounds are plain
+// sizes (1, 2, 4, …) and the sum is an integer, not seconds.
+func writeSizeHistogram(w io.Writer, h *SizeHistogram, lastFamily *string) error {
+	if err := writeHeader(w, &h.m, "histogram", lastFamily); err != nil {
+		return err
+	}
+	s := h.Snapshot()
+	var cum int64
+	for i := 0; i < NumSizeBuckets-1; i++ {
+		cum += s.Buckets[i]
+		le := `le="` + strconv.FormatInt(SizeBucketUpper(i), 10) + `"`
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.m.name, h.m.labels(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.m.name, h.m.labels(`le="+Inf"`), s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", h.m.name, h.m.labels(""), s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", h.m.name, h.m.labels(""), s.Count)
+	return err
+}
+
 // Snapshot is a point-in-time copy of a whole registry, keyed by metric
 // identity (name plus rendered label pair). It serializes to JSON for
 // the /v1/statz endpoint and subtracts for before/after diffs.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters"`
-	Gauges     map[string]int64             `json:"gauges"`
-	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Counters   map[string]int64                 `json:"counters"`
+	Gauges     map[string]int64                 `json:"gauges"`
+	Histograms map[string]HistogramSnapshot     `json:"histograms"`
+	Sizes      map[string]SizeHistogramSnapshot `json:"sizes,omitempty"`
 }
 
 // Snapshot captures every registered metric. Func metrics are collected
@@ -106,6 +134,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   make(map[string]int64),
 		Gauges:     make(map[string]int64),
 		Histograms: make(map[string]HistogramSnapshot),
+		Sizes:      make(map[string]SizeHistogramSnapshot),
 	}
 	for _, m := range metrics {
 		switch m := m.(type) {
@@ -121,6 +150,8 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 		case *Histogram:
 			s.Histograms[m.m.id()] = m.Snapshot()
+		case *SizeHistogram:
+			s.Sizes[m.m.id()] = m.Snapshot()
 		}
 	}
 	return s
@@ -135,6 +166,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Counters:   make(map[string]int64, len(s.Counters)),
 		Gauges:     make(map[string]int64, len(s.Gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+		Sizes:      make(map[string]SizeHistogramSnapshot, len(s.Sizes)),
 	}
 	for k, v := range s.Counters {
 		d.Counters[k] = v - prev.Counters[k]
@@ -144,6 +176,9 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	}
 	for k, v := range s.Histograms {
 		d.Histograms[k] = v.Sub(prev.Histograms[k])
+	}
+	for k, v := range s.Sizes {
+		d.Sizes[k] = v.Sub(prev.Sizes[k])
 	}
 	return d
 }

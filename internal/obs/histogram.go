@@ -138,6 +138,16 @@ func (s *HistogramSnapshot) fillQuantiles() {
 // containing the target rank and interpolates linearly inside it. The
 // +Inf bucket reports the last finite bound (a floor, not an estimate).
 func quantileFromBuckets(buckets *[NumBuckets]int64, count int64, q float64) int64 {
+	return quantileFromCounts(buckets[:], count, q, BucketUpperNS)
+}
+
+// quantileFromCounts is the bucket-walk shared by the latency and size
+// histograms: buckets hold per-bucket counts, upper maps a finite
+// bucket index to its inclusive upper bound, and the last bucket is
+// treated as +Inf (reported as the last finite bound — a floor, not an
+// estimate).
+func quantileFromCounts(buckets []int64, count int64, q float64, upper func(int) int64) int64 {
+	last := len(buckets) - 1
 	if count <= 0 {
 		return 0
 	}
@@ -158,18 +168,18 @@ func quantileFromBuckets(buckets *[NumBuckets]int64, count int64, q float64) int
 		}
 		next := cum + float64(b)
 		if next >= target {
-			if i == NumBuckets-1 {
-				return BucketUpperNS(NumBuckets - 2)
+			if i == last {
+				return upper(last - 1)
 			}
 			lower := int64(0)
 			if i > 0 {
-				lower = BucketUpperNS(i - 1)
+				lower = upper(i - 1)
 			}
-			upper := BucketUpperNS(i)
+			up := upper(i)
 			frac := (target - cum) / float64(b)
-			return lower + int64(frac*float64(upper-lower))
+			return lower + int64(frac*float64(up-lower))
 		}
 		cum = next
 	}
-	return BucketUpperNS(NumBuckets - 2)
+	return upper(last - 1)
 }

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -69,4 +71,81 @@ func HistKey(family, sample, labels string) string {
 		return family + "_" + sample
 	}
 	return family + "_" + sample + "{" + labels + "}"
+}
+
+// Quantile reconstructs the q-th quantile (q in [0,1]) of a scraped
+// histogram family from its cumulative `_bucket{le="…"}` samples,
+// interpolating linearly within the containing bucket. labels, when
+// non-empty, is the family's constant label pair rendered exactly as
+// exposed (e.g. `stage="embed"`); the le pair is matched in either
+// position. Works on diffed scrapes too, since Sub preserves the
+// cumulative structure. Returns 0 when the family is absent or empty.
+func (s Scrape) Quantile(family, labels string, q float64) float64 {
+	type bound struct {
+		le  float64
+		cum float64
+	}
+	prefix := family + "_bucket{"
+	var bounds []bound
+	for k, v := range s {
+		if !strings.HasPrefix(k, prefix) || !strings.HasSuffix(k, "}") {
+			continue
+		}
+		var le string
+		for _, pair := range strings.Split(k[len(prefix):len(k)-1], ",") {
+			if rest, ok := strings.CutPrefix(pair, `le="`); ok {
+				le = strings.TrimSuffix(rest, `"`)
+			} else if labels == "" || pair != labels {
+				le = ""
+				break
+			}
+		}
+		if le == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(le, 64)
+		if le == "+Inf" {
+			f, err = math.Inf(1), nil
+		}
+		if err != nil {
+			continue
+		}
+		bounds = append(bounds, bound{le: f, cum: v})
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].le < bounds[j].le })
+	count := bounds[len(bounds)-1].cum
+	if count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * count
+	if target < 1 {
+		target = 1
+	}
+	prevLE, prevCum := 0.0, 0.0
+	for i, b := range bounds {
+		if b.cum >= target {
+			if math.IsInf(b.le, 1) {
+				return prevLE // floor, not an estimate
+			}
+			if b.cum == prevCum {
+				return b.le
+			}
+			frac := (target - prevCum) / (b.cum - prevCum)
+			if i == 0 {
+				prevLE = 0
+			}
+			return prevLE + frac*(b.le-prevLE)
+		}
+		prevLE, prevCum = b.le, b.cum
+	}
+	return prevLE
 }

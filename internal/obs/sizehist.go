@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// The size-histogram bucket scheme mirrors the latency histogram but
+// counts things instead of nanoseconds: NumSizeBuckets-1 finite buckets
+// whose upper bounds double from 1 up to 2^(NumSizeBuckets-2), plus one
+// overflow (+Inf) bucket. Batch sizes, queue lengths, and fan-outs all
+// live comfortably inside 2^14; factor-2 spacing bounds the
+// within-bucket quantile interpolation error at 2×.
+const (
+	// NumSizeBuckets is the fixed bucket count of every SizeHistogram.
+	NumSizeBuckets = 16
+)
+
+// SizeBucketUpper returns the upper bound (inclusive) of finite bucket
+// i. Bucket NumSizeBuckets-1 is the +Inf overflow bucket.
+func SizeBucketUpper(i int) int64 {
+	return 1 << i
+}
+
+// sizeBucketIndex maps a size observation to its bucket.
+func sizeBucketIndex(n int64) int {
+	if n <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(n - 1))
+	if b > NumSizeBuckets-1 {
+		return NumSizeBuckets - 1
+	}
+	return b
+}
+
+// SizeHistogram is a fixed-bucket log-spaced histogram of counts
+// (batch sizes, queue lengths). Observe is lock-free and
+// allocation-free, like Histogram.
+type SizeHistogram struct {
+	m       meta
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [NumSizeBuckets]atomic.Int64
+}
+
+// Observe records a size. Negative values clamp to zero.
+func (h *SizeHistogram) Observe(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	h.buckets[sizeBucketIndex(n)].Add(1)
+	h.sum.Add(n)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *SizeHistogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed sizes.
+func (h *SizeHistogram) Sum() int64 { return h.sum.Load() }
+
+// Name returns the metric family name.
+func (h *SizeHistogram) Name() string { return h.m.name }
+
+// Quantile returns the q-th quantile (q in [0,1]) as a size: the
+// smallest bucket upper bound covering the target rank. Sizes are
+// integers, so no sub-bucket interpolation is attempted — the answer is
+// exact for power-of-two sizes and conservative within 2× otherwise.
+// It returns 0 for an empty histogram.
+func (h *SizeHistogram) Quantile(q float64) int64 {
+	s := h.Snapshot()
+	return sizeQuantile(s.Buckets[:], s.Count, q)
+}
+
+// sizeQuantile walks the cumulative distribution to the first bucket
+// covering the target rank and reports its upper bound. The +Inf bucket
+// reports the last finite bound (a floor, not an estimate).
+func sizeQuantile(buckets []int64, count int64, q float64) int64 {
+	if count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(count)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, b := range buckets {
+		cum += float64(b)
+		if cum >= target {
+			if i == len(buckets)-1 {
+				return SizeBucketUpper(len(buckets) - 2)
+			}
+			return SizeBucketUpper(i)
+		}
+	}
+	return SizeBucketUpper(len(buckets) - 2)
+}
+
+// SizeHistogramSnapshot is a point-in-time copy of a size histogram
+// with derived percentiles; snapshots subtract to give interval views.
+type SizeHistogramSnapshot struct {
+	Count   int64                 `json:"count"`
+	Sum     int64                 `json:"sum"`
+	P50     int64                 `json:"p50"`
+	P90     int64                 `json:"p90"`
+	P99     int64                 `json:"p99"`
+	Buckets [NumSizeBuckets]int64 `json:"-"`
+}
+
+// Snapshot copies the histogram state and computes percentiles.
+func (h *SizeHistogram) Snapshot() SizeHistogramSnapshot {
+	var s SizeHistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.Sum = h.sum.Load()
+	s.fillQuantiles()
+	return s
+}
+
+// Sub returns the interval view s − prev with percentiles recomputed
+// over the interval alone.
+func (s SizeHistogramSnapshot) Sub(prev SizeHistogramSnapshot) SizeHistogramSnapshot {
+	var d SizeHistogramSnapshot
+	d.Sum = s.Sum - prev.Sum
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+		d.Count += d.Buckets[i]
+	}
+	d.fillQuantiles()
+	return d
+}
+
+// Mean returns the mean observed size (0 when empty).
+func (s SizeHistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+func (s *SizeHistogramSnapshot) fillQuantiles() {
+	s.P50 = sizeQuantile(s.Buckets[:], s.Count, 0.50)
+	s.P90 = sizeQuantile(s.Buckets[:], s.Count, 0.90)
+	s.P99 = sizeQuantile(s.Buckets[:], s.Count, 0.99)
+}
+
+// SizeHistogram registers and returns a size histogram.
+func (r *Registry) SizeHistogram(name, help string) *SizeHistogram {
+	h := &SizeHistogram{m: meta{name: name, help: help}}
+	r.add(h.m.id(), h)
+	return h
+}
+
+// LabeledSizeHistogram registers a size histogram carrying one constant
+// label pair. Histograms of one family should be registered
+// consecutively.
+func (r *Registry) LabeledSizeHistogram(name, help, labelKey, labelVal string) *SizeHistogram {
+	h := &SizeHistogram{m: meta{name: name, help: help, labelKey: labelKey, labelVal: labelVal}}
+	r.add(h.m.id(), h)
+	return h
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSizeBucketIndex(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{16384, 14}, {16385, 15}, {1 << 40, NumSizeBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := sizeBucketIndex(c.n); got != c.want {
+			t.Errorf("sizeBucketIndex(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Every finite bucket's upper bound must land in its own bucket.
+	for i := 0; i < NumSizeBuckets-1; i++ {
+		if got := sizeBucketIndex(SizeBucketUpper(i)); got != i {
+			t.Errorf("bound %d lands in bucket %d, want %d", SizeBucketUpper(i), got, i)
+		}
+	}
+}
+
+func TestSizeHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.SizeHistogram("test_batch_size", "batch sizes")
+	// 100 flushes of size 8: p50 must land in the (4, 8] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(8)
+	}
+	if h.Count() != 100 || h.Sum() != 800 {
+		t.Fatalf("count=%d sum=%d, want 100/800", h.Count(), h.Sum())
+	}
+	if p50 := h.Quantile(0.50); p50 != 8 {
+		t.Errorf("p50 = %d, want 8", p50)
+	}
+	s := h.Snapshot()
+	if s.Mean() != 8 {
+		t.Errorf("mean = %v, want 8", s.Mean())
+	}
+
+	// Interval view: 50 more flushes of size 1 dominate the diff.
+	before := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Observe(1)
+	}
+	d := h.Snapshot().Sub(before)
+	if d.Count != 50 || d.Sum != 50 || d.P50 != 1 {
+		t.Errorf("diff = %+v, want count 50 sum 50 p50 1", d)
+	}
+}
+
+func TestSizeHistogramExpositionAndScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.SizeHistogram("test_sizes", "sizes under test")
+	for i := 0; i < 10; i++ {
+		h.Observe(4)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`test_sizes_bucket{le="1"} 0`,
+		`test_sizes_bucket{le="4"} 10`,
+		`test_sizes_bucket{le="+Inf"} 10`,
+		"test_sizes_sum 40",
+		"test_sizes_count 10",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Round-trip through the scrape parser and reconstruct the median.
+	sc, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50 := sc.Quantile("test_sizes", "", 0.50)
+	if p50 <= 2 || p50 > 4 {
+		t.Errorf("scraped p50 = %v, want in (2, 4]", p50)
+	}
+
+	// JSON snapshot carries the size histogram with percentiles.
+	snap := r.Snapshot()
+	ss, ok := snap.Sizes["test_sizes"]
+	if !ok {
+		t.Fatalf("snapshot missing size histogram: %+v", snap.Sizes)
+	}
+	if ss.Count != 10 || ss.Sum != 40 {
+		t.Errorf("snapshot = %+v, want count 10 sum 40", ss)
+	}
+}
+
+func TestScrapeQuantileLabeled(t *testing.T) {
+	r := NewRegistry()
+	h := r.LabeledSizeHistogram("test_fam", "labeled sizes", "kind", "a")
+	other := r.LabeledSizeHistogram("test_fam", "labeled sizes", "kind", "b")
+	for i := 0; i < 20; i++ {
+		h.Observe(16)
+		other.Observe(1)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := sc.Quantile("test_fam", `kind="a"`, 0.5)
+	pb := sc.Quantile("test_fam", `kind="b"`, 0.5)
+	if pa <= 8 || pa > 16 {
+		t.Errorf("kind=a p50 = %v, want in (8, 16]", pa)
+	}
+	// Scrape.Quantile interpolates within the bucket, so an all-1s
+	// histogram reconstructs to somewhere in (0, 1].
+	if pb <= 0 || pb > 1 {
+		t.Errorf("kind=b p50 = %v, want in (0, 1]", pb)
+	}
+	if got := sc.Quantile("test_missing", "", 0.5); got != 0 {
+		t.Errorf("missing family quantile = %v, want 0", got)
+	}
+}
+
+func TestScrapeQuantileLatencyHistogram(t *testing.T) {
+	// The reconstruction must also work on the seconds-bounded latency
+	// histograms, within the factor-2 bucket error.
+	r := NewRegistry()
+	h := r.Histogram("test_lat_seconds", "latency")
+	for i := 0; i < 100; i++ {
+		h.ObserveNS(1_000_000) // 1ms
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50 := sc.Quantile("test_lat_seconds", "", 0.5)
+	if p50 < 0.0005 || p50 > 0.002 {
+		t.Errorf("p50 = %v s, want ~0.001 within one bucket", p50)
+	}
+}

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mnnfast/internal/batcher"
+	"mnnfast/internal/memnn"
+)
+
+// errNoStory marks an answer item whose session has no story; the HTTP
+// layer maps it to 409 exactly like the unbatched path.
+var errNoStory = errors.New("no story in session; POST /v1/story first")
+
+// BatchOptions configures dynamic micro-batching for /v1/answer.
+type BatchOptions struct {
+	// MaxBatch is the flush size (default batcher.DefaultMaxBatch).
+	MaxBatch int
+	// MaxWait is how long a partial batch waits for stragglers before
+	// flushing (default batcher.DefaultMaxWait).
+	MaxWait time.Duration
+	// QueueDepth bounds the admission queue (default 4×MaxBatch); a full
+	// queue answers 429 with a Retry-After hint.
+	QueueDepth int
+	// Clock is for tests; nil means the real clock.
+	Clock batcher.Clock
+}
+
+// answerItem is one /v1/answer request's trip through the batcher: the
+// handler fills sess and qIDs, the batch runner fills idx/n or err.
+// Items are pooled; the handler recycles them after a completed Do.
+type answerItem struct {
+	sess *session
+	qIDs []int
+
+	idx int   // predicted answer index
+	n   int   // session story length at answer time
+	err error // errNoStory, or a vectorize/embed failure
+}
+
+// batchState is the dispatcher-owned scratch for runAnswerBatch, reused
+// across flushes so the steady-state batched path allocates nothing.
+// Only the single batcher dispatcher goroutine touches it.
+type batchState struct {
+	sessions []*session // distinct sessions in this batch, each locked
+	wlocked  []bool     // true if sessions[j] is write-locked
+	serr     []error    // per-session admission error (nil = usable)
+
+	live    []*answerItem
+	exs     []memnn.Example
+	stories []*memnn.EmbeddedStory
+	out     []int
+	bf      memnn.BatchForward
+	ins     memnn.Instrumentation
+}
+
+// EnableBatching routes /v1/answer through a micro-batching scheduler:
+// concurrent questions are coalesced into one batched inference call
+// per flush (see memnn.PredictBatchInstrumented), which amortizes every
+// shared matrix-row read across the batch — the serving-side realization
+// of the paper's §4.1.2 batching argument. Batched answers are
+// bit-identical to unbatched ones.
+//
+// Call once, before the server starts handling requests; pair with
+// Close for a graceful drain.
+func (s *Server) EnableBatching(opt BatchOptions) {
+	if s.batch != nil {
+		panic("server: EnableBatching called twice")
+	}
+	b := batcher.New(s.runAnswerBatch, batcher.Options{
+		MaxBatch:   opt.MaxBatch,
+		MaxWait:    opt.MaxWait,
+		QueueDepth: opt.QueueDepth,
+		Clock:      opt.Clock,
+		Metrics:    batcher.NewMetrics(s.met.reg),
+	})
+	s.met.reg.GaugeFunc("mnnfast_batch_queue_length",
+		"Answer requests queued awaiting batch collection.",
+		func() int64 { return int64(b.QueueLen()) })
+	secs := int(math.Ceil(b.MaxWait().Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	s.retryAfter = strconv.Itoa(secs)
+	s.batch = b
+}
+
+// Close drains the answer batcher (if batching is enabled): admission
+// stops (new answers get 503), queued requests finish, and Close
+// returns once the last batch has run. Safe to call more than once and
+// on a server without batching.
+func (s *Server) Close() {
+	if s.batch != nil {
+		s.batch.Close()
+	}
+}
+
+// answerBatched is the /v1/answer tail when batching is enabled: submit
+// the vectorized question to the batcher and map the outcome onto the
+// same status codes the unbatched path uses, plus the admission-control
+// codes (429 queue full, 503 closed, 504 expired while queued).
+func (s *Server) answerBatched(w http.ResponseWriter, r *http.Request, sess *session, qIDs []int) {
+	it, _ := s.items.Get().(*answerItem)
+	if it == nil {
+		it = new(answerItem)
+	}
+	it.sess, it.qIDs, it.idx, it.n, it.err = sess, qIDs, 0, 0, nil
+
+	err := s.batch.Do(r.Context(), it)
+	switch {
+	case err == nil:
+		ierr, idx, n := it.err, it.idx, it.n
+		it.sess, it.qIDs, it.err = nil, nil, nil
+		s.items.Put(it)
+		if ierr != nil {
+			if errors.Is(ierr, errNoStory) {
+				httpError(w, http.StatusConflict, "%v", ierr)
+			} else {
+				httpError(w, http.StatusUnprocessableEntity, "%v", ierr)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, AnswerResponse{
+			Answer: s.corpus.AnswerWord(idx), Index: idx, Sentences: n,
+		})
+	case errors.Is(err, batcher.ErrQueueFull):
+		w.Header().Set("Retry-After", s.retryAfter)
+		httpError(w, http.StatusTooManyRequests, "answer queue full; retry after %ss", s.retryAfter)
+	case errors.Is(err, batcher.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	default:
+		// The request's context ended while it waited in the queue; the
+		// item was abandoned to the dispatcher, so it is not recycled.
+		httpError(w, http.StatusGatewayTimeout, "request expired while queued: %v", err)
+	}
+}
+
+// runAnswerBatch answers one flushed batch with a single batched
+// inference call. It runs on the batcher's dispatcher goroutine, which
+// is the only multi-session lock holder in the process: every other
+// locker (handleStory, the unbatched answer path) holds at most one
+// session lock and never blocks on a second, so holding several here
+// cannot deadlock.
+func (s *Server) runAnswerBatch(items []*answerItem) {
+	st := &s.bstate
+	st.sessions = st.sessions[:0]
+	st.wlocked = st.wlocked[:0]
+	st.serr = st.serr[:0]
+	st.live = st.live[:0]
+	st.exs = st.exs[:0]
+	st.stories = st.stories[:0]
+
+	for _, it := range items {
+		// Batches are small: a linear pointer scan dedups sessions
+		// without a map allocation.
+		si := -1
+		for j, sess := range st.sessions {
+			if sess == it.sess {
+				si = j
+				break
+			}
+		}
+		if si < 0 {
+			si = s.lockForBatch(it.sess, st)
+		} else if st.serr[si] == nil {
+			s.met.cacheHits.Inc() // embedded earlier in this same batch
+		}
+		if err := st.serr[si]; err != nil {
+			it.err = err
+			continue
+		}
+		it.err = nil
+		it.n = len(it.sess.story.Sentences)
+		st.live = append(st.live, it)
+		st.exs = append(st.exs, memnn.Example{Sentences: it.sess.cachedSentences, Question: it.qIDs})
+		st.stories = append(st.stories, &it.sess.emb)
+	}
+
+	if len(st.live) > 0 {
+		if cap(st.out) < len(st.live) {
+			st.out = make([]int, len(st.live))
+		}
+		st.out = st.out[:len(st.live)]
+		st.ins.Reset()
+		s.model.PredictBatchInstrumented(st.exs, s.SkipThreshold, st.stories, &st.bf, &st.ins, st.out)
+		s.met.observeInference(&st.ins)
+		for i, it := range st.live {
+			it.idx = st.out[i]
+		}
+	}
+
+	for j, sess := range st.sessions {
+		if st.wlocked[j] {
+			sess.mu.Unlock()
+		} else {
+			sess.mu.RUnlock()
+		}
+		st.sessions[j] = nil // don't pin sessions until the next flush
+	}
+	st.sessions = st.sessions[:0]
+}
+
+// lockForBatch acquires sess for the duration of the current flush —
+// read-locked when its embedding cache is already valid, write-locked
+// (after embedding) otherwise — records it in st, and returns its index.
+// The cache hit/miss accounting matches the unbatched path: a valid
+// cache is a hit, an embed is a miss, an empty story is neither.
+func (s *Server) lockForBatch(sess *session, st *batchState) int {
+	sess.mu.RLock()
+	if sess.cacheValid {
+		s.met.cacheHits.Inc()
+		st.sessions = append(st.sessions, sess)
+		st.wlocked = append(st.wlocked, false)
+		st.serr = append(st.serr, nil)
+		return len(st.sessions) - 1
+	}
+	sess.mu.RUnlock()
+
+	sess.mu.Lock()
+	var serr error
+	switch {
+	case len(sess.story.Sentences) == 0:
+		serr = errNoStory
+	case sess.cacheValid:
+		s.met.cacheHits.Inc() // another goroutine embedded it meanwhile
+	default:
+		serr = s.embedSession(sess)
+		if serr == nil {
+			s.met.cacheMisses.Inc()
+		}
+	}
+	st.sessions = append(st.sessions, sess)
+	st.wlocked = append(st.wlocked, true)
+	st.serr = append(st.serr, serr)
+	return len(st.sessions) - 1
+}

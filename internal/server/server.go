@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"mnnfast/internal/babi"
+	"mnnfast/internal/batcher"
 	"mnnfast/internal/memnn"
 	"mnnfast/internal/obs"
 	"mnnfast/internal/vocab"
@@ -83,6 +84,15 @@ type Server struct {
 	// the inference core of a steady-state request allocates nothing
 	// (see memnn.ApplyInto); concurrent requests each draw their own.
 	forwards sync.Pool
+
+	// Micro-batching (see EnableBatching / batch.go). batch is nil when
+	// batching is off; items pools answerItem wrappers; bstate is the
+	// dispatcher-owned flush scratch; retryAfter is the precomputed 429
+	// Retry-After value.
+	batch      *batcher.Batcher[*answerItem]
+	items      sync.Pool
+	bstate     batchState
+	retryAfter string
 
 	met    *metrics
 	reqSeq atomic.Uint64
@@ -279,6 +289,14 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	s.met.stageVectorize.Observe(time.Since(t0))
 	sess := s.session(r)
 
+	// Batched path: hand the question to the micro-batching scheduler,
+	// which coalesces concurrent answers into one batched inference call
+	// (bit-identical results; see batch.go).
+	if s.batch != nil {
+		s.answerBatched(w, r, sess, qIDs)
+		return
+	}
+
 	// Fast path: the session's embedded story is cached — answer under
 	// the read lock so concurrent questions on this session (and any
 	// traffic on other sessions) proceed in parallel. A valid cache
@@ -374,6 +392,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	// A canceled or expired request must not burn a metrics collection
+	// pass (GaugeFuncs take server locks); fail it like any other
+	// request the server could not serve in time.
+	if err := r.Context().Err(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "request context ended: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.met.reg.WritePrometheus(w)
 }
@@ -381,6 +406,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "request context ended: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.met.reg.Snapshot())

@@ -23,7 +23,7 @@ var (
 	srvAcc  float64
 )
 
-func testServer(t *testing.T) *Server {
+func testServer(t testing.TB) *Server {
 	t.Helper()
 	srvOnce.Do(func() {
 		opt := babi.GenOptions{Stories: 300, StoryLen: 8, People: 3, Locations: 3}
