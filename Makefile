@@ -1,0 +1,41 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test race lint vet fmt bench fuzz-smoke clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full race-detector sweep (the nightly CI job); slow but exhaustive.
+race:
+	$(GO) test -race -count=1 ./...
+
+# The repo's own analyzers (hotalloc, poolescape, atomicfield,
+# guardedby, floatdet — see internal/lint and DESIGN.md §9).
+lint:
+	$(GO) run ./cmd/mnnfast-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchmem ./...
+
+# Exercise each fuzz target briefly against its seed corpus.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzStoryJSON -fuzztime=10s ./internal/server/
+	$(GO) test -run=^$$ -fuzz=FuzzAnswerJSON -fuzztime=10s ./internal/server/
+	$(GO) test -run=^$$ -fuzz=FuzzTokenize -fuzztime=10s ./internal/vocab/
+
+clean:
+	$(GO) clean ./...

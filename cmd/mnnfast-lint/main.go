@@ -1,0 +1,252 @@
+// mnnfast-lint runs the repo's custom static analyzers (hotalloc,
+// poolescape, atomicfield, guardedby, floatdet — see internal/lint)
+// over Go packages. Two modes:
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/mnnfast-lint ./...
+//	go run ./cmd/mnnfast-lint -checks hotalloc,floatdet ./internal/tensor
+//
+// As a go vet tool, which scopes each invocation to one compilation
+// unit and caches results in the build cache:
+//
+//	go vet -vettool=$(pwd)/bin/mnnfast-lint ./...
+//
+// In vet mode the binary speaks cmd/go's vettool protocol: it answers
+// -V=full with a stable version line (go uses it as the tool's cache
+// ID), then receives a vet.cfg JSON path naming the unit's files and
+// the export data of its dependencies. Exit status is 0 when clean,
+// 2 with diagnostics on stderr otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mnnfast/internal/lint"
+	"mnnfast/internal/lint/analysis"
+	"mnnfast/internal/lint/load"
+)
+
+// version is the tool identity reported to the go command's -V=full
+// handshake; bump it when analyzer behavior changes so stale cached
+// vet results are invalidated.
+const version = "v0.4.0"
+
+func main() {
+	// The go command probes `tool -V=full` before anything else; the
+	// reply must be `<basename> version <id>`.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "-V" {
+			fmt.Printf("%s version %s\n", filepath.Base(os.Args[0]), version)
+			return
+		}
+	}
+
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+
+	// The go command's second probe is `tool -flags`, expecting a JSON
+	// description of the flags the tool accepts.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		printFlagDefs()
+		return
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	as, err := selectAnalyzers(*checks)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		unitcheck(args[0], as)
+		return
+	}
+	standalone(args, as)
+}
+
+// printFlagDefs answers the go command's `-flags` probe with the JSON
+// shape cmd/go expects (the same one x/tools' unitchecker emits).
+func printFlagDefs() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []jsonFlag{}
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		defs = append(defs, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.Marshal(defs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func selectAnalyzers(checks string) ([]*analysis.Analyzer, error) {
+	if checks == "" {
+		return lint.Analyzers(), nil
+	}
+	var as []*analysis.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		a := lint.ByName(strings.TrimSpace(name))
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		as = append(as, a)
+	}
+	return as, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mnnfast-lint: %v\n", err)
+	os.Exit(1)
+}
+
+// standalone loads the given patterns (default ./...) and runs the
+// suite over every matched package.
+func standalone(patterns []string, as []*analysis.Analyzer) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(".", patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags, where, err := lint.Run(pkgs, as)
+	if err != nil {
+		fatal(err)
+	}
+	for i, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", where[i].Fset.Position(d.Pos), d.Category, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mnnfast-lint: %d finding(s)\n", len(diags))
+		os.Exit(2)
+	}
+}
+
+// vetConfig mirrors the JSON the go command writes to <objdir>/vet.cfg
+// (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	NonGoFiles []string
+
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	GoVersion string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs in go vet -vettool mode over one compilation unit.
+func unitcheck(cfgPath string, as []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %v", cfgPath, err))
+	}
+
+	// The go command requires the facts file to exist afterwards even
+	// though this suite exchanges no facts across units.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte("mnnfast-lint "+version+"\n"), 0o666); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := load.Importer(fset, cfg.ImportMap, func(path string) (string, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q in vet config %s", path, cfg.ID)
+		}
+		return file, nil
+	})
+	// The invariants target production code: go vet also hands us test
+	// units, whose _test.go files are free to allocate, format, and
+	// poke fields without locks, so they are excluded here (standalone
+	// mode never sees them — `go list` GoFiles excludes tests).
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		writeVetx()
+		return
+	}
+	pkg, err := load.Check(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return
+		}
+		fatal(err)
+	}
+	pkg.Dir = cfg.Dir
+
+	if cfg.VetxOnly {
+		// Dependency units are vetted only for facts; no diagnostics.
+		writeVetx()
+		return
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range as {
+		ds, err := lint.RunAnalyzer(pkg, a)
+		if err != nil {
+			fatal(err)
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	writeVetx()
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}

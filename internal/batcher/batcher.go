@@ -102,7 +102,7 @@ type Batcher[T any] struct {
 	pool  sync.Pool
 
 	mu     sync.RWMutex // closed transitions under the write lock
-	closed bool
+	closed bool         // guarded by mu
 
 	drained chan struct{} // closed when the dispatcher has flushed everything
 
@@ -141,6 +141,8 @@ func (b *Batcher[T]) MaxWait() time.Duration { return b.opt.MaxWait }
 // (ErrQueueFull, ErrClosed), or ctx ends first (returning ctx.Err();
 // the request is abandoned and, if still queued at flush time, sheds
 // its batch slot).
+//
+//mnnfast:hotpath
 func (b *Batcher[T]) Do(ctx context.Context, val T) error {
 	p, _ := b.pool.Get().(*pending[T])
 	if p == nil {
@@ -182,6 +184,8 @@ func (b *Batcher[T]) Do(ctx context.Context, val T) error {
 }
 
 // recycle returns a completed (or never-enqueued) wrapper to the pool.
+//
+//mnnfast:pool-put
 func (b *Batcher[T]) recycle(p *pending[T]) {
 	var zero T
 	p.ctx, p.val, p.err = nil, zero, nil
@@ -219,6 +223,8 @@ func (b *Batcher[T]) dispatch() {
 // first: greedily take what is already queued, then wait out the
 // MaxWait timer for stragglers. A full batch never arms the timer, so
 // the MaxBatch=1 path stays allocation-free.
+//
+//mnnfast:hotpath allow=append b.batch grows only toward MaxBatch capacity set at construction
 func (b *Batcher[T]) collect(first *pending[T]) {
 	b.batch = append(b.batch[:0], first)
 	for len(b.batch) < b.opt.MaxBatch {
@@ -253,6 +259,8 @@ func (b *Batcher[T]) collect(first *pending[T]) {
 
 // flush completes expired requests, runs the live remainder, and
 // completes them.
+//
+//mnnfast:hotpath allow=append live/vals grow only toward MaxBatch capacity set at construction
 func (b *Batcher[T]) flush() {
 	m := b.opt.Metrics
 	now := b.opt.Clock.Now()

@@ -40,6 +40,8 @@ func (b *Baseline) InferBatch(u, o *tensor.Matrix) Stats {
 // Scratch comes from a process-wide pool, so steady-state calls at a
 // fixed batch shape allocate nothing; callers running a serving loop
 // can instead own a BatchScratch and use InferBatchInto.
+//
+//mnnfast:hotpath
 func (c *Column) InferBatch(u, o *tensor.Matrix) Stats {
 	s := batchScratchPool.Get().(*BatchScratch)
 	st := c.InferBatchInto(u, o, s)
@@ -51,6 +53,8 @@ func (c *Column) InferBatch(u, o *tensor.Matrix) Stats {
 // scratch is reshaped (grow-only) to fit this call and may be reused
 // across calls of any shape; it must not be shared between concurrent
 // calls.
+//
+//mnnfast:hotpath
 func (c *Column) InferBatchInto(u, o *tensor.Matrix, s *BatchScratch) Stats {
 	checkBatchShapes(c.mem, u, o)
 	nq := u.Rows
@@ -70,6 +74,8 @@ func (c *Column) InferBatchInto(u, o *tensor.Matrix, s *BatchScratch) Stats {
 // [lo, hi), merging into parts (one partial per question). The chunk
 // logits block comes from the tensor arena, so the call is
 // allocation-free at steady state.
+//
+//mnnfast:hotpath
 func (c *Column) InferBatchPartial(u *tensor.Matrix, parts []*Partial, lo, hi int) Stats {
 	if hi <= lo {
 		return Stats{}
@@ -84,6 +90,8 @@ func (c *Column) InferBatchPartial(u *tensor.Matrix, parts []*Partial, lo, hi in
 // chunk×nq logits block. All per-question inner loops walk contiguous
 // row slices of the block (never element-wise At/Set accessor calls),
 // and the chunk inner products are 4-question register-blocked.
+//
+//mnnfast:hotpath
 func (c *Column) inferBatchPartial(u *tensor.Matrix, parts []*Partial, lo, hi int, logits *tensor.Matrix) Stats {
 	mem, tr := c.mem, c.opt.Tracer
 	cs := c.opt.chunkSize()

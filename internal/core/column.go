@@ -42,6 +42,8 @@ func NewColumn(mem *Memory, opt Options) *Column {
 }
 
 // Name implements Engine.
+//
+//mnnfast:coldpath
 func (c *Column) Name() string {
 	switch {
 	case c.opt.SkipThreshold > 0 && c.opt.Streaming:
@@ -55,6 +57,8 @@ func (c *Column) Name() string {
 }
 
 // Infer implements Engine.
+//
+//mnnfast:hotpath
 func (c *Column) Infer(u, o tensor.Vector) Stats {
 	part := GetPartial(c.mem.Dim())
 	st := c.InferPartial(u, part, 0, c.mem.NS())
@@ -76,6 +80,8 @@ func (c *Column) Infer(u, o tensor.Vector) Stats {
 // Worker bands run on the persistent pool workers with pooled
 // per-worker scratch: at steady state the call allocates nothing and
 // spawns nothing.
+//
+//mnnfast:hotpath
 func (c *Column) InferPartial(u tensor.Vector, part *Partial, lo, hi int) Stats {
 	n := hi - lo
 	if n <= 0 {
@@ -115,6 +121,8 @@ func newWorkerPartial(ed, chunk int) *workerPartial {
 }
 
 // processBand runs the chunk loop over rows [lo, hi) for one worker.
+//
+//mnnfast:hotpath
 func (c *Column) processBand(u tensor.Vector, lo, hi, worker int, wp *workerPartial, st *Stats) {
 	cs := c.opt.chunkSize()
 	if !c.opt.Streaming {
@@ -162,6 +170,8 @@ func (c *Column) processBand(u tensor.Vector, lo, hi, worker int, wp *workerPart
 // an output row only after its exponential passes the threshold (the
 // paper's FPGA dataflow, §4.2), so prefetching M_OUT wholesale would
 // waste the bandwidth the optimization saves.
+//
+//mnnfast:hotpath
 func (c *Column) prefetchChunk(lo, hi int) {
 	tr := c.opt.Tracer
 	ed := c.mem.Dim()
@@ -196,6 +206,8 @@ func (c *Column) prefetchChunk(lo, hi int) {
 // are 4-row register-blocked (Dot4/Axpy4) and the exponentials use the
 // vectorized fast-exp; tracer bookkeeping is hoisted behind nil checks
 // so the untraced serving path pays nothing for it.
+//
+//mnnfast:hotpath
 func (c *Column) processChunk(u tensor.Vector, lo, hi, worker int, wp *workerPartial, st *Stats) {
 	mem, tr := c.mem, c.opt.Tracer
 	ed := mem.Dim()

@@ -109,6 +109,8 @@ type Stats struct {
 }
 
 // Add accumulates other into s.
+//
+//mnnfast:hotpath
 func (s *Stats) Add(other Stats) {
 	s.InnerProductMuls += other.InnerProductMuls
 	s.WeightedSumMuls += other.WeightedSumMuls
@@ -160,6 +162,8 @@ const negInf = float32(-3.4e38)
 
 // Merge folds other into p, rescaling whichever side has the smaller
 // shift so both are expressed relative to the common maximum.
+//
+//mnnfast:hotpath
 func (p *Partial) Merge(other *Partial) {
 	if other.Sum == 0 && other.Max == negInf {
 		return
@@ -186,6 +190,8 @@ func (p *Partial) Merge(other *Partial) {
 // Finalize divides the partial weighted sum by the exponential sum —
 // the paper's lazy softmax division — writing the response into o and
 // returning the number of divisions performed (ed, not ns).
+//
+//mnnfast:hotpath
 func (p *Partial) Finalize(o tensor.Vector) int64 {
 	inv := float32(1) / p.Sum
 	for i, x := range p.O {

@@ -22,6 +22,8 @@ var partialPool = sync.Pool{New: func() any { return new(Partial) }}
 // GetPartial returns an empty partial of dimension ed drawn from a
 // process-wide pool — the allocation-free twin of NewPartial for the
 // shard/cluster merge path. Release it with PutPartial.
+//
+//mnnfast:pool-get
 func GetPartial(ed int) *Partial {
 	p := partialPool.Get().(*Partial)
 	p.reset(ed)
@@ -30,6 +32,8 @@ func GetPartial(ed int) *Partial {
 
 // PutPartial returns a partial to the pool. The partial must not be
 // used afterwards.
+//
+//mnnfast:pool-put
 func PutPartial(p *Partial) { partialPool.Put(p) }
 
 // reset re-initializes p as an empty partial of dimension ed, reusing
@@ -68,6 +72,8 @@ var inferScratchPool = sync.Pool{New: func() any {
 
 // getInferScratch prepares scratch for one InferPartial call over w
 // workers against c's memory shape.
+//
+//mnnfast:pool-get
 func getInferScratch(c *Column, u tensor.Vector, base, w int) *inferScratch {
 	s := inferScratchPool.Get().(*inferScratch)
 	s.col, s.u, s.base = c, u, base
@@ -99,6 +105,8 @@ func getInferScratch(c *Column, u tensor.Vector, base, w int) *inferScratch {
 
 // putInferScratch releases s, dropping references to caller data so the
 // pool does not pin question vectors between queries.
+//
+//mnnfast:pool-put
 func putInferScratch(s *inferScratch) {
 	s.col, s.u = nil, nil
 	inferScratchPool.Put(s)

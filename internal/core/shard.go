@@ -25,6 +25,8 @@ type Sharded struct {
 // by a column engine configured with opt. If parallel is true the
 // shards run concurrently (modelling distinct nodes/devices); otherwise
 // they run in sequence (useful for deterministic traces).
+//
+//mnnfast:coldpath
 func NewSharded(mem *Memory, shards int, opt Options, parallel bool) (*Sharded, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("core: NewSharded with %d shards", shards)
@@ -46,6 +48,8 @@ func NewSharded(mem *Memory, shards int, opt Options, parallel bool) (*Sharded, 
 func (s *Sharded) Shards() int { return len(s.engines) }
 
 // Name implements Engine.
+//
+//mnnfast:coldpath
 func (s *Sharded) Name() string {
 	return fmt.Sprintf("sharded(%d×%s)", len(s.engines), s.engines[0].Name())
 }

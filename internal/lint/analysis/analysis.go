@@ -1,0 +1,61 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that mnnfast-lint's
+// analyzers program against. The container this repo builds in has no
+// module proxy access, so rather than vendoring x/tools we implement
+// the thin slice we need — Analyzer, Pass, Diagnostic — on top of the
+// standard library's go/ast and go/types. If x/tools ever becomes
+// available, the analyzers port by swapping this import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name, a documentation string,
+// and a Run function applied once per loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in the
+	// //mnnfast:allow suppression syntax. It must be a valid
+	// identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a one-line
+	// summary, the rest explains the invariant and how to annotate
+	// code for it.
+	Doc string
+
+	// Run applies the analyzer to one package. Diagnostics go through
+	// pass.Report / pass.Reportf; the result value is unused by this
+	// driver (kept for x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// TypesSizes follows the build platform; analyzers that care about
+	// 32-bit alignment construct their own 32-bit Sizes.
+	TypesSizes types.Sizes
+	Report     func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name; filled by the driver
+	Message  string
+}

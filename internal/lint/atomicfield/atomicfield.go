@@ -1,0 +1,148 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct
+// fields: a field passed by address to a sync/atomic function anywhere
+// in the package must never be read or written through ordinary loads
+// and stores elsewhere — a single plain access races with every atomic
+// one and tears 64-bit values on 32-bit targets. It also checks that
+// any such 64-bit field is 8-byte aligned under 32-bit layout rules
+// (first in its struct or preceded only by 8-byte-aligned content),
+// the classic sync/atomic alignment bug.
+//
+// Fields of the modern typed wrappers (atomic.Int64, atomic.Uint64,
+// atomic.Bool, …) are safe by construction — the types have no plain
+// accessors and carry their own alignment — so this analyzer's tree
+// findings concern the legacy &x.f style only. It exists to keep that
+// style from creeping in: the obs metrics core (PR 2) is lock-free
+// precisely because every shared word is atomic.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mnnfast/internal/lint/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be accessed non-atomically, and atomic 64-bit fields must be alignment-safe for 32-bit targets",
+	Run:  run,
+}
+
+// addrFns are the sync/atomic functions whose first argument is the
+// address of the word they operate on.
+var addrFns = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// Pass 1: every field whose address feeds a sync/atomic call, and
+	// the selector nodes of those calls (exempt from pass 2).
+	atomicFields := make(map[*types.Var]bool)
+	exempt := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !addrFns[fn.Name()] {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || un.Op.String() != "&" {
+				return true
+			}
+			fieldSel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v, ok := info.Uses[fieldSel.Sel].(*types.Var); ok && v.IsField() {
+				atomicFields[v] = true
+				exempt[fieldSel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: any other selector resolving to an atomic field is a
+	// plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			v, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok || !v.IsField() {
+				return true
+			}
+			if atomicFields[v] {
+				pass.Reportf(sel.Sel.Pos(), "non-atomic access to field %s, which is accessed with sync/atomic elsewhere in this package; use sync/atomic (or the atomic.Int64-style typed wrappers) for every access", v.Name())
+			}
+			return true
+		})
+	}
+
+	checkAlignment(pass, atomicFields)
+	return nil, nil
+}
+
+// checkAlignment verifies each atomically-accessed 64-bit field would
+// be 8-byte aligned under 32-bit (GOARCH=386) struct layout, where
+// word alignment is 4 bytes and misaligned 64-bit atomics fault.
+func checkAlignment(pass *analysis.Pass, atomicFields map[*types.Var]bool) {
+	sizes := types.SizesFor("gc", "386")
+	if sizes == nil {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok || st.NumFields() == 0 {
+			continue
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offsets := sizes.Offsetsof(fields)
+		for i, fv := range fields {
+			if !atomicFields[fv] {
+				continue
+			}
+			b, ok := fv.Type().Underlying().(*types.Basic)
+			if !ok {
+				continue
+			}
+			switch b.Kind() {
+			case types.Int64, types.Uint64:
+				if offsets[i]%8 != 0 {
+					pass.Reportf(fv.Pos(), "64-bit field %s is accessed atomically but sits at offset %d under 32-bit layout; move it to the front of %s or use atomic.Int64, which self-aligns", fv.Name(), offsets[i], name)
+				}
+			}
+		}
+	}
+}

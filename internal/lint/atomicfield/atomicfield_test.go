@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"mnnfast/internal/lint/atomicfield"
+	"mnnfast/internal/lint/linttest"
+)
+
+func TestAtomicfield(t *testing.T) {
+	linttest.Run(t, atomicfield.Analyzer, "a")
+}

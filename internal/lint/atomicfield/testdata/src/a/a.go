@@ -1,0 +1,58 @@
+// Package fixture exercises atomicfield: mixed atomic/plain access to
+// the same field, the 64-bit alignment trap, and the safe idioms
+// (all-atomic access, typed atomic wrappers, suppressions).
+package fixture
+
+import "sync/atomic"
+
+// counters mixes a legacy atomic field with plain ones.
+type counters struct {
+	hits   int64 // atomically accessed everywhere: fine
+	mixed  int64 // atomically AND plainly accessed: flagged at the plain sites
+	plain  int64 // never atomic: plain access is fine
+	ticker atomic.Int64
+}
+
+func (c *counters) Bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.mixed, 1)
+	c.plain++
+	c.ticker.Add(1)
+}
+
+func (c *counters) Read() int64 {
+	total := atomic.LoadInt64(&c.hits)
+	total += c.mixed // want "non-atomic access to field mixed"
+	total += c.plain
+	return total + c.ticker.Load()
+}
+
+func (c *counters) Reset() {
+	atomic.StoreInt64(&c.hits, 0)
+	c.mixed = 0 // want "non-atomic access to field mixed"
+	c.plain = 0
+}
+
+// Suppressed documents a plain read that is safe by construction
+// (single-threaded init before the struct is published).
+func (c *counters) InitDone() bool {
+	//mnnfast:allow atomicfield read before publication
+	return c.mixed == 0
+}
+
+// misaligned puts an atomically-updated int64 after a bool: offset 4
+// under 32-bit layout, where 64-bit atomics fault.
+type misaligned struct {
+	ready bool
+	n     int64 // want "64-bit field n is accessed atomically but sits at offset"
+}
+
+func (m *misaligned) Inc() { atomic.AddInt64(&m.n, 1) }
+
+// aligned leads with the 64-bit field: offset 0 everywhere.
+type aligned struct {
+	n     int64
+	ready bool
+}
+
+func (a *aligned) Inc() { atomic.AddInt64(&a.n, 1) }

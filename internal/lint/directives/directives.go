@@ -1,0 +1,261 @@
+// Package directives parses the //mnnfast: source annotations that
+// carry the runtime's hot-path contracts, and computes each package's
+// hot-function set by propagating annotations through the static
+// intra-package call graph.
+//
+// Annotation reference (see DESIGN.md §9 for the full contract):
+//
+//	//mnnfast:hotpath [allow=construct,...] [reason]
+//	    The function is on the zero-allocation serving path. hotalloc
+//	    and floatdet check it and everything it (transitively) calls in
+//	    the same package. allow= exempts named constructs (e.g.
+//	    allow=append for amortized grow-only scratch) in this function
+//	    only — exemptions do not propagate.
+//
+//	//mnnfast:coldpath [reason]
+//	    The function is explicitly off the hot path (error rendering,
+//	    construction, shutdown). Propagation stops here: a hot caller
+//	    may call it without making it hot. Use it to document fmt-using
+//	    boundaries reachable from hot code.
+//
+//	//mnnfast:pool-get / //mnnfast:pool-put
+//	    The function hands out / takes back pooled values (a sync.Pool
+//	    or arena wrapper). poolescape treats calls to it like
+//	    Pool.Get/Pool.Put and skips its own body (the implementation
+//	    necessarily returns or stores the pooled value).
+//
+//	//mnnfast:locked <expr>.<mu> [...]
+//	    Every call of this function happens with the named mutex held
+//	    (a callee of a locking caller). guardedby accepts accesses to
+//	    fields guarded by <mu> through base <expr> inside it.
+//
+//	//mnnfast:allow <analyzer> [reason]
+//	    Line-level suppression: placed on (or immediately above) the
+//	    offending line, silences that analyzer there. Use sparingly and
+//	    give the reason.
+package directives
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mnnfast/internal/lint/analysis"
+)
+
+const prefix = "//mnnfast:"
+
+// FuncInfo is the directive state of one declared function.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+
+	// Hot reports the function is on the hot path, either annotated
+	// directly or reached from an annotated function through
+	// same-package static calls. Cold wins over Hot.
+	Hot bool
+	// HotAnnotated distinguishes an explicit //mnnfast:hotpath from
+	// propagated hotness.
+	HotAnnotated bool
+	// Cold marks an explicit //mnnfast:coldpath.
+	Cold bool
+	// Allow holds the allow= constructs of this function's own
+	// hotpath annotation. Never inherited.
+	Allow map[string]bool
+	// PoolGet/PoolPut mark pool accessor wrappers.
+	PoolGet, PoolPut bool
+	// Locked lists lock expressions (e.g. "sess.mu") the caller
+	// guarantees are held for the duration of this function.
+	Locked []string
+}
+
+// Allows reports whether construct is exempted on this function.
+func (fi *FuncInfo) Allows(construct string) bool {
+	return fi != nil && fi.Allow[construct]
+}
+
+// Info is the directive view of one package.
+type Info struct {
+	byObj  map[*types.Func]*FuncInfo
+	byDecl map[*ast.FuncDecl]*FuncInfo
+	funcs  []*FuncInfo
+}
+
+// Funcs returns every declared function's info in source order.
+func (in *Info) Funcs() []*FuncInfo { return in.funcs }
+
+// ByObj returns the info for a function object declared in this
+// package, or nil.
+// ByObj resolves through Origin so that calls to methods of
+// instantiated generic types (whose selections yield the instantiated
+// method object) still find the declared function's info.
+func (in *Info) ByObj(fn *types.Func) *FuncInfo { return in.byObj[fn.Origin()] }
+
+// ByDecl returns the info for a function declaration, or nil.
+func (in *Info) ByDecl(d *ast.FuncDecl) *FuncInfo { return in.byDecl[d] }
+
+// parseDirective splits one comment line into a directive verb and its
+// argument string; ok is false for non-directive comments.
+func parseDirective(text string) (verb, args string, ok bool) {
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	verb, args, _ = strings.Cut(rest, " ")
+	return verb, strings.TrimSpace(args), true
+}
+
+// Collect parses directives and computes the propagated hot set for
+// pass's package.
+func Collect(pass *analysis.Pass) *Info {
+	in := &Info{
+		byObj:  make(map[*types.Func]*FuncInfo),
+		byDecl: make(map[*ast.FuncDecl]*FuncInfo),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			fi := &FuncInfo{Decl: fd, Obj: obj}
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					verb, args, ok := parseDirective(c.Text)
+					if !ok {
+						continue
+					}
+					switch verb {
+					case "hotpath":
+						fi.Hot, fi.HotAnnotated = true, true
+						for _, field := range strings.Fields(args) {
+							if allow, ok := strings.CutPrefix(field, "allow="); ok {
+								if fi.Allow == nil {
+									fi.Allow = make(map[string]bool)
+								}
+								for _, a := range strings.Split(allow, ",") {
+									fi.Allow[a] = true
+								}
+							}
+						}
+					case "coldpath":
+						fi.Cold = true
+					case "pool-get":
+						fi.PoolGet = true
+					case "pool-put":
+						fi.PoolPut = true
+					case "locked":
+						fi.Locked = append(fi.Locked, strings.Fields(args)...)
+					}
+				}
+			}
+			if fi.Cold {
+				fi.Hot, fi.HotAnnotated = false, false
+			}
+			in.funcs = append(in.funcs, fi)
+			in.byDecl[fd] = fi
+			if obj != nil {
+				in.byObj[obj] = fi
+			}
+		}
+	}
+	in.propagate(pass)
+	return in
+}
+
+// propagate marks every same-package function statically reachable from
+// a hot function as hot, stopping at //mnnfast:coldpath boundaries.
+// Calls through function values, interfaces, or other packages do not
+// propagate.
+func (in *Info) propagate(pass *analysis.Pass) {
+	callees := make(map[*FuncInfo][]*FuncInfo)
+	for _, fi := range in.funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return true
+			}
+			if obj, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				if callee := in.byObj[obj.Origin()]; callee != nil {
+					callees[fi] = append(callees[fi], callee)
+				}
+			}
+			return true
+		})
+	}
+	var work []*FuncInfo
+	for _, fi := range in.funcs {
+		if fi.Hot {
+			work = append(work, fi)
+		}
+	}
+	for len(work) > 0 {
+		fi := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, callee := range callees[fi] {
+			if callee.Hot || callee.Cold {
+				continue
+			}
+			callee.Hot = true
+			work = append(work, callee)
+		}
+	}
+}
+
+// AllowedLines scans a file's comments for //mnnfast:allow directives
+// and returns line → suppressed analyzer names. A suppression applies
+// to diagnostics on its own line and on the line directly below it
+// (comment-above-the-statement style).
+func AllowedLines(fset *token.FileSet, file *ast.File) map[int][]string {
+	var allowed map[int][]string
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			verb, args, ok := parseDirective(c.Text)
+			if !ok || verb != "allow" {
+				continue
+			}
+			fields := strings.Fields(args)
+			if len(fields) == 0 {
+				continue
+			}
+			if allowed == nil {
+				allowed = make(map[int][]string)
+			}
+			line := fset.Position(c.Pos()).Line
+			allowed[line] = append(allowed[line], fields[0])
+		}
+	}
+	return allowed
+}
+
+// Suppressed reports whether a diagnostic from analyzer at pos is
+// silenced by a //mnnfast:allow comment on its line or the line above.
+func Suppressed(fset *token.FileSet, file *ast.File, analyzer string, pos token.Pos) bool {
+	allowed := AllowedLines(fset, file)
+	if allowed == nil {
+		return false
+	}
+	line := fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, name := range allowed[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+// Package floatdet guards the runtime's float determinism contract:
+// the batched path must be bit-identical to the single-request path
+// (the batch-equivalence tests assert exact equality), and the fast
+// float32 kernels must not silently detour through float64.
+//
+// Two rules:
+//
+//  1. In //mnnfast:hotpath functions (and their same-package callees),
+//     math.Exp-family calls and float32→float64 conversions are
+//     flagged — the hot path computes in float32 via the dedicated
+//     kernels (tensor.Expf, tensor.ExpInto). The slow reference twins,
+//     any function whose name ends in "Scalar", are exempt: they exist
+//     precisely to document the float64 ground truth.
+//
+//  2. Anywhere in the package, a floating-point compound accumulation
+//     (+=, -=, *=, /=) inside a `range` over a map is flagged: map
+//     iteration order is randomized per run, and float addition is not
+//     associative, so the result differs run to run and breaks the
+//     bit-identical guarantee.
+package floatdet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mnnfast/internal/lint/analysis"
+	"mnnfast/internal/lint/directives"
+	"mnnfast/internal/lint/walk"
+)
+
+// Analyzer is the floatdet pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatdet",
+	Doc:  "no float64 math on float32 hot paths outside *Scalar reference twins; no float accumulation over map iteration order",
+	Run:  run,
+}
+
+// mathFns are the float64 transcendental entry points the float32
+// kernels replace.
+var mathFns = map[string]bool{
+	"Exp": true, "Exp2": true, "Expm1": true,
+	"Log": true, "Log2": true, "Log10": true, "Log1p": true,
+	"Pow": true, "Tanh": true,
+	// math.Sqrt is deliberately absent: float32(math.Sqrt(float64(x)))
+	// compiles to a single hardware sqrt and is the correct float32
+	// idiom — but note the conversion rule still flags the round-trip,
+	// so hot sqrt sites need a //mnnfast:allow when they appear.
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	di := directives.Collect(pass)
+	for _, fi := range di.Funcs() {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		if fi.Hot && !strings.HasSuffix(fi.Decl.Name.Name, "Scalar") && !fi.Allows("float64") {
+			checkHot(pass, fi)
+		}
+		checkMapAccum(pass, fi)
+	}
+	return nil, nil
+}
+
+func checkHot(pass *analysis.Pass, fi *directives.FuncInfo) {
+	info := pass.TypesInfo
+	walk.WithStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if walk.InPanicArg(stack, info) {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "math" && mathFns[fn.Name()] {
+				pass.Reportf(call.Pos(), "math.%s computes in float64 on a float32 hot path; use the float32 kernels (tensor.Expf / tensor.ExpInto) or move this into a *Scalar reference twin", fn.Name())
+				return true
+			}
+		}
+		// float64(x) where x is float32: a round-trip that changes
+		// rounding behavior relative to the pure-float32 kernels.
+		tv, ok := info.Types[call.Fun]
+		if !ok || !tv.IsType() || len(call.Args) != 1 {
+			return true
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Kind() != types.Float64 {
+			return true
+		}
+		at := info.TypeOf(call.Args[0])
+		if at == nil {
+			return true
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.Float32 {
+			pass.Reportf(call.Pos(), "float32 → float64 round-trip on a hot path; the fast path must stay in float32 to match the kernels bit-for-bit")
+		}
+		return true
+	})
+}
+
+// checkMapAccum flags float compound accumulation inside map ranges in
+// any function, hot or not: even offline code feeding model weights
+// must be deterministic for the batch-equivalence tests to mean
+// anything.
+func checkMapAccum(pass *analysis.Pass, fi *directives.FuncInfo) {
+	info := pass.TypesInfo
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		xt := info.TypeOf(rng.X)
+		if xt == nil {
+			return true
+		}
+		if _, isMap := xt.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch as.Tok.String() {
+			case "+=", "-=", "*=", "/=":
+			default:
+				return true
+			}
+			lt := info.TypeOf(as.Lhs[0])
+			if lt == nil {
+				return true
+			}
+			if b, ok := lt.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				pass.Reportf(as.Pos(), "float accumulation inside a map range depends on randomized iteration order and is nondeterministic; iterate a sorted key slice instead")
+			}
+			return true
+		})
+		return true
+	})
+}

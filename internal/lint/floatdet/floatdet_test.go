@@ -1,0 +1,12 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"mnnfast/internal/lint/floatdet"
+	"mnnfast/internal/lint/linttest"
+)
+
+func TestFloatdet(t *testing.T) {
+	linttest.Run(t, floatdet.Analyzer, "a")
+}

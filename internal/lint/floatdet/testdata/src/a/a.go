@@ -1,0 +1,78 @@
+// Package fixture exercises floatdet: float64 detours on float32 hot
+// paths, map-order-dependent float accumulation, and the allowed
+// shapes (*Scalar reference twins, sorted-key iteration, integer
+// accumulation, suppressions).
+package fixture
+
+import "math"
+
+// expf stands in for the runtime's float32 exp kernel.
+func expf(x float32) float32 { return x }
+
+// SoftmaxFast is the hot float32 path: float64 math is banned.
+//
+//mnnfast:hotpath
+func SoftmaxFast(xs []float32) {
+	for i, x := range xs {
+		xs[i] = expf(x)
+		_ = math.Exp(float64(1))         // want "math.Exp computes in float64 on a float32 hot path"
+		_ = float64(x)                   // want "float32 → float64 round-trip on a hot path"
+		_ = math.Tanh(float64(int64(i))) // want "math.Tanh computes in float64 on a float32 hot path"
+	}
+}
+
+// SoftmaxScalar is the reference twin: float64 ground truth is its
+// whole point, so the *Scalar suffix exempts it.
+//
+//mnnfast:hotpath
+func SoftmaxScalar(xs []float32) {
+	for i, x := range xs {
+		xs[i] = float32(math.Exp(float64(x)))
+	}
+}
+
+// hot propagation reaches helpers too.
+func expHelper(x float32) float64 {
+	return math.Exp(float64(x)) // want "math.Exp computes in float64 on a float32 hot path" "float32 → float64 round-trip on a hot path"
+}
+
+//mnnfast:hotpath
+func UsesHelper(x float32) float64 { return expHelper(x) }
+
+// SumWeights accumulates floats in map order: nondeterministic.
+func SumWeights(w map[string]float32) float32 {
+	var total float32
+	for _, v := range w {
+		total += v // want "float accumulation inside a map range"
+	}
+	return total
+}
+
+// CountKeys accumulates an int in map order: order-independent, fine.
+func CountKeys(w map[string]float32) int {
+	n := 0
+	for range w {
+		n++
+	}
+	return n
+}
+
+// SumSorted iterates a slice, not the map: deterministic.
+func SumSorted(keys []string, w map[string]float32) float32 {
+	var total float32
+	for _, k := range keys {
+		total += w[k]
+	}
+	return total
+}
+
+// Suppressed documents a map-order accumulation whose result is
+// provably order-independent for the caller (a debug-only checksum).
+func Checksum(w map[string]float32) float64 {
+	var sum float64
+	for _, v := range w {
+		//mnnfast:allow floatdet debug-only, never feeds inference
+		sum += float64(v)
+	}
+	return sum
+}

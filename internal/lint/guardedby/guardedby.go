@@ -1,0 +1,235 @@
+// Package guardedby checks `// guarded by <mu>` field annotations: a
+// struct field carrying the annotation may only be read or written
+// while the named sibling mutex is held.
+//
+// The analysis is a source-order heuristic, not a path-sensitive
+// proof: within each function scope it finds, for every access
+// `base.field`, the nearest preceding Lock/RLock/Unlock/RUnlock event
+// on `base.<mu>` and requires it to be a lock. Unlocks inside defer
+// statements are ignored (they run at return, after every access in
+// the body), as are unlocks in early-exit blocks ending with a return
+// (code after such a block runs with the lock still held). Callees that are always invoked with the lock already
+// held declare it with `//mnnfast:locked <base>.<mu>`, naming the
+// lock expression as spelled inside the callee.
+//
+// This guards the server's per-session state (MnnFast §4.3's
+// embedding-cache consistency depends on it) and the batcher's
+// shutdown flag: the race detector only sees schedules that happen,
+// this sees the code shape.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"mnnfast/internal/lint/analysis"
+	"mnnfast/internal/lint/directives"
+	"mnnfast/internal/lint/walk"
+)
+
+// Analyzer is the guardedby pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated `// guarded by <mu>` may only be accessed with that mutex held (or under //mnnfast:locked)",
+	Run:  run,
+}
+
+var guardRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	di := directives.Collect(pass)
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, fi := range di.Funcs() {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		for _, sc := range walk.Scopes(fi.Decl) {
+			checkScope(pass, fi, sc, guards)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards maps each annotated field object to the name of the
+// mutex guarding it (the last path component of the annotation, i.e.
+// the sibling field name).
+func collectGuards(pass *analysis.Pass) map[*types.Var]string {
+	guards := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardFromComments(field.Doc, field.Comment)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardFromComments(groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardRE.FindStringSubmatch(c.Text); m != nil {
+				g := m[1]
+				if i := strings.LastIndex(g, "."); i >= 0 {
+					g = g[i+1:]
+				}
+				return g
+			}
+		}
+	}
+	return ""
+}
+
+// lockEvent is one Lock/Unlock call on some mutex expression.
+type lockEvent struct {
+	key    string // types.ExprString of the mutex expr, e.g. "sess.mu"
+	pos    token.Pos
+	unlock bool
+}
+
+var lockMethods = map[string]bool{
+	"Lock": false, "RLock": false,
+	"Unlock": true, "RUnlock": true,
+}
+
+func checkScope(pass *analysis.Pass, fi *directives.FuncInfo, sc walk.Scope, guards map[*types.Var]string) {
+	info := pass.TypesInfo
+
+	// Locked annotations apply to the declared function's own body;
+	// function literals run later, under whatever locks they take
+	// themselves.
+	var locked []string
+	if sc.Lit == nil {
+		locked = fi.Locked
+	}
+
+	var events []lockEvent
+	walk.InScope(sc.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		unlock, known := lockMethods[sel.Sel.Name]
+		if !known {
+			return true
+		}
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); !ok || fn.Type().(*types.Signature).Recv() == nil {
+			return true
+		}
+		if unlock && inDefer(stack) {
+			return true // deferred unlock runs at return, after body accesses
+		}
+		if unlock && terminalUnlock(stack, sc.Body) {
+			// `if cond { mu.Unlock(); return }` — code after the block
+			// only runs when the branch was not taken, i.e. with the
+			// lock still held, so this event must not end the region.
+			return true
+		}
+		events = append(events, lockEvent{key: types.ExprString(sel.X), pos: call.Pos(), unlock: unlock})
+		return true
+	})
+
+	walk.InScope(sc.Body, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		guard, guarded := guards[v]
+		if !guarded {
+			return true
+		}
+		key := types.ExprString(sel.X) + "." + guard
+		for _, l := range locked {
+			if l == key {
+				return true
+			}
+		}
+		if !heldAt(events, key, sel.Pos()) {
+			pass.Reportf(sel.Sel.Pos(), "%s is guarded by %s but accessed without holding it; lock first, or annotate the function `//mnnfast:locked %s` if every caller holds it", v.Name(), key, key)
+		}
+		return true
+	})
+}
+
+// heldAt reports whether the nearest lock event on key before pos is a
+// lock (source order within the scope).
+func heldAt(events []lockEvent, key string, pos token.Pos) bool {
+	best := lockEvent{pos: token.NoPos}
+	for _, e := range events {
+		if e.key == key && e.pos < pos && e.pos > best.pos {
+			best = e
+		}
+	}
+	return best.pos.IsValid() && !best.unlock
+}
+
+// terminalUnlock reports whether the unlock call sits in a NESTED
+// statement list that ends with a return — the early-exit shape. An
+// unlock directly in the scope body is always a real end-of-region
+// event, even when the body itself ends with a return. Only the
+// innermost enclosing list is examined: an unlock deeper in a
+// non-returning block still ends the region for the code after it.
+func terminalUnlock(stack []ast.Node, body *ast.BlockStmt) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			if b == body {
+				return false
+			}
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		if n := len(list); n > 0 {
+			if _, ok := list[n-1].(*ast.ReturnStmt); ok {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func inDefer(stack []ast.Node) bool {
+	for _, anc := range stack {
+		if _, ok := anc.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"mnnfast/internal/lint/guardedby"
+	"mnnfast/internal/lint/linttest"
+)
+
+func TestGuardedby(t *testing.T) {
+	linttest.Run(t, guardedby.Analyzer, "a")
+}

@@ -1,0 +1,90 @@
+// Package fixture exercises guardedby: unlocked access, access after
+// Unlock, and the allowed shapes (lock held, deferred unlock,
+// //mnnfast:locked callees, RWMutex readers).
+package fixture
+
+import "sync"
+
+type session struct {
+	mu    sync.RWMutex
+	story []string // guarded by mu
+	ready bool     // guarded by mu
+}
+
+// OKLocked holds the lock across the access; the deferred unlock runs
+// at return and does not end the critical section early.
+func OKLocked(s *session) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.story = append(s.story, "x")
+	return len(s.story)
+}
+
+// OKReader holds the read lock.
+func OKReader(s *session) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ready
+}
+
+// Unlocked never takes the lock.
+func Unlocked(s *session) int {
+	return len(s.story) // want "story is guarded by s.mu but accessed without holding it"
+}
+
+// AfterUnlock reads past the end of the critical section.
+func AfterUnlock(s *session) bool {
+	s.mu.Lock()
+	s.story = nil
+	s.mu.Unlock()
+	return s.ready // want "ready is guarded by s.mu but accessed without holding it"
+}
+
+// OKEarlyExit unlocks inside an error branch that returns; the code
+// after the branch runs only when the branch was not taken, i.e. with
+// the lock still held.
+func OKEarlyExit(s *session, fail bool) bool {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return false
+	}
+	r := s.ready
+	s.mu.Unlock()
+	return r
+}
+
+// renderLocked is only ever called with s.mu held; the annotation
+// carries the caller's lock into this scope.
+//
+//mnnfast:locked s.mu
+func renderLocked(s *session) int {
+	return len(s.story)
+}
+
+func OKDelegates(s *session) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return renderLocked(s)
+}
+
+// Closure scopes take their own locks; the literal here is fine, but
+// the enclosing function's plain read is not.
+func Mixed(s *session) func() int {
+	f := func() int {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return len(s.story)
+	}
+	_ = s.ready // want "ready is guarded by s.mu but accessed without holding it"
+	return f
+}
+
+// Suppressed documents an access that is safe by construction (the
+// session is not yet shared).
+func NewSession() *session {
+	s := &session{}
+	//mnnfast:allow guardedby not yet published
+	s.ready = true
+	return s
+}

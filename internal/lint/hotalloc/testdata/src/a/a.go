@@ -1,0 +1,82 @@
+// Package fixture exercises hotalloc: flagged allocating constructs in
+// hot functions, allowed equivalents, propagation, and suppressions.
+package fixture
+
+import "fmt"
+
+var sink []float32
+
+// Hot is directly annotated; everything allocating inside is flagged.
+//
+//mnnfast:hotpath
+func Hot(xs []float32, name string) float32 {
+	xs = append(xs, 1)          // want "append on a hot path"
+	s := "hot " + name          // want "string concatenation allocates on a hot path"
+	fmt.Println(s)              // want "fmt.Println allocates on a hot path"
+	m := map[string]int{"a": 1} // want "map literal allocates on a hot path"
+	w := []int{1, 2}            // want "slice literal allocates on a hot path"
+	var total float32
+	for _, x := range xs {
+		total += x
+	}
+	return total + float32(m["a"]) + float32(w[0])
+}
+
+// helper is not annotated, but Hot2 calls it, so hotness propagates.
+func helper(xs []float32) []float32 {
+	return append(xs, 2) // want "append on a hot path"
+}
+
+//mnnfast:hotpath
+func Hot2(xs []float32) []float32 { return helper(xs) }
+
+// graph is a boxing sink.
+func observe(v any) { _ = v }
+
+//mnnfast:hotpath
+func HotBoxing(x float32, p *int) {
+	observe(x) // want "float32 boxes into interface any"
+	observe(p) // pointers are pointer-shaped: allowed
+	var i interface{ M() }
+	_ = i
+}
+
+// HotAllowed uses allow= exemptions: append is amortized grow-only
+// scratch here, so nothing is flagged.
+//
+//mnnfast:hotpath allow=append
+func HotAllowed(xs []float32) []float32 {
+	return append(xs, 3)
+}
+
+// HotPanic allocates only while dying; panic paths are exempt.
+//
+//mnnfast:hotpath
+func HotPanic(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+}
+
+// HotSuppressed documents a single deliberate exception with a line
+// suppression.
+//
+//mnnfast:hotpath
+func HotSuppressed(xs []float32) []float32 {
+	//mnnfast:allow hotalloc fixture: deliberate exception
+	return append(xs, 4)
+}
+
+// cold stops propagation: Hot3 calls it, but its fmt use is fine.
+//
+//mnnfast:coldpath
+func cold(err error) string { return fmt.Sprintf("boom: %v", err) }
+
+//mnnfast:hotpath
+func Hot3(err error) string { return cold(err) }
+
+// NotHot is unannotated and unreachable from hot code: anything goes.
+func NotHot(name string) string {
+	sink = append(sink, 1)
+	return "cold " + name
+}

@@ -1,0 +1,101 @@
+// Package lint registers the mnnfast-lint analyzers and runs them over
+// loaded packages, applying //mnnfast:allow line suppressions to the
+// raw diagnostics. cmd/mnnfast-lint is the CLI wrapper; analyzer tests
+// drive the same entry points through internal/lint/linttest.
+package lint
+
+import (
+	"sort"
+
+	"mnnfast/internal/lint/analysis"
+	"mnnfast/internal/lint/atomicfield"
+	"mnnfast/internal/lint/directives"
+	"mnnfast/internal/lint/floatdet"
+	"mnnfast/internal/lint/guardedby"
+	"mnnfast/internal/lint/hotalloc"
+	"mnnfast/internal/lint/load"
+	"mnnfast/internal/lint/poolescape"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicfield.Analyzer,
+		floatdet.Analyzer,
+		guardedby.Analyzer,
+		hotalloc.Analyzer,
+		poolescape.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzer applies one analyzer to one package and returns its
+// diagnostics with //mnnfast:allow suppressions filtered out, sorted
+// by position, Category set to the analyzer name.
+func RunAnalyzer(pkg *load.Package, a *analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			d.Category = a.Name
+			diags = append(diags, d)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(pkg, a.Name, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+func suppressed(pkg *load.Package, analyzer string, d analysis.Diagnostic) bool {
+	tf := pkg.Fset.File(d.Pos)
+	if tf == nil {
+		return false
+	}
+	for _, f := range pkg.Files {
+		if pkg.Fset.File(f.Pos()) == tf {
+			return directives.Suppressed(pkg.Fset, f, analyzer, d.Pos)
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer in as to every package in pkgs, returning
+// all surviving diagnostics in (package, position) order.
+func Run(pkgs []*load.Package, as []*analysis.Analyzer) ([]analysis.Diagnostic, []*load.Package, error) {
+	var diags []analysis.Diagnostic
+	var where []*load.Package
+	for _, pkg := range pkgs {
+		for _, a := range as {
+			ds, err := RunAnalyzer(pkg, a)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, d := range ds {
+				diags = append(diags, d)
+				where = append(where, pkg)
+			}
+		}
+	}
+	return diags, where, nil
+}

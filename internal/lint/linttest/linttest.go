@@ -1,0 +1,196 @@
+// Package linttest is the fixture harness for the mnnfast-lint
+// analyzers — the offline counterpart of x/tools' analysistest. A
+// fixture is a package directory under the analyzer's
+// testdata/src/<name>/ whose sources mark expected findings with
+// end-of-line comments:
+//
+//	s += "x" // want "string concatenation allocates"
+//
+// The quoted string is a regexp matched against the diagnostic
+// message; several `// want` strings on one line expect several
+// diagnostics there. Lines without a want comment must produce no
+// diagnostics, so fixtures exercise allowed cases simply by containing
+// clean code — including //mnnfast:allow suppressions, which the
+// harness applies exactly as the real driver does.
+//
+// Fixtures import only the standard library so they type-check from
+// export data without the repo's own packages in scope.
+package linttest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"mnnfast/internal/lint"
+	"mnnfast/internal/lint/analysis"
+	"mnnfast/internal/lint/load"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> relative to the calling test's
+// package directory, applies the analyzer, and compares diagnostics
+// against the fixture's // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzer(pkg, a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if w := match(wants, pos); w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		} else if !w.pattern.MatchString(d.Message) {
+			w.matched = true // consumed, but wrong text
+			t.Errorf("%s: diagnostic %q does not match want pattern %q", pos, d.Message, w.pattern)
+		} else {
+			w.matched = true
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func match(wants []*expectation, pos token.Position) *expectation {
+	base := filepath.Base(pos.Filename)
+	// Prefer an unmatched expectation whose pattern fits; fall back to
+	// any unmatched one on the line so mismatches are reported in place.
+	for _, w := range wants {
+		if !w.matched && w.file == base && w.line == pos.Line {
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants scans every fixture file's comments for want patterns.
+func collectWants(pkg *load.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s: malformed want comment %q (no quoted pattern)", pos, c.Text)
+				}
+				for _, q := range quoted {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, q[1], err)
+					}
+					wants = append(wants, &expectation{
+						file:    filepath.Base(pos.Filename),
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants, nil
+}
+
+// loadFixture parses and type-checks the fixture directory as a single
+// package, resolving its (stdlib-only) imports from export data.
+func loadFixture(dir string) (*load.Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(matches)
+
+	fset := token.NewFileSet()
+	// First parse pass just to discover imports for export-data lookup.
+	imports, err := fixtureImports(fset, matches)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		exports, err = load.Exports(".", imports)
+		if err != nil {
+			return nil, err
+		}
+	}
+	imp := load.Importer(fset, nil, func(path string) (string, error) {
+		file, ok := exports[path]
+		if !ok {
+			return "", fmt.Errorf("fixture imports %q, which has no export data (fixtures must import the standard library only)", path)
+		}
+		return file, nil
+	})
+	pkg, err := load.Check(fset, "fixture", matches, imp)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}
+
+// fixtureImports parses import clauses only and returns the union of
+// import paths across the fixture's files.
+func fixtureImports(fset *token.FileSet, files []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var paths []string
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[path] {
+				seen[path] = true
+				paths = append(paths, path)
+			}
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

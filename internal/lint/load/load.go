@@ -1,0 +1,202 @@
+// Package load turns Go package patterns into parsed, type-checked
+// packages for the lint driver — the offline, stdlib-only counterpart
+// of golang.org/x/tools/go/packages. It shells out to `go list -export`
+// for package metadata and compiled export data (the go command builds
+// export files into its cache without network access), parses the
+// target packages' sources with go/parser, and type-checks them with
+// go/types using the gc importer in lookup mode over the export files.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listEntry is the subset of `go list -json` output we consume.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Exports maps every package reachable from patterns (including the
+// patterns themselves and the whole standard library slice they use) to
+// its compiled export-data file, building anything missing into the go
+// build cache.
+func Exports(dir string, patterns []string) (map[string]string, error) {
+	args := append([]string{"-export", "-deps", "-json=ImportPath,Export"}, patterns...)
+	entries, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}
+
+// Importer returns a types.Importer that resolves import paths through
+// export-data files, with an optional path rewrite map (vet's ImportMap)
+// applied first. The importer caches: all packages type-checked against
+// it share one *types.Package per import, so object identity works
+// across packages in a run.
+func Importer(fset *token.FileSet, importMap map[string]string, exportFile func(path string) (string, error)) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		file, err := exportFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// NewInfo returns a types.Info with every map the analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Check parses filenames and type-checks them as one package with the
+// given canonical import path. Parse errors fail immediately; type
+// errors are collected and returned joined so a caller can decide
+// whether a partially-checked package is still worth analyzing.
+func Check(fset *token.FileSet, path string, filenames []string, imp types.Importer) (*Package, error) {
+	pkg := &Package{PkgPath: path, Fset: fset, Info: NewInfo()}
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	if len(typeErrs) > 0 {
+		msgs := make([]string, len(typeErrs))
+		for i, e := range typeErrs {
+			msgs[i] = e.Error()
+		}
+		return pkg, fmt.Errorf("type checking %s:\n\t%s", path, strings.Join(msgs, "\n\t"))
+	}
+	if err != nil {
+		return pkg, err
+	}
+	return pkg, nil
+}
+
+// Packages loads, parses, and type-checks the packages matched by
+// patterns, rooted at dir. Packages with no Go files (e.g. pure test
+// packages) are skipped. The returned packages share one FileSet and
+// one importer, in deterministic import-path order.
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,Name,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := Exports(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := Importer(fset, nil, func(path string) (string, error) {
+		file, ok := exports[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return file, nil
+	})
+
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	var pkgs []*Package
+	var errs []string
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, name := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, name)
+		}
+		pkg, err := Check(fset, t.ImportPath, files, imp)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	if len(errs) > 0 {
+		return pkgs, fmt.Errorf("load: %s", strings.Join(errs, "\n"))
+	}
+	return pkgs, nil
+}

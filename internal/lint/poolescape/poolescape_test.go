@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"mnnfast/internal/lint/linttest"
+	"mnnfast/internal/lint/poolescape"
+)
+
+func TestPoolescape(t *testing.T) {
+	linttest.Run(t, poolescape.Analyzer, "a")
+}

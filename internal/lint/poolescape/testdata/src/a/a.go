@@ -1,0 +1,78 @@
+// Package fixture exercises poolescape: missing Puts, escapes via
+// return / field / global, use-after-Put, and the allowed idioms
+// (defer Put, annotated accessor wrappers, line suppressions).
+package fixture
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+var global *[]byte
+
+type holder struct{ buf *[]byte }
+
+// GetBuf is the package's own accessor wrapper; its body necessarily
+// returns the pooled value and is skipped.
+//
+//mnnfast:pool-get
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf takes pooled values back.
+//
+//mnnfast:pool-put
+func PutBuf(b *[]byte) { bufPool.Put(b) }
+
+// OK is the canonical shape: Get, defer Put, use.
+func OK() int {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	return len(*b)
+}
+
+// OKWrapper uses the annotated wrappers, which count as Get/Put.
+func OKWrapper() int {
+	b := GetBuf()
+	defer PutBuf(b)
+	return len(*b)
+}
+
+// Leaks never Puts.
+func Leaks() int {
+	b := bufPool.Get().(*[]byte) // want "pooled b is never returned to its pool"
+	return len(*b)
+}
+
+// EscapesReturn hands the pooled value to a caller with no Put duty.
+func EscapesReturn() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	return b // want "pooled b escapes via return"
+}
+
+// EscapesField publishes the pooled value beyond the request.
+func EscapesField(h *holder) {
+	b := bufPool.Get().(*[]byte)
+	h.buf = b // want "pooled b escapes into a struct field or package variable"
+	bufPool.Put(b)
+}
+
+// EscapesGlobal stores it in a package variable.
+func EscapesGlobal() {
+	b := bufPool.Get().(*[]byte)
+	global = b // want "pooled b escapes into a struct field or package variable"
+	bufPool.Put(b)
+}
+
+// UseAfterPut touches the value after giving it back.
+func UseAfterPut() int {
+	b := bufPool.Get().(*[]byte)
+	bufPool.Put(b)
+	return len(*b) // want "use of pooled b after it was Put on line"
+}
+
+// Suppressed documents a deliberate hand-off the analysis can't
+// follow (the consumer Puts it).
+func Suppressed(out chan<- *[]byte) {
+	//mnnfast:allow poolescape consumer recycles via PutBuf
+	b := bufPool.Get().(*[]byte)
+	out <- b
+}

@@ -1,0 +1,103 @@
+// Package walk holds the small AST traversal helpers shared by the
+// mnnfast-lint analyzers: ancestor-stack walking, panic-path detection,
+// per-function-literal scope splitting, and object-use queries.
+package walk
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WithStack walks root in depth-first order invoking fn with the node
+// and its ancestor stack (stack[len-1] == n). Returning false from fn
+// prunes the subtree.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			// Inspect sends no closing nil for a pruned subtree, so pop
+			// n here ourselves.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// InPanicArg reports whether some ancestor on stack is a call to the
+// builtin panic — i.e. the current node only executes while the
+// goroutine is already dying, where allocation no longer matters.
+func InPanicArg(stack []ast.Node, info *types.Info) bool {
+	for _, anc := range stack[:len(stack)-1] {
+		call, ok := anc.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+			return true
+		}
+	}
+	return false
+}
+
+// Scope is one analysis scope: a function body analyzed independently
+// of the function literals nested inside it.
+type Scope struct {
+	// Body is the scope's block.
+	Body *ast.BlockStmt
+	// Lit is the function literal owning Body, nil for the declared
+	// function itself.
+	Lit *ast.FuncLit
+}
+
+// Scopes splits a declared function into per-function scopes: the
+// declaration body with nested literals excluded, plus one scope per
+// nested function literal (recursively).
+func Scopes(decl *ast.FuncDecl) []Scope {
+	if decl.Body == nil {
+		return nil
+	}
+	scopes := []Scope{{Body: decl.Body}}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			scopes = append(scopes, Scope{Body: lit.Body, Lit: lit})
+		}
+		return true
+	})
+	return scopes
+}
+
+// InScope walks body in depth-first order, skipping nested function
+// literal bodies (they are their own scopes).
+func InScope(body *ast.BlockStmt, fn func(n ast.Node, stack []ast.Node) bool) {
+	WithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(body) {
+			return false
+		}
+		return fn(n, stack)
+	})
+}
+
+// UsesObj reports whether any identifier under n resolves to obj.
+func UsesObj(n ast.Node, info *types.Info, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -62,6 +62,8 @@ func (bf *BatchForward) ensure(n int) {
 
 // group orders the batch so questions sharing an EmbeddedStory are
 // adjacent (pointer identity — two sessions never share one cache).
+//
+//mnnfast:hotpath allow=append the order/groups slices grow-only toward MaxBatch and then stay put
 func (bf *BatchForward) group(stories []*EmbeddedStory) {
 	n := len(stories)
 	bf.order = bf.order[:0]
@@ -89,12 +91,16 @@ func (bf *BatchForward) group(stories []*EmbeddedStory) {
 // i's pre-embedded memories (see EmbedStoryInto); every entry must be
 // non-nil with NS matching its example. Questions sharing an
 // EmbeddedStory (pointer identity) share one pass over its rows.
+//
+//mnnfast:hotpath
 func (m *Model) PredictBatchInto(exs []Example, skipThreshold float32, stories []*EmbeddedStory, bf *BatchForward, out []int) {
 	m.PredictBatchInstrumented(exs, skipThreshold, stories, bf, nil, out)
 }
 
 // PredictBatchInstrumented is PredictBatchInto with an optional
 // per-stage time and skip-counter accumulator covering the whole batch.
+//
+//mnnfast:hotpath
 func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, stories []*EmbeddedStory, bf *BatchForward, ins *Instrumentation, out []int) {
 	n := len(exs)
 	if len(stories) != n || len(out) != n {

@@ -215,3 +215,28 @@ func TestPredictBatchAllocs(t *testing.T) {
 		t.Errorf("batched predict allocates %v per batch, want 0", allocs)
 	}
 }
+
+// TestPredictBatchInstrumentedAllocs: turning instrumentation on must
+// not cost allocations either — the stage timers write into the
+// caller's accumulators, nothing else.
+func TestPredictBatchInstrumentedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rng := rand.New(rand.NewSource(10))
+	c := randBatchCase(t, rng, 8)
+	var bf BatchForward
+	var ins Instrumentation
+	out := make([]int, len(c.exs))
+	c.model.PredictBatchInstrumented(c.exs, c.th, c.stories, &bf, &ins, out) // warm buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		ins.Reset()
+		c.model.PredictBatchInstrumented(c.exs, c.th, c.stories, &bf, &ins, out)
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented batched predict allocates %v per batch, want 0", allocs)
+	}
+	if ins.TotalRows == 0 {
+		t.Error("instrumentation did not record any rows")
+	}
+}

@@ -71,6 +71,8 @@ func (m *Model) EvaluateSkip(examples []Example, threshold float32) SkipStats {
 }
 
 // String formats the stats as one experiment row.
+//
+//mnnfast:coldpath
 func (s SkipStats) String() string {
 	return fmt.Sprintf("th=%-8g reduction=%5.1f%% acc %.3f→%.3f (loss %.2f%%)",
 		s.Threshold, 100*s.ComputeReduction, s.BaseAccuracy, s.SkipAccuracy, 100*s.AccuracyLoss)

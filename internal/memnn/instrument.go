@@ -30,6 +30,8 @@ func (ins *Instrumentation) Reset() { *ins = Instrumentation{} }
 
 // lap adds the time since *mark to *acc and advances *mark, so
 // consecutive stages share one clock read at each boundary.
+//
+//mnnfast:hotpath
 func lap(mark *time.Time, acc *int64) {
 	now := time.Now()
 	*acc += now.Sub(*mark).Nanoseconds()
@@ -53,6 +55,8 @@ type EmbeddedStory struct {
 
 // EmbedStoryInto embeds ex's story into es, reusing es's buffers
 // grow-only. Only ex.Sentences is consulted.
+//
+//mnnfast:hotpath
 func (m *Model) EmbedStoryInto(ex Example, es *EmbeddedStory) {
 	ns := len(ex.Sentences)
 	if ns == 0 {
@@ -86,12 +90,16 @@ func (m *Model) EmbedStoryInto(ex Example, es *EmbeddedStory) {
 // time and skip-counter accumulator. Either may be nil. With es set,
 // f.MemIn/f.MemOut are left untouched (the trainer's introspection of
 // them does not apply to the cached inference path).
+//
+//mnnfast:hotpath
 func (m *Model) ApplyInstrumented(ex Example, skipThreshold float32, f *Forward, es *EmbeddedStory, ins *Instrumentation) *Forward {
 	return m.applyInto(ex, skipThreshold, f, es, ins)
 }
 
 // PredictInstrumented returns the argmax answer class using the cached
 // embedded story and instrumentation plumbing of ApplyInstrumented.
+//
+//mnnfast:hotpath
 func (m *Model) PredictInstrumented(ex Example, threshold float32, f *Forward, es *EmbeddedStory, ins *Instrumentation) int {
 	return m.applyInto(ex, threshold, f, es, ins).Logits.ArgMax()
 }

@@ -25,6 +25,8 @@ const (
 )
 
 // String names the scheme.
+//
+//mnnfast:coldpath
 func (t Tying) String() string {
 	switch t {
 	case TyingAdjacent:
@@ -171,6 +173,8 @@ func posWeight(j, bigJ, k, d int) float32 {
 // encodeInto accumulates the sentence embedding of word IDs from table
 // emb plus the temporal vector into dst, with optional position
 // encoding.
+//
+//mnnfast:hotpath
 func (m *Model) encodeInto(emb *tensor.Matrix, words []int, temporal tensor.Vector, dst tensor.Vector) {
 	dst.Zero()
 	if m.Cfg.Position {
@@ -248,6 +252,8 @@ func growMat(mat *tensor.Matrix, rows, cols int) *tensor.Matrix {
 // per goroutine runs the whole forward pass without allocating once the
 // buffers reach steady-state size. f must not be shared between
 // concurrent calls.
+//
+//mnnfast:hotpath
 func (m *Model) ApplyInto(ex Example, skipThreshold float32, f *Forward) *Forward {
 	return m.applyInto(ex, skipThreshold, f, nil, nil)
 }
@@ -257,6 +263,8 @@ func (m *Model) ApplyInto(ex Example, skipThreshold float32, f *Forward) *Forwar
 // for the story (skipping the per-hop encode); ins, when non-nil,
 // accumulates per-stage wall time and zero-skip counters. Both paths
 // stay allocation-free at steady state.
+//
+//mnnfast:hotpath
 func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *EmbeddedStory, ins *Instrumentation) *Forward {
 	ns := len(ex.Sentences)
 	if ns == 0 {
@@ -374,6 +382,8 @@ func (m *Model) PredictSkip(ex Example, threshold float32) int {
 
 // PredictSkipInto is PredictSkip with a caller-provided Forward reused
 // across calls — the allocation-free serving path (see ApplyInto).
+//
+//mnnfast:hotpath
 func (m *Model) PredictSkipInto(ex Example, threshold float32, f *Forward) int {
 	return m.ApplyInto(ex, threshold, f).Logits.ArgMax()
 }

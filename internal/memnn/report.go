@@ -95,6 +95,8 @@ func (r *Report) Fprint(w io.Writer) {
 }
 
 // String renders the report.
+//
+//mnnfast:coldpath
 func (r *Report) String() string {
 	var sb strings.Builder
 	r.Fprint(&sb)

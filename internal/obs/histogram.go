@@ -51,10 +51,14 @@ type Histogram struct {
 }
 
 // Observe records a duration.
+//
+//mnnfast:hotpath
 func (h *Histogram) Observe(d time.Duration) { h.ObserveNS(int64(d)) }
 
 // ObserveNS records a duration in nanoseconds. Negative values clamp
 // to zero.
+//
+//mnnfast:hotpath
 func (h *Histogram) ObserveNS(ns int64) {
 	if ns < 0 {
 		ns = 0

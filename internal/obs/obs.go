@@ -60,9 +60,13 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//mnnfast:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be >= 0 for the counter to stay monotonic).
+//
+//mnnfast:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -79,9 +83,13 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//mnnfast:hotpath
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add adds n (negative n decrements).
+//
+//mnnfast:hotpath
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Value returns the current value.

@@ -45,6 +45,8 @@ type SizeHistogram struct {
 }
 
 // Observe records a size. Negative values clamp to zero.
+//
+//mnnfast:hotpath
 func (h *SizeHistogram) Observe(n int64) {
 	if n < 0 {
 		n = 0

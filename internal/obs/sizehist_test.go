@@ -152,3 +152,18 @@ func TestScrapeQuantileLatencyHistogram(t *testing.T) {
 		t.Errorf("p50 = %v s, want ~0.001 within one bucket", p50)
 	}
 }
+
+// TestSizeHistogramObserveAllocs: Observe sits on the batcher's flush
+// path (one call per batch) and must allocate nothing.
+func TestSizeHistogramObserveAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	r := NewRegistry()
+	h := r.SizeHistogram("alloc_batch_size", "")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(17)
+	}); allocs != 0 {
+		t.Errorf("SizeHistogram.Observe allocates %v per call, want 0", allocs)
+	}
+}

@@ -144,6 +144,9 @@ func (s *Server) answerBatched(w http.ResponseWriter, r *http.Request, sess *ses
 // locker (handleStory, the unbatched answer path) holds at most one
 // session lock and never blocks on a second, so holding several here
 // cannot deadlock.
+//
+//mnnfast:hotpath allow=append batch scratch slices grow only toward MaxBatch
+//mnnfast:locked it.sess.mu
 func (s *Server) runAnswerBatch(items []*answerItem) {
 	st := &s.bstate
 	st.sessions = st.sessions[:0]
@@ -208,6 +211,8 @@ func (s *Server) runAnswerBatch(items []*answerItem) {
 // (after embedding) otherwise — records it in st, and returns its index.
 // The cache hit/miss accounting matches the unbatched path: a valid
 // cache is a hit, an embed is a miss, an empty story is neither.
+//
+//mnnfast:hotpath allow=append batch scratch slices grow only toward MaxBatch
 func (s *Server) lockForBatch(sess *session, st *batchState) int {
 	sess.mu.RLock()
 	if sess.cacheValid {

@@ -51,13 +51,13 @@ import (
 // after one) take the write lock.
 type session struct {
 	mu    sync.RWMutex
-	story babi.Story
+	story babi.Story // guarded by mu
 
 	// Embedding cache: valid means cachedSentences/emb reflect the
 	// current story. Any story mutation invalidates it.
-	cacheValid      bool
-	cachedSentences [][]int // vectorized story (trimmed to MaxSent)
-	emb             memnn.EmbeddedStory
+	cacheValid      bool                // guarded by mu
+	cachedSentences [][]int             // vectorized story (trimmed to MaxSent); guarded by mu
+	emb             memnn.EmbeddedStory // guarded by mu
 }
 
 // forwardState bundles the pooled per-request inference buffers: the
@@ -77,8 +77,8 @@ type Server struct {
 	// request_id, method, path, session, status, duration.
 	AccessLog *log.Logger
 
-	mu       sync.RWMutex // guards the sessions map (not the sessions)
-	sessions map[string]*session
+	mu       sync.RWMutex        // guards the sessions map (not the sessions)
+	sessions map[string]*session // guarded by mu
 
 	// forwards recycles forward-pass buffers across answer requests:
 	// the inference core of a steady-state request allocates nothing
@@ -344,6 +344,8 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 // cache. Caller holds the session write lock. The embedding time lands
 // in the embed-stage histogram, so cache effectiveness is directly
 // visible as vanished embed time on the hit path.
+//
+//mnnfast:locked sess.mu
 func (s *Server) embedSession(sess *session) error {
 	t0 := time.Now()
 	ex, err := s.corpus.VectorizeStory(babi.Story{Sentences: sess.story.Sentences})
@@ -360,6 +362,8 @@ func (s *Server) embedSession(sess *session) error {
 // predict runs the model over one vectorized example with pooled
 // forward-pass buffers and drains the per-stage instrumentation into
 // the metrics. es, when non-nil, supplies the cached embedded story.
+//
+//mnnfast:hotpath
 func (s *Server) predict(ex memnn.Example, es *memnn.EmbeddedStory) int {
 	st, _ := s.forwards.Get().(*forwardState)
 	if st == nil {

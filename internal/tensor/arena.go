@@ -19,6 +19,8 @@ var vecArena = sync.Pool{New: func() any { return new(Vector) }}
 // GetVector returns a zeroed length-n vector drawn from the arena. The
 // returned handle must be released with PutVector; the Vector it points
 // to is only valid until then.
+//
+//mnnfast:pool-get
 func GetVector(n int) *Vector {
 	vp := vecArena.Get().(*Vector)
 	if cap(*vp) < n {
@@ -31,6 +33,8 @@ func GetVector(n int) *Vector {
 }
 
 // PutVector returns a vector handle to the arena.
+//
+//mnnfast:pool-put
 func PutVector(vp *Vector) { vecArena.Put(vp) }
 
 var matArena = sync.Pool{New: func() any { return new(Matrix) }}
@@ -38,6 +42,8 @@ var matArena = sync.Pool{New: func() any { return new(Matrix) }}
 // GetMatrix returns a zeroed rows×cols matrix drawn from the arena. The
 // returned matrix must be released with PutMatrix and is only valid
 // until then.
+//
+//mnnfast:pool-get
 func GetMatrix(rows, cols int) *Matrix {
 	m := matArena.Get().(*Matrix)
 	n := rows * cols
@@ -54,4 +60,6 @@ func GetMatrix(rows, cols int) *Matrix {
 }
 
 // PutMatrix returns a matrix to the arena.
+//
+//mnnfast:pool-put
 func PutMatrix(m *Matrix) { matArena.Put(m) }

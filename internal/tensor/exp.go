@@ -49,6 +49,8 @@ const (
 // Expf returns exp(x) computed in float32. NaN propagates; inputs
 // beyond the representable range saturate to 0 or +Inf exactly like
 // float32(math.Exp(float64(x))).
+//
+//mnnfast:hotpath
 func Expf(x float32) float32 {
 	switch {
 	case x != x: // NaN
@@ -89,6 +91,8 @@ func expScale(n int32) float32 {
 // writes exp(src_i - shift) into dst four lanes at a time and returns
 // the sum of the written values, accumulated in float64 per lane to
 // limit rounding drift on long vectors. Lengths must already match.
+//
+//mnnfast:hotpath allow=float64 fixed-order float64 lane sums are deterministic and shared by every path
 func expInto4(dst, src Vector, shift float32) float32 {
 	var s0, s1, s2, s3 float64
 	n := len(src)

@@ -7,6 +7,8 @@ import (
 
 // MatVec computes y = A·x where A is rows×cols and x has length cols.
 // y must have length rows. The pool, if non-nil, parallelizes over rows.
+//
+//mnnfast:hotpath
 func MatVec(p *Pool, a *Matrix, x, y Vector) {
 	if a.Cols != len(x) || a.Rows != len(y) {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch A=%dx%d x=%d y=%d", a.Rows, a.Cols, len(x), len(y)))
@@ -31,6 +33,8 @@ func MatVec(p *Pool, a *Matrix, x, y Vector) {
 // VecMat computes y = xᵀ·A where A is rows×cols and x has length rows.
 // y must have length cols. This is the access pattern of the weighted
 // sum o = Σ pᵢ·m_iᴼᵁᵀ: one streaming pass over the rows of A.
+//
+//mnnfast:hotpath
 func VecMat(p *Pool, x Vector, a *Matrix, y Vector) {
 	if a.Rows != len(x) || a.Cols != len(y) {
 		panic(fmt.Sprintf("tensor: VecMat shape mismatch x=%d A=%dx%d y=%d", len(x), a.Rows, a.Cols, len(y)))

@@ -92,6 +92,7 @@ func ReadPoolStats() PoolStats {
 	}
 }
 
+//mnnfast:hotpath
 func (t task) run() {
 	if t.d.fnw != nil {
 		t.d.fnw(t.worker, t.lo, t.hi)
@@ -115,6 +116,8 @@ func NewPool(workers int) *Pool {
 }
 
 // Workers reports the parallel width of the pool. A nil pool reports 1.
+//
+//mnnfast:hotpath
 func (p *Pool) Workers() int {
 	if p == nil {
 		return 1
@@ -153,6 +156,8 @@ func (p *Pool) spawn() {
 // elements and invokes fn(lo, hi) for each span, using up to
 // p.Workers() goroutines. fn must be safe to call concurrently on
 // disjoint spans. ParallelFor returns once every span has completed.
+//
+//mnnfast:hotpath
 func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -170,6 +175,8 @@ func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
 // each span private scratch (per-worker partials, chunk logits) without
 // any locking. The dispatching goroutine itself runs a span as worker
 // 0, so index 0 is always used.
+//
+//mnnfast:hotpath
 func (p *Pool) ParallelForWorker(n, grain int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -183,6 +190,8 @@ func (p *Pool) ParallelForWorker(n, grain int, fn func(worker, lo, hi int)) {
 
 // dispatch fans spans out to the persistent workers and runs span 0 in
 // the caller. Exactly one of fn/fnw is non-nil.
+//
+//mnnfast:hotpath
 func (p *Pool) dispatch(n, grain int, fn func(lo, hi int), fnw func(worker, lo, hi int)) {
 	if grain < 1 {
 		grain = 1
@@ -240,6 +249,8 @@ func (p *Pool) dispatch(n, grain int, fn func(lo, hi int), fnw func(worker, lo, 
 
 // Map runs fn(i) for every i in [0, n) with bounded parallelism. It is
 // ParallelFor with grain 1 and a per-index callback.
+//
+//mnnfast:hotpath
 func (p *Pool) Map(n int, fn func(i int)) {
 	p.ParallelFor(n, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -249,6 +260,8 @@ func (p *Pool) Map(n int, fn func(i int)) {
 }
 
 // String describes the pool for logs and experiment headers.
+//
+//mnnfast:coldpath
 func (p *Pool) String() string {
 	return fmt.Sprintf("tensor.Pool(workers=%d)", p.Workers())
 }

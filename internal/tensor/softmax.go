@@ -7,6 +7,8 @@ import "math"
 // It returns the normalizing sum Σ exp(x_i - max). The exponentials use
 // the vectorized float32 fast-exp (see exp.go for the error bound);
 // ExpIntoScalar is the math.Exp reference twin.
+//
+//mnnfast:hotpath
 func Softmax(v Vector) float32 {
 	if len(v) == 0 {
 		return 0
@@ -24,6 +26,8 @@ func Softmax(v Vector) float32 {
 // shift plays the role of the global max in the stabilized softmax; the
 // column engine obtains it from a bound on the logits (see core) so
 // that per-chunk results remain combinable.
+//
+//mnnfast:hotpath
 func ExpInto(dst, src Vector, shift float32) float32 {
 	if len(dst) != len(src) {
 		panic("tensor: ExpInto length mismatch")
@@ -48,6 +52,8 @@ func LogSumExp(v Vector) float32 {
 }
 
 // SoftmaxRows applies Softmax independently to every row of m.
+//
+//mnnfast:hotpath
 func SoftmaxRows(p *Pool, m *Matrix) {
 	p.ParallelFor(m.Rows, 8, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

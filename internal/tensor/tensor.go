@@ -30,6 +30,8 @@ func (v Vector) Clone() Vector {
 }
 
 // Fill sets every element of v to x.
+//
+//mnnfast:hotpath
 func (v Vector) Fill(x float32) {
 	for i := range v {
 		v[i] = x
@@ -37,10 +39,14 @@ func (v Vector) Fill(x float32) {
 }
 
 // Zero sets every element of v to 0.
+//
+//mnnfast:hotpath
 func (v Vector) Zero() { v.Fill(0) }
 
 // Sum returns the sum of the elements of v, accumulated in float64 to
 // limit rounding drift on long vectors.
+//
+//mnnfast:hotpath allow=float64 deliberate fixed-order widening accumulation
 func (v Vector) Sum() float32 {
 	var s float64
 	for _, x := range v {
@@ -50,6 +56,8 @@ func (v Vector) Sum() float32 {
 }
 
 // Max returns the maximum element of v. It panics on an empty vector.
+//
+//mnnfast:hotpath
 func (v Vector) Max() float32 {
 	if len(v) == 0 {
 		panic("tensor: Max of empty vector")
@@ -65,6 +73,8 @@ func (v Vector) Max() float32 {
 
 // ArgMax returns the index of the first maximal element of v, or -1 for
 // an empty vector.
+//
+//mnnfast:hotpath
 func (v Vector) ArgMax() int {
 	if len(v) == 0 {
 		return -1
@@ -80,6 +90,8 @@ func (v Vector) ArgMax() int {
 
 // Scale multiplies every element of v by a. The loop is 4-way unrolled;
 // ScaleScalar is the reference twin.
+//
+//mnnfast:hotpath
 func (v Vector) Scale(a float32) {
 	n := len(v)
 	i := 0
@@ -97,6 +109,8 @@ func (v Vector) Scale(a float32) {
 // AddInPlace adds w into v element-wise. The lengths must match. The
 // loop is 4-way unrolled with the bounds check hoisted; AddScalar is the
 // reference twin.
+//
+//mnnfast:hotpath
 func (v Vector) AddInPlace(w Vector) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("tensor: AddInPlace length mismatch %d != %d", len(v), len(w)))
@@ -128,6 +142,8 @@ func (v Vector) Norm2() float32 {
 // Four-way unrolled accumulation with the bounds check hoisted:
 // measurably faster without SIMD and slightly more accurate than a
 // single serial accumulator. DotScalar is the reference twin.
+//
+//mnnfast:hotpath
 func Dot(a, b Vector) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(a), len(b)))
@@ -155,6 +171,8 @@ func Dot(a, b Vector) float32 {
 // multiply-add nearly in half versus four Dot calls. The chunk engines
 // use it for the inner-product step, where consecutive memory rows
 // share the question vector.
+//
+//mnnfast:hotpath
 func Dot4(u, r0, r1, r2, r3 Vector) (d0, d1, d2, d3 float32) {
 	n := len(u)
 	if len(r0) != n || len(r1) != n || len(r2) != n || len(r3) != n {
@@ -175,6 +193,8 @@ func Dot4(u, r0, r1, r2, r3 Vector) (d0, d1, d2, d3 float32) {
 // Axpy computes y += a*x element-wise. The lengths must match. The loop
 // is 4-way unrolled with the bounds check hoisted; AxpyScalar is the
 // reference twin.
+//
+//mnnfast:hotpath
 func Axpy(a float32, x, y Vector) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d != %d", len(x), len(y)))
@@ -201,6 +221,8 @@ func Axpy(a float32, x, y Vector) {
 // stored once per four multiply-adds instead of once per one, which is
 // the dominant saving in the weighted-sum step o += Σ eᵢ·m_iᴼᵁᵀ when
 // zero-skipping is off and rows are consumed in order.
+//
+//mnnfast:hotpath
 func Axpy4(a0, a1, a2, a3 float32, x0, x1, x2, x3, y Vector) {
 	n := len(y)
 	if len(x0) != n || len(x1) != n || len(x2) != n || len(x3) != n {
