@@ -36,8 +36,18 @@ func main() {
 		format  = flag.String("format", "text", "output format: text, md, csv")
 		bjson   = flag.String("benchjson", "", "append single-query engine benchmarks to this JSON file and exit")
 		label   = flag.String("label", "dev", "label for -benchjson entries (e.g. pre-pr, post-pr)")
+		procs   = flag.String("procs", "", "sweep intra-query worker counts (comma list like 1,2,4,8, or 'auto' = 1..NumCPU) and exit")
+		procOut = flag.String("procs-out", "BENCH_parallel.json", "output file for the -procs scaling curve")
 	)
 	flag.Parse()
+
+	if *procs != "" {
+		if err := runParallelSweep(*procOut, *label, *procs, *ns, *ed, *chunk); err != nil {
+			fmt.Fprintf(os.Stderr, "mnnfast-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *bjson != "" {
 		if err := runBenchJSON(*bjson, *label, *ns, *ed, *chunk); err != nil {

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mnnfast/internal/core"
+	"mnnfast/internal/sched"
+	"mnnfast/internal/tensor"
+)
+
+// ParallelEntry is one point of the scaling curve: the column engine at
+// a fixed memory shape, measured at one worker count, with the
+// scheduler's counters over the measurement window.
+type ParallelEntry struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SpeedupVs1 is ns/op at one worker divided by ns/op here — the
+	// intra-query scaling the scheduler exists to deliver.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	Runs       int64   `json:"sched_runs"`
+	SerialRuns int64   `json:"sched_serial_runs"`
+	Chunks     int64   `json:"sched_chunks"`
+	Steals     int64   `json:"sched_steals"`
+	IdleNS     int64   `json:"sched_idle_ns"`
+}
+
+// ParallelFile is the BENCH_parallel.json document. HostCPUs and
+// GoMaxProcs record the hardware the curve was measured on: a scaling
+// curve from a 1-CPU host is a correctness record (the schedule runs,
+// counters move, results match), not a performance claim.
+type ParallelFile struct {
+	Label      string          `json:"label"`
+	HostCPUs   int             `json:"host_cpus"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	NS         int             `json:"ns"`
+	ED         int             `json:"ed"`
+	Chunk      int             `json:"chunk"`
+	Entries    []ParallelEntry `json:"entries"`
+}
+
+// parseProcs turns the -procs argument into a worker-count list:
+// "auto" doubles 1→NumCPU (always ending at NumCPU), otherwise a
+// comma-separated list like "1,2,4,8".
+func parseProcs(spec string) ([]int, error) {
+	if spec == "auto" {
+		var ws []int
+		for w := 1; w < runtime.NumCPU(); w *= 2 {
+			ws = append(ws, w)
+		}
+		return append(ws, runtime.NumCPU()), nil
+	}
+	var ws []int
+	for _, f := range strings.Split(spec, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -procs element %q", f)
+		}
+		ws = append(ws, w)
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("empty -procs list")
+	}
+	return ws, nil
+}
+
+// runParallelSweep measures the column engine's single-query latency at
+// each worker count and writes the scaling curve to path. The first
+// measured count is the speedup denominator, so lists should start
+// at 1.
+func runParallelSweep(path, label, spec string, ns, ed, chunk int) error {
+	workers, err := parseProcs(spec)
+	if err != nil {
+		return err
+	}
+	if ns <= 0 {
+		ns = 10000
+	}
+	if ed <= 0 {
+		ed = 128
+	}
+	if chunk <= 0 {
+		chunk = 1000
+	}
+	rng := rand.New(rand.NewSource(7))
+	mem, err := core.NewMemory(
+		tensor.GaussianMatrix(rng, ns, ed, 0.5),
+		tensor.GaussianMatrix(rng, ns, ed, 0.5),
+	)
+	if err != nil {
+		return err
+	}
+	u := tensor.RandomVector(rng, ed, 1)
+	o := tensor.NewVector(ed)
+
+	file := ParallelFile{
+		Label:      label,
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NS:         ns,
+		ED:         ed,
+		Chunk:      chunk,
+	}
+	fmt.Printf("parallel sweep: column engine ns=%d ed=%d chunk=%d on %d CPUs (GOMAXPROCS=%d)\n",
+		ns, ed, chunk, file.HostCPUs, file.GoMaxProcs)
+
+	var base float64
+	for _, w := range workers {
+		var pool *tensor.Pool
+		if w > 1 {
+			pool = tensor.NewPool(w)
+		}
+		eng := core.NewColumn(mem, core.Options{ChunkSize: chunk, Pool: pool})
+		pre := eng.Scheduler().Snapshot()
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			eng.Infer(u, o) // warm scratch pools outside the timed loop
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Infer(u, o)
+			}
+		})
+		post := eng.Scheduler().Snapshot()
+		d := diffSched(pre, post)
+
+		e := ParallelEntry{
+			Workers:     w,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			Runs:        d.Runs,
+			SerialRuns:  d.SerialRuns,
+			Chunks:      d.TotalChunks(),
+			Steals:      d.TotalSteals(),
+			IdleNS:      d.TotalIdleNS(),
+		}
+		if base == 0 {
+			base = e.NsPerOp
+		}
+		e.SpeedupVs1 = base / e.NsPerOp
+		file.Entries = append(file.Entries, e)
+		fmt.Printf("  workers=%-3d %12.0f ns/op  %4d allocs/op  speedup %.2fx  chunks %d steals %d\n",
+			w, e.NsPerOp, e.AllocsPerOp, e.SpeedupVs1, e.Chunks, e.Steals)
+		if pool != nil {
+			pool.Close()
+		}
+	}
+
+	raw, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// diffSched subtracts two scheduler snapshots taken around the
+// measurement window.
+func diffSched(pre, post sched.Stats) sched.Stats {
+	d := post
+	d.Runs -= pre.Runs
+	d.SerialRuns -= pre.SerialRuns
+	d.PerWorker = append([]sched.WorkerStats(nil), post.PerWorker...)
+	for i := range d.PerWorker {
+		if i < len(pre.PerWorker) {
+			d.PerWorker[i].Chunks -= pre.PerWorker[i].Chunks
+			d.PerWorker[i].Steals -= pre.PerWorker[i].Steals
+			d.PerWorker[i].IdleNS -= pre.PerWorker[i].IdleNS
+		}
+	}
+	return d
+}

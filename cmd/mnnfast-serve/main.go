@@ -19,6 +19,10 @@
 // beyond it requests are shed with 429 + Retry-After. SIGINT/SIGTERM
 // drain in-flight batches before exit.
 //
+// -parallelism N runs each flush's attention across N persistent
+// workers on the work-stealing chunk scheduler (bit-identical results;
+// scheduler counters appear under mnnfast_sched_* in /v1/metrics).
+//
 // -pprof exposes net/http/pprof under /debug/pprof/ and -access-log
 // emits one structured line per request. Without -model, a small
 // single-fact model is trained at startup.
@@ -54,6 +58,7 @@ func main() {
 		batchMax    = flag.Int("batch-max", batcher.DefaultMaxBatch, "micro-batch flush size for /v1/answer (0 = no batching)")
 		batchWait   = flag.Duration("batch-wait", batcher.DefaultMaxWait, "how long a partial batch waits for stragglers")
 		queueDepth  = flag.Int("queue-depth", 0, "bounded answer queue; beyond it requests get 429 (0 = 4x batch-max)")
+		parallelism = flag.Int("parallelism", 0, "worker count for intra-query parallel attention (0 = serial; try runtime.NumCPU())")
 	)
 	flag.Parse()
 
@@ -76,6 +81,12 @@ func main() {
 			QueueDepth: *queueDepth,
 		})
 		log.Printf("micro-batching: max batch %d, max wait %v", *batchMax, *batchWait)
+	}
+	if *parallelism > 0 {
+		if err := srv.EnableParallelism(*parallelism); err != nil {
+			log.Fatal("mnnfast-serve: ", err)
+		}
+		log.Printf("parallel attention: %d workers (work-stealing chunk scheduler; results bit-identical to serial)", *parallelism)
 	}
 
 	root := http.NewServeMux()

@@ -101,6 +101,93 @@ func TestInferBatchIntoAllocs(t *testing.T) {
 	}
 }
 
+// TestShardedInferAllocs pins the scale-out fan-out path: shard
+// partials and dispatch state are pooled, so a warmed Sharded.Infer
+// allocates nothing — sequential or parallel.
+func TestShardedInferAllocs(t *testing.T) {
+	skipUnderRace(t)
+	rng := rand.New(rand.NewSource(46))
+	mem := randomMemory(t, rng, 4096, 64)
+	u := tensor.RandomVector(rng, 64, 1)
+	o := tensor.NewVector(64)
+
+	for _, par := range []bool{false, true} {
+		name := "sequential"
+		if par {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			s, err := NewSharded(mem, 4, Options{ChunkSize: 512}, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			s.Infer(u, o) // warm up pools at this shape
+			allocs := testing.AllocsPerRun(100, func() {
+				s.Infer(u, o)
+			})
+			if allocs != 0 {
+				t.Errorf("Sharded.Infer allocates %v per call, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestShardedInferBatchAllocs pins the batched fan-out: per-shard,
+// per-question partials come from the pooled shard scratch.
+func TestShardedInferBatchAllocs(t *testing.T) {
+	skipUnderRace(t)
+	rng := rand.New(rand.NewSource(47))
+	mem := randomMemory(t, rng, 4096, 64)
+	const nq = 6
+	u := tensor.GaussianMatrix(rng, nq, 64, 1)
+	o := tensor.NewMatrix(nq, 64)
+
+	for _, par := range []bool{false, true} {
+		name := "sequential"
+		if par {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			s, err := NewSharded(mem, 4, Options{ChunkSize: 512}, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			s.InferBatch(u, o) // warm up pools at this shape
+			allocs := testing.AllocsPerRun(100, func() {
+				s.InferBatch(u, o)
+			})
+			if allocs != 0 {
+				t.Errorf("Sharded.InferBatch allocates %v per call, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestShardedSpawnsNoGoroutines: the parallel fan-out rides persistent
+// pool workers — no goroutine per shard per query.
+func TestShardedSpawnsNoGoroutines(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	mem := randomMemory(t, rng, 4096, 32)
+	u := tensor.RandomVector(rng, 32, 1)
+	o := tensor.NewVector(32)
+	s, err := NewSharded(mem, 4, Options{ChunkSize: 512}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Infer(u, o) // spawns the persistent workers
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		s.Infer(u, o)
+	}
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Errorf("goroutine count grew from %d to %d across steady-state queries", before, after)
+	}
+}
+
 // TestInferSpawnsNoGoroutines checks the steady state also spawns
 // nothing: worker parallelism rides the persistent pool.
 func TestInferSpawnsNoGoroutines(t *testing.T) {

@@ -33,9 +33,10 @@ func (b *Baseline) InferBatch(u, o *tensor.Matrix) Stats {
 
 // InferBatch processes all questions chunk-by-chunk: each memory chunk
 // is loaded once and used by every question before moving on, so the
-// memories stream from DRAM exactly once per batch instead of once per
+// memories stream from DRAM once per batch instead of once per
 // question. Partials are per-question; the lazy-softmax division runs
-// once per question at the end.
+// once per question at the end. Chunks execute on the work-stealing
+// scheduler, so one batch also scales across the pool's workers.
 //
 // Scratch comes from a process-wide pool, so steady-state calls at a
 // fixed batch shape allocate nothing; callers running a serving loop
@@ -60,8 +61,8 @@ func (c *Column) InferBatchInto(u, o *tensor.Matrix, s *BatchScratch) Stats {
 	nq := u.Rows
 	ed := c.mem.Dim()
 	ns := c.mem.NS()
-	s.ensure(nq, ed, min(c.opt.chunkSize(), ns))
-	st := c.inferBatchPartial(u, s.parts, 0, ns, &s.logits)
+	s.ensure(nq, ed)
+	st := c.inferBatchPartial(u, s.parts, 0, ns)
 	for q := 0; q < nq; q++ {
 		st.Divisions += s.parts[q].Finalize(o.Row(q))
 		memtrace.Touch(c.opt.Tracer, memtrace.RegionOutput, memtrace.OpWrite, int64(q*ed*4), ed*4)
@@ -72,126 +73,139 @@ func (c *Column) InferBatchInto(u, o *tensor.Matrix, s *BatchScratch) Stats {
 
 // InferBatchPartial runs the chunk loop for all questions over rows
 // [lo, hi), merging into parts (one partial per question). The chunk
-// logits block comes from the tensor arena, so the call is
+// scratch comes from a process-wide pool, so the call is
 // allocation-free at steady state.
 //
 //mnnfast:hotpath
 func (c *Column) InferBatchPartial(u *tensor.Matrix, parts []*Partial, lo, hi int) Stats {
-	if hi <= lo {
+	return c.inferBatchPartial(u, parts, lo, hi)
+}
+
+// inferBatchPartial dispatches the batched chunk loop over the
+// work-stealing scheduler. Each chunk item computes a self-contained
+// Partial per question (processBatchChunk); the per-question partials
+// then merge in ascending chunk order, so — like the single-question
+// path — the result is bit-identical at every worker count.
+//
+//mnnfast:hotpath
+func (c *Column) inferBatchPartial(u *tensor.Matrix, parts []*Partial, lo, hi int) Stats {
+	n := hi - lo
+	if n <= 0 {
 		return Stats{}
 	}
-	m := tensor.GetMatrix(min(c.opt.chunkSize(), hi-lo), u.Rows)
-	st := c.inferBatchPartial(u, parts, lo, hi, m)
-	tensor.PutMatrix(m)
+	cs := c.opt.chunkSize()
+	nItems := (n + cs - 1) / cs
+	w := c.sch.Workers()
+	if w > nItems {
+		w = nItems
+	}
+	r := getBatchRun(c, u, lo, nItems, min(cs, n), w)
+	c.sch.Run(lo, n, cs, r.fn)
+	nq := u.Rows
+	for q := 0; q < nq; q++ {
+		p := parts[q]
+		for it := 0; it < nItems; it++ {
+			p.Merge(&r.chunkParts[it*nq+q])
+		}
+	}
+	var st Stats
+	for b := range r.stats {
+		st.Add(r.stats[b])
+	}
+	putBatchRun(r)
 	return st
 }
 
-// inferBatchPartial is the batched chunk loop over a caller-provided
-// chunk×nq logits block. All per-question inner loops walk contiguous
-// row slices of the block (never element-wise At/Set accessor calls),
-// and the chunk inner products are 4-question register-blocked.
+// processBatchChunk is the batched twin of processChunk: inner
+// products, exponentials, and weighted sums for rows [lo, hi) against
+// every question, into one self-contained Partial per question (cps,
+// length nq). All per-question inner loops walk contiguous row slices
+// of the logits block (never element-wise At/Set accessor calls), and
+// the chunk inner products are 4-question register-blocked.
 //
 //mnnfast:hotpath
-func (c *Column) inferBatchPartial(u *tensor.Matrix, parts []*Partial, lo, hi int, logits *tensor.Matrix) Stats {
+func (c *Column) processBatchChunk(u *tensor.Matrix, lo, hi int, cps []Partial, logits *tensor.Matrix, cmax tensor.Vector, st *Stats) {
 	mem, tr := c.mem, c.opt.Tracer
-	cs := c.opt.chunkSize()
 	ed := mem.Dim()
 	rowBytes := ed * 4
+	n := hi - lo
 	nq := u.Rows
 	th := c.opt.SkipThreshold
-	cmaxp := tensor.GetVector(nq) // per-question chunk maxima
-	cmax := *cmaxp
 
-	var st Stats
-	for cLo := lo; cLo < hi; cLo += cs {
-		cHi := min(cLo+cs, hi)
-		n := cHi - cLo
-		if c.opt.Streaming {
-			c.prefetchChunk(cLo, cHi)
+	// Inner products for the whole batch against this chunk: each chunk
+	// row is read once and dotted with four questions per pass, writing
+	// one contiguous logits row.
+	for i := lo; i < hi; i++ {
+		row := mem.In.Row(i)
+		lr := logits.Row(i - lo)[:nq]
+		q := 0
+		for ; q+4 <= nq; q += 4 {
+			lr[q], lr[q+1], lr[q+2], lr[q+3] =
+				tensor.Dot4(row, u.Row(q), u.Row(q+1), u.Row(q+2), u.Row(q+3))
 		}
-		// Inner products for the whole batch against this chunk: each
-		// chunk row is read once and dotted with four questions per
-		// pass, writing one contiguous logits row.
-		for i := cLo; i < cHi; i++ {
-			row := mem.In.Row(i)
-			lr := logits.Row(i - cLo)[:nq]
-			q := 0
-			for ; q+4 <= nq; q += 4 {
-				lr[q], lr[q+1], lr[q+2], lr[q+3] =
-					tensor.Dot4(row, u.Row(q), u.Row(q+1), u.Row(q+2), u.Row(q+3))
-			}
-			for ; q < nq; q++ {
-				lr[q] = tensor.Dot(row, u.Row(q))
-			}
+		for ; q < nq; q++ {
+			lr[q] = tensor.Dot(row, u.Row(q))
 		}
-		if tr != nil {
-			for i := cLo; i < cHi; i++ {
-				memtrace.Touch(tr, memtrace.RegionMemIn, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
-			}
+	}
+	if tr != nil {
+		for i := lo; i < hi; i++ {
+			memtrace.Touch(tr, memtrace.RegionMemIn, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
 		}
-		st.InnerProductMuls += int64(n) * int64(nq) * int64(ed)
+	}
+	st.InnerProductMuls += int64(n) * int64(nq) * int64(ed)
 
-		// Per-question running-max maintenance over the chunk, folded
-		// column-wise from the row slices.
-		copy(cmax, logits.Row(0)[:nq])
-		for i := 1; i < n; i++ {
-			lr := logits.Row(i)[:nq]
-			for q, x := range lr {
-				if x > cmax[q] {
-					cmax[q] = x
-				}
-			}
-		}
-		for q := 0; q < nq; q++ {
-			p := parts[q]
-			if cmax[q] > p.Max {
-				if p.Max != negInf && p.Sum != 0 {
-					scale := expf(p.Max - cmax[q])
-					p.Sum *= scale
-					p.O.Scale(scale)
-				}
-				p.Max = cmax[q]
-			}
-		}
-
-		// Exponentials for the whole chunk × batch, accumulated into
-		// each question's P_sum before any skip decision (same sound,
-		// convergent rule as the single-question engine). The logit
-		// slots are reused for the exponentials.
-		for i := 0; i < n; i++ {
-			lr := logits.Row(i)[:nq]
-			for q, x := range lr {
-				e := tensor.Expf(x - parts[q].Max)
-				lr[q] = e
-				parts[q].Sum += e
-			}
-		}
-		st.Exps += int64(n) * int64(nq)
-		st.TotalRows += int64(n) * int64(nq)
-
-		// Weighted sum with zero-skipping: each M_OUT row is read once
-		// and accumulated into every question that does not skip it.
-		for i := cLo; i < cHi; i++ {
-			outRow := mem.Out.Row(i)
-			lr := logits.Row(i - cLo)[:nq]
-			touched := false
-			for q, e := range lr {
-				p := parts[q]
-				if th > 0 && e < th*p.Sum {
-					st.SkippedRows++
-					continue
-				}
-				if !touched {
-					memtrace.Touch(tr, memtrace.RegionMemOut, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
-					touched = true
-				}
-				tensor.Axpy(e, outRow, p.O)
-				st.WeightedSumMuls += int64(ed)
+	// Per-question chunk maxima, folded column-wise from the row slices;
+	// each question's chunk Partial is shifted by its own chunk maximum.
+	copy(cmax, logits.Row(0)[:nq])
+	for i := 1; i < n; i++ {
+		lr := logits.Row(i)[:nq]
+		for q, x := range lr {
+			if x > cmax[q] {
+				cmax[q] = x
 			}
 		}
 	}
-	tensor.PutVector(cmaxp)
-	return st
+	for q := 0; q < nq; q++ {
+		cps[q].Max = cmax[q]
+	}
+
+	// Exponentials for the whole chunk × batch, accumulated into each
+	// question's chunk P_sum before any skip decision. The logit slots
+	// are reused for the exponentials.
+	for i := 0; i < n; i++ {
+		lr := logits.Row(i)[:nq]
+		for q, x := range lr {
+			e := tensor.Expf(x - cmax[q])
+			lr[q] = e
+			cps[q].Sum += e
+		}
+	}
+	st.Exps += int64(n) * int64(nq)
+	st.TotalRows += int64(n) * int64(nq)
+
+	// Weighted sum with zero-skipping: each M_OUT row is read once and
+	// accumulated into every question that does not skip it. The cut is
+	// th × the question's chunk sum — the same sound, conservative rule
+	// as the single-question engine (the chunk sum never exceeds the
+	// final normalizer).
+	for i := lo; i < hi; i++ {
+		outRow := mem.Out.Row(i)
+		lr := logits.Row(i - lo)[:nq]
+		touched := false
+		for q, e := range lr {
+			p := &cps[q]
+			if th > 0 && e < th*p.Sum {
+				st.SkippedRows++
+				continue
+			}
+			if !touched {
+				memtrace.Touch(tr, memtrace.RegionMemOut, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
+				touched = true
+			}
+			tensor.Axpy(e, outRow, p.O)
+			st.WeightedSumMuls += int64(ed)
+		}
+	}
 }
 
 func checkBatchShapes(mem *Memory, u, o *tensor.Matrix) {

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"mnnfast/internal/memtrace"
+	"mnnfast/internal/sched"
 	"mnnfast/internal/tensor"
 )
 
@@ -15,31 +16,50 @@ import (
 // Equation 4).
 //
 // Numerical note: the paper's equations use raw exponentials; this
-// implementation additionally maintains a running maximum shift that is
-// folded into the partials (an online stabilized softmax). The shift
-// cancels in the final division, so results equal the baseline's
-// stabilized softmax while single-pass streaming is preserved.
+// implementation computes each chunk as a self-contained stabilized
+// Partial — shifted by the chunk's own maximum — and merges the chunk
+// partials in ascending chunk order (Partial.Merge re-expresses both
+// sides relative to the common maximum). The shift cancels in the final
+// division, so results equal the baseline's stabilized softmax while
+// single-pass streaming is preserved.
+//
+// Determinism note: chunk partials are independent of each other and of
+// which worker computes them, and the merge order is fixed (ascending
+// chunk index). Output bits are therefore identical at every worker
+// count, with or without work stealing — the contract the parallel
+// scheduler (internal/sched) is built around.
 //
 // Runtime note: the steady-state query path is allocation- and
 // spawn-free. Per-query partials and per-worker chunk scratch come from
-// process-wide sync.Pools (scratch.go), worker parallelism rides the
-// persistent tensor.Pool workers, and the dense loops use the blocked
-// Dot4/Axpy4 kernels and the float32 fast-exp. The one exception is
-// Streaming mode, whose prefetcher is inherently a pipeline and spawns
-// one goroutine per worker band per query.
+// process-wide sync.Pools (scratch.go), chunk parallelism rides the
+// work-stealing scheduler over the persistent tensor.Pool workers, and
+// the dense loops use the blocked Dot4/Axpy4 kernels and the float32
+// fast-exp. The one exception is serial Streaming mode, whose
+// prefetcher is inherently a pipeline and spawns one goroutine per
+// query.
 type Column struct {
 	mem *Memory
 	opt Options
+	sch *sched.Scheduler
 
 	// prefetchSink defeats dead-code elimination of the streaming
 	// prefetcher's warming loads.
 	prefetchSink atomic.Uint64
 }
 
-// NewColumn returns a column-based engine over mem.
+// NewColumn returns a column-based engine over mem. When opt.Pool is
+// set, chunks are distributed over its persistent workers by a
+// work-stealing scheduler; a nil pool runs serially.
 func NewColumn(mem *Memory, opt Options) *Column {
-	return &Column{mem: mem, opt: opt}
+	return &Column{mem: mem, opt: opt, sch: sched.New(opt.Pool)}
 }
+
+// Scheduler exposes the engine's chunk scheduler for observability:
+// per-worker chunk/steal/idle counters feed the metrics endpoint and
+// the benchmark emitter.
+//
+//mnnfast:coldpath
+func (c *Column) Scheduler() *sched.Scheduler { return c.sch }
 
 // Name implements Engine.
 //
@@ -77,9 +97,12 @@ func (c *Column) Infer(u, o tensor.Vector) Stats {
 // Finalize — the paper's scale-out dataflow, where only O(ed) partial
 // results synchronize (§3.1).
 //
-// Worker bands run on the persistent pool workers with pooled
-// per-worker scratch: at steady state the call allocates nothing and
-// spawns nothing.
+// The row range is split into chunk-granularity work items executed by
+// the work-stealing scheduler on the persistent pool workers; each item
+// produces an independent chunk Partial, and the partials merge in
+// ascending chunk order, so the result is bit-identical at every worker
+// count. Scratch is pooled: at steady state the call allocates nothing
+// and spawns nothing.
 //
 //mnnfast:hotpath
 func (c *Column) InferPartial(u tensor.Vector, part *Partial, lo, hi int) Stats {
@@ -87,64 +110,42 @@ func (c *Column) InferPartial(u tensor.Vector, part *Partial, lo, hi int) Stats 
 	if n <= 0 {
 		return Stats{}
 	}
-	w := c.opt.Pool.Workers()
-	if w > n {
-		w = n
+	cs := c.opt.chunkSize()
+	nItems := (n + cs - 1) / cs
+	w := c.sch.Workers()
+	if w > nItems {
+		w = nItems
 	}
-	s := getInferScratch(c, u, lo, w)
-	if w == 1 {
-		c.processBand(u, lo, hi, 0, s.wps[0], &s.stats[0])
+	s := getInferScratch(c, u, lo, nItems, w)
+	if c.opt.Streaming && w == 1 {
+		c.streamBand(u, lo, hi, s)
 	} else {
-		c.opt.Pool.ParallelForWorker(n, 1, s.fn)
+		c.sch.Run(lo, n, cs, s.fn)
 	}
 	var st Stats
-	for b := range s.wps {
-		part.Merge(&s.wps[b].Partial)
+	for i := range s.chunkParts {
+		part.Merge(&s.chunkParts[i])
+	}
+	for b := range s.stats {
 		st.Add(s.stats[b])
 	}
 	putInferScratch(s)
 	return st
 }
 
-// workerPartial is a Partial plus the chunk-sized scratch one worker
-// reuses across its chunks — the cache-resident T_IN of Figure 5(b).
-type workerPartial struct {
-	Partial
-	logits tensor.Vector
-}
-
-func newWorkerPartial(ed, chunk int) *workerPartial {
-	return &workerPartial{
-		Partial: Partial{Max: negInf, O: tensor.NewVector(ed)},
-		logits:  tensor.NewVector(chunk),
-	}
-}
-
-// processBand runs the chunk loop over rows [lo, hi) for one worker.
-//
-//mnnfast:hotpath
-func (c *Column) processBand(u tensor.Vector, lo, hi, worker int, wp *workerPartial, st *Stats) {
-	cs := c.opt.chunkSize()
-	if !c.opt.Streaming {
-		for cLo := lo; cLo < hi; cLo += cs {
-			cHi := cLo + cs
-			if cHi > hi {
-				cHi = hi
-			}
-			c.processChunk(u, cLo, cHi, worker, wp, st)
-		}
-		return
-	}
-
-	// Streaming: a prefetcher goroutine runs ahead of the compute loop,
-	// pulling upcoming chunks' memory rows toward the cache while the
-	// current chunk computes. The ready channel's buffer is the
-	// pipeline depth; the default of 1 is exactly the paper's
-	// double-buffer design.
+// streamBand is the serial streaming pipeline: a prefetcher goroutine
+// runs ahead of the compute loop, pulling upcoming chunks' memory rows
+// toward the cache while the current chunk computes. The ready
+// channel's buffer is the pipeline depth; the default of 1 is exactly
+// the paper's double-buffer design. With more than one worker the
+// pipeline is unnecessary — each worker's synchronous prefetch overlaps
+// with the other workers' compute — so this path runs only at width 1.
+func (c *Column) streamBand(u tensor.Vector, lo, hi int, s *inferScratch) {
 	depth := c.opt.PrefetchDepth
 	if depth < 1 {
 		depth = 1
 	}
+	cs := c.opt.chunkSize()
 	type span struct{ lo, hi int }
 	ready := make(chan span, depth)
 	go func() {
@@ -159,7 +160,8 @@ func (c *Column) processBand(u tensor.Vector, lo, hi, worker int, wp *workerPart
 		}
 	}()
 	for sp := range ready {
-		c.processChunk(u, sp.lo, sp.hi, worker, wp, st)
+		idx := (sp.lo - lo) / cs
+		c.processChunk(u, sp.lo, sp.hi, 0, &s.chunkParts[idx], s.logits[0], &s.stats[0])
 	}
 }
 
@@ -201,19 +203,24 @@ func (c *Column) prefetchChunk(lo, hi int) {
 	c.prefetchSink.Add(uint64(int64(sink)) & 1)
 }
 
-// processChunk computes inner products, exponentials, and the partial
-// weighted sum for rows [lo, hi), folding them into wp. The dense loops
-// are 4-row register-blocked (Dot4/Axpy4) and the exponentials use the
-// vectorized fast-exp; tracer bookkeeping is hoisted behind nil checks
-// so the untraced serving path pays nothing for it.
+// processChunk computes inner products, exponentials, and the weighted
+// sum for rows [lo, hi) into the chunk's own Partial p: the shift is
+// the chunk maximum, the sum is the chunk's exponential mass, and the
+// accumulator starts from zero. The result depends only on the chunk's
+// rows — never on which worker ran it or what ran before it — which is
+// what makes the scheduler's out-of-order execution bit-deterministic
+// after the in-order merge. The dense loops are 4-row register-blocked
+// (Dot4/Axpy4) and the exponentials use the vectorized fast-exp;
+// tracer bookkeeping is hoisted behind nil checks so the untraced
+// serving path pays nothing for it.
 //
 //mnnfast:hotpath
-func (c *Column) processChunk(u tensor.Vector, lo, hi, worker int, wp *workerPartial, st *Stats) {
+func (c *Column) processChunk(u tensor.Vector, lo, hi, worker int, p *Partial, logits tensor.Vector, st *Stats) {
 	mem, tr := c.mem, c.opt.Tracer
 	ed := mem.Dim()
 	rowBytes := ed * 4
 	n := hi - lo
-	t := wp.logits[:n]
+	t := logits[:n]
 
 	// Step 1+2 of Fig 5(b): chunk inner products, four memory rows per
 	// pass so each question element is loaded once per four rows.
@@ -239,36 +246,26 @@ func (c *Column) processChunk(u tensor.Vector, lo, hi, worker int, wp *workerPar
 	}
 	st.InnerProductMuls += int64(n) * int64(ed)
 
-	// Maintain the running maximum shift; rescale prior accumulation
-	// if this chunk raises it.
-	chunkMax := t.Max()
-	if chunkMax > wp.Max {
-		if wp.Max != negInf && wp.Sum != 0 {
-			scale := expf(wp.Max - chunkMax)
-			wp.Sum *= scale
-			wp.O.Scale(scale)
-		}
-		wp.Max = chunkMax
-	}
-
-	// Step 3 of Fig 5(b): partial softmax, accumulating the whole
-	// chunk's exponentials into P_sum (the chunk scratch is
-	// cache-resident, so this extra pass is free of DRAM traffic). The
-	// logit slots are reused for the exponentials.
-	wp.Sum += tensor.ExpInto(t, t, wp.Max)
+	// Step 3 of Fig 5(b): partial softmax under the chunk's own maximum
+	// shift, accumulating the whole chunk's exponentials into P_sum (the
+	// chunk scratch is cache-resident, so this extra pass is free of
+	// DRAM traffic). The logit slots are reused for the exponentials.
+	p.Max = t.Max()
+	p.Sum = tensor.ExpInto(t, t, p.Max)
 	st.Exps += int64(n)
 	st.TotalRows += int64(n)
 
 	// Weighted sum with zero-skipping (§3.2, Algorithm 1): a row is
-	// bypassed when its exponential is below th × the running sum.
-	// Because the running sum (previous chunks + this whole chunk) can
-	// only grow toward the final normalizer, every skip here would also
-	// be skipped by the exact p_i < th rule — sound, conservative, and
-	// convergent to the exact rule as ns grows.
+	// bypassed when its exponential is below th × the chunk's sum —
+	// i.e. when its probability within the chunk alone is below th.
+	// The chunk sum can only be smaller than the final normalizer, so
+	// every skip here would also be skipped by the exact p_i < th rule:
+	// sound, conservative, and convergent to the exact rule as the
+	// chunk's share of the mass grows.
 	th := c.opt.SkipThreshold
 	out := mem.Out
 	if th > 0 {
-		cut := th * wp.Sum
+		cut := th * p.Sum
 		for i := lo; i < hi; i++ {
 			e := t[i-lo]
 			if e < cut {
@@ -278,7 +275,7 @@ func (c *Column) processChunk(u tensor.Vector, lo, hi, worker int, wp *workerPar
 			if tr != nil {
 				memtrace.Touch(tr, memtrace.RegionMemOut, memtrace.OpRead, int64(i)*int64(rowBytes), rowBytes)
 			}
-			tensor.Axpy(e, out.Row(i), wp.O)
+			tensor.Axpy(e, out.Row(i), p.O)
 			st.WeightedSumMuls += int64(ed)
 		}
 		return
@@ -289,10 +286,10 @@ func (c *Column) processChunk(u tensor.Vector, lo, hi, worker int, wp *workerPar
 	for ; i+4 <= hi; i += 4 {
 		k := i - lo
 		tensor.Axpy4(t[k], t[k+1], t[k+2], t[k+3],
-			out.Row(i), out.Row(i+1), out.Row(i+2), out.Row(i+3), wp.O)
+			out.Row(i), out.Row(i+1), out.Row(i+2), out.Row(i+3), p.O)
 	}
 	for ; i < hi; i++ {
-		tensor.Axpy(t[i-lo], out.Row(i), wp.O)
+		tensor.Axpy(t[i-lo], out.Row(i), p.O)
 	}
 	if tr != nil {
 		for i := lo; i < hi; i++ {

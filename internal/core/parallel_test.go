@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mnnfast/internal/tensor"
+)
+
+// Deterministic-merge equivalence: the work-stealing scheduler may run
+// chunks in any order on any worker, but chunk partials are independent
+// and merge in ascending chunk index, so the engine's output bits must
+// not depend on the worker count — with or without zero-skipping. These
+// tests compare float bit patterns, not tolerances.
+
+// bitsEqual reports whether two vectors are bitwise identical and
+// returns the first differing index.
+func bitsEqual(a, b tensor.Vector) (bool, int) {
+	if len(a) != len(b) {
+		return false, -1
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false, i
+		}
+	}
+	return true, 0
+}
+
+// TestParallelBitIdenticalToSequential runs ~1k random queries through
+// the column engine at P ∈ {1, 2, 4, 8}, with and without
+// zero-skipping, and demands bit-identical outputs to the sequential
+// (nil-pool) engine.
+func TestParallelBitIdenticalToSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	const ns, ed, chunk, nQueries = 777, 24, 64, 250
+	mem := randomMemory(t, rng, ns, ed)
+
+	queries := make([]tensor.Vector, nQueries)
+	for i := range queries {
+		queries[i] = tensor.RandomVector(rng, ed, 1)
+	}
+
+	for _, th := range []float32{0, 0.01} {
+		seq := NewColumn(mem, Options{ChunkSize: chunk, SkipThreshold: th})
+		want := make([]tensor.Vector, nQueries)
+		wantStats := make([]Stats, nQueries)
+		for i, u := range queries {
+			want[i] = tensor.NewVector(ed)
+			wantStats[i] = seq.Infer(u, want[i])
+		}
+
+		for _, p := range []int{1, 2, 4, 8} {
+			pool := tensor.NewPool(p)
+			par := NewColumn(mem, Options{ChunkSize: chunk, SkipThreshold: th, Pool: pool})
+			o := tensor.NewVector(ed)
+			for i, u := range queries {
+				st := par.Infer(u, o)
+				if ok, j := bitsEqual(o, want[i]); !ok {
+					t.Fatalf("th=%v P=%d query %d: output differs from sequential at element %d: %v vs %v",
+						th, p, i, j, o[j], want[i][j])
+				}
+				if st != wantStats[i] {
+					t.Errorf("th=%v P=%d query %d: stats differ from sequential:\n got %+v\nwant %+v",
+						th, p, i, st, wantStats[i])
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+// TestParallelBatchBitIdentical is the batched twin: one batch of
+// questions, same bits at every worker count.
+func TestParallelBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	const ns, ed, chunk, nq = 1024, 32, 128, 7
+	mem := randomMemory(t, rng, ns, ed)
+	u := tensor.GaussianMatrix(rng, nq, ed, 1)
+
+	for _, th := range []float32{0, 0.01} {
+		seq := NewColumn(mem, Options{ChunkSize: chunk, SkipThreshold: th})
+		want := tensor.NewMatrix(nq, ed)
+		wantStats := seq.InferBatch(u, want)
+
+		for _, p := range []int{1, 2, 4, 8} {
+			pool := tensor.NewPool(p)
+			par := NewColumn(mem, Options{ChunkSize: chunk, SkipThreshold: th, Pool: pool})
+			o := tensor.NewMatrix(nq, ed)
+			for round := 0; round < 20; round++ {
+				st := par.InferBatch(u, o)
+				for q := 0; q < nq; q++ {
+					if ok, j := bitsEqual(o.Row(q), want.Row(q)); !ok {
+						t.Fatalf("th=%v P=%d round %d question %d: differs at element %d",
+							th, p, round, q, j)
+					}
+				}
+				if st != wantStats {
+					t.Errorf("th=%v P=%d round %d: stats differ:\n got %+v\nwant %+v", th, p, round, st, wantStats)
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+// TestShardedBitIdenticalSequentialVsParallel: shard partials merge in
+// ascending shard order, so concurrent and sequential shard execution
+// produce the same bits — the property that lets deterministic traces
+// stand in for production runs.
+func TestShardedBitIdenticalSequentialVsParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	const ns, ed, shards = 999, 24, 5
+	mem := randomMemory(t, rng, ns, ed)
+	u := tensor.RandomVector(rng, ed, 1)
+
+	for _, th := range []float32{0, 0.02} {
+		opt := Options{ChunkSize: 100, SkipThreshold: th}
+		seq, err := NewSharded(mem, shards, opt, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewSharded(mem, shards, opt, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tensor.NewVector(ed)
+		seq.Infer(u, want)
+		got := tensor.NewVector(ed)
+		for round := 0; round < 10; round++ {
+			par.Infer(u, got)
+			if ok, j := bitsEqual(got, want); !ok {
+				t.Fatalf("th=%v round %d: parallel sharded differs at element %d", th, round, j)
+			}
+		}
+		par.Close()
+		seq.Close()
+	}
+}
+
+// TestSkewedAttentionSteals reproduces the imbalance the scheduler
+// exists for (§3.2): zero-skipping makes chunk costs uneven. Under the
+// chunk-local cut a chunk with one dominant sentence skips nearly all
+// of its weighted sum (cheap), while a chunk of flat attention keeps
+// every row (expensive). Seeding the expensive chunks into one
+// contiguous tail band loads one worker's deque; the others run dry
+// and must steal. The steal counters must show it — and the outputs
+// must still match the sequential engine bit for bit.
+func TestSkewedAttentionSteals(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	const ns, ed, chunk = 4096, 48, 32
+	const th = 0.02 // above 1/chunk, so flat chunks skip nothing
+	dir := tensor.RandomVector(rng, ed, 1)
+	in := tensor.GaussianMatrix(rng, ns, ed, 0.02)
+	// First seven eighths: one sharply aligned sentence per chunk
+	// dominates its chunk's softmax — every other row skips. Last
+	// eighth: flat attention — every row is kept.
+	hot := ns - ns/8
+	for i := 0; i < hot; i += chunk {
+		row := in.Row(i)
+		for j := range row {
+			row[j] += dir[j] * 4
+		}
+	}
+	mem, err := NewMemory(in, tensor.GaussianMatrix(rng, ns, ed, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq := NewColumn(mem, Options{ChunkSize: chunk, SkipThreshold: th})
+	want := tensor.NewVector(ed)
+	seqStats := seq.Infer(dir, want)
+	if seqStats.SkipFraction() < 0.5 {
+		t.Fatalf("attention not skewed enough to skip: %v", seqStats.SkipFraction())
+	}
+
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	par := NewColumn(mem, Options{ChunkSize: chunk, SkipThreshold: th, Pool: pool})
+	got := tensor.NewVector(ed)
+	for round := 0; round < 16; round++ {
+		par.Infer(dir, got)
+		if ok, j := bitsEqual(got, want); !ok {
+			t.Fatalf("round %d: skewed parallel output differs at element %d", round, j)
+		}
+	}
+	st := par.Scheduler().Snapshot()
+	if st.TotalSteals() == 0 {
+		t.Error("no steals across 16 queries with skewed attention — work stealing not engaging")
+	}
+	if st.TotalChunks() == 0 || st.Runs == 0 {
+		t.Errorf("scheduler counters empty: %+v", st)
+	}
+}
+
+// TestStreamingParallelMatchesSerial: streaming changes prefetch
+// behavior, never results. Serial streaming uses the pipelined
+// prefetcher, parallel streaming prefetches synchronously per chunk —
+// both must produce the bits of the non-streaming sequential engine.
+func TestStreamingParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	const ns, ed, chunk = 640, 16, 96
+	mem := randomMemory(t, rng, ns, ed)
+	u := tensor.RandomVector(rng, ed, 1)
+
+	plain := NewColumn(mem, Options{ChunkSize: chunk})
+	want := tensor.NewVector(ed)
+	plain.Infer(u, want)
+
+	for _, p := range []int{1, 4} {
+		pool := tensor.NewPool(p)
+		eng := NewColumn(mem, Options{ChunkSize: chunk, Streaming: true, Pool: pool})
+		got := tensor.NewVector(ed)
+		eng.Infer(u, got)
+		if ok, j := bitsEqual(got, want); !ok {
+			t.Fatalf("P=%d: streaming output differs at element %d", p, j)
+		}
+		pool.Close()
+	}
+}

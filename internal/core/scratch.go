@@ -9,13 +9,16 @@ import (
 // Steady-state scratch for the serving hot path.
 //
 // A production MnnFast node answers queries indefinitely against a
-// fixed memory; the per-query state (the mergeable Partial, each
-// worker's chunk logits and partial accumulators) has the same shape
-// query after query. Everything here is therefore drawn from
-// process-wide sync.Pools with grow-only buffers: after the first
-// query at a given shape, Column.Infer and Column.InferBatch perform
-// zero allocations (asserted by TestInferAllocs / TestInferBatchAllocs)
-// and spawn no goroutines beyond the pool's persistent workers.
+// fixed memory; the per-query state (the mergeable chunk Partials, each
+// worker's chunk logits) has the same shape query after query.
+// Everything here is therefore drawn from process-wide sync.Pools with
+// grow-only buffers: after the first query at a given shape,
+// Column.Infer and Column.InferBatch perform zero allocations (asserted
+// by TestInferAllocs / TestInferBatchAllocs) and spawn no goroutines
+// beyond the pool's persistent workers.
+//
+// The dispatch closures are built once per pooled object, not per call:
+// a fresh closure per query would escape to the heap on every query.
 
 var partialPool = sync.Pool{New: func() any { return new(Partial) }}
 
@@ -48,54 +51,74 @@ func (p *Partial) reset(ed int) {
 	p.O.Zero()
 }
 
+// resetParts grows parts to n partials of dimension ed (grow-only,
+// keeping already-sized O buffers) and resets every slot to empty.
+func resetParts(parts []Partial, n, ed int) []Partial {
+	if cap(parts) < n {
+		grown := make([]Partial, n)
+		copy(grown, parts[:cap(parts)])
+		parts = grown
+	}
+	parts = parts[:n]
+	for i := range parts {
+		parts[i].reset(ed)
+	}
+	return parts
+}
+
 // inferScratch is the reusable state of one Column.InferPartial call:
-// per-worker partials and chunk scratch, per-worker stats, and a
-// dispatch closure built once per scratch object so the steady-state
-// dispatch allocates nothing (a fresh closure per call would escape to
-// the heap on every query).
+// one Partial per chunk item (indexed by chunk, so the merge order is
+// fixed regardless of which worker computed what), per-worker logits
+// scratch and stats, and the scheduler dispatch closure.
 type inferScratch struct {
-	col   *Column
-	u     tensor.Vector
-	base  int // absolute row offset of the dispatched [0, n) range
-	wps   []*workerPartial
-	stats []Stats
-	fn    func(worker, lo, hi int)
+	col        *Column
+	u          tensor.Vector
+	base       int             // absolute row offset of item 0
+	chunk      int             // rows per item
+	chunkParts []Partial       // one per chunk item
+	logits     []tensor.Vector // one per worker slot
+	stats      []Stats         // one per worker slot
+	fn         func(worker, lo, hi int)
 }
 
 var inferScratchPool = sync.Pool{New: func() any {
 	s := new(inferScratch)
 	s.fn = func(worker, lo, hi int) {
-		s.col.processBand(s.u, s.base+lo, s.base+hi, worker, s.wps[worker], &s.stats[worker])
+		idx := (lo - s.base) / s.chunk
+		if s.col.opt.Streaming {
+			// Parallel streaming warms the chunk synchronously: the
+			// prefetch of one worker overlaps the compute of the others.
+			// (Serial streaming pipelines instead — see streamBand.)
+			s.col.prefetchChunk(lo, hi)
+		}
+		s.col.processChunk(s.u, lo, hi, worker, &s.chunkParts[idx], s.logits[worker], &s.stats[worker])
 	}
 	return s
 }}
 
-// getInferScratch prepares scratch for one InferPartial call over w
-// workers against c's memory shape.
+// getInferScratch prepares scratch for one InferPartial call of nItems
+// chunk items over w worker slots against c's memory shape.
 //
 //mnnfast:pool-get
-func getInferScratch(c *Column, u tensor.Vector, base, w int) *inferScratch {
+func getInferScratch(c *Column, u tensor.Vector, base, nItems, w int) *inferScratch {
 	s := inferScratchPool.Get().(*inferScratch)
-	s.col, s.u, s.base = c, u, base
 	ed, chunk := c.mem.Dim(), c.opt.chunkSize()
-	if cap(s.wps) < w {
-		wps := make([]*workerPartial, w)
-		copy(wps, s.wps[:cap(s.wps)])
-		s.wps = wps
+	s.col, s.u, s.base, s.chunk = c, u, base, chunk
+	s.chunkParts = resetParts(s.chunkParts, nItems, ed)
+	if cap(s.logits) < w {
+		logits := make([]tensor.Vector, w)
+		copy(logits, s.logits[:cap(s.logits)])
+		s.logits = logits
 		s.stats = make([]Stats, w)
 	}
-	s.wps = s.wps[:w]
+	s.logits = s.logits[:w]
 	s.stats = s.stats[:w]
-	for i, wp := range s.wps {
-		if wp == nil {
-			s.wps[i] = newWorkerPartial(ed, chunk)
+	for i, l := range s.logits {
+		if cap(l) < chunk {
+			s.logits[i] = tensor.NewVector(chunk)
 			continue
 		}
-		wp.reset(ed)
-		if cap(wp.logits) < chunk {
-			wp.logits = tensor.NewVector(chunk)
-		}
-		wp.logits = wp.logits[:chunk]
+		s.logits[i] = l[:chunk]
 	}
 	for i := range s.stats {
 		s.stats[i] = Stats{}
@@ -112,22 +135,101 @@ func putInferScratch(s *inferScratch) {
 	inferScratchPool.Put(s)
 }
 
-// BatchScratch holds the reusable state of a batched inference: one
-// Partial per question plus the chunk×nq logits block. Callers that
-// answer batches in a loop can own one BatchScratch and pass it to
-// InferBatchInto to make the steady state allocation-free;
-// Column.InferBatch draws one from a process-wide pool, which
-// amortizes to the same thing.
+// batchRun is the reusable state of one batched chunk loop
+// (Column.inferBatchPartial): per-chunk×question Partials (item-major,
+// so the per-question merge order is fixed), per-worker chunk×nq logits
+// blocks, chunk-maxima scratch, stats, and the dispatch closure.
+type batchRun struct {
+	col        *Column
+	u          *tensor.Matrix
+	base       int // absolute row offset of item 0
+	chunk      int // rows per item
+	nq         int
+	chunkParts []Partial       // nItems × nq, item-major
+	logits     []tensor.Matrix // one chunk×nq block per worker slot
+	cmax       []tensor.Vector // one nq-vector per worker slot
+	stats      []Stats         // one per worker slot
+	fn         func(worker, lo, hi int)
+}
+
+var batchRunPool = sync.Pool{New: func() any {
+	r := new(batchRun)
+	r.fn = func(worker, lo, hi int) {
+		idx := (lo - r.base) / r.chunk
+		if r.col.opt.Streaming {
+			r.col.prefetchChunk(lo, hi)
+		}
+		r.col.processBatchChunk(r.u, lo, hi,
+			r.chunkParts[idx*r.nq:(idx+1)*r.nq],
+			&r.logits[worker], r.cmax[worker], &r.stats[worker])
+	}
+	return r
+}}
+
+// getBatchRun prepares scratch for one batched chunk loop of nItems
+// items of up to rows rows over w worker slots.
+//
+//mnnfast:pool-get
+func getBatchRun(c *Column, u *tensor.Matrix, base, nItems, rows, w int) *batchRun {
+	r := batchRunPool.Get().(*batchRun)
+	ed, nq := c.mem.Dim(), u.Rows
+	r.col, r.u, r.base, r.chunk, r.nq = c, u, base, c.opt.chunkSize(), nq
+	r.chunkParts = resetParts(r.chunkParts, nItems*nq, ed)
+	if cap(r.logits) < w {
+		logits := make([]tensor.Matrix, w)
+		copy(logits, r.logits[:cap(r.logits)])
+		r.logits = logits
+		cmax := make([]tensor.Vector, w)
+		copy(cmax, r.cmax[:cap(r.cmax)])
+		r.cmax = cmax
+		r.stats = make([]Stats, w)
+	}
+	r.logits = r.logits[:w]
+	r.cmax = r.cmax[:w]
+	r.stats = r.stats[:w]
+	n := rows * nq
+	for i := range r.logits {
+		m := &r.logits[i]
+		if cap(m.Data) < n {
+			m.Data = make([]float32, n)
+		}
+		m.Data = m.Data[:n]
+		m.Rows, m.Cols = rows, nq
+		if cap(r.cmax[i]) < nq {
+			r.cmax[i] = tensor.NewVector(nq)
+		}
+		r.cmax[i] = r.cmax[i][:nq]
+	}
+	for i := range r.stats {
+		r.stats[i] = Stats{}
+	}
+	return r
+}
+
+// putBatchRun releases r, dropping the question matrix reference so the
+// pool does not pin caller data between batches.
+//
+//mnnfast:pool-put
+func putBatchRun(r *batchRun) {
+	r.col, r.u = nil, nil
+	batchRunPool.Put(r)
+}
+
+// BatchScratch holds the reusable per-question Partials of a batched
+// inference. Callers that answer batches in a loop can own one
+// BatchScratch and pass it to InferBatchInto to make the steady state
+// allocation-free; Column.InferBatch draws one from a process-wide
+// pool, which amortizes to the same thing. (The chunk-loop scratch —
+// logits blocks and chunk partials — is pooled separately in batchRun.)
 type BatchScratch struct {
-	parts  []*Partial
-	logits tensor.Matrix
+	parts []*Partial
 }
 
 var batchScratchPool = sync.Pool{New: func() any { return new(BatchScratch) }}
 
-// ensure shapes the scratch for nq questions of dimension ed with
-// chunk-row logits, reusing existing buffers wherever they fit.
-func (s *BatchScratch) ensure(nq, ed, rows int) {
+// ensure shapes the scratch for nq questions of dimension ed, reusing
+// existing buffers wherever they fit.
+func (s *BatchScratch) ensure(nq, ed int) {
 	if cap(s.parts) < nq {
 		parts := make([]*Partial, nq)
 		copy(parts, s.parts[:cap(s.parts)])
@@ -141,10 +243,4 @@ func (s *BatchScratch) ensure(nq, ed, rows int) {
 		}
 		p.reset(ed)
 	}
-	n := rows * nq
-	if cap(s.logits.Data) < n {
-		s.logits.Data = make([]float32, n)
-	}
-	s.logits.Data = s.logits.Data[:n]
-	s.logits.Rows, s.logits.Cols = rows, nq
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mnnfast/internal/sched"
 	"mnnfast/internal/tensor"
 )
 
@@ -14,17 +15,27 @@ import (
 // lazy-softmax division. The merge traffic is what the paper argues is
 // negligible — per node it is one Partial: ed+2 floats, independent of
 // ns.
+//
+// Shard fan-out rides the work-stealing scheduler over persistent
+// workers (no goroutine spawn per query), shard partials live in pooled
+// scratch (no allocation per query), and the partials merge in
+// ascending shard order, so results are bit-identical whether shards
+// run in sequence or concurrently.
 type Sharded struct {
 	mem     *Memory
 	engines []*Column
 	bounds  []int // len(engines)+1 row boundaries
-	par     bool  // run shards concurrently
+	sch     *sched.Scheduler
+	ownPool *tensor.Pool // created when parallel with no caller pool; closed by Close
 }
 
 // NewSharded splits mem into shards equal-sized row ranges, each served
 // by a column engine configured with opt. If parallel is true the
-// shards run concurrently (modelling distinct nodes/devices); otherwise
-// they run in sequence (useful for deterministic traces).
+// shards run concurrently (modelling distinct nodes/devices) on
+// opt.Pool's persistent workers — or, when opt.Pool is nil, on a pool
+// the Sharded owns (one worker per shard; release it with Close).
+// Otherwise shards run in sequence (useful for deterministic traces);
+// either way the results are bitwise identical.
 //
 //mnnfast:coldpath
 func NewSharded(mem *Memory, shards int, opt Options, parallel bool) (*Sharded, error) {
@@ -34,15 +45,41 @@ func NewSharded(mem *Memory, shards int, opt Options, parallel bool) (*Sharded, 
 	if shards > mem.NS() {
 		return nil, fmt.Errorf("core: %d shards exceed %d memory rows", shards, mem.NS())
 	}
-	s := &Sharded{mem: mem, par: parallel}
+	s := &Sharded{mem: mem}
 	per := (mem.NS() + shards - 1) / shards
 	for lo := 0; lo < mem.NS(); lo += per {
 		s.bounds = append(s.bounds, lo)
 		s.engines = append(s.engines, NewColumn(mem, opt))
 	}
 	s.bounds = append(s.bounds, mem.NS())
+	if parallel {
+		pool := opt.Pool
+		if pool == nil {
+			pool = tensor.NewPool(len(s.engines))
+			s.ownPool = pool
+		}
+		s.sch = sched.New(pool)
+	}
 	return s, nil
 }
+
+// Close releases the worker pool the Sharded created for itself (when
+// constructed parallel without a caller-provided pool). It is a no-op
+// otherwise; callers that passed their own Options.Pool close that pool
+// themselves.
+//
+//mnnfast:coldpath
+func (s *Sharded) Close() {
+	if s.ownPool != nil {
+		s.ownPool.Close()
+	}
+}
+
+// Scheduler exposes the shard fan-out scheduler for observability; it
+// is nil for a sequential Sharded.
+//
+//mnnfast:coldpath
+func (s *Sharded) Scheduler() *sched.Scheduler { return s.sch }
 
 // Shards returns the number of shards.
 func (s *Sharded) Shards() int { return len(s.engines) }
@@ -54,40 +91,88 @@ func (s *Sharded) Name() string {
 	return fmt.Sprintf("sharded(%d×%s)", len(s.engines), s.engines[0].Name())
 }
 
+// shardScratch is the pooled per-call state of a Sharded inference:
+// shard-major partials (shard i, question q at index i·nq+q), pointer
+// views for the batched partial API, per-shard stats, and the dispatch
+// closures — built once per pooled object so the steady state allocates
+// nothing.
+type shardScratch struct {
+	s     *Sharded
+	u     tensor.Vector  // single-question input
+	ub    *tensor.Matrix // batched input
+	nq    int
+	parts []Partial                // len shards×nq, shard-major
+	pptrs []*Partial               // pointer views into parts, same layout
+	stats []Stats                  // one per shard
+	fn    func(worker, lo, hi int) // single-question: item = shard
+	bfn   func(worker, lo, hi int) // batched: item = shard
+}
+
+var shardScratchPool = sync.Pool{New: func() any {
+	sc := new(shardScratch)
+	sc.fn = func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sc.stats[i] = sc.s.engines[i].InferPartial(sc.u, &sc.parts[i], sc.s.bounds[i], sc.s.bounds[i+1])
+		}
+	}
+	sc.bfn = func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sc.stats[i] = sc.s.engines[i].InferBatchPartial(sc.ub, sc.pptrs[i*sc.nq:(i+1)*sc.nq], sc.s.bounds[i], sc.s.bounds[i+1])
+		}
+	}
+	return sc
+}}
+
+//mnnfast:pool-get
+func getShardScratch(s *Sharded, nq, ed int) *shardScratch {
+	sc := shardScratchPool.Get().(*shardScratch)
+	k := len(s.engines)
+	sc.s, sc.nq = s, nq
+	sc.parts = resetParts(sc.parts, k*nq, ed)
+	if cap(sc.pptrs) < k*nq {
+		sc.pptrs = make([]*Partial, k*nq)
+	}
+	if cap(sc.stats) < k {
+		sc.stats = make([]Stats, k)
+	}
+	sc.pptrs = sc.pptrs[:k*nq]
+	// Rebuild the views every call: resetParts may have regrown the
+	// backing array, and a pooled scratch may come back at another shape.
+	for j := range sc.pptrs {
+		sc.pptrs[j] = &sc.parts[j]
+	}
+	sc.stats = sc.stats[:k]
+	for i := range sc.stats {
+		sc.stats[i] = Stats{}
+	}
+	return sc
+}
+
+//mnnfast:pool-put
+func putShardScratch(sc *shardScratch) {
+	sc.s, sc.u, sc.ub = nil, nil, nil
+	shardScratchPool.Put(sc)
+}
+
 // Infer implements Engine: scatter the question, gather and merge the
-// partials, finalize once.
+// partials in shard order, finalize once.
+//
+//mnnfast:hotpath
 func (s *Sharded) Infer(u, o tensor.Vector) Stats {
 	ed := s.mem.Dim()
-	parts := make([]*Partial, len(s.engines))
-	stats := make([]Stats, len(s.engines))
-	run := func(i int) {
-		parts[i] = GetPartial(ed)
-		stats[i] = s.engines[i].InferPartial(u, parts[i], s.bounds[i], s.bounds[i+1])
-	}
-	if s.par {
-		var wg sync.WaitGroup
-		for i := range s.engines {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				run(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range s.engines {
-			run(i)
-		}
-	}
+	k := len(s.engines)
+	sc := getShardScratch(s, 1, ed)
+	sc.u = u
+	s.sch.Run(0, k, 1, sc.fn) // nil scheduler (sequential mode) runs in shard order
 	total := GetPartial(ed)
 	var st Stats
-	for i := range parts {
-		total.Merge(parts[i])
-		PutPartial(parts[i])
-		st.Add(stats[i])
+	for i := 0; i < k; i++ {
+		total.Merge(&sc.parts[i])
+		st.Add(sc.stats[i])
 	}
 	st.Divisions += total.Finalize(o)
 	PutPartial(total)
+	putShardScratch(sc)
 	st.Inferences = 1
 	return st
 }
@@ -101,52 +186,32 @@ func (s *Sharded) SyncBytes() int64 {
 
 // InferBatch implements BatchEngine: every shard processes the whole
 // question batch over its row range (one pass over its shard), then the
-// per-question partials merge across shards.
+// per-question partials merge across shards in shard order.
+//
+//mnnfast:hotpath
 func (s *Sharded) InferBatch(u, o *tensor.Matrix) Stats {
 	checkBatchShapes(s.mem, u, o)
 	nq := u.Rows
 	ed := s.mem.Dim()
-
-	shardParts := make([][]*Partial, len(s.engines))
-	stats := make([]Stats, len(s.engines))
-	run := func(i int) {
-		parts := make([]*Partial, nq)
-		for q := range parts {
-			parts[q] = GetPartial(ed)
-		}
-		stats[i] = s.engines[i].InferBatchPartial(u, parts, s.bounds[i], s.bounds[i+1])
-		shardParts[i] = parts
-	}
-	if s.par {
-		var wg sync.WaitGroup
-		for i := range s.engines {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				run(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range s.engines {
-			run(i)
-		}
-	}
+	k := len(s.engines)
+	sc := getShardScratch(s, nq, ed)
+	sc.ub = u
+	s.sch.Run(0, k, 1, sc.bfn)
 
 	var st Stats
-	for i := range s.engines {
-		st.Add(stats[i])
+	for i := range sc.stats {
+		st.Add(sc.stats[i])
 	}
 	total := GetPartial(ed)
 	for q := 0; q < nq; q++ {
 		total.reset(ed)
-		for i := range s.engines {
-			total.Merge(shardParts[i][q])
-			PutPartial(shardParts[i][q])
+		for i := 0; i < k; i++ {
+			total.Merge(&sc.parts[i*nq+q])
 		}
 		st.Divisions += total.Finalize(o.Row(q))
 	}
 	PutPartial(total)
+	putShardScratch(sc)
 	st.Inferences = int64(nq)
 	return st
 }

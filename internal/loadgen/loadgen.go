@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -61,6 +62,9 @@ type Result struct {
 	// ServerDiff is the server's /v1/metrics delta over the run (nil
 	// when scraping was disabled or unavailable).
 	ServerDiff obs.Scrape
+	// ServerAfter is the absolute post-run scrape, for gauges that are
+	// constant over a run (worker counts) and so vanish from the diff.
+	ServerAfter obs.Scrape
 }
 
 // Throughput returns successful requests per second.
@@ -157,6 +161,31 @@ func (r *Result) ServerReport() string {
 			d.Value("mnnfast_batch_shed_total"),
 			d.Value("mnnfast_batch_expired_total"))
 	}
+
+	// Parallelism telemetry, present only when the server ran with
+	// intra-query parallelism (mnnfast-serve -parallelism > 0). Worker
+	// count comes from the absolute scrape — a constant gauge diffs to 0.
+	if workers := int(r.ServerAfter.Value("mnnfast_sched_workers")); workers > 0 {
+		var chunks, steals, idleNS float64
+		fmt.Fprintf(&b, "\nparallelism: %d workers, %.0f parallel + %.0f serial scheduler runs\n",
+			workers,
+			d.Value("mnnfast_sched_runs_total"),
+			d.Value("mnnfast_sched_serial_runs_total"))
+		for i := 0; i < workers; i++ {
+			w := `worker="` + strconv.Itoa(i) + `"`
+			c := d.Value(`mnnfast_sched_worker_chunks_total{` + w + `}`)
+			st := d.Value(`mnnfast_sched_worker_steals_total{` + w + `}`)
+			idle := d.Value(`mnnfast_sched_worker_idle_ns_total{` + w + `}`)
+			chunks, steals, idleNS = chunks+c, steals+st, idleNS+idle
+			fmt.Fprintf(&b, "  worker %-2d  chunks %-8.0f stolen %-7.0f idle %8.1fµs\n", i, c, st, idle/1e3)
+		}
+		stealPct := 0.0
+		if chunks > 0 {
+			stealPct = steals / chunks * 100
+		}
+		fmt.Fprintf(&b, "  total      chunks %-8.0f stolen %-7.0f (%.1f%% stolen) idle %8.1fµs",
+			chunks, steals, stealPct, idleNS/1e3)
+	}
 	return b.String()
 }
 
@@ -247,6 +276,7 @@ func Run(cfg Config) (*Result, error) {
 	if before != nil {
 		if after, err := scrapeMetrics(cfg); err == nil {
 			res.ServerDiff = after.Sub(before)
+			res.ServerAfter = after
 		}
 	}
 	return res, nil

@@ -40,14 +40,92 @@ type BatchForward struct {
 	order   []int
 	groups  []int
 	grouped []bool
+
+	// Dispatch state of the current hop's group pass. Story groups are
+	// the parallel unit: each touches only its own questions' state, so
+	// groups run concurrently on the model's scheduler while every
+	// per-question operation keeps its exact serial order — parallel
+	// passes are bit-identical to serial ones. The closure is built once
+	// per BatchForward so the steady-state dispatch allocates nothing.
+	m       *Model
+	stories []*EmbeddedStory
+	hop     int
+	skip    float32
+	wskip   []int64 // per-worker skipped-row counters
+	wrows   []int64 // per-worker considered-row counters
+	gfn     func(worker, lo, hi int)
+}
+
+// runGroup executes story group g's attention for the current hop as
+// worker slot w: logits, softmax, and the zero-skipping weighted sum
+// for every question of the group.
+//
+//mnnfast:hotpath
+func (bf *BatchForward) runGroup(g, w int) {
+	m, k := bf.m, bf.hop
+	d := m.Cfg.Dim
+	start := 0
+	if g > 0 {
+		start = bf.groups[g-1]
+	}
+	group := bf.order[start:bf.groups[g]]
+	es := bf.stories[group[0]]
+	in, outMem := es.MemIn[k], es.MemOut[k]
+	ns := es.NS
+
+	// Attention logits: rows outer, questions inner — each memory row
+	// is read once for the whole group. Per question this is exactly
+	// MatVec's serial loop (one tensor.Dot per row), so the logits are
+	// bit-identical to the single path.
+	for _, q := range group {
+		f := &bf.fs[q]
+		f.P[k] = growVec(f.P[k], ns)
+	}
+	for r := 0; r < ns; r++ {
+		row := in.Row(r)
+		for _, q := range group {
+			bf.fs[q].P[k][r] = tensor.Dot(row, bf.fs[q].U[k])
+		}
+	}
+	for _, q := range group {
+		if !m.LinearAttention {
+			tensor.Softmax(bf.fs[q].P[k])
+		}
+	}
+
+	// Weighted sum with zero-skipping, rows outer again: each M_OUT row
+	// is read once and accumulated into every question of the group that
+	// does not skip it, in the same ascending-row Axpy order as the
+	// single path.
+	for _, q := range group {
+		f := &bf.fs[q]
+		f.O[k] = growVec(f.O[k], d)
+		f.O[k].Zero()
+	}
+	skipped := int64(0)
+	for r := 0; r < ns; r++ {
+		outRow := outMem.Row(r)
+		for _, q := range group {
+			f := &bf.fs[q]
+			p := f.P[k][r]
+			if bf.skip > 0 && p < bf.skip {
+				skipped++
+				continue
+			}
+			tensor.Axpy(p, outRow, f.O[k])
+		}
+	}
+	bf.wskip[w] += skipped
+	bf.wrows[w] += int64(ns) * int64(len(group))
 }
 
 // Logits returns question i's answer logits from the last batched pass,
 // for equivalence testing and introspection.
 func (bf *BatchForward) Logits(i int) tensor.Vector { return bf.fs[i].Logits }
 
-// ensure reshapes the per-question state for a batch of n.
-func (bf *BatchForward) ensure(n int) {
+// ensure reshapes the per-question state for a batch of n over w
+// worker slots.
+func (bf *BatchForward) ensure(n, w int) {
 	if cap(bf.fs) < n {
 		fs := make([]Forward, n)
 		copy(fs, bf.fs[:cap(bf.fs)])
@@ -58,6 +136,22 @@ func (bf *BatchForward) ensure(n int) {
 		bf.grouped = make([]bool, n)
 	}
 	bf.grouped = bf.grouped[:n]
+	if cap(bf.wskip) < w {
+		bf.wskip = make([]int64, w)
+		bf.wrows = make([]int64, w)
+	}
+	bf.wskip = bf.wskip[:w]
+	bf.wrows = bf.wrows[:w]
+	for i := 0; i < w; i++ {
+		bf.wskip[i], bf.wrows[i] = 0, 0
+	}
+	if bf.gfn == nil {
+		bf.gfn = func(worker, lo, hi int) {
+			for g := lo; g < hi; g++ {
+				bf.runGroup(g, worker)
+			}
+		}
+	}
 }
 
 // group orders the batch so questions sharing an EmbeddedStory are
@@ -118,8 +212,9 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 		}
 	}
 	hops, d := m.Cfg.Hops, m.Cfg.Dim
-	bf.ensure(n)
+	bf.ensure(n, m.sch.Workers())
 	bf.group(stories)
+	bf.m, bf.stories, bf.skip = m, stories, skipThreshold
 
 	var mark time.Time
 	if ins != nil {
@@ -148,61 +243,12 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 	}
 
 	for k := 0; k < hops; k++ {
-		start := 0
-		for _, end := range bf.groups {
-			group := bf.order[start:end]
-			start = end
-			es := stories[group[0]]
-			in, outMem := es.MemIn[k], es.MemOut[k]
-			ns := es.NS
-
-			// Attention logits: rows outer, questions inner — each
-			// memory row is read once for the whole group. Per question
-			// this is exactly MatVec's serial loop (one tensor.Dot per
-			// row), so the logits are bit-identical to the single path.
-			for _, q := range group {
-				f := &bf.fs[q]
-				f.P[k] = growVec(f.P[k], ns)
-			}
-			for r := 0; r < ns; r++ {
-				row := in.Row(r)
-				for _, q := range group {
-					bf.fs[q].P[k][r] = tensor.Dot(row, bf.fs[q].U[k])
-				}
-			}
-			for _, q := range group {
-				if !m.LinearAttention {
-					tensor.Softmax(bf.fs[q].P[k])
-				}
-			}
-
-			// Weighted sum with zero-skipping, rows outer again: each
-			// M_OUT row is read once and accumulated into every
-			// question of the group that does not skip it, in the same
-			// ascending-row Axpy order as the single path.
-			for _, q := range group {
-				f := &bf.fs[q]
-				f.O[k] = growVec(f.O[k], d)
-				f.O[k].Zero()
-			}
-			skipped := 0
-			for r := 0; r < ns; r++ {
-				outRow := outMem.Row(r)
-				for _, q := range group {
-					f := &bf.fs[q]
-					p := f.P[k][r]
-					if skipThreshold > 0 && p < skipThreshold {
-						skipped++
-						continue
-					}
-					tensor.Axpy(p, outRow, f.O[k])
-				}
-			}
-			if ins != nil {
-				ins.SkippedRows += int64(skipped)
-				ins.TotalRows += int64(ns) * int64(len(group))
-			}
-		}
+		// Story groups are independent within a hop (disjoint question
+		// state), so they are the scheduler's work items: zero-skipping
+		// makes group costs uneven, and workers that finish their groups
+		// steal the stragglers' — see runGroup for the per-group body.
+		bf.hop = k
+		m.sch.Run(0, len(bf.groups), 1, bf.gfn)
 
 		// State update u' = u + o (adjacent) or u' = H·u + o
 		// (layer-wise). H is model-global, so its rows are shared
@@ -230,6 +276,15 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 			lap(&mark, &ins.AttentionNS)
 		}
 	}
+	if ins != nil {
+		// Per-worker counters fold deterministically: each group's
+		// counts are fixed, and integer addition is order-free.
+		for i := range bf.wskip {
+			ins.SkippedRows += bf.wskip[i]
+			ins.TotalRows += bf.wrows[i]
+		}
+	}
+	bf.m, bf.stories = nil, nil // do not pin caller data between batches
 
 	// Output projection: W is model-global too — each of its rows is
 	// read once for the whole batch, the largest cross-session saving.

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"mnnfast/internal/tensor"
 )
 
 // randBatchCase builds a random model plus a batch of questions spread
@@ -238,5 +240,63 @@ func TestPredictBatchInstrumentedAllocs(t *testing.T) {
 	}
 	if ins.TotalRows == 0 {
 		t.Error("instrumentation did not record any rows")
+	}
+}
+
+// TestPredictBatchParallelEquivalence: dispatching story groups across
+// scheduler workers must not change a single bit — each group's
+// per-question operation order is untouched, only which worker runs it.
+func TestPredictBatchParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 40; iter++ {
+		batch := 1 + rng.Intn(12)
+		c := randBatchCase(t, rng, batch)
+
+		var serial BatchForward
+		out := make([]int, batch)
+		c.model.PredictBatchInto(c.exs, c.th, c.stories, &serial, out)
+
+		for _, p := range []int{1, 2, 4, 8} {
+			pool := tensor.NewPool(p)
+			c.model.SetParallel(pool)
+			var bf BatchForward
+			pout := make([]int, batch)
+			c.model.PredictBatchInto(c.exs, c.th, c.stories, &bf, pout)
+			for q := 0; q < batch; q++ {
+				if pout[q] != out[q] {
+					t.Fatalf("iter %d P=%d q %d: answer %d, serial %d", iter, p, q, pout[q], out[q])
+				}
+				got, want := bf.Logits(q), serial.Logits(q)
+				for i := range got {
+					if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+						t.Fatalf("iter %d P=%d q %d: logit %d = %x, serial %x (not bit-identical)",
+							iter, p, q, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+					}
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+// TestPredictBatchParallelAllocs: the scheduler dispatch must keep the
+// batched pass allocation-free at steady state.
+func TestPredictBatchParallelAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rng := rand.New(rand.NewSource(14))
+	c := randBatchCase(t, rng, 8)
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	c.model.SetParallel(pool)
+	var bf BatchForward
+	out := make([]int, len(c.exs))
+	c.model.PredictBatchInto(c.exs, c.th, c.stories, &bf, out) // warm buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		c.model.PredictBatchInto(c.exs, c.th, c.stories, &bf, out)
+	})
+	if allocs != 0 {
+		t.Errorf("parallel batched predict allocates %v per batch, want 0", allocs)
 	}
 }

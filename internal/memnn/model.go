@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"mnnfast/internal/sched"
 	"mnnfast/internal/tensor"
 )
 
@@ -92,7 +93,31 @@ type Model struct {
 	// the MemN2N paper, which helps escape poor local minima. The
 	// trainer toggles it; inference normally leaves it false.
 	LinearAttention bool
+
+	// sch distributes a batched pass's story groups over persistent
+	// workers (SetParallel). nil runs serially; either way the outputs
+	// are bit-identical — groups touch disjoint per-question state and
+	// every per-question operation keeps its order.
+	sch *sched.Scheduler
 }
+
+// SetParallel routes the batched predict path's per-story-group work
+// over pool's persistent workers through a work-stealing scheduler.
+// A nil pool (or never calling SetParallel) keeps the pass serial.
+// Parallel and serial passes are bit-identical, so this is purely a
+// throughput knob. Not safe to call concurrently with predictions.
+//
+//mnnfast:coldpath
+func (m *Model) SetParallel(pool *tensor.Pool) {
+	m.sch = sched.New(pool)
+}
+
+// Scheduler exposes the batched-predict scheduler for observability
+// (per-worker chunk/steal/idle counters); nil unless SetParallel was
+// called.
+//
+//mnnfast:coldpath
+func (m *Model) Scheduler() *sched.Scheduler { return m.sch }
 
 // NewModel initializes a model with N(0, InitStd²) weights from rng.
 func NewModel(cfg Config, rng *rand.Rand) (*Model, error) {

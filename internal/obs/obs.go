@@ -169,6 +169,15 @@ func (r *Registry) CounterFunc(name, help string, fn func() int64) {
 	r.add(f.m.id(), f)
 }
 
+// LabeledCounterFunc is CounterFunc with one constant label pair — for
+// per-worker totals owned outside the registry (e.g. scheduler slot
+// counters). Funcs of one family should be registered consecutively so
+// the exposition groups them under a single HELP/TYPE header.
+func (r *Registry) LabeledCounterFunc(name, help, labelKey, labelVal string, fn func() int64) {
+	f := &funcMetric{m: meta{name: name, help: help, labelKey: labelKey, labelVal: labelVal}, counter: true, fn: fn}
+	r.add(f.m.id(), f)
+}
+
 // Histogram registers and returns a latency histogram.
 func (r *Registry) Histogram(name, help string) *Histogram {
 	h := &Histogram{m: meta{name: name, help: help}}

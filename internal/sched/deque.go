@@ -1,0 +1,105 @@
+package sched
+
+import "sync/atomic"
+
+// Deque is the per-worker work queue of the chunk scheduler: a bounded,
+// lock-free double-ended queue of work-item indices. The owning worker
+// takes items from the front (ascending chunk order — the same order a
+// sequential pass would visit them, which keeps each worker streaming
+// forward through the memory rows it was seeded with); idle workers
+// steal from the tail, the end farthest from the owner's current
+// position, so a thief and the owner only collide when one item is
+// left.
+//
+// The layout is deliberately simpler than a classic Chase-Lev deque:
+// all items are pushed by the owner BEFORE the parallel phase starts
+// (the scheduler seeds every deque, then dispatches the workers, and
+// execution never produces new items), so only Pop and Steal run
+// concurrently. Both ends live in one atomic word — head in the high
+// 32 bits, tail in the low 32 — and every claim is a single CAS on
+// that word, which makes the one-item race between the owner and a
+// thief linearizable by construction: exactly one CAS wins, the loser
+// re-reads an empty deque. No ABA hazard exists because head only ever
+// grows and tail only ever shrinks within one run.
+type Deque struct {
+	// state packs head (high 32 bits) and tail (low 32): the live
+	// items are buf[head:tail]. Only touched atomically.
+	state atomic.Uint64
+	// buf holds the seeded item indices. Written only by Reset before
+	// the parallel phase (the scheduler's dispatch publishes it with a
+	// happens-before edge); read-only while Pop/Steal run.
+	buf []uint32
+}
+
+// pack builds the combined head/tail word.
+func pack(head, tail uint32) uint64 { return uint64(head)<<32 | uint64(tail) }
+
+// unpack splits the combined word.
+func unpack(s uint64) (head, tail uint32) { return uint32(s >> 32), uint32(s) }
+
+// Reset seeds the deque with the items [lo, hi) of the run's global
+// item space. Owner-only, and only before the parallel phase: Reset
+// must not race with Pop or Steal. The backing buffer grows once and
+// is reused across runs.
+//
+//mnnfast:hotpath
+func (d *Deque) Reset(lo, hi uint32) {
+	n := int(hi - lo)
+	if cap(d.buf) < n {
+		d.buf = make([]uint32, n)
+	}
+	d.buf = d.buf[:n]
+	for i := range d.buf {
+		d.buf[i] = lo + uint32(i)
+	}
+	d.state.Store(pack(0, uint32(n)))
+}
+
+// Len reports how many items remain. Racy by nature; useful for
+// victim selection and tests, not for correctness decisions.
+//
+//mnnfast:hotpath
+func (d *Deque) Len() int {
+	head, tail := unpack(d.state.Load())
+	if head >= tail {
+		return 0
+	}
+	return int(tail - head)
+}
+
+// Pop claims the front item for the owning worker. It reports false
+// when the deque is empty (including when a thief just took the last
+// item).
+//
+//mnnfast:hotpath
+func (d *Deque) Pop() (uint32, bool) {
+	for {
+		s := d.state.Load()
+		head, tail := unpack(s)
+		if head >= tail {
+			return 0, false
+		}
+		if d.state.CompareAndSwap(s, pack(head+1, tail)) {
+			return d.buf[head], true
+		}
+	}
+}
+
+// Steal claims the tail item for a thieving worker. It reports false
+// when the deque is empty. Stealing from your own deque is legal (it
+// drains the same items in reverse); the scheduler never does it —
+// the owner uses Pop — but the operation itself is safe.
+//
+//mnnfast:hotpath
+func (d *Deque) Steal() (uint32, bool) {
+	for {
+		s := d.state.Load()
+		head, tail := unpack(s)
+		if head >= tail {
+			return 0, false
+		}
+		if d.state.CompareAndSwap(s, pack(head, tail-1)) {
+			return d.buf[tail-1], true
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDequePopDrainsInOrder(t *testing.T) {
+	var d Deque
+	d.Reset(10, 15)
+	if got := d.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+	for want := uint32(10); want < 15; want++ {
+		it, ok := d.Pop()
+		if !ok || it != want {
+			t.Fatalf("Pop = %d,%v, want %d,true", it, ok, want)
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Error("Pop on drained deque reported an item")
+	}
+	if got := d.Len(); got != 0 {
+		t.Errorf("Len after drain = %d, want 0", got)
+	}
+}
+
+func TestDequeStealTakesFromTail(t *testing.T) {
+	var d Deque
+	d.Reset(0, 4)
+	for want := uint32(3); ; want-- {
+		it, ok := d.Steal()
+		if !ok || it != want {
+			t.Fatalf("Steal = %d,%v, want %d,true", it, ok, want)
+		}
+		if want == 0 {
+			break
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Error("Steal on drained deque reported an item")
+	}
+}
+
+func TestDequeEmptySteal(t *testing.T) {
+	var d Deque
+	if _, ok := d.Steal(); ok {
+		t.Error("Steal on zero-value deque reported an item")
+	}
+	if _, ok := d.Pop(); ok {
+		t.Error("Pop on zero-value deque reported an item")
+	}
+	d.Reset(5, 5) // explicitly empty range
+	if _, ok := d.Steal(); ok {
+		t.Error("Steal on empty-reset deque reported an item")
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len = %d, want 0", d.Len())
+	}
+}
+
+// TestDequeSelfSteal: stealing from your own deque is legal and drains
+// the same items in reverse; mixing ends must never duplicate or drop.
+func TestDequeSelfSteal(t *testing.T) {
+	var d Deque
+	d.Reset(0, 6)
+	seen := map[uint32]bool{}
+	for i := 0; ; i++ {
+		var it uint32
+		var ok bool
+		if i%2 == 0 {
+			it, ok = d.Pop()
+		} else {
+			it, ok = d.Steal()
+		}
+		if !ok {
+			break
+		}
+		if seen[it] {
+			t.Fatalf("item %d claimed twice", it)
+		}
+		seen[it] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("claimed %d items, want 6", len(seen))
+	}
+}
+
+// TestDequeSingleItemRace is the critical linearization point: with one
+// item left, a concurrent Pop and Steal must hand it to exactly one
+// side. Repeated many times to give the race detector and the CAS loop
+// real interleavings.
+func TestDequeSingleItemRace(t *testing.T) {
+	for trial := 0; trial < 2000; trial++ {
+		var d Deque
+		d.Reset(7, 8)
+		var popIt, stealIt uint32
+		var popOK, stealOK bool
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); popIt, popOK = d.Pop() }()
+		go func() { defer wg.Done(); stealIt, stealOK = d.Steal() }()
+		wg.Wait()
+		if popOK == stealOK {
+			t.Fatalf("trial %d: pop=%v steal=%v — exactly one must win", trial, popOK, stealOK)
+		}
+		if popOK && popIt != 7 || stealOK && stealIt != 7 {
+			t.Fatalf("trial %d: wrong item pop=%d steal=%d", trial, popIt, stealIt)
+		}
+	}
+}
+
+// TestDequeConcurrentThieves: many thieves against one owner on a
+// larger deque; every item claimed exactly once, none lost.
+func TestDequeConcurrentThieves(t *testing.T) {
+	const n = 5000
+	const thieves = 4
+	var d Deque
+	d.Reset(0, n)
+
+	var mu sync.Mutex
+	claimed := make(map[uint32]int, n)
+	claim := func(it uint32) {
+		mu.Lock()
+		claimed[it]++
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(thieves + 1)
+	go func() {
+		defer wg.Done()
+		for {
+			it, ok := d.Pop()
+			if !ok {
+				return
+			}
+			claim(it)
+		}
+	}()
+	for i := 0; i < thieves; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				it, ok := d.Steal()
+				if !ok {
+					return
+				}
+				claim(it)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(claimed) != n {
+		t.Fatalf("claimed %d distinct items, want %d", len(claimed), n)
+	}
+	for it, c := range claimed {
+		if c != 1 {
+			t.Fatalf("item %d claimed %d times", it, c)
+		}
+	}
+}
+
+func TestDequeResetReuses(t *testing.T) {
+	var d Deque
+	d.Reset(0, 100)
+	for {
+		if _, ok := d.Pop(); !ok {
+			break
+		}
+	}
+	// Second, smaller reset must not see stale items.
+	d.Reset(3, 5)
+	if got := d.Len(); got != 2 {
+		t.Fatalf("Len after re-reset = %d, want 2", got)
+	}
+	it, ok := d.Pop()
+	if !ok || it != 3 {
+		t.Fatalf("Pop = %d,%v, want 3,true", it, ok)
+	}
+	it, ok = d.Steal()
+	if !ok || it != 4 {
+		t.Fatalf("Steal = %d,%v, want 4,true", it, ok)
+	}
+}

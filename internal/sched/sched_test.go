@@ -1,0 +1,302 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mnnfast/internal/tensor"
+)
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; allocation counts are not meaningful")
+	}
+}
+
+// coverage marks every row of [base, base+n) exactly once.
+type coverage struct {
+	mu   sync.Mutex
+	hits map[int]int
+}
+
+func (c *coverage) fn(worker, lo, hi int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hits == nil {
+		c.hits = make(map[int]int)
+	}
+	for i := lo; i < hi; i++ {
+		c.hits[i]++
+	}
+}
+
+func (c *coverage) check(t *testing.T, base, n int) {
+	t.Helper()
+	if len(c.hits) != n {
+		t.Fatalf("covered %d rows, want %d", len(c.hits), n)
+	}
+	for i := base; i < base+n; i++ {
+		if c.hits[i] != 1 {
+			t.Fatalf("row %d visited %d times, want exactly once", i, c.hits[i])
+		}
+	}
+}
+
+func TestRunCoversRangeExactlyOnce(t *testing.T) {
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	s := New(pool)
+	for _, tc := range []struct{ base, n, chunk int }{
+		{0, 1000, 128},
+		{7, 999, 100},  // uneven chunks, non-zero base
+		{0, 5, 100},    // single item → serial path
+		{3, 17, 1},     // chunk 1, more items than workers
+		{0, 4, 1},      // exactly width items
+		{0, 3, 1},      // fewer items than workers
+		{0, 100000, 7}, // many items
+	} {
+		var c coverage
+		s.Run(tc.base, tc.n, tc.chunk, c.fn)
+		c.check(t, tc.base, tc.n)
+	}
+}
+
+func TestRunNilSchedulerIsSerial(t *testing.T) {
+	var s *Scheduler
+	if s.Workers() != 1 {
+		t.Fatalf("nil scheduler Workers = %d, want 1", s.Workers())
+	}
+	var c coverage
+	workerSeen := -1
+	s.Run(0, 500, 64, func(worker, lo, hi int) {
+		workerSeen = worker
+		c.fn(worker, lo, hi)
+	})
+	c.check(t, 0, 500)
+	if workerSeen != 0 {
+		t.Errorf("nil scheduler used worker %d, want 0", workerSeen)
+	}
+	if st := s.Snapshot(); st.Workers != 1 || st.TotalChunks() != 0 {
+		t.Errorf("nil snapshot = %+v", st)
+	}
+}
+
+func TestRunZeroAndNegative(t *testing.T) {
+	s := New(nil)
+	called := false
+	s.Run(0, 0, 10, func(int, int, int) { called = true })
+	s.Run(0, -5, 10, func(int, int, int) { called = true })
+	if called {
+		t.Error("Run invoked fn for an empty range")
+	}
+	// chunk <= 0 coerces to 1.
+	var c coverage
+	s.Run(0, 3, 0, c.fn)
+	c.check(t, 0, 3)
+}
+
+func TestWorkerIndexBounds(t *testing.T) {
+	pool := tensor.NewPool(3)
+	defer pool.Close()
+	s := New(pool)
+	var bad atomic.Int64
+	s.Run(0, 10000, 16, func(worker, lo, hi int) {
+		if worker < 0 || worker >= 3 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d calls saw an out-of-range worker index", bad.Load())
+	}
+}
+
+// TestWorkerSlotsNeverOverlap pins the per-worker-scratch contract:
+// two fn calls with the same worker index must never run concurrently.
+func TestWorkerSlotsNeverOverlap(t *testing.T) {
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	s := New(pool)
+	var active [4]atomic.Int32
+	var bad atomic.Int64
+	for round := 0; round < 20; round++ {
+		s.Run(0, 256, 4, func(worker, lo, hi int) {
+			if active[worker].Add(1) != 1 {
+				bad.Add(1)
+			}
+			for i := 0; i < 200; i++ {
+				_ = i * i // small busy loop to widen any overlap window
+			}
+			active[worker].Add(-1)
+		})
+	}
+	if bad.Load() != 0 {
+		t.Fatalf("%d overlapping executions on one worker slot", bad.Load())
+	}
+}
+
+func TestCountersAccount(t *testing.T) {
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	s := New(pool)
+
+	const n, chunk = 4096, 64
+	items := int64(n / chunk)
+	var c coverage
+	s.Run(0, n, chunk, c.fn)
+	c.check(t, 0, n)
+
+	st := s.Snapshot()
+	if st.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", st.Workers)
+	}
+	if st.Runs != 1 || st.SerialRuns != 0 {
+		t.Errorf("Runs/SerialRuns = %d/%d, want 1/0", st.Runs, st.SerialRuns)
+	}
+	if got := st.TotalChunks(); got != items {
+		t.Errorf("TotalChunks = %d, want %d", got, items)
+	}
+	if st.TotalSteals() > items {
+		t.Errorf("TotalSteals = %d exceeds item count %d", st.TotalSteals(), items)
+	}
+
+	// A single-item run takes the serial path and is accounted as such.
+	s.Run(0, 10, 100, func(int, int, int) {})
+	st = s.Snapshot()
+	if st.SerialRuns != 1 {
+		t.Errorf("SerialRuns = %d, want 1", st.SerialRuns)
+	}
+	if got := st.TotalChunks(); got != items+1 {
+		t.Errorf("TotalChunks = %d, want %d", got, items+1)
+	}
+	if s.WorkerChunks(0)+s.WorkerChunks(1)+s.WorkerChunks(2)+s.WorkerChunks(3) != st.TotalChunks() {
+		t.Error("per-worker accessor sum disagrees with snapshot")
+	}
+}
+
+// TestStealingTriggersOnImbalance seeds a run whose tail items are far
+// more expensive than the head items: the workers seeded with cheap
+// chunks run dry and must steal from the loaded deque.
+func TestStealingTriggersOnImbalance(t *testing.T) {
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	s := New(pool)
+
+	sink := int64(0)
+	var c coverage
+	for round := 0; round < 8; round++ {
+		s.Run(0, 64, 1, func(worker, lo, hi int) {
+			c.fn(worker, lo, hi)
+			if lo >= 48 { // the last worker's band is 100× the others
+				x := int64(0)
+				for i := 0; i < 200000; i++ {
+					x += int64(i)
+				}
+				atomic.AddInt64(&sink, x)
+			}
+		})
+	}
+	st := s.Snapshot()
+	if st.TotalSteals() == 0 {
+		t.Error("no steals across 8 heavily imbalanced runs")
+	}
+	if st.TotalIdleNS() <= 0 {
+		t.Error("idle time not accounted")
+	}
+	if st.TotalChunks() != 8*64 {
+		t.Errorf("TotalChunks = %d, want %d", st.TotalChunks(), 8*64)
+	}
+}
+
+func TestConcurrentRunsShareScheduler(t *testing.T) {
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	s := New(pool)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				var local atomic.Int64
+				s.Run(0, 300, 16, func(_, lo, hi int) {
+					local.Add(int64(hi - lo))
+				})
+				if local.Load() != 300 {
+					t.Errorf("run covered %d rows, want 300", local.Load())
+					return
+				}
+				total.Add(local.Load())
+			}
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 8*50*300 {
+		t.Fatalf("total coverage %d, want %d", total.Load(), 8*50*300)
+	}
+}
+
+func TestRunSteadyStateAllocs(t *testing.T) {
+	skipUnderRace(t)
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	s := New(pool)
+	var rows atomic.Int64
+	fn := func(_, lo, hi int) { rows.Add(int64(hi - lo)) }
+	s.Run(0, 2048, 64, fn) // warm the run-state pool
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Run(0, 2048, 64, fn)
+	})
+	if allocs != 0 {
+		t.Errorf("Run allocates %v per call at steady state, want 0", allocs)
+	}
+}
+
+func TestRunSpawnsNoGoroutines(t *testing.T) {
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	s := New(pool)
+	fn := func(_, _, _ int) {}
+	s.Run(0, 1024, 32, fn) // spawns the persistent pool workers
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		s.Run(0, 1024, 32, fn)
+	}
+	// Give any stray spawned goroutine a beat to register.
+	time.Sleep(time.Millisecond)
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Errorf("goroutine count grew %d → %d across steady-state runs", before, after)
+	}
+}
+
+// TestNestedRuns exercises a scheduler run whose items themselves
+// dispatch runs on the same pool — the Sharded-over-Column shape. The
+// pool degrades gracefully to inline execution; nothing deadlocks.
+func TestNestedRuns(t *testing.T) {
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	outer := New(pool)
+	inner := New(pool)
+	var rows atomic.Int64
+	innerFn := func(_, lo, hi int) { rows.Add(int64(hi - lo)) }
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		outer.Run(0, 8, 1, func(_, lo, hi int) {
+			inner.Run(0, 512, 32, innerFn)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested scheduler runs deadlocked")
+	}
+	if rows.Load() != 8*512 {
+		t.Fatalf("nested coverage %d, want %d", rows.Load(), 8*512)
+	}
+}

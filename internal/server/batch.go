@@ -90,11 +90,16 @@ func (s *Server) EnableBatching(opt BatchOptions) {
 
 // Close drains the answer batcher (if batching is enabled): admission
 // stops (new answers get 503), queued requests finish, and Close
-// returns once the last batch has run. Safe to call more than once and
-// on a server without batching.
+// returns once the last batch has run — then the parallel worker pool
+// (if EnableParallelism was called) shuts down. Safe to call more than
+// once and on a server without batching or parallelism.
 func (s *Server) Close() {
 	if s.batch != nil {
 		s.batch.Close()
+	}
+	if s.parPool != nil {
+		s.parPool.Close()
+		s.parPool = nil
 	}
 }
 

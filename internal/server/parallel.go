@@ -1,0 +1,63 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+
+	"mnnfast/internal/tensor"
+)
+
+// EnableParallelism turns on intra-query parallelism: attention story
+// groups of each batched flush are dispatched across workers persistent
+// pool workers through the model's work-stealing scheduler (see
+// internal/sched). Results are bit-identical to serial execution — only
+// wall-clock changes. Call before serving traffic; the pool is released
+// by Close.
+//
+// The scheduler's counters are registered into the server registry so
+// /v1/metrics shows the parallel runtime at work: worker count, run
+// totals, and per-worker chunk/steal/idle-time counters (a scrape is
+// allocation-free reads of the scheduler's padded atomics).
+//
+//mnnfast:coldpath
+func (s *Server) EnableParallelism(workers int) error {
+	if workers < 1 {
+		return fmt.Errorf("server: EnableParallelism with %d workers", workers)
+	}
+	if s.parPool != nil {
+		return fmt.Errorf("server: parallelism already enabled")
+	}
+	s.parPool = tensor.NewPool(workers)
+	s.model.SetParallel(s.parPool)
+	sch := s.model.Scheduler()
+
+	reg := s.met.reg
+	reg.GaugeFunc("mnnfast_sched_workers",
+		"Worker slots available to the work-stealing chunk scheduler.",
+		func() int64 { return int64(sch.Workers()) })
+	reg.CounterFunc("mnnfast_sched_runs_total",
+		"Parallel dispatches executed by the chunk scheduler.",
+		sch.Runs)
+	reg.CounterFunc("mnnfast_sched_serial_runs_total",
+		"Scheduler runs executed serially (one worker or one work item).",
+		sch.SerialRuns)
+	for i := 0; i < sch.Workers(); i++ {
+		i := i
+		reg.LabeledCounterFunc("mnnfast_sched_worker_chunks_total",
+			"Work chunks executed, by worker slot.", "worker", strconv.Itoa(i),
+			func() int64 { return sch.WorkerChunks(i) })
+	}
+	for i := 0; i < sch.Workers(); i++ {
+		i := i
+		reg.LabeledCounterFunc("mnnfast_sched_worker_steals_total",
+			"Chunks stolen from another worker's deque, by worker slot.", "worker", strconv.Itoa(i),
+			func() int64 { return sch.WorkerSteals(i) })
+	}
+	for i := 0; i < sch.Workers(); i++ {
+		i := i
+		reg.LabeledCounterFunc("mnnfast_sched_worker_idle_ns_total",
+			"Nanoseconds spent looking for work (own deque empty), by worker slot.", "worker", strconv.Itoa(i),
+			func() int64 { return sch.WorkerIdleNS(i) })
+	}
+	return nil
+}

@@ -41,6 +41,7 @@ import (
 	"mnnfast/internal/batcher"
 	"mnnfast/internal/memnn"
 	"mnnfast/internal/obs"
+	"mnnfast/internal/tensor"
 	"mnnfast/internal/vocab"
 )
 
@@ -93,6 +94,10 @@ type Server struct {
 	items      sync.Pool
 	bstate     batchState
 	retryAfter string
+
+	// parPool holds the persistent workers behind EnableParallelism;
+	// nil when inference is serial. Owned by the server, closed by Close.
+	parPool *tensor.Pool
 
 	met    *metrics
 	reqSeq atomic.Uint64
