@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt bench fuzz-smoke clean
+.PHONY: all build test test-notavx2 race lint vet fmt bench fuzz-smoke clean
 
 all: build lint test
 
@@ -13,11 +13,16 @@ build:
 test:
 	$(GO) test ./...
 
+# Fallback-tier coverage: downgrade the CPUID probe so kernel dispatch
+# resolves to the portable go tier (see internal/tensor/dispatch.go).
+test-notavx2:
+	GODEBUG=cpu.avx2=off,cpu.avx=off $(GO) test ./internal/tensor/... ./internal/core/...
+
 # Full race-detector sweep (the nightly CI job); slow but exhaustive.
 race:
 	$(GO) test -race -count=1 ./...
 
-# The repo's own analyzers (hotalloc, poolescape, atomicfield,
+# The repo's own analyzers (asmtwin, hotalloc, poolescape, atomicfield,
 # guardedby, floatdet — see internal/lint and DESIGN.md §9).
 lint:
 	$(GO) run ./cmd/mnnfast-lint ./...
@@ -36,6 +41,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzStoryJSON -fuzztime=10s ./internal/server/
 	$(GO) test -run=^$$ -fuzz=FuzzAnswerJSON -fuzztime=10s ./internal/server/
 	$(GO) test -run=^$$ -fuzz=FuzzTokenize -fuzztime=10s ./internal/vocab/
+	$(GO) test -run=^$$ -fuzz=FuzzKernelTiers -fuzztime=10s ./internal/tensor/
 
 clean:
 	$(GO) clean ./...

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"testing"
@@ -22,17 +23,31 @@ import (
 // Entries accumulate across runs so labelled before/after comparisons
 // live side by side.
 type BenchEntry struct {
-	Label        string                `json:"label"`
-	Engine       string                `json:"engine"`
-	NS           int                   `json:"ns"`
-	ED           int                   `json:"ed"`
-	NsPerOp      float64               `json:"ns_per_op"`
+	Label  string `json:"label"`
+	Engine string `json:"engine"`
+	NS     int    `json:"ns"`
+	ED     int    `json:"ed"`
+	// DispatchTier records the kernel tier the entry was measured with
+	// (tensor.KernelTier(): scalar, go, or avx2) so per-tier speedup
+	// curves can live side by side in one file. Absent on entries
+	// predating kernel dispatch.
+	DispatchTier string `json:"dispatch_tier,omitempty"`
+	// NsPerOp is integer nanoseconds (rounded): sub-nanosecond digits
+	// from testing.Benchmark's division are measurement noise, and a
+	// uniform integer schema keeps entries comparable across runs.
+	NsPerOp      int64                 `json:"ns_per_op"`
 	BytesPerOp   int64                 `json:"bytes_per_op"`
 	AllocsPerOp  int64                 `json:"allocs_per_op"`
 	Latency      obs.HistogramSnapshot `json:"latency"`
 	Work         core.Stats            `json:"work"`
 	SkipFraction float64               `json:"skip_fraction"`
 	Pool         tensor.PoolStats      `json:"pool"`
+}
+
+// roundNsPerOp converts a testing.BenchmarkResult to integer
+// nanoseconds per operation.
+func roundNsPerOp(res testing.BenchmarkResult) int64 {
+	return int64(math.Round(float64(res.T.Nanoseconds()) / float64(res.N)))
 }
 
 // BenchFile is the top-level JSON document.
@@ -104,7 +119,8 @@ func runBenchJSON(path, label string, ns, ed, chunk int) error {
 			Engine:       eng.Name(),
 			NS:           ns,
 			ED:           ed,
-			NsPerOp:      float64(res.T.Nanoseconds()) / float64(res.N),
+			DispatchTier: tensor.KernelTier(),
+			NsPerOp:      roundNsPerOp(res),
 			BytesPerOp:   res.AllocedBytesPerOp(),
 			AllocsPerOp:  res.AllocsPerOp(),
 			Latency:      hist.Snapshot(),
@@ -113,11 +129,50 @@ func runBenchJSON(path, label string, ns, ed, chunk int) error {
 			Pool:         tensor.ReadPoolStats(),
 		}
 		file.Entries = append(file.Entries, entry)
-		fmt.Printf("%-12s %-10s ns=%d ed=%d  %12.0f ns/op  %6d B/op  %4d allocs/op  p50 %s p99 %s  skip %.1f%%\n",
-			label, entry.Engine, ns, ed, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp,
+		fmt.Printf("%-12s %-10s ns=%d ed=%d tier=%s  %12d ns/op  %6d B/op  %4d allocs/op  p50 %s p99 %s  skip %.1f%%\n",
+			label, entry.Engine, ns, ed, entry.DispatchTier, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp,
 			time.Duration(entry.Latency.P50NS), time.Duration(entry.Latency.P99NS),
 			entry.SkipFraction*100)
 	}
+
+	// Kernel microbenchmarks: the raw Dot and ExpInto inner loops at the
+	// embedding dimension, measured through the active dispatch tier.
+	// These are the per-tier speedup curve the engine numbers above rest
+	// on; comparing entries across -kernel-tier runs isolates the SIMD
+	// win from engine-level effects.
+	kx := tensor.RandomVector(rng, ed, 1)
+	ky := tensor.RandomVector(rng, ed, 1)
+	kdst := tensor.NewVector(ed)
+	var sink float32
+	kernels := []struct {
+		name string
+		body func()
+	}{
+		{"kernel/dot", func() { sink += tensor.Dot(kx, ky) }},
+		{"kernel/expinto", func() { sink += tensor.ExpInto(kdst, kx, 0.25) }},
+	}
+	for _, k := range kernels {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k.body()
+			}
+		})
+		entry := BenchEntry{
+			Label:        label,
+			Engine:       k.name,
+			NS:           ns,
+			ED:           ed,
+			DispatchTier: tensor.KernelTier(),
+			NsPerOp:      roundNsPerOp(res),
+			BytesPerOp:   res.AllocedBytesPerOp(),
+			AllocsPerOp:  res.AllocsPerOp(),
+		}
+		file.Entries = append(file.Entries, entry)
+		fmt.Printf("%-12s %-14s ns=%d ed=%d tier=%s  %12d ns/op  %6d B/op  %4d allocs/op\n",
+			label, entry.Engine, ns, ed, entry.DispatchTier, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp)
+	}
+	_ = sink
 
 	raw, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"mnnfast/internal/experiments"
+	"mnnfast/internal/tensor"
 )
 
 func main() {
@@ -38,8 +39,14 @@ func main() {
 		label   = flag.String("label", "dev", "label for -benchjson entries (e.g. pre-pr, post-pr)")
 		procs   = flag.String("procs", "", "sweep intra-query worker counts (comma list like 1,2,4,8, or 'auto' = 1..NumCPU) and exit")
 		procOut = flag.String("procs-out", "BENCH_parallel.json", "output file for the -procs scaling curve")
+		tier    = flag.String("kernel-tier", "auto", "kernel tier override: auto, scalar, go, or avx2 (if available)")
 	)
 	flag.Parse()
+
+	if err := tensor.SetKernelTier(*tier); err != nil {
+		fmt.Fprintf(os.Stderr, "mnnfast-bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *procs != "" {
 		if err := runParallelSweep(*procOut, *label, *procs, *ns, *ed, *chunk); err != nil {

@@ -19,9 +19,10 @@ import (
 // a fixed memory shape, measured at one worker count, with the
 // scheduler's counters over the measurement window.
 type ParallelEntry struct {
-	Workers     int     `json:"workers"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Workers int `json:"workers"`
+	// NsPerOp is integer nanoseconds, rounded like BenchEntry's.
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
 	// SpeedupVs1 is ns/op at one worker divided by ns/op here — the
 	// intra-query scaling the scheduler exists to deliver.
 	SpeedupVs1 float64 `json:"speedup_vs_1"`
@@ -132,7 +133,7 @@ func runParallelSweep(path, label, spec string, ns, ed, chunk int) error {
 
 		e := ParallelEntry{
 			Workers:     w,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			NsPerOp:     roundNsPerOp(res),
 			AllocsPerOp: res.AllocsPerOp(),
 			Runs:        d.Runs,
 			SerialRuns:  d.SerialRuns,
@@ -141,11 +142,11 @@ func runParallelSweep(path, label, spec string, ns, ed, chunk int) error {
 			IdleNS:      d.TotalIdleNS(),
 		}
 		if base == 0 {
-			base = e.NsPerOp
+			base = float64(e.NsPerOp)
 		}
-		e.SpeedupVs1 = base / e.NsPerOp
+		e.SpeedupVs1 = base / float64(e.NsPerOp)
 		file.Entries = append(file.Entries, e)
-		fmt.Printf("  workers=%-3d %12.0f ns/op  %4d allocs/op  speedup %.2fx  chunks %d steals %d\n",
+		fmt.Printf("  workers=%-3d %12d ns/op  %4d allocs/op  speedup %.2fx  chunks %d steals %d\n",
 			w, e.NsPerOp, e.AllocsPerOp, e.SpeedupVs1, e.Chunks, e.Steals)
 		if pool != nil {
 			pool.Close()

@@ -1,0 +1,66 @@
+// Package asmtwin guards the kernel-tier reference contract: every
+// assembly-backed function (a bodyless Go declaration implemented in a
+// .s file) must either name its scalar reference twin with
+// //mnnfast:asm twin=<Func> or be marked //mnnfast:asm probe (feature
+// probes and test accessors with no numeric contract).
+//
+// The twin must be a declared, Go-bodied function in the same package
+// whose name ends in "Scalar" — the convention floatdet exempts from
+// the float64 ban, and the ground truth the tier property tests and
+// FuzzKernelTiers pin every fast kernel against. Together the two
+// rules make it impossible to land a new assembly kernel without a
+// reference implementation for the differential harness to check it
+// against: the declaration does not lint without a twin, and the twin
+// does not exist without being a *Scalar reference.
+package asmtwin
+
+import (
+	"strings"
+
+	"mnnfast/internal/lint/analysis"
+	"mnnfast/internal/lint/directives"
+)
+
+// Analyzer is the asmtwin pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "asmtwin",
+	Doc:  "assembly-backed declarations must name a registered *Scalar reference twin (or be marked probe)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	di := directives.Collect(pass)
+
+	// Index Go-bodied declarations: the universe twins may live in.
+	bodied := make(map[string]bool)
+	for _, fi := range di.Funcs() {
+		if fi.Decl.Body != nil && fi.Decl.Recv == nil {
+			bodied[fi.Decl.Name.Name] = true
+		}
+	}
+
+	for _, fi := range di.Funcs() {
+		name := fi.Decl.Name.Name
+		if fi.Decl.Body != nil {
+			// A Go-bodied function claiming to be assembly-backed is a
+			// stale or copy-pasted directive; flag it before it misleads.
+			if fi.AsmTwin != "" || fi.AsmProbe {
+				pass.Reportf(fi.Decl.Pos(), "%s has a //mnnfast:asm directive but a Go body; the directive belongs on the bodyless assembly declaration", name)
+			}
+			continue
+		}
+		switch {
+		case fi.AsmProbe && fi.AsmTwin != "":
+			pass.Reportf(fi.Decl.Pos(), "%s is marked both probe and twin=%s; an assembly declaration is either a kernel with a reference twin or a probe, not both", name, fi.AsmTwin)
+		case fi.AsmProbe:
+			// Non-kernel stub: nothing to pin.
+		case fi.AsmTwin == "":
+			pass.Reportf(fi.Decl.Pos(), "assembly-backed %s has no //mnnfast:asm directive; name its scalar reference (//mnnfast:asm twin=<Func>) so the tier tests pin it, or mark it //mnnfast:asm probe", name)
+		case !bodied[fi.AsmTwin]:
+			pass.Reportf(fi.Decl.Pos(), "assembly-backed %s names twin %s, which is not a Go-bodied function in this package", name, fi.AsmTwin)
+		case !strings.HasSuffix(fi.AsmTwin, "Scalar"):
+			pass.Reportf(fi.Decl.Pos(), "twin %s of assembly-backed %s is not a *Scalar reference twin; the scalar ground truth must carry the Scalar suffix (floatdet exempts it, the tier tests find it)", fi.AsmTwin, name)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package asmtwin_test
+
+import (
+	"testing"
+
+	"mnnfast/internal/lint/asmtwin"
+	"mnnfast/internal/lint/linttest"
+)
+
+func TestAsmtwin(t *testing.T) {
+	linttest.Run(t, asmtwin.Analyzer, "a")
+}

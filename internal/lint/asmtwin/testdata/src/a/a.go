@@ -1,0 +1,55 @@
+// Package fixture exercises asmtwin: bodyless (assembly-backed)
+// declarations with and without twins, probe stubs, misnamed twins,
+// and stale directives on Go-bodied functions.
+package fixture
+
+// DotScalar is the reference twin assembly kernels may name.
+func DotScalar(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// axpyFast is the fast path: not scalar-suffixed, so not a valid twin.
+func axpyFast(a float32, x, y []float32) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// dotAVX2 declares its twin: clean.
+//
+//mnnfast:asm twin=DotScalar
+func dotAVX2(a, b []float32) float32
+
+// cpuid is a feature probe with no numeric contract: clean.
+//
+//mnnfast:asm probe
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// scaleAVX2 has no directive at all.
+func scaleAVX2(v []float32, a float32) // want "assembly-backed scaleAVX2 has no //mnnfast:asm directive"
+
+// addAVX2 names a twin that does not exist.
+//
+//mnnfast:asm twin=AddScalar
+func addAVX2(v, w []float32) // want "twin AddScalar, which is not a Go-bodied function"
+
+// axpyAVX2 names a twin without the Scalar suffix.
+//
+//mnnfast:asm twin=axpyFast
+func axpyAVX2(a float32, x, y []float32) // want "twin axpyFast of assembly-backed axpyAVX2 is not a .Scalar reference twin"
+
+// expAVX2 cannot be both a kernel and a probe.
+//
+//mnnfast:asm twin=DotScalar probe
+func expAVX2(dst, src []float32) // want "marked both probe and twin=DotScalar"
+
+// expGo has a Go body, so the directive is stale.
+//
+//mnnfast:asm twin=DotScalar
+func expGo(dst, src []float32) { // want "has a //mnnfast:asm directive but a Go body"
+	copy(dst, src)
+}

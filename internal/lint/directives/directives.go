@@ -33,6 +33,14 @@
 //	    Line-level suppression: placed on (or immediately above) the
 //	    offending line, silences that analyzer there. Use sparingly and
 //	    give the reason.
+//
+//	//mnnfast:asm twin=<Func> | probe
+//	    The function is assembly-backed (a bodyless Go declaration).
+//	    twin= names its scalar reference twin in the same package — the
+//	    ground truth the property/fuzz tests pin the kernel against.
+//	    probe marks non-kernel stubs (CPUID/XGETBV feature probes, test
+//	    accessors) that have no numeric contract. asmtwin enforces that
+//	    every bodyless declaration carries exactly one of these.
 package directives
 
 import (
@@ -68,6 +76,12 @@ type FuncInfo struct {
 	// Locked lists lock expressions (e.g. "sess.mu") the caller
 	// guarantees are held for the duration of this function.
 	Locked []string
+	// AsmTwin is the declared scalar reference twin of an
+	// assembly-backed function (//mnnfast:asm twin=Name).
+	AsmTwin string
+	// AsmProbe marks an assembly-backed non-kernel stub
+	// (//mnnfast:asm probe) exempt from the twin requirement.
+	AsmProbe bool
 }
 
 // Allows reports whether construct is exempted on this function.
@@ -148,6 +162,14 @@ func Collect(pass *analysis.Pass) *Info {
 						fi.PoolPut = true
 					case "locked":
 						fi.Locked = append(fi.Locked, strings.Fields(args)...)
+					case "asm":
+						for _, field := range strings.Fields(args) {
+							if twin, ok := strings.CutPrefix(field, "twin="); ok {
+								fi.AsmTwin = twin
+							} else if field == "probe" {
+								fi.AsmProbe = true
+							}
+						}
 					}
 				}
 			}

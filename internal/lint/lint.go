@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"mnnfast/internal/lint/analysis"
+	"mnnfast/internal/lint/asmtwin"
 	"mnnfast/internal/lint/atomicfield"
 	"mnnfast/internal/lint/directives"
 	"mnnfast/internal/lint/floatdet"
@@ -20,6 +21,7 @@ import (
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		asmtwin.Analyzer,
 		atomicfield.Analyzer,
 		floatdet.Analyzer,
 		guardedby.Analyzer,

@@ -145,6 +145,16 @@ func (r *Result) ServerReport() string {
 	fmt.Fprintf(&b, "zero-skip: %.0f/%.0f rows skipped (%.1f%%); embedding cache: %.0f hits / %.0f misses (%.1f%% hit)",
 		skipped, total, skipPct, hits, misses, hitPct)
 
+	// Kernel dispatch tier, from the absolute scrape (the info gauge is
+	// constant over a run, so it diffs to 0). Older servers don't export
+	// the family; print nothing rather than a guess.
+	for _, tier := range []string{"avx2", "go", "scalar"} {
+		if r.ServerAfter.Value(`mnnfast_kernel_tier{tier="`+tier+`"}`) == 1 {
+			fmt.Fprintf(&b, "\nkernel tier: %s", tier)
+			break
+		}
+	}
+
 	// Batching telemetry, present only when the server ran with
 	// micro-batching enabled (mnnfast-serve -batch-max > 0).
 	if flushes := d.Value("mnnfast_batch_flushes_total"); flushes > 0 {

@@ -178,6 +178,15 @@ func (r *Registry) LabeledCounterFunc(name, help, labelKey, labelVal string, fn 
 	r.add(f.m.id(), f)
 }
 
+// LabeledGaugeFunc is GaugeFunc with one constant label pair — the
+// Prometheus info-gauge idiom (one series per label value, 1 on the
+// active one). Funcs of one family should be registered consecutively
+// so the exposition groups them under a single HELP/TYPE header.
+func (r *Registry) LabeledGaugeFunc(name, help, labelKey, labelVal string, fn func() int64) {
+	f := &funcMetric{m: meta{name: name, help: help, labelKey: labelKey, labelVal: labelVal}, fn: fn}
+	r.add(f.m.id(), f)
+}
+
 // Histogram registers and returns a latency histogram.
 func (r *Registry) Histogram(name, help string) *Histogram {
 	h := &Histogram{m: meta{name: name, help: help}}

@@ -110,6 +110,23 @@ func newMetrics(sessionCount func() int64) *metrics {
 	reg.CounterFunc("mnnfast_tensor_pool_spans_inline_total",
 		"Work spans run inline because the dispatch queue was full.",
 		func() int64 { return tensor.ReadPoolStats().SpansInline })
+
+	// Kernel dispatch info gauge: one series per tier available on this
+	// host, value 1 on the active tier (sampled at collection time so a
+	// test override shows up). Dashboards join on it to segment latency
+	// by SIMD tier.
+	for _, tier := range tensor.KernelTiers() {
+		tier := tier
+		reg.LabeledGaugeFunc("mnnfast_kernel_tier",
+			"Active tensor kernel dispatch tier (1 on the active tier; one series per tier available on this host).",
+			"tier", tier,
+			func() int64 {
+				if tensor.KernelTier() == tier {
+					return 1
+				}
+				return 0
+			})
+	}
 	return m
 }
 

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mnnfast/internal/obs"
+	"mnnfast/internal/tensor"
 )
 
 func getBody(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
@@ -86,6 +87,26 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if sessions := sc.Value("mnnfast_sessions"); sessions < 1 {
 		t.Errorf("sessions gauge = %v, want >= 1", sessions)
+	}
+	// Kernel dispatch info gauge: one series per available tier, exactly
+	// one of them (the active tier) set to 1.
+	var active int
+	for _, tier := range tensor.KernelTiers() {
+		key := `mnnfast_kernel_tier{tier="` + tier + `"}`
+		v, ok := sc[key]
+		if !ok {
+			t.Errorf("%s missing from /v1/metrics", key)
+			continue
+		}
+		if v == 1 {
+			active++
+			if tier != tensor.KernelTier() {
+				t.Errorf("%s = 1 but active tier is %q", key, tensor.KernelTier())
+			}
+		}
+	}
+	if active != 1 {
+		t.Errorf("kernel tier gauge has %d active series, want exactly 1", active)
 	}
 }
 

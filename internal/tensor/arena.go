@@ -1,6 +1,9 @@
 package tensor
 
-import "sync"
+import (
+	"sync"
+	"unsafe"
+)
 
 // Scratch arenas: process-wide recycled buffers for kernel temporaries.
 //
@@ -14,6 +17,27 @@ import "sync"
 // The pools hold pointers (not slice values) so that returning a buffer
 // does not box a slice header on every Put.
 
+// vectorAlign is the byte alignment of arena-backed storage: one AVX2
+// vector register. The assembly kernels use unaligned loads and are
+// correct at any offset, but cache-line-friendly aligned access is the
+// fast case, so pooled backing starts on a 32-byte boundary. Sub-slices
+// handed out by callers (matrix rows, chunk views) may still be
+// misaligned — that is fine.
+const vectorAlign = 32
+
+// alignedFloats returns a zeroed length-n float32 slice whose first
+// element sits on a vectorAlign boundary. It over-allocates by up to
+// vectorAlign-4 bytes and slices forward to the boundary; capacity is
+// clamped so appends cannot silently outgrow the aligned region.
+func alignedFloats(n int) []float32 {
+	buf := make([]float32, n+vectorAlign/4-1)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&buf[0])) % vectorAlign; rem != 0 {
+		off = int((vectorAlign - rem) / 4)
+	}
+	return buf[off : off+n : off+n]
+}
+
 var vecArena = sync.Pool{New: func() any { return new(Vector) }}
 
 // GetVector returns a zeroed length-n vector drawn from the arena. The
@@ -24,7 +48,7 @@ var vecArena = sync.Pool{New: func() any { return new(Vector) }}
 func GetVector(n int) *Vector {
 	vp := vecArena.Get().(*Vector)
 	if cap(*vp) < n {
-		*vp = make(Vector, n)
+		*vp = Vector(alignedFloats(n))
 	} else {
 		*vp = (*vp)[:n]
 		vp.Zero()
@@ -48,7 +72,7 @@ func GetMatrix(rows, cols int) *Matrix {
 	m := matArena.Get().(*Matrix)
 	n := rows * cols
 	if cap(m.Data) < n {
-		m.Data = make([]float32, n)
+		m.Data = alignedFloats(n)
 	} else {
 		m.Data = m.Data[:n]
 		for i := range m.Data {

@@ -1,0 +1,72 @@
+//go:build amd64
+
+package tensor
+
+import (
+	"os"
+	"strings"
+)
+
+// Runtime CPU feature detection for the amd64 kernel tiers.
+//
+// golang.org/x/sys is off limits in this build environment and the
+// runtime's internal/cpu is not importable, so the probe talks to the
+// hardware directly through two tiny assembly stubs (cpu_amd64.s).
+// Detection runs once, during package variable initialization, before
+// the dispatch table is resolved.
+
+// cpuid executes the CPUID instruction with the given EAX/ECX inputs.
+//
+//mnnfast:asm probe
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register XCR0, which reports the
+// register state (XMM, YMM) the operating system saves on context
+// switch. AVX is only usable when the OS restores YMM state.
+//
+//mnnfast:asm probe
+func xgetbv() (eax, edx uint32)
+
+// cpuSupportsAVX2 reports whether the full AVX2 kernel tier is usable:
+// the CPU advertises AVX and AVX2, OSXSAVE is on, and XCR0 shows the
+// OS saving XMM+YMM state. The standard GODEBUG cpu.* switches are
+// honored so CI can force the fallback tiers on AVX2 hosts
+// (GODEBUG=cpu.avx2=off,cpu.avx=off — the same spelling the Go runtime
+// uses for its own dispatch).
+func cpuSupportsAVX2() bool {
+	if godebugCPUOff("avx2") || godebugCPUOff("avx") || godebugCPUOff("all") {
+		return false
+	}
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		cpuidOSXSAVE = 1 << 27 // leaf 1 ECX
+		cpuidAVX     = 1 << 28 // leaf 1 ECX
+		cpuidAVX2    = 1 << 5  // leaf 7 EBX
+		xcr0XMM      = 1 << 1
+		xcr0YMM      = 1 << 2
+	)
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&cpuidOSXSAVE == 0 || ecx1&cpuidAVX == 0 {
+		return false
+	}
+	xlo, _ := xgetbv()
+	if xlo&(xcr0XMM|xcr0YMM) != xcr0XMM|xcr0YMM {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&cpuidAVX2 != 0
+}
+
+// godebugCPUOff reports whether GODEBUG contains cpu.<feature>=off.
+func godebugCPUOff(feature string) bool {
+	key := "cpu." + feature
+	for _, kv := range strings.Split(os.Getenv("GODEBUG"), ",") {
+		if k, v, ok := strings.Cut(kv, "="); ok && k == key && v == "off" {
+			return true
+		}
+	}
+	return false
+}

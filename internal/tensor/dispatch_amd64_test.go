@@ -1,0 +1,83 @@
+//go:build amd64
+
+package tensor
+
+import (
+	"math"
+	"testing"
+	"unsafe"
+)
+
+// TestExpConstantsMatchAsm pins every slot of the assembly RODATA
+// constant table (kernels_amd64.s) to its Go twin in exp.go, bit for
+// bit. The bit-identity contract between the go and avx2 ExpInto tiers
+// rests on these being the same numbers; a drive-by edit to either
+// side fails here before it can fail as a one-ulp softmax drift.
+func TestExpConstantsMatchAsm(t *testing.T) {
+	asm := expKernelConstsRef()
+	want := [14]float32{
+		float32(expLog2e),
+		expRound,
+		expC1,
+		expC2,
+		expP0, expP1, expP2, expP3, expP4, expP5,
+		1.0,
+		expLo,
+		expHi,
+		float32(math.Inf(1)),
+	}
+	names := [14]string{
+		"log2e", "expRound", "expC1", "expC2",
+		"expP0", "expP1", "expP2", "expP3", "expP4", "expP5",
+		"one", "expLo", "expHi", "+Inf",
+	}
+	for i, w := range want {
+		if math.Float32bits(asm[i]) != math.Float32bits(w) {
+			t.Errorf("expKernelConsts[%d] (%s) = %#08x, exp.go has %#08x",
+				i, names[i], math.Float32bits(asm[i]), math.Float32bits(w))
+		}
+	}
+}
+
+// TestCPUIDProbeConsistent sanity-checks the raw CPUID probe: if the
+// avx2 tier registered, the feature bits it was derived from must
+// still read as set (the probe is stateless), and GODEBUG downgrades
+// must have been honored at init.
+func TestCPUIDProbeConsistent(t *testing.T) {
+	_, registered := kernelTiers[TierAVX2]
+	if got := cpuSupportsAVX2(); got != registered {
+		t.Fatalf("cpuSupportsAVX2() = %v but avx2 tier registered = %v", got, registered)
+	}
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID == 0 {
+		t.Skip("CPUID reports no extended leaves")
+	}
+	t.Logf("max CPUID leaf %d, avx2 tier registered: %v", maxID, registered)
+}
+
+// TestAlignedFloats verifies the arena alignment guarantee the
+// assembly fast path is tuned for: pooled backing starts on a 32-byte
+// boundary at every size, including after the grow path.
+func TestAlignedFloats(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 8, 48, 127, 1024} {
+		buf := alignedFloats(n)
+		if len(buf) != n || cap(buf) != n {
+			t.Fatalf("alignedFloats(%d): len %d cap %d", n, len(buf), cap(buf))
+		}
+		if addr := uintptr(unsafe.Pointer(&buf[0])); addr%vectorAlign != 0 {
+			t.Errorf("alignedFloats(%d) base %#x not %d-byte aligned", n, addr, vectorAlign)
+		}
+	}
+	for _, n := range []int{8, 48, 1024} {
+		vp := GetVector(n)
+		if addr := uintptr(unsafe.Pointer(&(*vp)[0])); addr%vectorAlign != 0 {
+			t.Errorf("GetVector(%d) base %#x not %d-byte aligned", n, addr, vectorAlign)
+		}
+		PutVector(vp)
+		m := GetMatrix(n, 3)
+		if addr := uintptr(unsafe.Pointer(&m.Data[0])); addr%vectorAlign != 0 {
+			t.Errorf("GetMatrix(%d,3) base %#x not %d-byte aligned", n, addr, vectorAlign)
+		}
+		PutMatrix(m)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package tensor
+
+// archTiers has no assembly tiers to contribute on this architecture;
+// dispatch uses the portable go tier. An arm64 NEON tier slots in here
+// when it lands (the CI cross-compile smoke step keeps this file
+// building).
+func archTiers() map[string]kernelTable { return nil }

@@ -87,13 +87,16 @@ func expScale(n int32) float32 {
 	return math.Float32frombits(uint32(n+127) << 23)
 }
 
-// expInto4 is the vectorized body shared by ExpInto and Softmax: it
-// writes exp(src_i - shift) into dst four lanes at a time and returns
-// the sum of the written values, accumulated in float64 per lane to
-// limit rounding drift on long vectors. Lengths must already match.
+// expIntoGo is the portable ExpInto tier shared by ExpInto and Softmax:
+// it writes exp(src_i - shift) into dst four lanes at a time and
+// returns the sum of the written values, accumulated in float64 per
+// lane to limit rounding drift on long vectors. Lengths must already
+// match. The avx2 tier replicates the exact per-element Expf step
+// order and this exact lane-sum pattern, so the two fast tiers are
+// bit-identical (elements and returned sum).
 //
 //mnnfast:hotpath allow=float64 fixed-order float64 lane sums are deterministic and shared by every path
-func expInto4(dst, src Vector, shift float32) float32 {
+func expIntoGo(dst, src Vector, shift float32) float32 {
 	var s0, s1, s2, s3 float64
 	n := len(src)
 	dst = dst[:n]

@@ -1,0 +1,389 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 kernel tier (see dispatch.go for the tier contract and
+// kernels_amd64.go for the Go declarations).
+//
+// Determinism rules, shared by every routine here:
+//
+//   - No FMA contraction: products and sums use separate VMULPS/VADDPS
+//     so each multiply rounds exactly like the Go kernels.
+//   - Fixed reduction order: dotAVX2 keeps one 8-lane accumulator and
+//     reduces it as ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)), then folds
+//     the scalar tail in index order — deterministic for a given input
+//     on every AVX2 host.
+//   - expIntoAVX2 replicates Expf's exact operation order per element
+//     (shift subtract, range clamp, split-ln2 reduction, Horner
+//     polynomial, two exact power-of-two scalings, NaN/overflow/
+//     underflow overrides) and expIntoGo's float64 lane-sum pattern,
+//     so elements and partial sums are bit-identical to the go tier.
+//   - All loads/stores are unaligned (VMOVUPS); the arena aligns pooled
+//     backing to 32 bytes so aligned access is the common fast case,
+//     but sub-slices at any offset are correct.
+
+// Constants for expIntoAVX2, bit patterns of the exp.go Go constants
+// (asserted equal by TestExpConstantsMatchAsm).
+GLOBL ·expKernelConsts(SB), RODATA|NOPTR, $56
+DATA ·expKernelConsts+0(SB)/4, $0x3FB8AA3B  // log2e = float32(1/ln2)
+DATA ·expKernelConsts+4(SB)/4, $0x4B400000  // expRound = 1.5 * 2^23
+DATA ·expKernelConsts+8(SB)/4, $0x3F318000  // expC1 (ln2 high part)
+DATA ·expKernelConsts+12(SB)/4, $0xB95E8083 // expC2 (ln2 low part)
+DATA ·expKernelConsts+16(SB)/4, $0x39506967 // expP0
+DATA ·expKernelConsts+20(SB)/4, $0x3AB743CE // expP1
+DATA ·expKernelConsts+24(SB)/4, $0x3C088908 // expP2
+DATA ·expKernelConsts+28(SB)/4, $0x3D2AA9C1 // expP3
+DATA ·expKernelConsts+32(SB)/4, $0x3E2AAAAA // expP4
+DATA ·expKernelConsts+36(SB)/4, $0x3F000000 // expP5
+DATA ·expKernelConsts+40(SB)/4, $0x3F800000 // 1.0 (also the exponent bias in bits)
+DATA ·expKernelConsts+44(SB)/4, $0xC2AEAC4F // expLo
+DATA ·expKernelConsts+48(SB)/4, $0x42B17217 // expHi
+DATA ·expKernelConsts+52(SB)/4, $0x7F800000 // +Inf
+
+// func dotAVX2(a, b Vector) float32
+TEXT ·dotAVX2(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	VXORPS Y0, Y0, Y0        // 8-lane accumulator
+	XORQ AX, AX
+
+dotloop8:
+	LEAQ 8(AX), DX
+	CMPQ DX, CX
+	JA   dotreduce
+	VMOVUPS (SI)(AX*4), Y1
+	VMOVUPS (DI)(AX*4), Y2
+	VMULPS Y2, Y1, Y1        // separate mul + add: no FMA contraction
+	VADDPS Y1, Y0, Y0
+	MOVQ DX, AX
+	JMP  dotloop8
+
+dotreduce:
+	// Fixed-order 8-lane reduction (see file header).
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0        // q_j = l_j + l_{j+4}
+	VPERMILPS $0xEE, X0, X1  // (q2, q3, q2, q3)
+	VADDPS X1, X0, X0        // (q0+q2, q1+q3, _, _)
+	VPERMILPS $0x55, X0, X1  // lane 1 → lane 0
+	VADDSS X1, X0, X0        // (q0+q2) + (q1+q3)
+
+dottail:
+	CMPQ AX, CX
+	JAE  dotdone
+	VMOVSS (SI)(AX*4), X1
+	VMOVSS (DI)(AX*4), X2
+	VMULSS X2, X1, X1
+	VADDSS X1, X0, X0
+	INCQ AX
+	JMP  dottail
+
+dotdone:
+	VZEROUPPER
+	VMOVSS X0, ret+48(FP)
+	RET
+
+// func axpyAVX2(a float32, x, y Vector)
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-56
+	VBROADCASTSS a+0(FP), Y0
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DI
+	MOVQ x_len+16(FP), CX
+	XORQ AX, AX
+
+axpyloop8:
+	LEAQ 8(AX), DX
+	CMPQ DX, CX
+	JA   axpytail
+	VMOVUPS (SI)(AX*4), Y1
+	VMULPS Y0, Y1, Y1
+	VMOVUPS (DI)(AX*4), Y2
+	VADDPS Y1, Y2, Y2
+	VMOVUPS Y2, (DI)(AX*4)
+	MOVQ DX, AX
+	JMP  axpyloop8
+
+axpytail:
+	CMPQ AX, CX
+	JAE  axpydone
+	VMOVSS (SI)(AX*4), X1
+	VMULSS X0, X1, X1
+	VMOVSS (DI)(AX*4), X2
+	VADDSS X1, X2, X2
+	VMOVSS X2, (DI)(AX*4)
+	INCQ AX
+	JMP  axpytail
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// func scaleAVX2(v Vector, a float32)
+TEXT ·scaleAVX2(SB), NOSPLIT, $0-28
+	MOVQ v_base+0(FP), SI
+	MOVQ v_len+8(FP), CX
+	VBROADCASTSS a+24(FP), Y0
+	XORQ AX, AX
+
+scaleloop8:
+	LEAQ 8(AX), DX
+	CMPQ DX, CX
+	JA   scaletail
+	VMOVUPS (SI)(AX*4), Y1
+	VMULPS Y0, Y1, Y1
+	VMOVUPS Y1, (SI)(AX*4)
+	MOVQ DX, AX
+	JMP  scaleloop8
+
+scaletail:
+	CMPQ AX, CX
+	JAE  scaledone
+	VMOVSS (SI)(AX*4), X1
+	VMULSS X0, X1, X1
+	VMOVSS X1, (SI)(AX*4)
+	INCQ AX
+	JMP  scaletail
+
+scaledone:
+	VZEROUPPER
+	RET
+
+// func addAVX2(v, w Vector)
+TEXT ·addAVX2(SB), NOSPLIT, $0-48
+	MOVQ v_base+0(FP), DI
+	MOVQ w_base+24(FP), SI
+	MOVQ v_len+8(FP), CX
+	XORQ AX, AX
+
+addloop8:
+	LEAQ 8(AX), DX
+	CMPQ DX, CX
+	JA   addtail
+	VMOVUPS (DI)(AX*4), Y1
+	VMOVUPS (SI)(AX*4), Y2
+	VADDPS Y2, Y1, Y1
+	VMOVUPS Y1, (DI)(AX*4)
+	MOVQ DX, AX
+	JMP  addloop8
+
+addtail:
+	CMPQ AX, CX
+	JAE  adddone
+	VMOVSS (DI)(AX*4), X1
+	VMOVSS (SI)(AX*4), X2
+	VADDSS X2, X1, X1
+	VMOVSS X1, (DI)(AX*4)
+	INCQ AX
+	JMP  addtail
+
+adddone:
+	VZEROUPPER
+	RET
+
+// func expIntoAVX2(dst, src Vector, shift float32, acc *[4]float64) int
+//
+// Writes exp(src_i - shift) into dst for the longest multiple-of-4
+// prefix and returns the number of elements processed; the Go wrapper
+// (expIntoAVX2Tier) finishes the <4 tail with Expf. Float64 lane sums
+// accumulate into *acc exactly like expIntoGo's s0..s3: lane k sums
+// elements k, k+4, k+8, … in index order.
+//
+// Per element the operation sequence is Expf's, step for step:
+//
+//	x := src_i - shift
+//	c := clamp(x)                   // min/max against expHi/expLo
+//	t := c*log2e + expRound; n := t - expRound
+//	r := c - n*expC1; r -= n*expC2
+//	p := Horner(P0..P5, r); p = p*r*r + r + 1
+//	ni := int32(n); half := ni/2 (truncated)
+//	p *= 2^half; p *= 2^(ni-half)   // both factors exact powers of two
+//	overrides: x > expHi → +Inf; x < expLo → 0; NaN x → x
+//
+// Register plan (shared by the 8-wide and 4-wide blocks; the X
+// registers are the low halves of the same Y registers, so the
+// broadcast constants below serve both):
+//
+//	Y7 log2e  Y12 expRound  Y13 expC1  Y14 expC2  Y15 shift
+//	Y11 float64 lane accumulator
+//	Y0 x (preserved for the NaN blend)  Y1 c  Y2 n/ni  Y3 r  Y4 p
+//	Y5, Y6 scratch + broadcast constants  Y8 NaN mask  Y9 hi  Y10 lo
+TEXT ·expIntoAVX2(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), CX
+	MOVQ acc+56(FP), BX
+	VBROADCASTSS shift+48(FP), Y15
+	VBROADCASTSS ·expKernelConsts+0(SB), Y7
+	VBROADCASTSS ·expKernelConsts+4(SB), Y12
+	VBROADCASTSS ·expKernelConsts+8(SB), Y13
+	VBROADCASTSS ·expKernelConsts+12(SB), Y14
+	VMOVUPD (BX), Y11
+	XORQ AX, AX
+
+exploop8:
+	LEAQ 8(AX), DX
+	CMPQ DX, CX
+	JA   exptail4
+	VMOVUPS (SI)(AX*4), Y0
+	VSUBPS Y15, Y0, Y0                        // x = src - shift
+
+	// Masks from the unclamped x, then clamp into the finite range.
+	VCMPPS $3, Y0, Y0, Y8                     // NaN (unordered)
+	VBROADCASTSS ·expKernelConsts+48(SB), Y5  // expHi
+	VBROADCASTSS ·expKernelConsts+44(SB), Y6  // expLo
+	VCMPPS $0x1E, Y5, Y0, Y9                  // x > hi (GT_OQ)
+	VCMPPS $0x11, Y6, Y0, Y10                 // x < lo (LT_OQ)
+	VMINPS Y5, Y0, Y1                         // NaN → hi: always finite below
+	VMAXPS Y6, Y1, Y1
+
+	// n = nearest-integer(c/ln2) via the 1.5*2^23 rounding trick.
+	VMULPS Y7, Y1, Y2
+	VADDPS Y12, Y2, Y2
+	VSUBPS Y12, Y2, Y2
+
+	// r = c - n*C1 - n*C2 (split ln2; separate mul/sub, no FMA).
+	VMULPS Y13, Y2, Y3
+	VSUBPS Y3, Y1, Y3
+	VMULPS Y14, Y2, Y4
+	VSUBPS Y4, Y3, Y3
+
+	// Horner polynomial, Expf's step order.
+	VBROADCASTSS ·expKernelConsts+16(SB), Y4  // p = P0
+	VMULPS Y3, Y4, Y4
+	VBROADCASTSS ·expKernelConsts+20(SB), Y5
+	VADDPS Y5, Y4, Y4                         // p = p*r + P1
+	VMULPS Y3, Y4, Y4
+	VBROADCASTSS ·expKernelConsts+24(SB), Y5
+	VADDPS Y5, Y4, Y4                         // … + P2
+	VMULPS Y3, Y4, Y4
+	VBROADCASTSS ·expKernelConsts+28(SB), Y5
+	VADDPS Y5, Y4, Y4                         // … + P3
+	VMULPS Y3, Y4, Y4
+	VBROADCASTSS ·expKernelConsts+32(SB), Y5
+	VADDPS Y5, Y4, Y4                         // … + P4
+	VMULPS Y3, Y4, Y4
+	VBROADCASTSS ·expKernelConsts+36(SB), Y5
+	VADDPS Y5, Y4, Y4                         // … + P5
+	VMULPS Y3, Y4, Y4                         // p*r
+	VMULPS Y3, Y4, Y4                         // (p*r)*r
+	VADDPS Y3, Y4, Y4                         // + r
+	VBROADCASTSS ·expKernelConsts+40(SB), Y6  // 1.0 (bits double as exponent bias)
+	VADDPS Y6, Y4, Y4                         // + 1
+
+	// 2^n in two exact factors: ni truncated (n is integral), then
+	// half = trunc(ni/2) = (ni + (ni>>>31)) >> 1, rest = ni - half.
+	VCVTTPS2DQ Y2, Y2
+	VPSRLD $31, Y2, Y5
+	VPADDD Y5, Y2, Y5
+	VPSRAD $1, Y5, Y5
+	VPSUBD Y5, Y2, Y2
+	VPSLLD $23, Y5, Y5
+	VPADDD Y6, Y5, Y5                         // bits(2^half)
+	VPSLLD $23, Y2, Y2
+	VPADDD Y6, Y2, Y2                         // bits(2^rest)
+	VMULPS Y5, Y4, Y4
+	VMULPS Y2, Y4, Y4
+
+	// Range overrides, Expf's switch order with NaN winning.
+	VBROADCASTSS ·expKernelConsts+52(SB), Y5  // +Inf
+	VXORPS Y6, Y6, Y6
+	VBLENDVPS Y9, Y5, Y4, Y4
+	VBLENDVPS Y10, Y6, Y4, Y4
+	VBLENDVPS Y8, Y0, Y4, Y4
+
+	VMOVUPS Y4, (DI)(AX*4)
+
+	// Lane sums: low then high quad, preserving expIntoGo's order.
+	VCVTPS2PD X4, Y5
+	VADDPD Y5, Y11, Y11
+	VEXTRACTF128 $1, Y4, X5
+	VCVTPS2PD X5, Y5
+	VADDPD Y5, Y11, Y11
+	MOVQ DX, AX
+	JMP  exploop8
+
+exptail4:
+	// One 4-wide pass when ≥4 elements remain (same code at XMM
+	// width; the X registers alias the Y constants loaded above).
+	LEAQ 4(AX), DX
+	CMPQ DX, CX
+	JA   expdone
+	VMOVUPS (SI)(AX*4), X0
+	VSUBPS X15, X0, X0
+
+	VCMPPS $3, X0, X0, X8
+	VBROADCASTSS ·expKernelConsts+48(SB), X5
+	VBROADCASTSS ·expKernelConsts+44(SB), X6
+	VCMPPS $0x1E, X5, X0, X9
+	VCMPPS $0x11, X6, X0, X10
+	VMINPS X5, X0, X1
+	VMAXPS X6, X1, X1
+
+	VMULPS X7, X1, X2
+	VADDPS X12, X2, X2
+	VSUBPS X12, X2, X2
+
+	VMULPS X13, X2, X3
+	VSUBPS X3, X1, X3
+	VMULPS X14, X2, X4
+	VSUBPS X4, X3, X3
+
+	VBROADCASTSS ·expKernelConsts+16(SB), X4
+	VMULPS X3, X4, X4
+	VBROADCASTSS ·expKernelConsts+20(SB), X5
+	VADDPS X5, X4, X4
+	VMULPS X3, X4, X4
+	VBROADCASTSS ·expKernelConsts+24(SB), X5
+	VADDPS X5, X4, X4
+	VMULPS X3, X4, X4
+	VBROADCASTSS ·expKernelConsts+28(SB), X5
+	VADDPS X5, X4, X4
+	VMULPS X3, X4, X4
+	VBROADCASTSS ·expKernelConsts+32(SB), X5
+	VADDPS X5, X4, X4
+	VMULPS X3, X4, X4
+	VBROADCASTSS ·expKernelConsts+36(SB), X5
+	VADDPS X5, X4, X4
+	VMULPS X3, X4, X4
+	VMULPS X3, X4, X4
+	VADDPS X3, X4, X4
+	VBROADCASTSS ·expKernelConsts+40(SB), X6
+	VADDPS X6, X4, X4
+
+	VCVTTPS2DQ X2, X2
+	VPSRLD $31, X2, X5
+	VPADDD X5, X2, X5
+	VPSRAD $1, X5, X5
+	VPSUBD X5, X2, X2
+	VPSLLD $23, X5, X5
+	VPADDD X6, X5, X5
+	VPSLLD $23, X2, X2
+	VPADDD X6, X2, X2
+	VMULPS X5, X4, X4
+	VMULPS X2, X4, X4
+
+	VBROADCASTSS ·expKernelConsts+52(SB), X5
+	VXORPS X6, X6, X6
+	VBLENDVPS X9, X5, X4, X4
+	VBLENDVPS X10, X6, X4, X4
+	VBLENDVPS X8, X0, X4, X4
+
+	VMOVUPS X4, (DI)(AX*4)
+	VCVTPS2PD X4, Y5
+	VADDPD Y5, Y11, Y11
+	MOVQ DX, AX
+
+expdone:
+	VMOVUPD Y11, (BX)
+	MOVQ AX, ret+64(FP)
+	VZEROUPPER
+	RET
+
+// func expKernelConstsRef() *[14]float32
+//
+// Test accessor: returns the address of the RODATA constant table so
+// TestExpConstantsMatchAsm can pin each slot against its exp.go twin.
+TEXT ·expKernelConstsRef(SB), NOSPLIT, $0-8
+	LEAQ ·expKernelConsts(SB), AX
+	MOVQ AX, ret+0(FP)
+	RET

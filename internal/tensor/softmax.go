@@ -13,7 +13,7 @@ func Softmax(v Vector) float32 {
 	if len(v) == 0 {
 		return 0
 	}
-	sum := expInto4(v, v, v.Max())
+	sum := expIntoImpl(v, v, v.Max())
 	v.Scale(1 / sum)
 	return sum
 }
@@ -32,7 +32,7 @@ func ExpInto(dst, src Vector, shift float32) float32 {
 	if len(dst) != len(src) {
 		panic("tensor: ExpInto length mismatch")
 	}
-	return expInto4(dst, src, shift)
+	return expIntoImpl(dst, src, shift)
 }
 
 // LogSumExp returns log Σ exp(v_i), computed stably. The training code

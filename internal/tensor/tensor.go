@@ -88,11 +88,18 @@ func (v Vector) ArgMax() int {
 	return best
 }
 
-// Scale multiplies every element of v by a. The loop is 4-way unrolled;
-// ScaleScalar is the reference twin.
+// Scale multiplies every element of v by a via the dispatched kernel
+// tier (see dispatch.go); scaleGo is the portable tier and ScaleScalar
+// the reference twin. All tiers are bit-identical: v[i] *= a rounds
+// once per element in every implementation.
 //
 //mnnfast:hotpath
-func (v Vector) Scale(a float32) {
+func (v Vector) Scale(a float32) { scaleImpl(v, a) }
+
+// scaleGo is the portable unrolled Scale tier.
+//
+//mnnfast:hotpath
+func scaleGo(v Vector, a float32) {
 	n := len(v)
 	i := 0
 	for ; i+4 <= n; i += 4 {
@@ -106,15 +113,24 @@ func (v Vector) Scale(a float32) {
 	}
 }
 
-// AddInPlace adds w into v element-wise. The lengths must match. The
-// loop is 4-way unrolled with the bounds check hoisted; AddScalar is the
-// reference twin.
+// AddInPlace adds w into v element-wise via the dispatched kernel tier.
+// The lengths must match. addGo is the portable tier and AddScalar the
+// reference twin; all tiers are bit-identical (one rounding per
+// element, in index order).
 //
 //mnnfast:hotpath
 func (v Vector) AddInPlace(w Vector) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("tensor: AddInPlace length mismatch %d != %d", len(v), len(w)))
 	}
+	addImpl(v, w)
+}
+
+// addGo is the portable unrolled element-wise add tier. Lengths are
+// validated by the caller.
+//
+//mnnfast:hotpath
+func addGo(v, w Vector) {
 	n := len(v)
 	w = w[:n]
 	i := 0
@@ -138,16 +154,27 @@ func (v Vector) Norm2() float32 {
 	return float32(math.Sqrt(s))
 }
 
-// Dot returns the inner product of a and b. The lengths must match.
-// Four-way unrolled accumulation with the bounds check hoisted:
-// measurably faster without SIMD and slightly more accurate than a
-// single serial accumulator. DotScalar is the reference twin.
+// Dot returns the inner product of a and b via the dispatched kernel
+// tier. The lengths must match. dotGo is the portable tier and
+// DotScalar the reference twin. Tiers differ only in accumulator
+// reassociation (scalar: one; go: four; avx2: eight lanes in a fixed
+// reduction order) — per-multiply rounding is identical everywhere.
 //
 //mnnfast:hotpath
 func Dot(a, b Vector) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(a), len(b)))
 	}
+	return dotImpl(a, b)
+}
+
+// dotGo is the portable Dot tier: four-way unrolled accumulation with
+// the bounds check hoisted — measurably faster without SIMD and
+// slightly more accurate than a single serial accumulator. Lengths are
+// validated by the caller.
+//
+//mnnfast:hotpath
+func dotGo(a, b Vector) float32 {
 	var s float32
 	var s0, s1, s2, s3 float32
 	n := len(a)
@@ -190,15 +217,24 @@ func Dot4(u, r0, r1, r2, r3 Vector) (d0, d1, d2, d3 float32) {
 	return s0, s1, s2, s3
 }
 
-// Axpy computes y += a*x element-wise. The lengths must match. The loop
-// is 4-way unrolled with the bounds check hoisted; AxpyScalar is the
-// reference twin.
+// Axpy computes y += a*x element-wise via the dispatched kernel tier.
+// The lengths must match. axpyGo is the portable tier and AxpyScalar
+// the reference twin; the fast tiers (go, avx2) are bit-identical and
+// both skip the pass entirely when a == 0 (the zero-skipping fast-out).
 //
 //mnnfast:hotpath
 func Axpy(a float32, x, y Vector) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d != %d", len(x), len(y)))
 	}
+	axpyImpl(a, x, y)
+}
+
+// axpyGo is the portable unrolled Axpy tier. Lengths are validated by
+// the caller.
+//
+//mnnfast:hotpath
+func axpyGo(a float32, x, y Vector) {
 	if a == 0 {
 		return
 	}
