@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-notavx2 race lint vet fmt bench fuzz-smoke clean
+.PHONY: all build test test-notavx2 race lint vet fmt bench fuzz-smoke trace-demo clean
 
 all: build lint test
 
@@ -35,6 +35,22 @@ fmt:
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem ./...
+
+# End-to-end tracing walkthrough: start a batched, parallel server
+# with the flight recorder keeping every trace, drive it with the load
+# generator, and print the span tree of the slowest answer (see
+# README "Tracing" and DESIGN.md §12).
+trace-demo:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/ ./cmd/mnnfast-serve ./cmd/mnnfast-loadgen || exit 1; \
+	$$tmp/mnnfast-serve -addr 127.0.0.1:18080 -batch-max 8 -parallelism 2 -trace-sample 1 & \
+	pid=$$!; \
+	trap "kill $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://127.0.0.1:18080/v1/healthz >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	$$tmp/mnnfast-loadgen -url http://127.0.0.1:18080 -sessions 4 -questions 10 -slowest 1
 
 # Exercise each fuzz target briefly against its seed corpus.
 fuzz-smoke:

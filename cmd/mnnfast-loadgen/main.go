@@ -24,6 +24,7 @@ func main() {
 		storyLen    = flag.Int("storylen", 8, "story sentences per session")
 		seed        = flag.Int64("seed", 1, "workload seed")
 		serverStats = flag.Bool("server-stats", true, "scrape /v1/metrics before/after and print the server-side stage breakdown (plus batching stats when the server micro-batches)")
+		slowest     = flag.Int("slowest", 0, "fetch and print the span trees of the K slowest answers from /v1/traces (0 = off; needs mnnfast-serve -trace)")
 	)
 	flag.Parse()
 
@@ -34,6 +35,7 @@ func main() {
 		StoryLen:      *storyLen,
 		Seed:          *seed,
 		ServerMetrics: *serverStats,
+		Slowest:       *slowest,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnnfast-loadgen:", err)
@@ -44,6 +46,13 @@ func main() {
 		fmt.Println(report)
 	} else if *serverStats {
 		fmt.Println("(no server-side metrics: /v1/metrics unavailable)")
+	}
+	if *slowest > 0 {
+		if report := res.SlowestReport(); report != "" {
+			fmt.Print(report)
+		} else {
+			fmt.Println("(no slow traces: server tracing disabled or no answers succeeded)")
+		}
 	}
 	if res.Errors > 0 {
 		os.Exit(1)

@@ -59,6 +59,10 @@ func main() {
 		batchWait   = flag.Duration("batch-wait", batcher.DefaultMaxWait, "how long a partial batch waits for stragglers")
 		queueDepth  = flag.Int("queue-depth", 0, "bounded answer queue; beyond it requests get 429 (0 = 4x batch-max)")
 		parallelism = flag.Int("parallelism", 0, "worker count for intra-query parallel attention (0 = serial; try runtime.NumCPU())")
+		enableTrace = flag.Bool("trace", true, "record request-scoped span traces into an in-memory flight recorder (GET /v1/traces)")
+		traceKeep   = flag.Int("trace-keep", 0, "flight-recorder capacity in traces (0 = default 128)")
+		traceSample = flag.Int("trace-sample", 0, "keep 1 in N traces that are neither errored nor slow; 1 keeps all (0 = default 16)")
+		pprofLabels = flag.Bool("pprof-labels", false, "attach handler/session pprof labels to request goroutines (for CPU profile attribution)")
 	)
 	flag.Parse()
 
@@ -88,6 +92,14 @@ func main() {
 		}
 		log.Printf("parallel attention: %d workers (work-stealing chunk scheduler; results bit-identical to serial)", *parallelism)
 	}
+	if *enableTrace {
+		srv.EnableTracing(server.TraceOptions{
+			Capacity:    *traceKeep,
+			SampleEvery: *traceSample,
+		})
+		log.Printf("tracing: flight recorder enabled; span trees at /v1/traces (Perfetto via ?format=chrome)")
+	}
+	srv.PprofLabels = *pprofLabels
 
 	root := http.NewServeMux()
 	root.Handle("/", srv.Handler())

@@ -187,7 +187,8 @@ func checkTracked(pass *analysis.Pass, di *directives.Info, sc walk.Scope, t tra
 		case *ast.AssignStmt:
 			if len(n.Lhs) == len(n.Rhs) {
 				for i, rhs := range n.Rhs {
-					if escapingUse(info, rhs, t.obj) && escapingTarget(pass, n.Lhs[i]) {
+					if escapingUse(info, rhs, t.obj) && escapingTarget(pass, n.Lhs[i]) &&
+						!selectorRootIs(info, n.Lhs[i], t.obj) {
 						escaped = true
 						pass.Reportf(n.Pos(), "pooled %s escapes into a struct field or package variable; pooled scratch must stay request-local", t.obj.Name())
 					}
@@ -204,7 +205,7 @@ func checkTracked(pass *analysis.Pass, di *directives.Info, sc walk.Scope, t tra
 				return true
 			}
 			for _, lhs := range n.Lhs {
-				if escapingTarget(pass, lhs) {
+				if escapingTarget(pass, lhs) && !selectorRootIs(info, lhs, t.obj) {
 					escaped = true
 					pass.Reportf(n.Pos(), "pooled %s escapes into a struct field or package variable; pooled scratch must stay request-local", t.obj.Name())
 				}
@@ -240,6 +241,26 @@ func escapingUse(info *types.Info, e ast.Expr, obj types.Object) bool {
 		return escapingUse(info, e.X, obj)
 	}
 	return false
+}
+
+// selectorRootIs reports whether lhs is a selector chain rooted at
+// obj itself (st.ins.Ev = ... with obj = st). Storing a pointer into
+// a field of the pooled value it points back to keeps the value
+// request-local — it leaves the request only if the value itself
+// does, which the other rules already catch.
+func selectorRootIs(info *types.Info, lhs ast.Expr, obj types.Object) bool {
+	for {
+		switch e := lhs.(type) {
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.Ident:
+			return info.Uses[e] == obj
+		default:
+			return false
+		}
+	}
 }
 
 // escapingTarget reports whether assigning to lhs publishes a value

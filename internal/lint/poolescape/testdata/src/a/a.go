@@ -62,6 +62,24 @@ func EscapesGlobal() {
 	bufPool.Put(b)
 }
 
+type scratch struct {
+	ev  [4]byte
+	ref *[4]byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// SelfReference wires one field of the pooled value to another; the
+// value stays request-local, so this is not an escape.
+func SelfReference() int {
+	st := scratchPool.Get().(*scratch)
+	st.ref = &st.ev
+	n := len(st.ref)
+	st.ref = nil
+	scratchPool.Put(st)
+	return n
+}
+
 // UseAfterPut touches the value after giving it back.
 func UseAfterPut() int {
 	b := bufPool.Get().(*[]byte)

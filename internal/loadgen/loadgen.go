@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mnnfast/internal/obs"
+	"mnnfast/internal/trace"
 )
 
 // Config shapes a load run.
@@ -32,6 +33,11 @@ type Config struct {
 	// breakdown next to the client-side percentiles. A server without
 	// the endpoint degrades gracefully (ServerDiff stays nil).
 	ServerMetrics bool
+	// Slowest, when > 0, fetches the span trees of the K slowest answers
+	// from GET /v1/traces/{id} after the run (using the X-Trace-ID each
+	// response carried) and attaches them as Result.SlowTraces. A server
+	// without tracing degrades gracefully (SlowTraces stays empty).
+	Slowest int
 }
 
 func (c *Config) normalize() error {
@@ -65,6 +71,18 @@ type Result struct {
 	// ServerAfter is the absolute post-run scrape, for gauges that are
 	// constant over a run (worker counts) and so vanish from the diff.
 	ServerAfter obs.Scrape
+	// SlowTraces holds the span trees of the slowest answers, slowest
+	// first (see Config.Slowest). Entries whose trace the server's flight
+	// recorder had already evicted or sampled out carry a nil Trace.
+	SlowTraces []SlowTrace
+}
+
+// SlowTrace pairs one slow answer's client-side latency with the
+// server-side span tree behind it.
+type SlowTrace struct {
+	Latency time.Duration
+	TraceID string
+	Trace   *trace.Export // nil if the server no longer retained it
 }
 
 // Throughput returns successful requests per second.
@@ -225,8 +243,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	type sample struct {
-		d   time.Duration
-		err bool
+		d       time.Duration
+		traceID string
+		err     bool
 	}
 	samples := make(chan sample, cfg.Sessions*cfg.Questions)
 
@@ -251,7 +270,7 @@ func Run(cfg Config) (*Result, error) {
 				l := genLocations[rng.Intn(len(genLocations))]
 				sentences[i] = p + " went to the " + l
 			}
-			if err := post(cfg, session, "/v1/story", map[string]any{
+			if _, err := post(cfg, session, "/v1/story", map[string]any{
 				"sentences": sentences, "reset": true,
 			}, nil); err != nil {
 				for q := 0; q < cfg.Questions; q++ {
@@ -263,10 +282,10 @@ func Run(cfg Config) (*Result, error) {
 			for q := 0; q < cfg.Questions; q++ {
 				p := genPeople[rng.Intn(len(genPeople))]
 				t0 := time.Now()
-				err := post(cfg, session, "/v1/answer", map[string]any{
+				traceID, err := post(cfg, session, "/v1/answer", map[string]any{
 					"question": "where is " + p + "?",
 				}, nil)
-				samples <- sample{d: time.Since(t0), err: err != nil}
+				samples <- sample{d: time.Since(t0), traceID: traceID, err: err != nil}
 			}
 		}(s)
 	}
@@ -274,6 +293,7 @@ func Run(cfg Config) (*Result, error) {
 	close(samples)
 
 	res := &Result{Elapsed: time.Since(start)}
+	var traced []SlowTrace
 	for s := range samples {
 		res.Requests++
 		if s.err {
@@ -281,6 +301,9 @@ func Run(cfg Config) (*Result, error) {
 			continue
 		}
 		res.Latencies = append(res.Latencies, s.d)
+		if cfg.Slowest > 0 && s.traceID != "" {
+			traced = append(traced, SlowTrace{Latency: s.d, TraceID: s.traceID})
+		}
 	}
 	sort.Slice(res.Latencies, func(i, j int) bool { return res.Latencies[i] < res.Latencies[j] })
 	if before != nil {
@@ -289,30 +312,114 @@ func Run(cfg Config) (*Result, error) {
 			res.ServerAfter = after
 		}
 	}
+	if cfg.Slowest > 0 {
+		sort.Slice(traced, func(i, j int) bool { return traced[i].Latency > traced[j].Latency })
+		if len(traced) > cfg.Slowest {
+			traced = traced[:cfg.Slowest]
+		}
+		for i := range traced {
+			traced[i].Trace = fetchTrace(cfg, traced[i].TraceID)
+		}
+		res.SlowTraces = traced
+	}
 	return res, nil
 }
 
-func post(cfg Config, session, path string, body any, out any) error {
+// fetchTrace retrieves one retained span tree; nil when the server has
+// tracing disabled or no longer retains the trace.
+func fetchTrace(cfg Config, id string) *trace.Export {
+	resp, err := cfg.Client.Get(cfg.BaseURL + "/v1/traces/" + id)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var ex trace.Export
+	if err := json.NewDecoder(resp.Body).Decode(&ex); err != nil {
+		return nil
+	}
+	return &ex
+}
+
+// SlowestReport renders the span trees of the run's slowest answers:
+// per-span durations and attributes, indented by tree depth, so the
+// queue-wait / batch-flush / infer / per-hop / per-worker breakdown of
+// each outlier reads at a glance. Empty when Config.Slowest was 0 or no
+// trace could be fetched.
+func (r *Result) SlowestReport() string {
+	var b strings.Builder
+	for i, st := range r.SlowTraces {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "slowest #%d: client latency %v, trace %s", i+1, st.Latency.Round(time.Microsecond), st.TraceID)
+		if st.Trace == nil {
+			b.WriteString(" (not retained by server)\n")
+			continue
+		}
+		fmt.Fprintf(&b, " — server %v, %d spans", time.Duration(st.Trace.DurationNS).Round(time.Microsecond), countSpans(st.Trace.Spans))
+		if st.Trace.Dropped > 0 {
+			fmt.Fprintf(&b, " (%d dropped)", st.Trace.Dropped)
+		}
+		b.WriteByte('\n')
+		writeSpans(&b, st.Trace.Spans, 1)
+	}
+	return b.String()
+}
+
+func countSpans(spans []*trace.ExportSpan) int {
+	n := len(spans)
+	for i := range spans {
+		n += countSpans(spans[i].Children)
+	}
+	return n
+}
+
+// writeSpans renders a span forest depth-first with duration and
+// attribute columns.
+func writeSpans(b *strings.Builder, spans []*trace.ExportSpan, depth int) {
+	for i := range spans {
+		sp := spans[i]
+		fmt.Fprintf(b, "%*s%-14s %10v", depth*2, "", sp.Name, time.Duration(sp.DurNS).Round(time.Microsecond))
+		if len(sp.Attrs) > 0 {
+			keys := make([]string, 0, len(sp.Attrs))
+			for k := range sp.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(b, "  %s=%v", k, sp.Attrs[k])
+			}
+		}
+		b.WriteByte('\n')
+		writeSpans(b, sp.Children, depth+1)
+	}
+}
+
+func post(cfg Config, session, path string, body any, out any) (traceID string, err error) {
 	raw, err := json.Marshal(body)
 	if err != nil {
-		return err
+		return "", err
 	}
 	req, err := http.NewRequest(http.MethodPost, cfg.BaseURL+path, bytes.NewReader(raw))
 	if err != nil {
-		return err
+		return "", err
 	}
 	req.Header.Set("X-Session", session)
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := cfg.Client.Do(req)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
+	traceID = resp.Header.Get("X-Trace-ID")
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("loadgen: %s: status %d", path, resp.StatusCode)
+		return traceID, fmt.Errorf("loadgen: %s: status %d", path, resp.StatusCode)
 	}
 	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
+		return traceID, json.NewDecoder(resp.Body).Decode(out)
 	}
-	return nil
+	return traceID, nil
 }

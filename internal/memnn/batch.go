@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mnnfast/internal/tensor"
+	"mnnfast/internal/trace"
 )
 
 // Batched inference: answer several questions in one forward pass,
@@ -217,12 +218,15 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 	bf.m, bf.stories, bf.skip = m, stories, skipThreshold
 
 	var mark time.Time
+	var ev *trace.Events
 	if ins != nil {
 		mark = time.Now()
+		ev = ins.Ev
 	}
 
 	// Question embeddings (per question — the B-table gathers touch
 	// disjoint rows, nothing to share).
+	qe := ev.Begin("embed-question", -1)
 	for q := 0; q < n; q++ {
 		f := &bf.fs[q]
 		f.NS = stories[q].NS
@@ -238,17 +242,21 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 		f.U[0] = growVec(f.U[0], d)
 		m.encodeInto(m.B, exs[q].Question, nil, f.U[0])
 	}
+	ev.End(qe)
 	if ins != nil {
 		lap(&mark, &ins.EmbedNS)
 	}
 
 	for k := 0; k < hops; k++ {
+		he := ev.Begin("hop", -1)
+		skip0, rows0 := sumInt64(bf.wskip), sumInt64(bf.wrows)
+
 		// Story groups are independent within a hop (disjoint question
 		// state), so they are the scheduler's work items: zero-skipping
 		// makes group costs uneven, and workers that finish their groups
 		// steal the stragglers' — see runGroup for the per-group body.
 		bf.hop = k
-		m.sch.Run(0, len(bf.groups), 1, bf.gfn)
+		m.sch.RunEvents(ev, he, 0, len(bf.groups), 1, bf.gfn)
 
 		// State update u' = u + o (adjacent) or u' = H·u + o
 		// (layer-wise). H is model-global, so its rows are shared
@@ -272,6 +280,10 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 		for q := 0; q < n; q++ {
 			bf.fs[q].U[k+1].AddInPlace(bf.fs[q].O[k])
 		}
+		ev.Annotate(he, "hop", int64(k))
+		ev.Annotate(he, "skipped", sumInt64(bf.wskip)-skip0)
+		ev.Annotate(he, "rows", sumInt64(bf.wrows)-rows0)
+		ev.End(he)
 		if ins != nil {
 			lap(&mark, &ins.AttentionNS)
 		}
@@ -288,6 +300,7 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 
 	// Output projection: W is model-global too — each of its rows is
 	// read once for the whole batch, the largest cross-session saving.
+	oe := ev.Begin("output", -1)
 	for q := 0; q < n; q++ {
 		f := &bf.fs[q]
 		f.Logits = growVec(f.Logits, m.Cfg.Answers)
@@ -298,10 +311,23 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 			bf.fs[q].Logits[r] = tensor.Dot(wrow, bf.fs[q].U[hops])
 		}
 	}
+	ev.End(oe)
 	if ins != nil {
 		lap(&mark, &ins.OutputNS)
 	}
 	for q := 0; q < n; q++ {
 		out[q] = bf.fs[q].Logits.ArgMax()
 	}
+}
+
+// sumInt64 folds a counter slice; used for per-hop skip deltas in the
+// traced batch path.
+//
+//mnnfast:hotpath
+func sumInt64(a []int64) int64 {
+	var s int64
+	for _, v := range a {
+		s += v
+	}
+	return s
 }

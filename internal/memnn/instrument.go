@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mnnfast/internal/tensor"
+	"mnnfast/internal/trace"
 )
 
 // Instrumentation accumulates per-stage wall-clock time and
@@ -23,6 +24,15 @@ type Instrumentation struct {
 	OutputNS    int64 // final answer projection W·u
 	SkippedRows int64 // weighted-sum rows bypassed by zero-skipping
 	TotalRows   int64 // weighted-sum rows considered
+
+	// Ev, when non-nil, receives per-stage trace events
+	// (embed-question/embed-memory/hop/output, plus the scheduler's
+	// per-worker events in the batched path) with skipped-row
+	// annotations. Reset nils it; callers re-attach their buffer after
+	// each Reset. Event recording only reads clocks and writes into the
+	// fixed buffer — it never changes what the forward pass computes,
+	// so traced and untraced passes are bit-identical.
+	Ev *trace.Events
 }
 
 // Reset zeroes every accumulator.

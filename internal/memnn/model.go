@@ -7,6 +7,7 @@ import (
 
 	"mnnfast/internal/sched"
 	"mnnfast/internal/tensor"
+	"mnnfast/internal/trace"
 )
 
 // Tying selects the weight-sharing scheme between hops (Sukhbaatar et
@@ -317,13 +318,17 @@ func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *Emb
 	f.P, f.O = f.P[:hops], f.O[:hops]
 
 	var mark time.Time
+	var ev *trace.Events
 	if ins != nil {
 		mark = time.Now()
+		ev = ins.Ev
 	}
 
 	// Question embedding.
+	qe := ev.Begin("embed-question", -1)
 	f.U[0] = growVec(f.U[0], d)
 	m.encodeInto(m.B, ex.Question, nil, f.U[0])
+	ev.End(qe)
 	if ins != nil {
 		lap(&mark, &ins.EmbedNS)
 	}
@@ -333,6 +338,7 @@ func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *Emb
 		if es != nil {
 			in, out = es.MemIn[k], es.MemOut[k]
 		} else {
+			me := ev.Begin("embed-memory", -1)
 			in = growMat(f.MemIn[k], ns, d)
 			out = growMat(f.MemOut[k], ns, d)
 			f.MemIn[k], f.MemOut[k] = in, out
@@ -341,10 +347,13 @@ func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *Emb
 				m.encodeInto(m.embIn(k), ex.Sentences[i], m.temporalRow(m.TimeIn[ti], i, ns), in.Row(i))
 				m.encodeInto(m.embOut(k), ex.Sentences[i], m.temporalRow(m.TimeOut[ti], i, ns), out.Row(i))
 			}
+			ev.Annotate(me, "hop", int64(k))
+			ev.End(me)
 			if ins != nil {
 				lap(&mark, &ins.EmbedNS)
 			}
 		}
+		he := ev.Begin("hop", -1)
 
 		// Input memory representation: p = softmax(u · M_INᵀ), or the
 		// raw inner products during linear-start training.
@@ -379,6 +388,10 @@ func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *Emb
 			copy(u, f.U[k])
 		}
 		u.AddInPlace(o)
+		ev.Annotate(he, "hop", int64(k))
+		ev.Annotate(he, "skipped", int64(skipped))
+		ev.Annotate(he, "rows", int64(ns))
+		ev.End(he)
 		if ins != nil {
 			ins.SkippedRows += int64(skipped)
 			ins.TotalRows += int64(ns)
@@ -386,8 +399,10 @@ func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *Emb
 		}
 	}
 
+	oe := ev.Begin("output", -1)
 	f.Logits = growVec(f.Logits, m.Cfg.Answers)
 	tensor.MatVec(nil, m.W, f.U[hops], f.Logits)
+	ev.End(oe)
 	if ins != nil {
 		lap(&mark, &ins.OutputNS)
 	}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestObserveNSExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "t")
+
+	// Zero trace ID degrades to a plain observation.
+	h.ObserveNSExemplar(1000, 0)
+	if s := h.Snapshot(); s.Count != 1 || s.ExemplarTraceID != "" {
+		t.Fatalf("zero-ID observation recorded an exemplar: %+v", s)
+	}
+
+	// A slow observation installs the exemplar.
+	h.ObserveNSExemplar(1_000_000, 0xdeadbeef)
+	s := h.Snapshot()
+	if s.ExemplarTraceID != "00000000deadbeef" || s.ExemplarNS != 1_000_000 {
+		t.Fatalf("exemplar = %q/%d", s.ExemplarTraceID, s.ExemplarNS)
+	}
+
+	// A much faster observation must not displace the slow exemplar.
+	h.ObserveNSExemplar(500, 0x1111)
+	if s := h.Snapshot(); s.ExemplarTraceID != "00000000deadbeef" {
+		t.Fatalf("fast observation displaced the slow exemplar: %q", s.ExemplarTraceID)
+	}
+
+	// An observation within one bucket of the max refreshes it (the
+	// exemplar tracks recent members of the slow tail, not the
+	// all-time max alone).
+	h.ObserveNSExemplar(900_000, 0x2222)
+	if s := h.Snapshot(); s.ExemplarTraceID != "0000000000002222" {
+		t.Fatalf("near-max observation did not refresh the exemplar: %q", s.ExemplarTraceID)
+	}
+
+	// The newer snapshot's exemplar carries through Sub.
+	prev := HistogramSnapshot{}
+	if d := h.Snapshot().Sub(prev); d.ExemplarTraceID != "0000000000002222" {
+		t.Fatalf("Sub dropped the exemplar: %q", d.ExemplarTraceID)
+	}
+}
+
+func TestExemplarAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "t")
+	allocs := testing.AllocsPerRun(200, func() {
+		h.ObserveNSExemplar(12345, 42)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveNSExemplar allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestInfoGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	r.InfoGaugeFunc("test_build_info", "t", func() int64 { return 1 },
+		"go_version", "go1.24",
+		"revision", `ab"c\d`+"\n")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `test_build_info{go_version="go1.24",revision="ab\"c\\d\n"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, out)
+	}
+
+	// Round-trips through the scrape parser.
+	sc, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for k, v := range sc {
+		if strings.HasPrefix(k, "test_build_info{") && v == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("scrape did not find the info gauge: %v", sc)
+	}
+}
+
+func TestInfoGaugeFuncOddKVPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd kv count did not panic")
+		}
+	}()
+	NewRegistry().InfoGaugeFunc("x", "t", func() int64 { return 1 }, "lonely")
+}

@@ -48,6 +48,16 @@ type Histogram struct {
 	count   atomic.Int64
 	sumNS   atomic.Int64
 	buckets [NumBuckets]atomic.Int64
+
+	// Slow-tail exemplar: the trace ID of a recent observation that
+	// landed in (or within one bucket of) the slowest bucket seen, so a
+	// dashboard can jump from "p99 is bad" to one concrete trace. The
+	// three words are updated independently without a lock — an
+	// exemplar may transiently pair one observation's bucket with
+	// another's ID, which is fine for a debugging pointer.
+	exBucket atomic.Int64 // bucket index + 1; 0 = no exemplar yet
+	exNS     atomic.Int64
+	exID     atomic.Uint64
 }
 
 // Observe records a duration.
@@ -66,6 +76,29 @@ func (h *Histogram) ObserveNS(ns int64) {
 	h.buckets[bucketIndex(ns)].Add(1)
 	h.sumNS.Add(ns)
 	h.count.Add(1)
+}
+
+// ObserveNSExemplar is ObserveNS plus exemplar maintenance: when the
+// observation lands within one bucket of the slowest bucket this
+// histogram has seen, traceID is recorded as the exemplar for the slow
+// tail. A zero traceID degrades to plain ObserveNS.
+//
+//mnnfast:hotpath
+func (h *Histogram) ObserveNSExemplar(ns int64, traceID uint64) {
+	h.ObserveNS(ns)
+	if traceID == 0 {
+		return
+	}
+	b := int64(bucketIndex(ns)) + 1
+	cur := h.exBucket.Load()
+	if b+1 < cur {
+		return
+	}
+	if b > cur {
+		h.exBucket.Store(b) // racy max — approximate by design
+	}
+	h.exNS.Store(ns)
+	h.exID.Store(traceID)
 }
 
 // Count returns the total number of observations.
@@ -95,6 +128,11 @@ type HistogramSnapshot struct {
 	P99NS   int64             `json:"p99_ns"`
 	P999NS  int64             `json:"p999_ns"`
 	Buckets [NumBuckets]int64 `json:"-"`
+	// Slow-tail exemplar (see ObserveNSExemplar): the low 64 bits of a
+	// trace ID, as 16 hex digits — resolvable via GET /v1/traces/{id}.
+	// Empty when the histogram never saw an exemplar observation.
+	ExemplarTraceID string `json:"exemplar_trace_id,omitempty"`
+	ExemplarNS      int64  `json:"exemplar_ns,omitempty"`
 }
 
 // Snapshot copies the histogram state and computes percentiles.
@@ -105,8 +143,23 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Count += s.Buckets[i]
 	}
 	s.SumNS = h.sumNS.Load()
+	if id := h.exID.Load(); id != 0 {
+		s.ExemplarTraceID = hex16(id)
+		s.ExemplarNS = h.exNS.Load()
+	}
 	s.fillQuantiles()
 	return s
+}
+
+// hex16 renders v as exactly 16 lowercase hex digits.
+func hex16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[:])
 }
 
 // Sub returns the interval view s − prev: the histogram of observations
@@ -119,6 +172,9 @@ func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
 		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
 		d.Count += d.Buckets[i]
 	}
+	// The newer snapshot's exemplar carries over: exemplars are
+	// pointers to recent traces, not interval statistics.
+	d.ExemplarTraceID, d.ExemplarNS = s.ExemplarTraceID, s.ExemplarNS
 	d.fillQuantiles()
 	return d
 }

@@ -21,17 +21,27 @@ import (
 	"sync/atomic"
 )
 
-// meta identifies a metric: a family name plus at most one label pair.
-// Metrics of the same family (same name, same label key, different
-// label values) share one HELP/TYPE header in the Prometheus output.
+// meta identifies a metric: a family name plus at most one label pair,
+// or — for info gauges — a pre-rendered multi-label set. Metrics of the
+// same family (same name, same label key, different label values) share
+// one HELP/TYPE header in the Prometheus output.
 type meta struct {
 	name, help         string
 	labelKey, labelVal string
+	// multi, when non-empty, is a pre-rendered label set
+	// (`k1="v1",k2="v2"`) that replaces labelKey/labelVal — the
+	// info-gauge case (build metadata) where one series carries several
+	// constant labels. Rendered once at registration; collection never
+	// formats labels.
+	multi string
 }
 
 // id renders the unique identity of a metric, e.g.
 // mnnfast_stage_duration_seconds{stage="embed"}.
 func (m *meta) id() string {
+	if m.multi != "" {
+		return m.name + "{" + m.multi + "}"
+	}
 	if m.labelKey == "" {
 		return m.name
 	}
@@ -41,6 +51,12 @@ func (m *meta) id() string {
 // labels renders extra label pairs joined onto the metric's own label
 // set, for bucket lines: labels(`le="0.001"`) → {stage="embed",le="0.001"}.
 func (m *meta) labels(extra string) string {
+	if m.multi != "" {
+		if extra == "" {
+			return "{" + m.multi + "}"
+		}
+		return "{" + m.multi + "," + extra + "}"
+	}
 	switch {
 	case m.labelKey == "" && extra == "":
 		return ""
@@ -185,6 +201,47 @@ func (r *Registry) LabeledCounterFunc(name, help, labelKey, labelVal string, fn 
 func (r *Registry) LabeledGaugeFunc(name, help, labelKey, labelVal string, fn func() int64) {
 	f := &funcMetric{m: meta{name: name, help: help, labelKey: labelKey, labelVal: labelVal}, fn: fn}
 	r.add(f.m.id(), f)
+}
+
+// InfoGaugeFunc registers a gauge carrying an arbitrary constant label
+// set, given as alternating key/value strings — the Prometheus
+// info-metric idiom (e.g. build_info{go_version="…",revision="…"} 1).
+// Label values are escaped per the exposition format; keys must be
+// valid label names. Panics on an odd kv count.
+func (r *Registry) InfoGaugeFunc(name, help string, fn func() int64, kv ...string) {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: InfoGaugeFunc %s: odd label key/value count %d", name, len(kv)))
+	}
+	var b []byte
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, kv[i]...)
+		b = append(b, '=', '"')
+		b = appendEscapedLabel(b, kv[i+1])
+		b = append(b, '"')
+	}
+	f := &funcMetric{m: meta{name: name, help: help, multi: string(b)}, fn: fn}
+	r.add(f.m.id(), f)
+}
+
+// appendEscapedLabel escapes a label value per the Prometheus text
+// exposition format: backslash, double-quote, and newline.
+func appendEscapedLabel(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '"':
+			dst = append(dst, '\\', '"')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
 }
 
 // Histogram registers and returns a latency histogram.

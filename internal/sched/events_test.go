@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"testing"
+
+	"mnnfast/internal/tensor"
+	"mnnfast/internal/trace"
+)
+
+// collectWorkers returns the worker spans recorded by one RunEvents
+// call, keyed by their "worker" attribute.
+func collectWorkers(t *testing.T, ev *trace.Events, parent int32) map[int64]map[string]int64 {
+	t.Helper()
+	out := make(map[int64]map[string]int64)
+	// Replay through a trace to read the events via the public API.
+	rec := trace.NewRecorder(trace.Options{Capacity: 1, SpanCap: trace.MaxEvents + 4, SampleEvery: 1})
+	tr := rec.StartTrace("test", "")
+	root := tr.Start("root", 0)
+	tr.AddEvents(root, ev)
+	tr.Finish(root)
+	rec.Commit(tr)
+	got := rec.Lookup(tr.ID())
+	if got == nil {
+		t.Fatal("trace not retained")
+	}
+	defer rec.Release(got)
+	var walk func(spans []*trace.ExportSpan)
+	walk = func(spans []*trace.ExportSpan) {
+		for _, sp := range spans {
+			if sp.Name == "worker" {
+				w, ok := sp.Attrs["worker"].(int64)
+				if !ok {
+					t.Fatalf("worker span without worker attr: %v", sp.Attrs)
+				}
+				attrs := make(map[string]int64)
+				for k, v := range sp.Attrs {
+					if n, ok := v.(int64); ok {
+						attrs[k] = n
+					}
+				}
+				out[w] = attrs
+			}
+			walk(sp.Children)
+		}
+	}
+	walk(got.Export().Spans)
+	return out
+}
+
+func TestRunEventsSerialPath(t *testing.T) {
+	var s *Scheduler // nil scheduler → serial width-1 path
+	var ev trace.Events
+	var c coverage
+	s.RunEvents(&ev, -1, 0, 10, 4, c.fn)
+	c.check(t, 0, 10)
+
+	workers := collectWorkers(t, &ev, -1)
+	if len(workers) != 1 {
+		t.Fatalf("serial run recorded %d worker spans, want 1", len(workers))
+	}
+	w0 := workers[0]
+	if w0["chunks"] != 3 { // ceil(10/4) chunk items
+		t.Errorf("serial worker chunks = %d, want 3", w0["chunks"])
+	}
+}
+
+func TestRunEventsParallelWorkers(t *testing.T) {
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	s := New(pool)
+
+	var ev trace.Events
+	var c coverage
+	const n, chunk = 1000, 16
+	s.RunEvents(&ev, -1, 0, n, chunk, c.fn)
+	c.check(t, 0, n)
+
+	workers := collectWorkers(t, &ev, -1)
+	if len(workers) != s.Workers() {
+		t.Fatalf("worker spans = %d, want %d", len(workers), s.Workers())
+	}
+	var chunks, steals int64
+	for w, attrs := range workers {
+		if w < 0 || w >= int64(s.Workers()) {
+			t.Errorf("worker id %d out of range", w)
+		}
+		chunks += attrs["chunks"]
+		steals += attrs["steals"]
+		if _, ok := attrs["idle_ns"]; !ok {
+			t.Errorf("worker %d missing idle_ns", w)
+		}
+	}
+	wantChunks := int64((n + chunk - 1) / chunk)
+	if chunks != wantChunks {
+		t.Errorf("total chunks across workers = %d, want %d", chunks, wantChunks)
+	}
+	if steals < 0 || steals > chunks {
+		t.Errorf("steals = %d out of range", steals)
+	}
+}
+
+// TestRunMatchesRunEvents pins that Run is RunEvents with recording
+// disabled: same coverage, no events required.
+func TestRunMatchesRunEvents(t *testing.T) {
+	pool := tensor.NewPool(2)
+	defer pool.Close()
+	s := New(pool)
+	var c1, c2 coverage
+	s.Run(3, 500, 8, c1.fn)
+	s.RunEvents(nil, -1, 3, 500, 8, c2.fn)
+	c1.check(t, 3, 500)
+	c2.check(t, 3, 500)
+}
+
+func TestRunEventsSteadyStateAllocs(t *testing.T) {
+	skipUnderRace(t)
+	pool := tensor.NewPool(2)
+	defer pool.Close()
+	s := New(pool)
+	var ev trace.Events
+	fn := func(worker, lo, hi int) {}
+	s.RunEvents(&ev, -1, 0, 100, 10, fn) // warm the run-state pool
+	allocs := testing.AllocsPerRun(50, func() {
+		ev.Reset()
+		s.RunEvents(&ev, -1, 0, 100, 10, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("RunEvents allocated %.1f/op at steady state, want 0", allocs)
+	}
+}

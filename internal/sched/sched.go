@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"mnnfast/internal/tensor"
+	"mnnfast/internal/trace"
 )
 
 // Scheduler executes chunked work on a tensor.Pool with work stealing.
@@ -99,6 +100,12 @@ type runState struct {
 	chunk  int // rows per item
 	width  int // participating worker slots
 	loop   func(worker, lo, hi int)
+
+	// Tracing (nil when the run is untraced). Workers record into ev
+	// concurrently — Events slots are claimed atomically — and the
+	// dispatch join publishes them to the caller.
+	ev       *trace.Events
+	evParent int32
 }
 
 // paddedDeque keeps each worker's deque state word on its own cache
@@ -134,6 +141,16 @@ var runStatePool = sync.Pool{New: func() any {
 //
 //mnnfast:hotpath
 func (s *Scheduler) Run(base, n, chunk int, fn func(worker, lo, hi int)) {
+	s.RunEvents(nil, -1, base, n, chunk, fn)
+}
+
+// RunEvents is Run with per-worker tracing: each participating worker
+// slot records one "worker" event (attrs: worker, chunks, steals,
+// idle_ns) into ev under parent. A nil ev records nothing and costs
+// one branch per worker — Run simply delegates here.
+//
+//mnnfast:hotpath
+func (s *Scheduler) RunEvents(ev *trace.Events, parent int32, base, n, chunk int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -150,6 +167,7 @@ func (s *Scheduler) Run(base, n, chunk int, fn func(worker, lo, hi int)) {
 			s.ser.Add(1)
 			s.slots[0].chunks.Add(int64(nItems))
 		}
+		we := ev.Begin("worker", parent)
 		for lo := 0; lo < n; lo += chunk {
 			hi := lo + chunk
 			if hi > n {
@@ -157,6 +175,9 @@ func (s *Scheduler) Run(base, n, chunk int, fn func(worker, lo, hi int)) {
 			}
 			fn(0, base+lo, base+hi)
 		}
+		ev.Annotate(we, "worker", 0)
+		ev.Annotate(we, "chunks", int64(nItems))
+		ev.End(we)
 		return
 	}
 
@@ -164,6 +185,7 @@ func (s *Scheduler) Run(base, n, chunk int, fn func(worker, lo, hi int)) {
 	r := runStatePool.Get().(*runState)
 	r.s, r.fn = s, fn
 	r.base, r.n, r.chunk, r.width = base, n, chunk, width
+	r.ev, r.evParent = ev, parent
 	if cap(r.deques) < width {
 		r.deques = make([]paddedDeque, width)
 	}
@@ -185,7 +207,7 @@ func (s *Scheduler) Run(base, n, chunk int, fn func(worker, lo, hi int)) {
 
 	s.pool.ParallelForWorker(width, 1, r.loop)
 
-	r.s, r.fn = nil, nil
+	r.s, r.fn, r.ev = nil, nil, nil
 	runStatePool.Put(r)
 }
 
@@ -209,6 +231,7 @@ func (r *runState) exec(slotIdx int, it uint32) {
 //
 //mnnfast:hotpath
 func (r *runState) runSlot(slotIdx int) {
+	we := r.ev.Begin("worker", r.evParent)
 	sc := &r.s.slots[slotIdx]
 	d := &r.deques[slotIdx].Deque
 	local := int64(0)
@@ -256,6 +279,11 @@ func (r *runState) runSlot(slotIdx int) {
 		sc.steals.Add(stolen)
 	}
 	sc.idleNS.Add(int64(idle))
+	r.ev.Annotate(we, "worker", int64(slotIdx))
+	r.ev.Annotate(we, "chunks", local+stolen)
+	r.ev.Annotate(we, "steals", stolen)
+	r.ev.Annotate(we, "idle_ns", int64(idle))
+	r.ev.End(we)
 }
 
 // WorkerStats is one worker slot's cumulative accounting.

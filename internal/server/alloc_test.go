@@ -20,9 +20,9 @@ func TestAnswerPredictAllocs(t *testing.T) {
 	}
 	s := testServer(t)
 	ex := s.corpus.Test[0]
-	s.predict(ex, nil) // warm the forward pool at this shape
+	s.predict(ex, nil, nil) // warm the forward pool at this shape
 	allocs := testing.AllocsPerRun(100, func() {
-		s.predict(ex, nil)
+		s.predict(ex, nil, nil)
 	})
 	if allocs != 0 {
 		t.Errorf("answer predict path allocates %v per request, want 0", allocs)
@@ -39,9 +39,9 @@ func TestCachedPredictAllocs(t *testing.T) {
 	ex := s.corpus.Test[0]
 	var es memnn.EmbeddedStory
 	s.model.EmbedStoryInto(ex, &es)
-	s.predict(ex, &es)
+	s.predict(ex, &es, nil)
 	allocs := testing.AllocsPerRun(100, func() {
-		s.predict(ex, &es)
+		s.predict(ex, &es, nil)
 	})
 	if allocs != 0 {
 		t.Errorf("cached predict path allocates %v per request, want 0", allocs)

@@ -9,6 +9,7 @@ import (
 
 	"mnnfast/internal/batcher"
 	"mnnfast/internal/memnn"
+	"mnnfast/internal/trace"
 )
 
 // errNoStory marks an answer item whose session has no story; the HTTP
@@ -32,6 +33,15 @@ type BatchOptions struct {
 // answerItem is one /v1/answer request's trip through the batcher: the
 // handler fills sess and qIDs, the batch runner fills idx/n or err.
 // Items are pooled; the handler recycles them after a completed Do.
+//
+// The trace relay fields implement single-writer handoff: the dispatcher
+// writes only these plain fields (timestamps from trace.Now, flush
+// metadata, a CopyFrom of the flush's event log) and never touches the
+// request's *trace.Trace; the handler reads them and builds spans after
+// Do returns, ordered by the batcher's done channel. Items abandoned on
+// context expiry (504) are never read by their handler afterward and
+// never recycled, so the relay is race-free without further
+// synchronization.
 type answerItem struct {
 	sess *session
 	qIDs []int
@@ -39,6 +49,18 @@ type answerItem struct {
 	idx int   // predicted answer index
 	n   int   // session story length at answer time
 	err error // errNoStory, or a vectorize/embed failure
+
+	reqID        string // X-Request-ID, for the batch-flush access log
+	traced       bool   // request carries a trace; copy the event log
+	flushStartNS int64  // trace.Now at flush start; 0 = never flushed
+	inferStartNS int64  // trace.Now around the batched inference call
+	inferEndNS   int64
+	flushEndNS   int64
+	flushSeq     int64 // dispatcher flush counter
+	batchSize    int   // items in this item's flush
+	cacheHit     bool  // session embedding cache was valid
+	embedNS      int64 // >0: this item's flush embedded the session
+	ev           trace.Events
 }
 
 // batchState is the dispatcher-owned scratch for runAnswerBatch, reused
@@ -55,6 +77,11 @@ type batchState struct {
 	out     []int
 	bf      memnn.BatchForward
 	ins     memnn.Instrumentation
+
+	hit      []bool  // per-session: embedding cache was valid on lock
+	embNS    []int64 // per-session: time spent embedding (0 = no embed)
+	ev       trace.Events
+	flushSeq int64
 }
 
 // EnableBatching routes /v1/answer through a micro-batching scheduler:
@@ -108,17 +135,29 @@ func (s *Server) Close() {
 // same status codes the unbatched path uses, plus the admission-control
 // codes (429 queue full, 503 closed, 504 expired while queued).
 func (s *Server) answerBatched(w http.ResponseWriter, r *http.Request, sess *session, qIDs []int) {
+	tr := traceFrom(r.Context())
 	it, _ := s.items.Get().(*answerItem)
 	if it == nil {
 		it = new(answerItem)
 	}
 	it.sess, it.qIDs, it.idx, it.n, it.err = sess, qIDs, 0, 0, nil
+	it.reqID = w.Header().Get("X-Request-ID")
+	it.traced = tr != nil
+	it.flushStartNS, it.inferStartNS, it.inferEndNS, it.flushEndNS = 0, 0, 0, 0
+	it.flushSeq, it.batchSize, it.cacheHit, it.embedNS = 0, 0, false, 0
 
+	wait := tr.Start("queue-wait", tr.Root())
 	err := s.batch.Do(r.Context(), it)
 	switch {
 	case err == nil:
+		if it.flushStartNS != 0 {
+			tr.FinishAt(wait, it.flushStartNS)
+		} else {
+			tr.Finish(wait)
+		}
+		s.itemSpans(tr, it)
 		ierr, idx, n := it.err, it.idx, it.n
-		it.sess, it.qIDs, it.err = nil, nil, nil
+		it.sess, it.qIDs, it.err, it.reqID, it.traced = nil, nil, nil, "", false
 		s.items.Put(it)
 		if ierr != nil {
 			if errors.Is(ierr, errNoStory) {
@@ -132,11 +171,14 @@ func (s *Server) answerBatched(w http.ResponseWriter, r *http.Request, sess *ses
 			Answer: s.corpus.AnswerWord(idx), Index: idx, Sentences: n,
 		})
 	case errors.Is(err, batcher.ErrQueueFull):
+		tr.Finish(wait)
 		w.Header().Set("Retry-After", s.retryAfter)
 		httpError(w, http.StatusTooManyRequests, "answer queue full; retry after %ss", s.retryAfter)
 	case errors.Is(err, batcher.ErrClosed):
+		tr.Finish(wait)
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 	default:
+		tr.Finish(wait)
 		// The request's context ended while it waited in the queue; the
 		// item was abandoned to the dispatcher, so it is not recycled.
 		httpError(w, http.StatusGatewayTimeout, "request expired while queued: %v", err)
@@ -157,11 +199,22 @@ func (s *Server) runAnswerBatch(items []*answerItem) {
 	st.sessions = st.sessions[:0]
 	st.wlocked = st.wlocked[:0]
 	st.serr = st.serr[:0]
+	st.hit = st.hit[:0]
+	st.embNS = st.embNS[:0]
 	st.live = st.live[:0]
 	st.exs = st.exs[:0]
 	st.stories = st.stories[:0]
+	st.flushSeq++
+	flushStart := trace.Now()
+	needEv := false
 
 	for _, it := range items {
+		it.flushStartNS = flushStart
+		it.flushSeq = st.flushSeq
+		it.batchSize = len(items)
+		if it.traced {
+			needEv = true
+		}
 		// Batches are small: a linear pointer scan dedups sessions
 		// without a map allocation.
 		si := -1
@@ -171,6 +224,7 @@ func (s *Server) runAnswerBatch(items []*answerItem) {
 				break
 			}
 		}
+		dedup := si >= 0
 		if si < 0 {
 			si = s.lockForBatch(it.sess, st)
 		} else if st.serr[si] == nil {
@@ -182,6 +236,8 @@ func (s *Server) runAnswerBatch(items []*answerItem) {
 		}
 		it.err = nil
 		it.n = len(it.sess.story.Sentences)
+		it.cacheHit = dedup || st.hit[si]
+		it.embedNS = st.embNS[si]
 		st.live = append(st.live, it)
 		st.exs = append(st.exs, memnn.Example{Sentences: it.sess.cachedSentences, Question: it.qIDs})
 		st.stories = append(st.stories, &it.sess.emb)
@@ -193,10 +249,21 @@ func (s *Server) runAnswerBatch(items []*answerItem) {
 		}
 		st.out = st.out[:len(st.live)]
 		st.ins.Reset()
+		if needEv {
+			st.ev.Reset()
+			st.ins.Ev = &st.ev
+		}
+		inferStart := trace.Now()
 		s.model.PredictBatchInstrumented(st.exs, s.SkipThreshold, st.stories, &st.bf, &st.ins, st.out)
+		inferEnd := trace.Now()
 		s.met.observeInference(&st.ins)
+		st.ins.Ev = nil
 		for i, it := range st.live {
 			it.idx = st.out[i]
+			it.inferStartNS, it.inferEndNS = inferStart, inferEnd
+			if it.traced {
+				it.ev.CopyFrom(&st.ev)
+			}
 		}
 	}
 
@@ -209,6 +276,24 @@ func (s *Server) runAnswerBatch(items []*answerItem) {
 		st.sessions[j] = nil // don't pin sessions until the next flush
 	}
 	st.sessions = st.sessions[:0]
+
+	end := trace.Now()
+	for _, it := range items {
+		it.flushEndNS = end
+	}
+	if s.AccessLog != nil {
+		s.logBatchFlush(items, st.flushSeq)
+	}
+}
+
+// logBatchFlush writes one access-log line per item of a flush, tying
+// each request ID to the flush it rode in.
+//
+//mnnfast:coldpath
+func (s *Server) logBatchFlush(items []*answerItem, seq int64) {
+	for _, it := range items {
+		s.AccessLog.Printf("batch_flush=%d batch_size=%d request_id=%s", seq, len(items), it.reqID)
+	}
 }
 
 // lockForBatch acquires sess for the duration of the current flush —
@@ -225,19 +310,26 @@ func (s *Server) lockForBatch(sess *session, st *batchState) int {
 		st.sessions = append(st.sessions, sess)
 		st.wlocked = append(st.wlocked, false)
 		st.serr = append(st.serr, nil)
+		st.hit = append(st.hit, true)
+		st.embNS = append(st.embNS, 0)
 		return len(st.sessions) - 1
 	}
 	sess.mu.RUnlock()
 
 	sess.mu.Lock()
 	var serr error
+	hit := false
+	var embNS int64
 	switch {
 	case len(sess.story.Sentences) == 0:
 		serr = errNoStory
 	case sess.cacheValid:
+		hit = true
 		s.met.cacheHits.Inc() // another goroutine embedded it meanwhile
 	default:
-		serr = s.embedSession(sess)
+		e0 := trace.Now()
+		serr = s.embedSession(sess, nil)
+		embNS = trace.Now() - e0
 		if serr == nil {
 			s.met.cacheMisses.Inc()
 		}
@@ -245,5 +337,7 @@ func (s *Server) lockForBatch(sess *session, st *batchState) int {
 	st.sessions = append(st.sessions, sess)
 	st.wlocked = append(st.wlocked, true)
 	st.serr = append(st.serr, serr)
+	st.hit = append(st.hit, hit)
+	st.embNS = append(st.embNS, embNS)
 	return len(st.sessions) - 1
 }

@@ -450,7 +450,7 @@ func TestRunAnswerBatchAllocs(t *testing.T) {
 		{"john", "went", "to", "the", "kitchen"},
 		{"mary", "went", "to", "the", "garden"},
 	}
-	if err := s.embedSession(sess); err != nil {
+	if err := s.embedSession(sess, nil); err != nil {
 		sess.mu.Unlock()
 		t.Fatal(err)
 	}

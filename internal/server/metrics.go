@@ -1,6 +1,11 @@
 package server
 
 import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
 	"mnnfast/internal/memnn"
 	"mnnfast/internal/obs"
 	"mnnfast/internal/tensor"
@@ -9,7 +14,7 @@ import (
 // handlerLabels enumerates the request-handler label values; per-handler
 // counters and duration histograms are registered for exactly this set
 // so the hot path never formats or allocates label strings.
-var handlerLabels = []string{"story", "answer", "healthz", "metrics", "statz", "other"}
+var handlerLabels = []string{"story", "answer", "healthz", "metrics", "statz", "traces", "other"}
 
 // handlerLabel maps a request path to its metrics label.
 func handlerLabel(path string) string {
@@ -25,8 +30,14 @@ func handlerLabel(path string) string {
 	case "/v1/statz":
 		return "statz"
 	}
+	if strings.HasPrefix(path, "/v1/traces") {
+		return "traces"
+	}
 	return "other"
 }
+
+// processStart anchors mnnfast_uptime_seconds.
+var processStart = time.Now()
 
 // metrics is the server's observability surface: every counter, gauge,
 // and histogram it maintains, all registered into one obs.Registry that
@@ -111,6 +122,15 @@ func newMetrics(sessionCount func() int64) *metrics {
 		"Work spans run inline because the dispatch queue was full.",
 		func() int64 { return tensor.ReadPoolStats().SpansInline })
 
+	reg.GaugeFunc("mnnfast_uptime_seconds",
+		"Seconds since this process constructed its first server.",
+		func() int64 { return int64(time.Since(processStart) / time.Second) })
+	reg.InfoGaugeFunc("mnnfast_build_info",
+		"Build metadata: Go toolchain version and VCS revision (constant 1).",
+		func() int64 { return 1 },
+		"go_version", runtime.Version(),
+		"revision", buildRevision())
+
 	// Kernel dispatch info gauge: one series per tier available on this
 	// host, value 1 on the active tier (sampled at collection time so a
 	// test override shows up). Dashboards join on it to segment latency
@@ -128,6 +148,32 @@ func newMetrics(sessionCount func() int64) *metrics {
 			})
 	}
 	return m
+}
+
+// buildRevision returns the VCS revision baked into the binary (with a
+// "+dirty" suffix on modified trees), or "unknown" for builds without
+// VCS stamping (go test, go run).
+func buildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
 }
 
 // observeInference drains one request's Instrumentation into the stage

@@ -28,10 +28,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -42,6 +44,7 @@ import (
 	"mnnfast/internal/memnn"
 	"mnnfast/internal/obs"
 	"mnnfast/internal/tensor"
+	"mnnfast/internal/trace"
 	"mnnfast/internal/vocab"
 )
 
@@ -62,10 +65,12 @@ type session struct {
 }
 
 // forwardState bundles the pooled per-request inference buffers: the
-// forward-pass scratch and the per-stage instrumentation accumulator.
+// forward-pass scratch, the per-stage instrumentation accumulator, and
+// the trace-event buffer the instrumented pass records into.
 type forwardState struct {
 	f   memnn.Forward
 	ins memnn.Instrumentation
+	ev  trace.Events
 }
 
 // Server serves QA requests against one trained model.
@@ -77,6 +82,11 @@ type Server struct {
 	// AccessLog, when non-nil, receives one structured line per request:
 	// request_id, method, path, session, status, duration.
 	AccessLog *log.Logger
+	// PprofLabels, when true, wraps request handling in pprof.Do with
+	// handler/session labels so CPU profiles attribute samples to
+	// handlers. Off by default: label propagation costs a goroutine
+	// label swap per request.
+	PprofLabels bool
 
 	mu       sync.RWMutex        // guards the sessions map (not the sessions)
 	sessions map[string]*session // guarded by mu
@@ -98,6 +108,10 @@ type Server struct {
 	// parPool holds the persistent workers behind EnableParallelism;
 	// nil when inference is serial. Owned by the server, closed by Close.
 	parPool *tensor.Pool
+
+	// rec is the flight recorder behind /v1/traces; nil when tracing
+	// is off (see EnableTracing in trace.go).
+	rec *trace.Recorder
 
 	met    *metrics
 	reqSeq atomic.Uint64
@@ -134,6 +148,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/healthz", s.handleHealth)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/statz", s.handleStatz)
+	mux.HandleFunc("/v1/traces", s.handleTraceIndex)
+	mux.HandleFunc("/v1/traces/{id}", s.handleTraceGet)
 	return s.instrument(mux)
 }
 
@@ -148,8 +164,9 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps the mux with request-ID tagging, in-flight and
-// per-handler accounting, and the optional access log.
+// instrument wraps the mux with request-ID tagging, request-scoped
+// tracing, in-flight and per-handler accounting, optional pprof
+// labels, and the optional access log.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
@@ -158,22 +175,58 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		w.Header().Set("X-Request-ID", id)
 		label := handlerLabel(r.URL.Path)
+		sess := r.Header.Get("X-Session")
+		if sess == "" {
+			sess = "default"
+		}
+
+		// Start the request trace before the handler runs so every
+		// reply — including 429/503/504 error paths that never reach a
+		// handler body — carries X-Trace-ID and traceparent headers.
+		var tr *trace.Trace
+		if s.rec != nil && traced(label) {
+			tr = s.rec.StartTrace(label, id)
+			if hi, lo, parent, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+				tr.AdoptRemote(hi, lo, parent)
+			}
+			root := tr.Start(label, 0)
+			tr.AnnotateStr(root, "kernel_tier", tensor.KernelTier())
+			w.Header().Set("X-Trace-ID", tr.ID())
+			w.Header().Set("traceparent", tr.Traceparent(root))
+			r = r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, tr))
+		}
+
 		s.met.inflight.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
-		next.ServeHTTP(sw, r)
+		if s.PprofLabels {
+			pprof.Do(r.Context(), pprof.Labels("handler", label, "session", sess), func(ctx context.Context) {
+				next.ServeHTTP(sw, r.WithContext(ctx))
+			})
+		} else {
+			next.ServeHTTP(sw, r)
+		}
 		d := time.Since(t0)
 		s.met.inflight.Add(-1)
 		s.met.requests[label].Inc()
-		s.met.durations[label].Observe(d)
+		if tr != nil {
+			root := tr.Root()
+			if sw.status >= 400 {
+				tr.SetError()
+				tr.Annotate(root, "status", int64(sw.status))
+			}
+			tr.Finish(root)
+			// The exemplar points the latency histogram's slow tail at
+			// a concrete trace ID.
+			s.met.durations[label].ObserveNSExemplar(d.Nanoseconds(), tr.ID64())
+			s.rec.Commit(tr)
+		} else {
+			s.met.durations[label].Observe(d)
+		}
 		if sw.status >= 400 {
 			s.met.errors.Inc()
 		}
 		if s.AccessLog != nil {
-			sess := r.Header.Get("X-Session")
-			if sess == "" {
-				sess = "default"
-			}
 			s.AccessLog.Printf("request_id=%s method=%s path=%s session=%s status=%d dur_us=%d",
 				id, r.Method, r.URL.Path, sess, sw.status, d.Microseconds())
 		}
@@ -280,7 +333,9 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
+	tr := traceFrom(r.Context())
 	t0 := time.Now()
+	vs := tr.Start("vectorize", tr.Root())
 	qWords := vocab.Tokenize(req.Question)
 	if len(qWords) == 0 {
 		httpError(w, http.StatusBadRequest, "empty question")
@@ -291,6 +346,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "memnn: question: %v", err)
 		return
 	}
+	tr.Finish(vs)
 	s.met.stageVectorize.Observe(time.Since(t0))
 	sess := s.session(r)
 
@@ -308,7 +364,8 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	// implies a non-empty story.
 	sess.mu.RLock()
 	if sess.cacheValid {
-		idx := s.predict(memnn.Example{Sentences: sess.cachedSentences, Question: qIDs}, &sess.emb)
+		tr.Annotate(tr.Root(), "cache_hit", 1)
+		idx := s.predict(memnn.Example{Sentences: sess.cachedSentences, Question: qIDs}, &sess.emb, tr)
 		n := len(sess.story.Sentences)
 		sess.mu.RUnlock()
 		s.met.cacheHits.Inc()
@@ -328,16 +385,18 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !sess.cacheValid {
-		if err := s.embedSession(sess); err != nil {
+		tr.Annotate(tr.Root(), "cache_hit", 0)
+		if err := s.embedSession(sess, tr); err != nil {
 			sess.mu.Unlock()
 			httpError(w, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
 		s.met.cacheMisses.Inc()
 	} else {
+		tr.Annotate(tr.Root(), "cache_hit", 1)
 		s.met.cacheHits.Inc() // another goroutine embedded it meanwhile
 	}
-	idx := s.predict(memnn.Example{Sentences: sess.cachedSentences, Question: qIDs}, &sess.emb)
+	idx := s.predict(memnn.Example{Sentences: sess.cachedSentences, Question: qIDs}, &sess.emb, tr)
 	n := len(sess.story.Sentences)
 	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, AnswerResponse{
@@ -351,32 +410,51 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 // visible as vanished embed time on the hit path.
 //
 //mnnfast:locked sess.mu
-func (s *Server) embedSession(sess *session) error {
+func (s *Server) embedSession(sess *session, tr *trace.Trace) error {
+	sp := tr.Start("embed-story", tr.Root())
 	t0 := time.Now()
 	ex, err := s.corpus.VectorizeStory(babi.Story{Sentences: sess.story.Sentences})
 	if err != nil {
+		tr.Finish(sp)
 		return err
 	}
 	sess.cachedSentences = ex.Sentences
 	s.model.EmbedStoryInto(memnn.Example{Sentences: ex.Sentences}, &sess.emb)
 	sess.cacheValid = true
 	s.met.stageEmbed.Observe(time.Since(t0))
+	tr.Annotate(sp, "sentences", int64(len(ex.Sentences)))
+	tr.Finish(sp)
 	return nil
 }
 
 // predict runs the model over one vectorized example with pooled
 // forward-pass buffers and drains the per-stage instrumentation into
-// the metrics. es, when non-nil, supplies the cached embedded story.
+// the metrics. es, when non-nil, supplies the cached embedded story;
+// tr, when non-nil, receives an "infer" span with the per-hop event
+// tree recorded by the instrumented pass.
 //
 //mnnfast:hotpath
-func (s *Server) predict(ex memnn.Example, es *memnn.EmbeddedStory) int {
+func (s *Server) predict(ex memnn.Example, es *memnn.EmbeddedStory, tr *trace.Trace) int {
 	st, _ := s.forwards.Get().(*forwardState)
 	if st == nil {
 		st = new(forwardState)
 	}
 	st.ins.Reset()
+	var sp trace.SpanID
+	if tr != nil {
+		st.ev.Reset()
+		st.ins.Ev = &st.ev
+		sp = tr.Start("infer", tr.Root())
+	}
 	idx := s.model.PredictInstrumented(ex, s.SkipThreshold, &st.f, es, &st.ins)
 	s.met.observeInference(&st.ins)
+	if tr != nil {
+		tr.AddEvents(sp, &st.ev)
+		tr.Annotate(sp, "skipped", st.ins.SkippedRows)
+		tr.Annotate(sp, "rows", st.ins.TotalRows)
+		tr.Finish(sp)
+		st.ins.Ev = nil
+	}
 	s.forwards.Put(st)
 	return idx
 }

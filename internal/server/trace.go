@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"net/http"
+
+	"mnnfast/internal/trace"
+)
+
+// TraceOptions configures request-scoped tracing (see EnableTracing).
+// Zero values take the trace package defaults.
+type TraceOptions struct {
+	// Capacity is the flight-recorder ring size: how many retained
+	// traces GET /v1/traces can see.
+	Capacity int
+	// SpanCap bounds spans per trace; excess spans are dropped and
+	// counted in the export.
+	SpanCap int
+	// SampleEvery keeps 1 in N traces that are neither errored nor
+	// slow (1 = keep all). Error traces and traces slower than
+	// SlowFactor × the moving mean are always kept.
+	SampleEvery int
+	// SlowFactor is the slow-tail multiplier over the moving mean.
+	SlowFactor int
+}
+
+// EnableTracing attaches an in-memory flight recorder to the QA path:
+// every /v1/story and /v1/answer request records a span tree (handler →
+// vectorize → queue-wait/batch-flush → infer → per-hop → per-worker),
+// the recorder retains the interesting tail (errors, slow outliers, a
+// sample of the rest), and GET /v1/traces serves it back. W3C
+// traceparent headers are accepted and emitted, and the answer-latency
+// histogram carries exemplar trace IDs for its slow tail.
+//
+// Tracing never changes what the inference path computes — traced and
+// untraced answers are bit-identical (see memnn.Instrumentation.Ev).
+//
+// Call once, before the server starts handling requests.
+func (s *Server) EnableTracing(opt TraceOptions) {
+	if s.rec != nil {
+		panic("server: EnableTracing called twice")
+	}
+	rec := trace.NewRecorder(trace.Options{
+		Capacity:    opt.Capacity,
+		SpanCap:     opt.SpanCap,
+		SampleEvery: opt.SampleEvery,
+		SlowFactor:  opt.SlowFactor,
+	})
+
+	reg := s.met.reg
+	reg.CounterFunc("mnnfast_traces_started_total",
+		"Traces started (one per traced request).",
+		func() int64 { return rec.Stats().Started })
+	reg.CounterFunc("mnnfast_traces_retained_total",
+		"Completed traces written to the flight recorder ring.",
+		func() int64 { return rec.Stats().Retained })
+	reg.LabeledCounterFunc("mnnfast_traces_kept_total",
+		"Retained traces by retention rule: error (status >= 400), slow (latency above the moving threshold), sampled (1 in N of the rest).",
+		"rule", "error",
+		func() int64 { return rec.Stats().KeptErr })
+	reg.LabeledCounterFunc("mnnfast_traces_kept_total",
+		"Retained traces by retention rule: error (status >= 400), slow (latency above the moving threshold), sampled (1 in N of the rest).",
+		"rule", "slow",
+		func() int64 { return rec.Stats().KeptSlow })
+	reg.LabeledCounterFunc("mnnfast_traces_kept_total",
+		"Retained traces by retention rule: error (status >= 400), slow (latency above the moving threshold), sampled (1 in N of the rest).",
+		"rule", "sampled",
+		func() int64 { return rec.Stats().KeptSampled })
+	reg.GaugeFunc("mnnfast_trace_latency_ewma_ns",
+		"Moving mean traced-request latency (EWMA); the slow-tail retention threshold is SlowFactor times this.",
+		func() int64 { return rec.Stats().EWMANS })
+
+	s.rec = rec
+}
+
+// traceCtxKey keys the request's *trace.Trace in its context. The
+// context plumbing allocates, like the rest of the HTTP envelope; only
+// the inference core below it is allocation-free.
+type traceCtxKey struct{}
+
+// traceFrom extracts the request's trace; nil (all methods no-ops)
+// when tracing is disabled or the handler is untraced.
+func traceFrom(ctx context.Context) *trace.Trace {
+	tr, _ := ctx.Value(traceCtxKey{}).(*trace.Trace)
+	return tr
+}
+
+// traced reports whether tracing covers requests with this handler
+// label. Only the QA path is traced; scrape endpoints would flood the
+// ring with trivial traces.
+func traced(label string) bool { return label == "story" || label == "answer" }
+
+// itemSpans replays a batched answer's trip through the dispatcher —
+// relayed via plain timestamp fields and a per-item event copy on the
+// answerItem (see batch.go) — into the request's own trace. Runs on
+// the handler goroutine after Do returns, so the trace has exactly one
+// writer.
+//
+//mnnfast:hotpath
+func (s *Server) itemSpans(tr *trace.Trace, it *answerItem) {
+	if tr == nil || it.flushStartNS == 0 {
+		return
+	}
+	fs := tr.StartAt("batch-flush", tr.Root(), it.flushStartNS)
+	tr.Annotate(fs, "flush_seq", it.flushSeq)
+	tr.Annotate(fs, "batch_size", int64(it.batchSize))
+	if it.cacheHit {
+		tr.Annotate(fs, "cache_hit", 1)
+	} else {
+		tr.Annotate(fs, "cache_hit", 0)
+	}
+	if it.embedNS > 0 {
+		tr.Annotate(fs, "embed_ns", it.embedNS)
+	}
+	if it.err == nil && it.inferStartNS != 0 {
+		is := tr.StartAt("infer", fs, it.inferStartNS)
+		tr.AddEvents(is, &it.ev)
+		tr.FinishAt(is, it.inferEndNS)
+	}
+	tr.FinishAt(fs, it.flushEndNS)
+}
+
+// TraceIndexResponse is the body of GET /v1/traces.
+type TraceIndexResponse struct {
+	Stats  trace.Stats     `json:"stats"`
+	Traces []trace.Summary `json:"traces"`
+}
+
+// handleTraceIndex serves the recent-trace index, newest first.
+func (s *Server) handleTraceIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.rec == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled; enable with mnnfast-serve -trace")
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "request context ended: %v", err)
+		return
+	}
+	idx := s.rec.Index()
+	if idx == nil {
+		idx = []trace.Summary{}
+	}
+	writeJSON(w, http.StatusOK, TraceIndexResponse{Stats: s.rec.Stats(), Traces: idx})
+}
+
+// handleTraceGet serves one retained trace: the JSON span tree by
+// default, Chrome trace_event JSON (Perfetto-loadable) with
+// ?format=chrome.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.rec == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled; enable with mnnfast-serve -trace")
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "request context ended: %v", err)
+		return
+	}
+	id := r.PathValue("id")
+	tr := s.rec.Lookup(id)
+	if tr == nil {
+		httpError(w, http.StatusNotFound, "trace %q not retained (evicted, sampled out, or never existed)", id)
+		return
+	}
+	defer s.rec.Release(tr)
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = tr.WriteJSON(w)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = tr.WriteChrome(w)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (want json or chrome)", r.URL.Query().Get("format"))
+	}
+}

@@ -1,0 +1,211 @@
+// Cold-path exports: trace index summaries, the JSON span tree served
+// by /v1/traces/{id}, and Chrome trace_event JSON loadable in Perfetto
+// or chrome://tracing. Allocation-heavy by nature; never called from
+// the request hot path.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// Summary is one row of the trace index.
+type Summary struct {
+	ID         string    `json:"id"`
+	RequestID  string    `json:"request_id,omitempty"`
+	Handler    string    `json:"handler"`
+	Start      time.Time `json:"start"`
+	DurationNS int64     `json:"duration_ns"`
+	Spans      int       `json:"spans"`
+	Dropped    int       `json:"dropped_spans,omitempty"`
+	Error      bool      `json:"error,omitempty"`
+	Slow       bool      `json:"slow,omitempty"`
+	Seq        uint64    `json:"seq"`
+}
+
+// Summary builds the index row for a pinned trace.
+func (t *Trace) Summary() Summary {
+	return Summary{
+		ID:         t.ID(),
+		RequestID:  t.reqID,
+		Handler:    t.handler,
+		Start:      t.wall,
+		DurationNS: t.endNS - t.startNS,
+		Spans:      t.Len(),
+		Dropped:    t.Dropped(),
+		Error:      t.err,
+		Slow:       t.slow,
+		Seq:        t.seq,
+	}
+}
+
+// Index returns summaries of all retained traces, newest first.
+func (r *Recorder) Index() []Summary {
+	if r == nil {
+		return nil
+	}
+	out := make([]Summary, 0, len(r.slots))
+	r.ForEach(func(t *Trace) { out = append(out, t.Summary()) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out
+}
+
+// ExportSpan is one node of the exported span tree. Times are
+// nanoseconds relative to the trace start.
+type ExportSpan struct {
+	Name     string         `json:"name"`
+	StartNS  int64          `json:"start_ns"`
+	DurNS    int64          `json:"dur_ns"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*ExportSpan  `json:"children,omitempty"`
+}
+
+// Export is the full JSON form of one trace.
+type Export struct {
+	ID           string        `json:"id"`
+	ParentSpanID string        `json:"parent_span_id,omitempty"` // from inbound traceparent
+	RequestID    string        `json:"request_id,omitempty"`
+	Handler      string        `json:"handler"`
+	Start        time.Time     `json:"start"`
+	DurationNS   int64         `json:"duration_ns"`
+	Dropped      int           `json:"dropped_spans,omitempty"`
+	Error        bool          `json:"error,omitempty"`
+	Slow         bool          `json:"slow,omitempty"`
+	Spans        []*ExportSpan `json:"spans"`
+}
+
+// attrMap renders a span's attributes.
+func attrMap(sp *Span) map[string]any {
+	if sp.NAttr == 0 {
+		return nil
+	}
+	m := make(map[string]any, sp.NAttr)
+	for i := int32(0); i < sp.NAttr; i++ {
+		a := &sp.Attrs[i]
+		if a.Str != "" {
+			m[a.Key] = a.Str
+		} else {
+			m[a.Key] = a.Val
+		}
+	}
+	return m
+}
+
+// endOr clamps a zero (unfinished) end timestamp to the trace end.
+func (t *Trace) endOr(ns int64) int64 {
+	if ns == 0 {
+		return t.endNS
+	}
+	return ns
+}
+
+// Export builds the span tree for a pinned trace. Spans whose parent
+// was dropped attach to the root level.
+func (t *Trace) Export() *Export {
+	if t == nil {
+		return nil
+	}
+	e := &Export{
+		ID:         t.ID(),
+		RequestID:  t.reqID,
+		Handler:    t.handler,
+		Start:      t.wall,
+		DurationNS: t.endNS - t.startNS,
+		Dropped:    t.Dropped(),
+		Error:      t.err,
+		Slow:       t.slow,
+		Spans:      []*ExportSpan{},
+	}
+	if t.remoteParent != 0 {
+		e.ParentSpanID = string(appendHex64(make([]byte, 0, 16), t.remoteParent))
+	}
+	n := t.Len()
+	nodes := make([]*ExportSpan, n)
+	for i := 0; i < n; i++ {
+		sp := t.span(SpanID(i + 1))
+		nodes[i] = &ExportSpan{
+			Name:    sp.Name,
+			StartNS: sp.StartNS - t.startNS,
+			DurNS:   t.endOr(sp.EndNS) - sp.StartNS,
+			Attrs:   attrMap(sp),
+		}
+	}
+	for i := 0; i < n; i++ {
+		sp := t.span(SpanID(i + 1))
+		// Spans are claimed in start order, so a live parent always has
+		// a lower index; anything else roots the span.
+		if p := int(sp.Parent); p >= 1 && p <= i {
+			nodes[p-1].Children = append(nodes[p-1].Children, nodes[i])
+		} else {
+			e.Spans = append(e.Spans, nodes[i])
+		}
+	}
+	return e
+}
+
+// WriteJSON writes the span-tree export.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Export())
+}
+
+// chromeEvent is one trace_event entry. Phase "X" (complete event)
+// carries both timestamp and duration in microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeExport is the envelope chrome://tracing and Perfetto load.
+type chromeExport struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteChrome writes the trace in Chrome trace_event JSON.
+// Track mapping: spans land on tid 1; scheduler worker spans (those
+// with a "worker" attribute) land on tid 2+worker so per-worker
+// parallelism is visible as separate tracks.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	n := t.Len()
+	evs := make([]chromeEvent, 0, n)
+	for i := 0; i < n; i++ {
+		sp := t.span(SpanID(i + 1))
+		ev := chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			TS:   float64(sp.StartNS-t.startNS) / 1e3,
+			Dur:  float64(t.endOr(sp.EndNS)-sp.StartNS) / 1e3,
+			PID:  1,
+			TID:  1,
+			Args: attrMap(sp),
+		}
+		for a := int32(0); a < sp.NAttr; a++ {
+			if sp.Attrs[a].Key == "worker" {
+				ev.TID = 2 + sp.Attrs[a].Val
+				break
+			}
+		}
+		evs = append(evs, ev)
+	}
+	return json.NewEncoder(w).Encode(chromeExport{
+		TraceEvents: evs,
+		Metadata: map[string]any{
+			"trace_id":   t.ID(),
+			"request_id": t.reqID,
+			"handler":    t.handler,
+			"start":      t.wall,
+		},
+	})
+}

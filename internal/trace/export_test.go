@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// buildTestTrace records a realistic span tree with explicit
+// timestamps: answer → [vectorize, infer → hop → worker].
+func buildTestTrace(t *testing.T, r *Recorder) *Trace {
+	t.Helper()
+	tr := r.StartTrace("answer", "req-7")
+	base := tr.startNS
+	root := tr.StartAt("answer", 0, base)
+	vs := tr.StartAt("vectorize", root, base+10)
+	tr.FinishAt(vs, base+20)
+	is := tr.StartAt("infer", root, base+30)
+	hop := tr.StartAt("hop", is, base+35)
+	tr.Annotate(hop, "hop", 0)
+	wk := tr.StartAt("worker", hop, base+40)
+	tr.Annotate(wk, "worker", 1)
+	tr.FinishAt(wk, base+50)
+	tr.FinishAt(hop, base+55)
+	tr.FinishAt(is, base+60)
+	tr.FinishAt(root, base+70)
+	return tr
+}
+
+func TestExportTree(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 2, SpanCap: 16, SampleEvery: 1})
+	tr := buildTestTrace(t, r)
+	r.Commit(tr)
+	got := r.Lookup(tr.ID())
+	if got == nil {
+		t.Fatal("trace not retained")
+	}
+	defer r.Release(got)
+
+	e := got.Export()
+	if len(e.Spans) != 1 || e.Spans[0].Name != "answer" {
+		t.Fatalf("want one root span 'answer', got %+v", e.Spans)
+	}
+	root := e.Spans[0]
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2 (vectorize, infer)", len(root.Children))
+	}
+	infer := root.Children[1]
+	if infer.Name != "infer" || len(infer.Children) != 1 || infer.Children[0].Name != "hop" {
+		t.Fatalf("infer subtree wrong: %+v", infer)
+	}
+	hop := infer.Children[0]
+	if len(hop.Children) != 1 || hop.Children[0].Name != "worker" {
+		t.Fatalf("hop subtree wrong: %+v", hop)
+	}
+	if hop.Children[0].Attrs["worker"] != int64(1) {
+		t.Fatalf("worker attr = %v", hop.Children[0].Attrs)
+	}
+	// Times are trace-relative and nested monotonically.
+	checkNesting(t, e.Spans, 0, e.DurationNS)
+	if e.RequestID != "req-7" || e.Handler != "answer" {
+		t.Errorf("metadata: %+v", e)
+	}
+}
+
+// checkNesting asserts every span starts at or after its parent's
+// start, ends at or before the enclosing end, and has DurNS >= 0.
+func checkNesting(t *testing.T, spans []*ExportSpan, lo, hi int64) {
+	t.Helper()
+	for _, sp := range spans {
+		if sp.StartNS < lo {
+			t.Errorf("span %s starts %d before enclosing %d", sp.Name, sp.StartNS, lo)
+		}
+		if sp.DurNS < 0 {
+			t.Errorf("span %s negative duration %d", sp.Name, sp.DurNS)
+		}
+		if end := sp.StartNS + sp.DurNS; end > hi {
+			t.Errorf("span %s ends %d after enclosing %d", sp.Name, end, hi)
+		}
+		checkNesting(t, sp.Children, sp.StartNS, sp.StartNS+sp.DurNS)
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 2, SpanCap: 16, SampleEvery: 1})
+	tr := buildTestTrace(t, r)
+	r.Commit(tr)
+	got := r.Lookup(tr.ID())
+	if got == nil {
+		t.Fatal("trace not retained")
+	}
+	defer r.Release(got)
+
+	var buf bytes.Buffer
+	if err := got.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var e Export
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v", err)
+	}
+	if e.ID != tr.ID() || len(e.Spans) != 1 {
+		t.Fatalf("round-trip lost content: %+v", e)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 2, SpanCap: 16, SampleEvery: 1})
+	tr := buildTestTrace(t, r)
+	r.Commit(tr)
+	got := r.Lookup(tr.ID())
+	if got == nil {
+		t.Fatal("trace not retained")
+	}
+	defer r.Release(got)
+
+	var buf bytes.Buffer
+	if err := got.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ce struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &ce); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(ce.TraceEvents) != 5 {
+		t.Fatalf("trace events = %d, want 5", len(ce.TraceEvents))
+	}
+	for _, ev := range ce.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s phase = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %s ts=%f dur=%f negative", ev.Name, ev.TS, ev.Dur)
+		}
+		if ev.Name == "worker" && ev.TID != 3 {
+			t.Errorf("worker 1 tid = %d, want 3 (2+worker)", ev.TID)
+		}
+		if ev.Name != "worker" && ev.TID != 1 {
+			t.Errorf("event %s tid = %d, want 1", ev.Name, ev.TID)
+		}
+	}
+	if ce.Metadata["trace_id"] != tr.ID() {
+		t.Errorf("metadata trace_id = %v", ce.Metadata["trace_id"])
+	}
+}
+
+func TestSummaryAndIndexOrder(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 8, SampleEvery: 1})
+	for i := 0; i < 3; i++ {
+		tr := r.StartTrace("answer", "")
+		tr.Start("answer", 0)
+		r.Commit(tr)
+	}
+	idx := r.Index()
+	if len(idx) != 3 {
+		t.Fatalf("index length = %d, want 3", len(idx))
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i-1].Seq <= idx[i].Seq {
+			t.Fatalf("index not newest-first: %v", idx)
+		}
+	}
+	if idx[0].Spans != 1 || idx[0].Handler != "answer" {
+		t.Errorf("summary content: %+v", idx[0])
+	}
+}
+
+func TestUnfinishedSpanClampsToTraceEnd(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 2, SpanCap: 8, SampleEvery: 1})
+	tr := r.StartTrace("answer", "")
+	tr.Start("answer", 0) // never finished
+	r.Commit(tr)
+	got := r.Lookup(tr.ID())
+	if got == nil {
+		t.Fatal("trace not retained")
+	}
+	defer r.Release(got)
+	e := got.Export()
+	if len(e.Spans) != 1 {
+		t.Fatal("missing root span")
+	}
+	if end := e.Spans[0].StartNS + e.Spans[0].DurNS; end != e.DurationNS {
+		t.Fatalf("unfinished span end %d, want trace end %d", end, e.DurationNS)
+	}
+}

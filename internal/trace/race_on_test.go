@@ -1,0 +1,8 @@
+//go:build race
+
+package trace
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool.Put intentionally drops items at random to expose unsafe
+// reuse, so steady-state allocation counts are not meaningful.
+const raceEnabled = true

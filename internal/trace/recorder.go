@@ -1,0 +1,312 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultCapacity    = 128 // retained traces in the ring
+	DefaultSpanCap     = 192 // spans per trace
+	DefaultSampleEvery = 16  // keep 1 in N unremarkable traces
+	DefaultSlowFactor  = 2   // keep traces slower than factor × moving mean
+)
+
+// Options shapes a Recorder.
+type Options struct {
+	// Capacity is the ring size: the number of most-recently-retained
+	// traces readable via Index/Lookup. 0 → DefaultCapacity.
+	Capacity int
+	// SpanCap is the per-trace span buffer size. Spans beyond it are
+	// dropped (counted). 0 → DefaultSpanCap.
+	SpanCap int
+	// SampleEvery keeps 1 in N traces that are neither errored nor
+	// slow. 1 keeps everything; 0 → DefaultSampleEvery.
+	SampleEvery int
+	// SlowFactor retains any trace slower than SlowFactor times the
+	// moving mean latency (per-recorder EWMA). 0 → DefaultSlowFactor.
+	SlowFactor int
+}
+
+func (o *Options) normalize() {
+	if o.Capacity <= 0 {
+		o.Capacity = DefaultCapacity
+	}
+	if o.SpanCap <= 0 {
+		o.SpanCap = DefaultSpanCap
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = DefaultSampleEvery
+	}
+	if o.SlowFactor <= 0 {
+		o.SlowFactor = DefaultSlowFactor
+	}
+}
+
+// Stats is a point-in-time recorder counter snapshot.
+type Stats struct {
+	Started     int64 // traces handed out
+	Committed   int64 // traces completed
+	Retained    int64 // traces written to the ring
+	KeptErr     int64 // retained by the error rule
+	KeptSlow    int64 // retained by the slow-tail rule
+	KeptSampled int64 // retained by sampling
+	EWMANS      int64 // moving mean request latency, ns
+}
+
+// Recorder is the in-memory flight recorder: a lock-free ring of the
+// last Capacity retained traces.
+//
+// Lifecycle and memory safety are refcount-based:
+//
+//   - StartTrace pulls a *Trace from the pool and sets refs=1 (the
+//     writer's reference). No reader can resurrect a pooled trace:
+//     readers only pin via a CAS that refuses to move refs off 0.
+//   - Commit either releases the writer's reference (not retained) or
+//     transfers it to the ring slot via atomic.Pointer.Swap; the
+//     displaced previous occupant is released. A release that drops
+//     refs to 0 returns the trace to the pool.
+//   - Readers (Index, Lookup, ForEach) pin a trace with
+//     CAS(refs, r, r+1) for r ≥ 1, then re-check the slot still holds
+//     it — a failed re-check means the trace was displaced and maybe
+//     recycled between the slot load and the pin, so the pin is
+//     released and the slot retried. Pinned traces are immutable.
+//
+// Every transition is an atomic on the same variables, so the scheme
+// is race-detector-clean by construction, not just logically sound.
+type Recorder struct {
+	opt   Options
+	slots []atomic.Pointer[Trace]
+	head  atomic.Uint64 // commit sequence; slot = (seq-1) % len
+	pool  sync.Pool
+
+	ewmaNS    atomic.Int64 // moving mean latency (ns), α = 1/8
+	sampleSeq atomic.Uint64
+
+	started     atomic.Int64
+	committed   atomic.Int64
+	retained    atomic.Int64
+	keptErr     atomic.Int64
+	keptSlow    atomic.Int64
+	keptSampled atomic.Int64
+}
+
+// NewRecorder builds a flight recorder. The zero Options value gives
+// the defaults above.
+func NewRecorder(opt Options) *Recorder {
+	opt.normalize()
+	r := &Recorder{opt: opt, slots: make([]atomic.Pointer[Trace], opt.Capacity)}
+	spanCap := opt.SpanCap
+	r.pool.New = func() any { return &Trace{spans: make([]Span, spanCap)} }
+	return r
+}
+
+// Options returns the normalized options the recorder runs with.
+func (r *Recorder) Options() Options { return r.opt }
+
+// StartTrace begins a trace for one request. Zero allocs steady-state
+// (the pool is warm after Capacity+concurrency traces). Nil-receiver
+// safe: returns a nil *Trace whose methods are all no-ops.
+//
+//mnnfast:hotpath
+//mnnfast:pool-get
+func (r *Recorder) StartTrace(handler, reqID string) *Trace {
+	if r == nil {
+		return nil
+	}
+	tr := r.pool.Get().(*Trace)
+	tr.reset()
+	tr.refs.Store(1) // writer's reference; safe — refs was 0, no reader can pin
+	tr.idHi, tr.idLo = newID()
+	tr.handler = handler
+	tr.reqID = reqID
+	tr.wall = time.Now()
+	tr.startNS = Now()
+	r.started.Add(1)
+	return tr
+}
+
+// Commit completes the trace, applies the tail-based retention policy,
+// and publishes retained traces to the ring. The trace must not be
+// touched by the writer afterwards. Reports whether it was retained.
+//
+// Retention: always keep errored traces; keep traces slower than
+// SlowFactor × the moving mean latency; keep 1 in SampleEvery of the
+// rest. The moving mean is an integer EWMA (α=1/8) updated on every
+// commit — racy read-modify-write by design, lost updates only blur an
+// already-approximate threshold.
+//
+//mnnfast:hotpath
+func (r *Recorder) Commit(tr *Trace) bool {
+	if r == nil || tr == nil {
+		return false
+	}
+	tr.endNS = Now()
+	dur := tr.endNS - tr.startNS
+	old := r.ewmaNS.Load()
+	if old == 0 {
+		r.ewmaNS.Store(dur)
+	} else {
+		r.ewmaNS.Store(old + (dur-old)/8)
+	}
+	r.committed.Add(1)
+
+	keep := false
+	switch {
+	case tr.err:
+		keep = true
+		r.keptErr.Add(1)
+	case old > 0 && dur > int64(r.opt.SlowFactor)*old:
+		keep = true
+		tr.slow = true
+		r.keptSlow.Add(1)
+	default:
+		// %N == 1 so the very first trace is kept — demo- and
+		// test-friendly warmup behavior.
+		if r.sampleSeq.Add(1)%uint64(r.opt.SampleEvery) == 1%uint64(r.opt.SampleEvery) {
+			keep = true
+			r.keptSampled.Add(1)
+		}
+	}
+	if !keep {
+		r.release(tr)
+		return false
+	}
+
+	tr.seq = r.head.Add(1)
+	slot := &r.slots[(tr.seq-1)%uint64(len(r.slots))]
+	if old := slot.Swap(tr); old != nil {
+		r.release(old)
+	}
+	r.retained.Add(1)
+	return true
+}
+
+// Discard abandons a started trace without retention consideration.
+//
+//mnnfast:hotpath
+func (r *Recorder) Discard(tr *Trace) {
+	if r == nil || tr == nil {
+		return
+	}
+	r.release(tr)
+}
+
+// release drops one reference; the last reference returns the trace to
+// the pool.
+//
+//mnnfast:hotpath
+//mnnfast:pool-put
+func (r *Recorder) release(tr *Trace) {
+	if tr.refs.Add(-1) == 0 {
+		r.pool.Put(tr)
+	}
+}
+
+// Release unpins a trace obtained from Lookup or ForEach.
+func (r *Recorder) Release(tr *Trace) {
+	if r == nil || tr == nil {
+		return
+	}
+	r.release(tr)
+}
+
+// acquire pins the trace in slot i, or returns nil if the slot is
+// empty or too contended to pin within a few attempts.
+func (r *Recorder) acquire(i int) *Trace {
+	slot := &r.slots[i]
+	for attempt := 0; attempt < 8; attempt++ {
+		tr := slot.Load()
+		if tr == nil {
+			return nil
+		}
+		refs := tr.refs.Load()
+		for refs >= 1 {
+			if tr.refs.CompareAndSwap(refs, refs+1) {
+				if slot.Load() == tr {
+					return tr
+				}
+				// Displaced (and possibly recycled) between the slot
+				// load and the pin; the pin kept it alive, so the
+				// release below cannot double-free.
+				r.release(tr)
+				refs = 0 // break to re-read the slot
+				break
+			}
+			refs = tr.refs.Load()
+		}
+		// refs hit 0: the trace was displaced and retired after our
+		// slot load. Loop to re-read the slot.
+	}
+	return nil
+}
+
+// ForEach pins each retained trace in turn and calls fn. The trace is
+// valid only for the duration of the call. Order is unspecified; use
+// Seq from summaries to sort. Cold path.
+func (r *Recorder) ForEach(fn func(*Trace)) {
+	if r == nil {
+		return
+	}
+	for i := range r.slots {
+		if tr := r.acquire(i); tr != nil {
+			fn(tr)
+			r.release(tr)
+		}
+	}
+}
+
+// Lookup pins the retained trace whose ID matches id — either the full
+// 32-hex-digit form or the low 16 hex digits. The caller must Release
+// it. Cold path.
+func (r *Recorder) Lookup(id string) *Trace {
+	if r == nil {
+		return nil
+	}
+	var hi, lo uint64
+	var ok bool
+	switch len(id) {
+	case 32:
+		hi, ok = parseHex(id[:16])
+		if !ok {
+			return nil
+		}
+		lo, ok = parseHex(id[16:])
+	case 16:
+		lo, ok = parseHex(id)
+	default:
+		return nil
+	}
+	if !ok {
+		return nil
+	}
+	for i := range r.slots {
+		tr := r.acquire(i)
+		if tr == nil {
+			continue
+		}
+		if tr.idLo == lo && (len(id) == 16 || tr.idHi == hi) {
+			return tr
+		}
+		r.release(tr)
+	}
+	return nil
+}
+
+// Stats snapshots the recorder counters.
+func (r *Recorder) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	return Stats{
+		Started:     r.started.Load(),
+		Committed:   r.committed.Load(),
+		Retained:    r.retained.Load(),
+		KeptErr:     r.keptErr.Load(),
+		KeptSlow:    r.keptSlow.Load(),
+		KeptSampled: r.keptSampled.Load(),
+		EWMANS:      r.ewmaNS.Load(),
+	}
+}

@@ -1,0 +1,286 @@
+// Package trace is a dependency-free, zero-alloc-on-the-hot-path span
+// recorder for request-scoped tracing. A Trace is a pooled,
+// fixed-capacity buffer of spans claimed with an atomic counter;
+// timestamps come from one process-wide monotonic clock so spans
+// recorded on different goroutines order correctly. The flight
+// recorder (recorder.go) retains recently completed traces in a
+// lock-free ring with tail-based retention.
+//
+// All methods on Trace and Events are nil-receiver safe: code under
+// instrumentation calls them unconditionally and a disabled tracer
+// costs one predictable branch per call site.
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// MaxAttrs is the per-span annotation capacity. Worker spans carry the
+// widest set (worker, chunks, steals, idle_ns) — exactly four.
+const MaxAttrs = 4
+
+// base anchors the process-wide monotonic clock. time.Since reads the
+// monotonic component, so Now is immune to wall-clock steps.
+var base = time.Now()
+
+// Now returns nanoseconds since an arbitrary process-wide monotonic
+// epoch. All span timestamps use this clock.
+//
+//mnnfast:hotpath
+func Now() int64 { return int64(time.Since(base)) }
+
+// SpanID identifies a span within one trace. It is the span's buffer
+// index plus one; zero means "no span" and is safe to pass as a parent
+// or to Finish/Annotate (no-op).
+type SpanID uint32
+
+// Attr is one span annotation. Str, when non-empty, takes precedence
+// over Val in exports.
+type Attr struct {
+	Key string
+	Val int64
+	Str string
+}
+
+// Span is one timed operation. Start/End are Now() timestamps; EndNS
+// zero means the span was never finished (exports clamp it to the
+// trace end).
+type Span struct {
+	Name    string
+	Parent  SpanID
+	StartNS int64
+	EndNS   int64
+	NAttr   int32
+	Attrs   [MaxAttrs]Attr
+}
+
+// Trace is one request's span buffer plus identity metadata.
+//
+// Concurrency contract: between StartTrace and Commit the trace is
+// owned by one writer goroutine at a time (the span claim counter is
+// atomic only so ownership can be handed across a happens-before edge,
+// e.g. batcher done-channels). After Commit the trace is immutable;
+// readers pin it through the recorder's refcount.
+type Trace struct {
+	refs    atomic.Int64 // recorder pin count; 0 → back in the pool
+	nspans  atomic.Int32 // claimed spans; may exceed len(spans) when dropping
+	dropped atomic.Int32 // spans lost to buffer exhaustion
+
+	spans []Span // fixed capacity, allocated once per pooled Trace
+
+	// Identity and metadata, written by the owner before Commit.
+	idHi, idLo   uint64    // 128-bit trace ID (W3C trace-id)
+	remoteParent uint64    // parent span-id from an inbound traceparent
+	reqID        string    // X-Request-ID
+	handler      string    // root handler label
+	wall         time.Time // wall-clock start, for human-facing exports
+	startNS      int64     // Now() at StartTrace
+	endNS        int64     // Now() at Commit
+	err          bool      // terminal status was an error
+	slow         bool      // retained by the slow-tail rule
+	seq          uint64    // recorder commit sequence
+}
+
+// reset prepares a pooled Trace for reuse. Caller must hold the only
+// reference.
+func (t *Trace) reset() {
+	t.nspans.Store(0)
+	t.dropped.Store(0)
+	t.idHi, t.idLo = 0, 0
+	t.remoteParent = 0
+	t.reqID, t.handler = "", ""
+	t.wall = time.Time{}
+	t.startNS, t.endNS = 0, 0
+	t.err, t.slow = false, false
+	t.seq = 0
+}
+
+// Start claims a span, stamps its start time, and returns its ID.
+// Returns 0 (a valid no-op ID) when the buffer is exhausted or t is
+// nil.
+//
+//mnnfast:hotpath
+func (t *Trace) Start(name string, parent SpanID) SpanID {
+	return t.StartAt(name, parent, Now())
+}
+
+// StartAt is Start with an explicit timestamp, for replaying events
+// captured elsewhere (see AddEvents).
+//
+//mnnfast:hotpath
+func (t *Trace) StartAt(name string, parent SpanID, startNS int64) SpanID {
+	if t == nil {
+		return 0
+	}
+	n := t.nspans.Add(1)
+	if int(n) > len(t.spans) {
+		t.dropped.Add(1)
+		return 0
+	}
+	sp := &t.spans[n-1]
+	sp.Name = name
+	sp.Parent = parent
+	sp.StartNS = startNS
+	sp.EndNS = 0
+	sp.NAttr = 0
+	return SpanID(n)
+}
+
+// Finish stamps the span's end time. No-op for id 0 or nil t.
+//
+//mnnfast:hotpath
+func (t *Trace) Finish(id SpanID) { t.FinishAt(id, Now()) }
+
+// FinishAt is Finish with an explicit timestamp.
+//
+//mnnfast:hotpath
+func (t *Trace) FinishAt(id SpanID, endNS int64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.spans[id-1].EndNS = endNS
+}
+
+// Annotate attaches an integer attribute to a span. Attributes beyond
+// MaxAttrs are dropped silently.
+//
+//mnnfast:hotpath
+func (t *Trace) Annotate(id SpanID, key string, val int64) {
+	if t == nil || id == 0 {
+		return
+	}
+	sp := &t.spans[id-1]
+	if int(sp.NAttr) >= MaxAttrs {
+		return
+	}
+	sp.Attrs[sp.NAttr] = Attr{Key: key, Val: val}
+	sp.NAttr++
+}
+
+// AnnotateStr attaches a string attribute to a span. The string should
+// be a constant or long-lived (it is retained until the trace is
+// recycled).
+//
+//mnnfast:hotpath
+func (t *Trace) AnnotateStr(id SpanID, key, val string) {
+	if t == nil || id == 0 {
+		return
+	}
+	sp := &t.spans[id-1]
+	if int(sp.NAttr) >= MaxAttrs {
+		return
+	}
+	sp.Attrs[sp.NAttr] = Attr{Key: key, Str: val}
+	sp.NAttr++
+}
+
+// Root returns the first started span (the request root), or 0 when no
+// span has been started yet.
+//
+//mnnfast:hotpath
+func (t *Trace) Root() SpanID {
+	if t == nil || t.nspans.Load() == 0 {
+		return 0
+	}
+	return 1
+}
+
+// SetError marks the trace as errored; the recorder always retains
+// errored traces.
+//
+//mnnfast:hotpath
+func (t *Trace) SetError() {
+	if t == nil {
+		return
+	}
+	t.err = true
+}
+
+// AdoptRemote installs an inbound W3C trace context: the trace joins
+// the caller's trace ID and records its parent span ID.
+func (t *Trace) AdoptRemote(idHi, idLo, parentSpan uint64) {
+	if t == nil || (idHi == 0 && idLo == 0) {
+		return
+	}
+	t.idHi, t.idLo = idHi, idLo
+	t.remoteParent = parentSpan
+}
+
+// ID64 returns the low 64 bits of the trace ID, used as the histogram
+// exemplar key. Zero for a nil trace.
+//
+//mnnfast:hotpath
+func (t *Trace) ID64() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.idLo
+}
+
+// Len returns the number of recorded (non-dropped) spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := int(t.nspans.Load())
+	if n > len(t.spans) {
+		n = len(t.spans)
+	}
+	return n
+}
+
+// Dropped returns the number of spans lost to buffer exhaustion.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.dropped.Load())
+}
+
+// span returns the recorded span for id (1-based). Export helper;
+// callers must hold a pin.
+func (t *Trace) span(id SpanID) *Span { return &t.spans[id-1] }
+
+// idSeq and idSeed drive trace-ID generation: a process-unique counter
+// mixed through splitmix64 gives well-distributed 128-bit IDs without
+// math/rand's locks.
+var (
+	idSeq  atomic.Uint64
+	idSeed = uint64(time.Now().UnixNano())
+)
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, high-quality
+// 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// newID returns a fresh 128-bit trace ID. The low half is guaranteed
+// non-zero (it doubles as the exemplar key).
+//
+//mnnfast:hotpath
+func newID() (hi, lo uint64) {
+	s := idSeq.Add(1)
+	hi = splitmix64(idSeed + s*2)
+	lo = splitmix64(idSeed ^ (s*2 + 1))
+	if lo == 0 {
+		lo = 1
+	}
+	return hi, lo
+}
+
+// spanW3C derives the 8-byte W3C parent-id advertised in outbound
+// traceparent headers from the trace identity. It is synthetic — the
+// in-memory recorder keys spans by buffer index, not 64-bit IDs — but
+// stable and non-zero, which is all downstream stitching needs.
+func (t *Trace) spanW3C(id SpanID) uint64 {
+	v := splitmix64(t.idLo ^ uint64(id))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 4, SpanCap: 8, SampleEvery: 1})
+	tr := r.StartTrace("answer", "req-1")
+	root := tr.Start("answer", 0)
+	if root != 1 {
+		t.Fatalf("root span ID = %d, want 1", root)
+	}
+	if got := tr.Root(); got != root {
+		t.Fatalf("Root() = %d, want %d", got, root)
+	}
+	child := tr.Start("vectorize", root)
+	tr.Annotate(child, "tokens", 7)
+	tr.AnnotateStr(root, "kernel_tier", "go")
+	tr.Finish(child)
+	tr.Finish(root)
+
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	sp := tr.span(child)
+	if sp.Parent != root {
+		t.Errorf("child parent = %d, want %d", sp.Parent, root)
+	}
+	if sp.EndNS < sp.StartNS {
+		t.Errorf("child end %d before start %d", sp.EndNS, sp.StartNS)
+	}
+	if sp.NAttr != 1 || sp.Attrs[0].Key != "tokens" || sp.Attrs[0].Val != 7 {
+		t.Errorf("child attrs = %+v", sp.Attrs[:sp.NAttr])
+	}
+	rs := tr.span(root)
+	if rs.NAttr != 1 || rs.Attrs[0].Str != "go" {
+		t.Errorf("root attrs = %+v", rs.Attrs[:rs.NAttr])
+	}
+	if !r.Commit(tr) {
+		t.Fatal("Commit with SampleEvery=1 should retain")
+	}
+}
+
+func TestSpanOverflowDrops(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 2, SpanCap: 2, SampleEvery: 1})
+	tr := r.StartTrace("answer", "")
+	a := tr.Start("a", 0)
+	b := tr.Start("b", a)
+	c := tr.Start("c", b) // over capacity
+	if c != 0 {
+		t.Fatalf("overflow span ID = %d, want 0", c)
+	}
+	tr.Finish(c) // must be a no-op, not a panic
+	tr.Annotate(c, "x", 1)
+	if tr.Len() != 2 || tr.Dropped() != 1 {
+		t.Fatalf("Len=%d Dropped=%d, want 2 and 1", tr.Len(), tr.Dropped())
+	}
+	r.Commit(tr)
+}
+
+func TestAttrOverflowDropsSilently(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 2, SpanCap: 2, SampleEvery: 1})
+	tr := r.StartTrace("answer", "")
+	sp := tr.Start("a", 0)
+	for i := 0; i < MaxAttrs+3; i++ {
+		tr.Annotate(sp, "k", int64(i))
+	}
+	if n := tr.span(sp).NAttr; int(n) != MaxAttrs {
+		t.Fatalf("NAttr = %d, want %d", n, MaxAttrs)
+	}
+	r.Discard(tr)
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	id := tr.Start("x", 0)
+	if id != 0 {
+		t.Fatalf("nil Start = %d, want 0", id)
+	}
+	tr.Finish(id)
+	tr.Annotate(id, "k", 1)
+	tr.AnnotateStr(id, "k", "v")
+	tr.SetError()
+	tr.AdoptRemote(1, 2, 3)
+	tr.AddEvents(0, nil)
+	if tr.Root() != 0 || tr.Len() != 0 || tr.Dropped() != 0 || tr.ID64() != 0 {
+		t.Fatal("nil accessors should all be zero")
+	}
+	if tr.ID() != "" || tr.Traceparent(0) != "" {
+		t.Fatal("nil renders should be empty")
+	}
+	var r *Recorder
+	if r.StartTrace("h", "") != nil {
+		t.Fatal("nil recorder StartTrace should return nil")
+	}
+	r.Commit(nil)
+	r.Discard(nil)
+	r.Release(nil)
+	if r.Lookup("0123456789abcdef") != nil || r.Index() != nil {
+		t.Fatal("nil recorder lookups should be empty")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 2, SampleEvery: 1})
+	tr := r.StartTrace("answer", "")
+	root := tr.Start("answer", 0)
+	hdr := tr.Traceparent(root)
+	if len(hdr) != 55 {
+		t.Fatalf("traceparent length = %d, want 55: %q", len(hdr), hdr)
+	}
+	hi, lo, parent, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected own output %q", hdr)
+	}
+	if hi != tr.idHi || lo != tr.idLo {
+		t.Errorf("round-trip ID %016x%016x, want %016x%016x", hi, lo, tr.idHi, tr.idLo)
+	}
+	if parent != tr.spanW3C(root) {
+		t.Errorf("round-trip parent %016x, want %016x", parent, tr.spanW3C(root))
+	}
+	r.Discard(tr)
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // too short
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01", // bad hex
+		"00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad dash
+	}
+	for _, h := range bad {
+		if _, _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", h)
+		}
+	}
+	// Unknown-but-valid version parses (forward compatibility).
+	if _, _, _, ok := ParseTraceparent("42-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"); !ok {
+		t.Error("version 42 should parse")
+	}
+}
+
+func TestAdoptRemote(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 2, SampleEvery: 1})
+	tr := r.StartTrace("answer", "")
+	tr.AdoptRemote(0xaabb, 0xccdd, 0x1122)
+	if tr.idHi != 0xaabb || tr.idLo != 0xccdd || tr.remoteParent != 0x1122 {
+		t.Fatalf("AdoptRemote did not install identity: %x %x %x", tr.idHi, tr.idLo, tr.remoteParent)
+	}
+	// All-zero inbound ID is invalid and must be ignored.
+	tr2 := r.StartTrace("answer", "")
+	hi, lo := tr2.idHi, tr2.idLo
+	tr2.AdoptRemote(0, 0, 5)
+	if tr2.idHi != hi || tr2.idLo != lo || tr2.remoteParent != 0 {
+		t.Fatal("AdoptRemote accepted the invalid all-zero trace ID")
+	}
+	r.Discard(tr)
+	r.Discard(tr2)
+}
+
+func TestEventsReplay(t *testing.T) {
+	var ev Events
+	a := ev.Begin("hop", -1)
+	b := ev.Begin("worker", a)
+	ev.Annotate(b, "worker", 3)
+	ev.End(b)
+	ev.End(a)
+	if ev.Len() != 2 {
+		t.Fatalf("events Len = %d, want 2", ev.Len())
+	}
+
+	r := NewRecorder(Options{Capacity: 2, SpanCap: 8, SampleEvery: 1})
+	tr := r.StartTrace("answer", "")
+	root := tr.Start("answer", 0)
+	infer := tr.Start("infer", root)
+	tr.AddEvents(infer, &ev)
+	if tr.Len() != 4 {
+		t.Fatalf("trace Len = %d, want 4", tr.Len())
+	}
+	hop := tr.span(SpanID(3))
+	worker := tr.span(SpanID(4))
+	if hop.Parent != infer {
+		t.Errorf("hop parent = %d, want infer %d", hop.Parent, infer)
+	}
+	if worker.Parent != SpanID(3) {
+		t.Errorf("worker parent = %d, want hop 3", worker.Parent)
+	}
+	if worker.NAttr != 1 || worker.Attrs[0].Key != "worker" || worker.Attrs[0].Val != 3 {
+		t.Errorf("worker attrs lost: %+v", worker.Attrs[:worker.NAttr])
+	}
+	r.Discard(tr)
+}
+
+func TestEventsCopyFrom(t *testing.T) {
+	var src, dst Events
+	a := src.Begin("hop", -1)
+	src.Annotate(a, "hop", 0)
+	src.End(a)
+	dst.CopyFrom(&src)
+	if dst.Len() != 1 || dst.ev[0].Name != "hop" || dst.ev[0].NAttr != 1 {
+		t.Fatalf("CopyFrom lost content: len=%d ev=%+v", dst.Len(), dst.ev[0])
+	}
+	src.Reset()
+	if src.Len() != 0 {
+		t.Fatal("Reset did not empty")
+	}
+	if dst.Len() != 1 {
+		t.Fatal("copy should be independent of source reset")
+	}
+}
+
+func TestEventsOverflowAndNil(t *testing.T) {
+	var e *Events
+	if e.Begin("x", -1) != -1 {
+		t.Fatal("nil Begin should return -1")
+	}
+	e.End(-1)
+	e.Annotate(-1, "k", 1)
+	e.Reset()
+	e.CopyFrom(nil)
+	if e.Len() != 0 || e.Dropped() != 0 {
+		t.Fatal("nil accessors should be zero")
+	}
+
+	var full Events
+	for i := 0; i < MaxEvents; i++ {
+		full.Begin("e", -1)
+	}
+	if over := full.Begin("over", -1); over != -1 {
+		t.Fatalf("overflow Begin = %d, want -1", over)
+	}
+	if full.Len() != MaxEvents || full.Dropped() != 1 {
+		t.Fatalf("Len=%d Dropped=%d, want %d and 1", full.Len(), full.Dropped(), MaxEvents)
+	}
+	// Dropped events fold into the trace on replay.
+	r := NewRecorder(Options{Capacity: 2, SpanCap: MaxEvents + 8, SampleEvery: 1})
+	tr := r.StartTrace("answer", "")
+	tr.AddEvents(tr.Start("root", 0), &full)
+	if tr.Dropped() != 1 {
+		t.Fatalf("trace Dropped = %d, want 1", tr.Dropped())
+	}
+	r.Discard(tr)
+}
+
+func TestSpanAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	r := NewRecorder(Options{Capacity: 4, SpanCap: 16, SampleEvery: 1})
+	tr := r.StartTrace("answer", "")
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := tr.Start("vectorize", 1)
+		tr.Annotate(sp, "tokens", 3)
+		tr.Finish(sp)
+		tr.nspans.Store(1) // rewind so the fixed buffer never overflows
+	})
+	if allocs != 0 {
+		t.Fatalf("span start/annotate/finish allocated %.1f/op, want 0", allocs)
+	}
+	r.Discard(tr)
+}
+
+func TestEventAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	var ev Events
+	allocs := testing.AllocsPerRun(200, func() {
+		ev.Reset()
+		i := ev.Begin("hop", -1)
+		ev.Annotate(i, "hop", 0)
+		ev.End(i)
+	})
+	if allocs != 0 {
+		t.Fatalf("event begin/annotate/end allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,100 @@
+// W3C Trace Context (traceparent) support. Format, per the spec:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^^ ^^^^^^^^^^^^^^ trace-id (16B hex) ^^^^^^ parent-id  ^^ flags
+//
+// Only version 00 is emitted; any version except ff is accepted (the
+// spec requires forward-compatible parsing of the known fields).
+package trace
+
+const hexDigits = "0123456789abcdef"
+
+// ParseTraceparent extracts the trace ID and parent span ID from a
+// traceparent header value. ok is false for malformed headers and for
+// the all-zero (invalid) trace ID.
+func ParseTraceparent(h string) (idHi, idLo, parent uint64, ok bool) {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return 0, 0, 0, false
+	}
+	ver, ok := parseHex(h[0:2])
+	if !ok || ver == 0xff {
+		return 0, 0, 0, false
+	}
+	idHi, ok = parseHex(h[3:19])
+	if !ok {
+		return 0, 0, 0, false
+	}
+	idLo, ok = parseHex(h[19:35])
+	if !ok {
+		return 0, 0, 0, false
+	}
+	parent, ok = parseHex(h[36:52])
+	if !ok {
+		return 0, 0, 0, false
+	}
+	if idHi == 0 && idLo == 0 {
+		return 0, 0, 0, false
+	}
+	return idHi, idLo, parent, true
+}
+
+// parseHex decodes a lowercase/uppercase hex string of up to 16 digits.
+func parseHex(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// appendHex64 appends v as exactly 16 lowercase hex digits.
+func appendHex64(dst []byte, v uint64) []byte {
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hexDigits[(v>>uint(shift))&0xf])
+	}
+	return dst
+}
+
+// ID renders the 128-bit trace ID as 32 lowercase hex digits.
+// Allocates; cold-path only (headers, exports).
+//
+//mnnfast:coldpath
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	buf := make([]byte, 0, 32)
+	buf = appendHex64(buf, t.idHi)
+	buf = appendHex64(buf, t.idLo)
+	return string(buf)
+}
+
+// Traceparent renders the outbound traceparent header for a span of
+// this trace (typically the root). Allocates; cold-path only.
+//
+//mnnfast:coldpath
+func (t *Trace) Traceparent(id SpanID) string {
+	if t == nil {
+		return ""
+	}
+	buf := make([]byte, 0, 55)
+	buf = append(buf, '0', '0', '-')
+	buf = appendHex64(buf, t.idHi)
+	buf = appendHex64(buf, t.idLo)
+	buf = append(buf, '-')
+	buf = appendHex64(buf, t.spanW3C(id))
+	buf = append(buf, '-', '0', '1')
+	return string(buf)
+}
