@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-notavx2 race lint vet fmt bench fuzz-smoke trace-demo clean
+.PHONY: all build test test-notavx2 test-equiv race lint vet fmt bench fuzz-smoke trace-demo clean
 
 all: build lint test
 
@@ -17,6 +17,12 @@ test:
 # resolves to the portable go tier (see internal/tensor/dispatch.go).
 test-notavx2:
 	GODEBUG=cpu.avx2=off,cpu.avx=off $(GO) test ./internal/tensor/... ./internal/core/...
+
+# Cross-engine equivalence sweep (internal/equivtest): every inference
+# configuration — serial/parallel, batched/unbatched, kernel tiers,
+# gate off/armed-but-unfireable — must be bit-identical per tier.
+test-equiv:
+	$(GO) test -count=1 -v -run 'TestEquivalenceSweep' ./internal/equivtest/
 
 # Full race-detector sweep (the nightly CI job); slow but exhaustive.
 race:
@@ -58,6 +64,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzAnswerJSON -fuzztime=10s ./internal/server/
 	$(GO) test -run=^$$ -fuzz=FuzzTokenize -fuzztime=10s ./internal/vocab/
 	$(GO) test -run=^$$ -fuzz=FuzzKernelTiers -fuzztime=10s ./internal/tensor/
+	$(GO) test -run=^$$ -fuzz=FuzzExitPolicy -fuzztime=10s ./internal/memnn/
 
 clean:
 	$(GO) clean ./...

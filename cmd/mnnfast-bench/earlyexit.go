@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mnnfast/internal/babi"
+	"mnnfast/internal/memnn"
+)
+
+// ExitEntry is one point of the early-exit threshold sweep: the gate at
+// one confidence threshold, scored against the full-hop path on the
+// same question set — the hops-level analogue of the zero-skipping
+// threshold-vs-accuracy curves (EXPERIMENTS.md Fig 6/7).
+type ExitEntry struct {
+	Metric    string  `json:"metric"`
+	Threshold float64 `json:"threshold"`
+	// Agreement is the fraction of questions answering exactly as the
+	// full path; MeanHops is the average hops executed under the gate.
+	Agreement  float64 `json:"agreement"`
+	MeanHops   float64 `json:"mean_hops"`
+	ExitsByHop []int64 `json:"exits_by_hop"`
+	// NsPerOp is the gated single-question inference latency (cached
+	// embedded story, pooled buffers), integer nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+}
+
+// ExitFile is the BENCH_earlyexit.json document.
+type ExitFile struct {
+	Label     string `json:"label"`
+	Hops      int    `json:"max_hops"`
+	Dim       int    `json:"dim"`
+	Questions int    `json:"questions"`
+	// TestAccuracy is the full-path answer accuracy of the trained
+	// model, the quality anchor every agreement number is relative to.
+	TestAccuracy float64 `json:"test_accuracy"`
+	// NsPerOpFull is the gate-off latency on the same setup; the
+	// per-threshold NsPerOp divided by this is the wall-clock saving.
+	NsPerOpFull int64       `json:"ns_per_op_full"`
+	Entries     []ExitEntry `json:"entries"`
+}
+
+// parseThresholds turns the -earlyexit argument into a threshold list:
+// "auto" sweeps 0.1..0.9 plus an unfireable 1.5 control, otherwise a
+// comma-separated list like "0.25,0.5,0.9".
+func parseThresholds(spec string) ([]float32, error) {
+	if spec == "auto" {
+		return []float32{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.5}, nil
+	}
+	var ths []float32
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad -earlyexit element %q", f)
+		}
+		ths = append(ths, float32(v))
+	}
+	if len(ths) == 0 {
+		return nil, fmt.Errorf("empty -earlyexit list")
+	}
+	return ths, nil
+}
+
+// runExitSweep trains a small multi-hop model on generated bAbI (the
+// mnnfast-serve default task mix), sweeps the exit threshold, and
+// writes agreement / mean-hops / latency per threshold to path.
+func runExitSweep(path, label, metricName, spec string, stories, epochs int) error {
+	ths, err := parseThresholds(spec)
+	if err != nil {
+		return err
+	}
+	metric, err := memnn.ParseExitMetric(metricName)
+	if err != nil {
+		return err
+	}
+	if stories <= 0 {
+		stories = 600
+	}
+	if epochs <= 0 {
+		epochs = 40
+	}
+
+	opt := babi.GenOptions{Stories: stories, StoryLen: 12, People: 6, Locations: 6}
+	d := babi.Generate(babi.TaskSingleFact, opt, rand.New(rand.NewSource(7)))
+	train, test := d.Split(0.9)
+	corpus := memnn.BuildCorpus(train, test, 0)
+	model, err := memnn.NewModel(memnn.Config{
+		Dim: 24, Hops: 3,
+		Vocab:   corpus.Vocab.Size(),
+		Answers: len(corpus.Answers),
+		MaxSent: corpus.MaxSent,
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		return err
+	}
+	topt := memnn.DefaultTrainOptions()
+	topt.Epochs = epochs
+	if _, err := model.Train(corpus.Train, topt); err != nil {
+		return err
+	}
+
+	exs := corpus.Test
+	embedded := make([]*memnn.EmbeddedStory, len(exs))
+	for i := range exs {
+		embedded[i] = new(memnn.EmbeddedStory)
+		model.EmbedStoryInto(memnn.Example{Sentences: exs[i].Sentences}, embedded[i])
+	}
+	bench := func(policy memnn.ExitPolicy) int64 {
+		var f memnn.Forward
+		model.PredictGated(exs[0], 0, policy, &f, embedded[0], nil) // warm buffers
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := i % len(exs)
+				model.PredictGated(exs[q], 0, policy, &f, embedded[q], nil)
+			}
+		})
+		return roundNsPerOp(res)
+	}
+
+	file := ExitFile{
+		Label:        label,
+		Hops:         model.Cfg.Hops,
+		Dim:          model.Cfg.Dim,
+		Questions:    len(exs),
+		TestAccuracy: model.Accuracy(exs, 0),
+		NsPerOpFull:  bench(memnn.ExitPolicy{}),
+	}
+	fmt.Printf("early-exit sweep: metric %s, %d questions, hops %d, full path %d ns/op (test accuracy %.3f)\n",
+		metric, file.Questions, file.Hops, file.NsPerOpFull, file.TestAccuracy)
+
+	for _, th := range ths {
+		policy := memnn.ExitPolicy{Metric: metric, Threshold: th, MinHops: 1}
+		st := model.EvaluateExit(exs, 0, policy)
+		e := ExitEntry{
+			Metric:     metric.String(),
+			Threshold:  float64(th),
+			Agreement:  st.Agreement,
+			MeanHops:   st.MeanHops,
+			ExitsByHop: st.ExitsByHop,
+			NsPerOp:    bench(policy),
+		}
+		file.Entries = append(file.Entries, e)
+		fmt.Printf("  threshold %-5g agreement %.4f  mean hops %.3f/%d  %8d ns/op (%.2fx)\n",
+			th, e.Agreement, e.MeanHops, file.Hops, e.NsPerOp,
+			float64(file.NsPerOpFull)/float64(e.NsPerOp))
+	}
+
+	raw, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

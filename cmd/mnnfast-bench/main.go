@@ -39,6 +39,9 @@ func main() {
 		label   = flag.String("label", "dev", "label for -benchjson entries (e.g. pre-pr, post-pr)")
 		procs   = flag.String("procs", "", "sweep intra-query worker counts (comma list like 1,2,4,8, or 'auto' = 1..NumCPU) and exit")
 		procOut = flag.String("procs-out", "BENCH_parallel.json", "output file for the -procs scaling curve")
+		exit    = flag.String("earlyexit", "", "sweep early-exit thresholds (comma list like 0.25,0.5,0.9, or 'auto') and exit")
+		exitOut = flag.String("earlyexit-out", "BENCH_earlyexit.json", "output file for the -earlyexit sweep")
+		exitMet = flag.String("earlyexit-metric", "margin", "confidence metric for -earlyexit: margin, maxprob, or attnmax")
 		tier    = flag.String("kernel-tier", "auto", "kernel tier override: auto, scalar, go, or avx2 (if available)")
 	)
 	flag.Parse()
@@ -46,6 +49,14 @@ func main() {
 	if err := tensor.SetKernelTier(*tier); err != nil {
 		fmt.Fprintf(os.Stderr, "mnnfast-bench: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *exit != "" {
+		if err := runExitSweep(*exitOut, *label, *exitMet, *exit, *stories, *epochs); err != nil {
+			fmt.Fprintf(os.Stderr, "mnnfast-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *procs != "" {

@@ -63,6 +63,10 @@ func main() {
 		traceKeep   = flag.Int("trace-keep", 0, "flight-recorder capacity in traces (0 = default 128)")
 		traceSample = flag.Int("trace-sample", 0, "keep 1 in N traces that are neither errored nor slow; 1 keeps all (0 = default 16)")
 		pprofLabels = flag.Bool("pprof-labels", false, "attach handler/session pprof labels to request goroutines (for CPU profile attribution)")
+		earlyExit   = flag.String("early-exit", "", "confidence metric for early hop exit: margin, maxprob, or attnmax (empty = run every hop)")
+		exitThresh  = flag.Float64("exit-threshold", 0.9, "confidence at or above which remaining hops are skipped")
+		exitMinHops = flag.Int("exit-min-hops", 1, "earliest hop the gate may exit after")
+		exitFall    = flag.Float64("exit-fallback", 0, "confidence below which a question commits to the full hop path (0 = keep gating)")
 	)
 	flag.Parse()
 
@@ -75,6 +79,24 @@ func main() {
 		log.Fatal("mnnfast-serve: ", err)
 	}
 	srv.SkipThreshold = float32(*skip)
+	if *earlyExit != "" {
+		metric, err := memnn.ParseExitMetric(*earlyExit)
+		if err != nil {
+			log.Fatal("mnnfast-serve: ", err)
+		}
+		policy := memnn.ExitPolicy{
+			Metric:    metric,
+			Threshold: float32(*exitThresh),
+			MinHops:   *exitMinHops,
+			Fallback:  float32(*exitFall),
+		}
+		if err := policy.Validate(); err != nil {
+			log.Fatal("mnnfast-serve: ", err)
+		}
+		srv.ExitPolicy = policy
+		log.Printf("early exit: metric %s, threshold %g, min hops %d (per-hop exits under mnnfast_early_exits_total)",
+			metric, *exitThresh, *exitMinHops)
+	}
 	if *accessLog {
 		srv.AccessLog = log.New(os.Stderr, "", log.LstdFlags)
 	}

@@ -1,0 +1,21 @@
+package equivtest
+
+import "testing"
+
+// TestEquivalenceSweep is the CI entry point of the harness: every
+// engine configuration over the default generated-bAbI set must be
+// bit-identical within each kernel tier. Other packages invoke the same
+// sweep with their own Options via Run.
+func TestEquivalenceSweep(t *testing.T) {
+	Run(t, Options{})
+}
+
+// TestEquivalenceSweepDeep widens the sweep (more stories, a larger
+// model) for the dedicated equivalence CI job; -short keeps it out of
+// the ordinary unit-test wall clock.
+func TestEquivalenceSweepDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep sweep skipped in -short mode")
+	}
+	Run(t, Options{Seed: 2, Stories: 48, Hops: 4, Dim: 24})
+}

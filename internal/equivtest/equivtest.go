@@ -1,0 +1,223 @@
+// Package equivtest is the repo's reusable cross-engine equivalence
+// harness: one table-driven sweep that runs a generated-bAbI question
+// set through every inference engine configuration — {serial, parallel
+// P∈1..8} × {batched, unbatched} × {kernel tiers} × {gate off, gate on
+// with a threshold that can never fire} — and asserts the answer logits
+// are BIT-IDENTICAL across all of them.
+//
+// It replaces the ad-hoc per-PR equivalence tests with a single sweep
+// other packages can call from their own tests (Run takes a testing.TB),
+// and pins the determinism contracts the repo's optimizations promise:
+//
+//   - batched ≡ unbatched (memnn/batch.go)
+//   - parallel ≡ serial at any worker count (internal/sched)
+//   - gate-off ≡ pre-gate code path, and a gate that cannot fire
+//     (threshold above every reachable confidence) ≡ gate-off
+//     (memnn/exit.go)
+//
+// Kernel tiers are deliberately NOT compared against each other: the
+// scalar/go/avx2 Dot kernels reassociate the reduction differently and
+// are documented as not bit-identical across tiers. The harness instead
+// recomputes its baseline per tier and requires every engine
+// configuration to match it within that tier.
+package equivtest
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"mnnfast/internal/babi"
+	"mnnfast/internal/memnn"
+	"mnnfast/internal/tensor"
+)
+
+// Options parameterizes a sweep; zero values take defaults sized for a
+// CI-friendly run (a few seconds across all tiers).
+type Options struct {
+	Seed    int64 // model-init and dataset seed (default 1)
+	Stories int   // generated stories per task (default 16)
+	Hops    int   // model hop count (default 3)
+	Dim     int   // embedding dimension (default 16)
+	// Skip is the zero-skipping threshold applied everywhere; the
+	// default 0.01 keeps the skip branch exercised.
+	Skip float32
+	// Workers lists the parallel worker counts to sweep (default
+	// 1, 2, 4, 8); serial is always included.
+	Workers []int
+	// Tiers lists the kernel tiers to sweep (default: every tier
+	// available on this host).
+	Tiers []string
+}
+
+func (o *Options) norm() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Stories <= 0 {
+		o.Stories = 16
+	}
+	if o.Hops <= 0 {
+		o.Hops = 3
+	}
+	if o.Dim <= 0 {
+		o.Dim = 16
+	}
+	if o.Skip == 0 {
+		o.Skip = 0.01
+	}
+	if o.Workers == nil {
+		o.Workers = []int{1, 2, 4, 8}
+	}
+	if o.Tiers == nil {
+		o.Tiers = tensor.KernelTiers()
+	}
+}
+
+// neverFire is an exit threshold no confidence score can reach
+// (confidences live in [0, 1]), arming the gate without letting it
+// fire — the gated-but-ran-all-hops leg of the determinism contract.
+func neverFire() float32 { return float32(math.Inf(1)) }
+
+// exitMetrics enumerates every gate metric the sweep arms.
+var exitMetrics = []memnn.ExitMetric{memnn.ExitMargin, memnn.ExitMaxProb, memnn.ExitAttnMax}
+
+// Run executes the full sweep against t. The active kernel tier is
+// restored before returning.
+func Run(t testing.TB, opt Options) {
+	opt.norm()
+	prev := tensor.KernelTier()
+	defer func() {
+		if err := tensor.SetKernelTier(prev); err != nil {
+			t.Errorf("equivtest: restoring kernel tier %q: %v", prev, err)
+		}
+	}()
+	for _, tier := range opt.Tiers {
+		if err := tensor.SetKernelTier(tier); err != nil {
+			t.Fatalf("equivtest: SetKernelTier(%q): %v", tier, err)
+		}
+		runTier(t, tier, opt)
+	}
+}
+
+// fixture is one tier's model, question set, and per-question embedded
+// stories. Some consecutive questions share an EmbeddedStory pointer so
+// the batched path exercises multi-question story groups, not just
+// singletons.
+type fixture struct {
+	model   *memnn.Model
+	exs     []memnn.Example
+	stories []*memnn.EmbeddedStory
+}
+
+func build(t testing.TB, opt Options) *fixture {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	gen := babi.GenOptions{Stories: opt.Stories, StoryLen: 10, People: 4, Locations: 4}
+	single := babi.Generate(babi.TaskSingleFact, gen, rng)
+	two := babi.Generate(babi.TaskTwoFacts, gen, rng)
+	corpus := memnn.BuildCorpus(single, two, 0)
+	model, err := memnn.NewModel(memnn.Config{
+		Dim:     opt.Dim,
+		Hops:    opt.Hops,
+		Vocab:   corpus.Vocab.Size(),
+		Answers: len(corpus.Answers),
+		MaxSent: corpus.MaxSent,
+	}, rng)
+	if err != nil {
+		t.Fatalf("equivtest: NewModel: %v", err)
+	}
+
+	fx := &fixture{model: model}
+	var exs []memnn.Example
+	exs = append(exs, corpus.Train...)
+	exs = append(exs, corpus.Test...)
+	for i, ex := range exs {
+		es := new(memnn.EmbeddedStory)
+		model.EmbedStoryInto(memnn.Example{Sentences: ex.Sentences}, es)
+		fx.exs = append(fx.exs, ex)
+		fx.stories = append(fx.stories, es)
+		// Every third question donates its story to a sibling question,
+		// forming a genuine two-question story group in the batch.
+		if i%3 == 0 && i+1 < len(exs) {
+			fx.exs = append(fx.exs, memnn.Example{
+				Sentences: ex.Sentences,
+				Question:  exs[i+1].Question,
+			})
+			fx.stories = append(fx.stories, es)
+		}
+	}
+	return fx
+}
+
+// runTier recomputes the tier's baseline (serial, unbatched, gate off)
+// and checks every engine configuration against it bit for bit.
+func runTier(t testing.TB, tier string, opt Options) {
+	fx := build(t, opt)
+	model, hops := fx.model, fx.model.Cfg.Hops
+
+	var f memnn.Forward
+	base := make([][]float32, len(fx.exs))
+	for i, ex := range fx.exs {
+		fw := model.ApplyInstrumented(ex, opt.Skip, &f, fx.stories[i], nil)
+		base[i] = append([]float32(nil), fw.Logits...)
+	}
+
+	check := func(engine string, q int, got tensor.Vector) {
+		t.Helper()
+		want := base[q]
+		if len(got) != len(want) {
+			t.Fatalf("equivtest: tier %s, %s, q %d: %d logits, baseline has %d",
+				tier, engine, q, len(got), len(want))
+		}
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("equivtest: tier %s, %s, q %d: logit %d = %x, baseline %x (not bit-identical)",
+					tier, engine, q, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+			}
+		}
+	}
+
+	// Unbatched, gate armed per metric with a threshold that cannot
+	// fire: all hops must run and the logits must not move a bit.
+	for _, metric := range exitMetrics {
+		policy := memnn.ExitPolicy{Metric: metric, Threshold: neverFire(), MinHops: 1}
+		name := "unbatched gated-inf " + metric.String()
+		for i, ex := range fx.exs {
+			fw := model.ApplyGated(ex, opt.Skip, policy, &f, fx.stories[i], nil)
+			if fw.ExitHop != hops {
+				t.Fatalf("equivtest: tier %s, %s, q %d: exited after %d hops with an unfireable threshold, want %d",
+					tier, name, i, fw.ExitHop, hops)
+			}
+			check(name, i, fw.Logits)
+		}
+	}
+
+	// Batched and parallel-batched, gate off and gate armed-but-unfireable.
+	checkBatch := func(engine string, policy memnn.ExitPolicy) {
+		t.Helper()
+		var bf memnn.BatchForward
+		out := make([]int, len(fx.exs))
+		model.PredictBatchInstrumented(fx.exs, opt.Skip, policy, fx.stories, &bf, nil, out)
+		for q := range fx.exs {
+			if policy.Enabled() {
+				if got := bf.ExitHop(q); got != hops {
+					t.Fatalf("equivtest: tier %s, %s, q %d: exit hop %d with an unfireable threshold, want %d",
+						tier, engine, q, got, hops)
+				}
+			}
+			check(engine, q, bf.Logits(q))
+		}
+	}
+	gatedInf := memnn.ExitPolicy{Metric: memnn.ExitMargin, Threshold: neverFire(), MinHops: 1}
+	checkBatch("batched serial gate-off", memnn.ExitPolicy{})
+	checkBatch("batched serial gated-inf", gatedInf)
+	for _, p := range opt.Workers {
+		pool := tensor.NewPool(p)
+		model.SetParallel(pool)
+		checkBatch("batched P="+strconv.Itoa(p)+" gate-off", memnn.ExitPolicy{})
+		checkBatch("batched P="+strconv.Itoa(p)+" gated-inf", gatedInf)
+		model.SetParallel(nil)
+		pool.Close()
+	}
+}

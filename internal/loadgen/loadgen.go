@@ -128,7 +128,7 @@ func (r *Result) ServerReport() string {
 	if d == nil {
 		return ""
 	}
-	stages := []string{"vectorize", "embed", "attention", "output"}
+	stages := []string{"vectorize", "embed", "attention", "gate", "output"}
 	var totalSec float64
 	for _, st := range stages {
 		totalSec += d.Value(obs.HistKey(stageFamily, "sum", `stage="`+st+`"`))
@@ -188,6 +188,30 @@ func (r *Result) ServerReport() string {
 			waitAvgUS,
 			d.Value("mnnfast_batch_shed_total"),
 			d.Value("mnnfast_batch_expired_total"))
+	}
+
+	// Early-exit telemetry, present only when the server ran with the
+	// confidence gate armed (mnnfast-serve -early-exit). Mean hops comes
+	// from the exit-hop histogram; the per-hop counters break down where
+	// questions left the hop loop early.
+	if gated := d.Value("mnnfast_exit_hop_count"); gated > 0 {
+		meanHops := d.Value("mnnfast_exit_hop_sum") / gated
+		var early float64
+		var perHop []string
+		for h := 1; ; h++ {
+			key := `mnnfast_early_exits_total{hop="` + strconv.Itoa(h) + `"}`
+			if _, ok := d[key]; !ok {
+				break
+			}
+			n := d.Value(key)
+			early += n
+			perHop = append(perHop, fmt.Sprintf("hop %d: %.0f", h, n))
+		}
+		fmt.Fprintf(&b, "\nearly exit: %.0f/%.0f answers exited early (%.1f%%), mean hops %.2f",
+			early, gated, early/gated*100, meanHops)
+		if len(perHop) > 0 {
+			fmt.Fprintf(&b, " (%s)", strings.Join(perHop, ", "))
+		}
 	}
 
 	// Parallelism telemetry, present only when the server ran with

@@ -35,12 +35,21 @@ import (
 type BatchForward struct {
 	fs []Forward // one per question
 
-	// Grouping scratch: order is a permutation of [0, n) with questions
-	// that share an EmbeddedStory adjacent; groups holds the end offset
-	// of each group within order.
+	// Grouping scratch: order is a permutation of the live questions
+	// with questions that share an EmbeddedStory adjacent; groups holds
+	// the end offset of each group within order.
 	order   []int
 	groups  []int
 	grouped []bool
+
+	// Early-exit state (see ExitPolicy): live holds the indices of
+	// questions still hopping (ascending); exits records each
+	// question's exit hop; full marks questions committed to the full
+	// path by the fallback floor. gateP is the gate softmax scratch.
+	live  []int
+	exits []int
+	full  []bool
+	gateP tensor.Vector
 
 	// Dispatch state of the current hop's group pass. Story groups are
 	// the parallel unit: each touches only its own questions' state, so
@@ -124,6 +133,11 @@ func (bf *BatchForward) runGroup(g, w int) {
 // for equivalence testing and introspection.
 func (bf *BatchForward) Logits(i int) tensor.Vector { return bf.fs[i].Logits }
 
+// ExitHop returns the number of hops question i actually executed in
+// the last batched pass: Cfg.Hops normally, fewer when the confidence
+// gate shed it between hops.
+func (bf *BatchForward) ExitHop(i int) int { return bf.exits[i] }
+
 // ensure reshapes the per-question state for a batch of n over w
 // worker slots.
 func (bf *BatchForward) ensure(n, w int) {
@@ -135,8 +149,18 @@ func (bf *BatchForward) ensure(n, w int) {
 	bf.fs = bf.fs[:n]
 	if cap(bf.grouped) < n {
 		bf.grouped = make([]bool, n)
+		bf.live = make([]int, n)
+		bf.exits = make([]int, n)
+		bf.full = make([]bool, n)
 	}
 	bf.grouped = bf.grouped[:n]
+	bf.live = bf.live[:n]
+	bf.exits = bf.exits[:n]
+	bf.full = bf.full[:n]
+	for i := 0; i < n; i++ {
+		bf.live[i] = i
+		bf.full[i] = false
+	}
 	if cap(bf.wskip) < w {
 		bf.wskip = make([]int64, w)
 		bf.wrows = make([]int64, w)
@@ -155,26 +179,27 @@ func (bf *BatchForward) ensure(n, w int) {
 	}
 }
 
-// group orders the batch so questions sharing an EmbeddedStory are
-// adjacent (pointer identity — two sessions never share one cache).
+// group orders the live questions so those sharing an EmbeddedStory
+// are adjacent (pointer identity — two sessions never share one
+// cache). It is re-run after the gate sheds questions between hops, so
+// the remaining hops dispatch over compacted story groups.
 //
 //mnnfast:hotpath allow=append the order/groups slices grow-only toward MaxBatch and then stay put
-func (bf *BatchForward) group(stories []*EmbeddedStory) {
-	n := len(stories)
+func (bf *BatchForward) group(stories []*EmbeddedStory, live []int) {
 	bf.order = bf.order[:0]
 	bf.groups = bf.groups[:0]
-	for i := range bf.grouped {
-		bf.grouped[i] = false
+	for _, q := range live {
+		bf.grouped[q] = false
 	}
-	for i := 0; i < n; i++ {
-		if bf.grouped[i] {
+	for i, q := range live {
+		if bf.grouped[q] {
 			continue
 		}
-		bf.order = append(bf.order, i)
-		for j := i + 1; j < n; j++ {
-			if !bf.grouped[j] && stories[j] == stories[i] {
-				bf.grouped[j] = true
-				bf.order = append(bf.order, j)
+		bf.order = append(bf.order, q)
+		for _, r := range live[i+1:] {
+			if !bf.grouped[r] && stories[r] == stories[q] {
+				bf.grouped[r] = true
+				bf.order = append(bf.order, r)
 			}
 		}
 		bf.groups = append(bf.groups, len(bf.order))
@@ -189,14 +214,22 @@ func (bf *BatchForward) group(stories []*EmbeddedStory) {
 //
 //mnnfast:hotpath
 func (m *Model) PredictBatchInto(exs []Example, skipThreshold float32, stories []*EmbeddedStory, bf *BatchForward, out []int) {
-	m.PredictBatchInstrumented(exs, skipThreshold, stories, bf, nil, out)
+	m.PredictBatchInstrumented(exs, skipThreshold, ExitPolicy{}, stories, bf, nil, out)
 }
 
 // PredictBatchInstrumented is PredictBatchInto with an optional
-// per-stage time and skip-counter accumulator covering the whole batch.
+// per-stage time and skip-counter accumulator covering the whole
+// batch, and a confidence gate (see ExitPolicy; the zero policy is the
+// plain batched pass, bit for bit). With the gate armed, questions
+// whose confidence clears the threshold after a hop are shed between
+// hops: they answer immediately from the gate's W·u projection, and
+// the remaining hops dispatch over story groups rebuilt from the
+// shrunken live set — the batch's attention cost tracks the questions
+// still hopping, not the flush size. Read per-question exit hops with
+// BatchForward.ExitHop.
 //
 //mnnfast:hotpath
-func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, stories []*EmbeddedStory, bf *BatchForward, ins *Instrumentation, out []int) {
+func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, policy ExitPolicy, stories []*EmbeddedStory, bf *BatchForward, ins *Instrumentation, out []int) {
 	n := len(exs)
 	if len(stories) != n || len(out) != n {
 		panic(fmt.Sprintf("memnn: PredictBatch length mismatch exs=%d stories=%d out=%d", n, len(stories), len(out)))
@@ -214,8 +247,13 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 	}
 	hops, d := m.Cfg.Hops, m.Cfg.Dim
 	bf.ensure(n, m.sch.Workers())
-	bf.group(stories)
+	live := bf.live
+	for i := range bf.exits {
+		bf.exits[i] = hops
+	}
+	bf.group(stories, live)
 	bf.m, bf.stories, bf.skip = m, stories, skipThreshold
+	gate, minH := policy.active(hops), policy.minHops()
 
 	var mark time.Time
 	var ev *trace.Events
@@ -260,24 +298,25 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 
 		// State update u' = u + o (adjacent) or u' = H·u + o
 		// (layer-wise). H is model-global, so its rows are shared
-		// across the entire batch, not just within a story group.
-		for q := 0; q < n; q++ {
+		// across the still-live questions, not just within a story
+		// group.
+		for _, q := range live {
 			f := &bf.fs[q]
 			f.U[k+1] = growVec(f.U[k+1], d)
 		}
 		if m.Cfg.Tying == TyingLayerwise {
 			for r := 0; r < d; r++ {
 				hrow := m.H.Row(r)
-				for q := 0; q < n; q++ {
+				for _, q := range live {
 					bf.fs[q].U[k+1][r] = tensor.Dot(hrow, bf.fs[q].U[k])
 				}
 			}
 		} else {
-			for q := 0; q < n; q++ {
+			for _, q := range live {
 				copy(bf.fs[q].U[k+1], bf.fs[q].U[k])
 			}
 		}
-		for q := 0; q < n; q++ {
+		for _, q := range live {
 			bf.fs[q].U[k+1].AddInPlace(bf.fs[q].O[k])
 		}
 		ev.Annotate(he, "hop", int64(k))
@@ -286,6 +325,38 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 		ev.End(he)
 		if ins != nil {
 			lap(&mark, &ins.AttentionNS)
+		}
+
+		// Confidence gate: score every live, uncommitted question and
+		// shed the ones that clear the threshold — their answer is the
+		// gate's W·u projection (one tensor.Dot per answer row, the
+		// exact operation of the final projection, so shed answers are
+		// bit-identical to the same query exiting unbatched). The
+		// remaining hops then run on story groups rebuilt from the
+		// shrunken live set.
+		if h := k + 1; gate && h >= minH && h < hops {
+			ge := ev.Begin("gate", -1)
+			shed := m.gateBatch(bf, live, policy, h)
+			ev.Annotate(ge, "hop", int64(k))
+			ev.Annotate(ge, "shed", int64(shed))
+			ev.End(ge)
+			if ins != nil {
+				lap(&mark, &ins.GateNS)
+			}
+			if shed > 0 {
+				w := 0
+				for _, q := range live {
+					if bf.exits[q] == hops {
+						live[w] = q
+						w++
+					}
+				}
+				live = live[:w]
+				if len(live) == 0 {
+					break
+				}
+				bf.group(stories, live)
+			}
 		}
 	}
 	if ins != nil {
@@ -300,14 +371,16 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 
 	// Output projection: W is model-global too — each of its rows is
 	// read once for the whole batch, the largest cross-session saving.
+	// Only the questions that ran all hops are projected here; shed
+	// questions already hold their exit logits from the gate.
 	oe := ev.Begin("output", -1)
-	for q := 0; q < n; q++ {
+	for _, q := range live {
 		f := &bf.fs[q]
 		f.Logits = growVec(f.Logits, m.Cfg.Answers)
 	}
 	for r := 0; r < m.Cfg.Answers; r++ {
 		wrow := m.W.Row(r)
-		for q := 0; q < n; q++ {
+		for _, q := range live {
 			bf.fs[q].Logits[r] = tensor.Dot(wrow, bf.fs[q].U[hops])
 		}
 	}
@@ -318,6 +391,71 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, s
 	for q := 0; q < n; q++ {
 		out[q] = bf.fs[q].Logits.ArgMax()
 	}
+}
+
+// gateBatch scores every live, uncommitted question after hop h (state
+// U[h], attention P[h-1]) and marks the ones clearing the policy
+// threshold as exited (bf.exits[q] = h), leaving their Logits at the
+// gate's W·u projection. A confidence below the fallback floor commits
+// the question to the full path instead (no further gate projections).
+// Returns the number of questions shed.
+//
+// Bit-exactness: the exit logits are computed rows-outer so each W row
+// is read once for the whole candidate set, but per question that is
+// one tensor.Dot per answer row in ascending order — exactly the
+// serial MatVec of the unbatched gate (gateConfidence), so a question
+// shed at hop h in a batch answers bit-identically to the same
+// question exiting at hop h unbatched.
+//
+//mnnfast:hotpath
+func (m *Model) gateBatch(bf *BatchForward, live []int, policy ExitPolicy, h int) int {
+	k, answers := h-1, m.Cfg.Answers
+	if policy.Metric != ExitAttnMax {
+		for _, q := range live {
+			if bf.full[q] {
+				continue
+			}
+			f := &bf.fs[q]
+			f.Logits = growVec(f.Logits, answers)
+		}
+		for r := 0; r < answers; r++ {
+			wrow := m.W.Row(r)
+			for _, q := range live {
+				if bf.full[q] {
+					continue
+				}
+				bf.fs[q].Logits[r] = tensor.Dot(wrow, bf.fs[q].U[h])
+			}
+		}
+	}
+	fb := policy.fallback()
+	shed := 0
+	for _, q := range live {
+		if bf.full[q] {
+			continue
+		}
+		f := &bf.fs[q]
+		var conf float32
+		if policy.Metric == ExitAttnMax {
+			conf = f.P[k].Max()
+		} else {
+			bf.gateP = growVec(bf.gateP, answers)
+			copy(bf.gateP, f.Logits)
+			tensor.Softmax(bf.gateP)
+			conf = answerConfidence(policy.Metric, bf.gateP)
+		}
+		if conf >= policy.Threshold {
+			if policy.Metric == ExitAttnMax {
+				f.Logits = growVec(f.Logits, answers)
+				tensor.MatVec(nil, m.W, f.U[h], f.Logits)
+			}
+			bf.exits[q] = h
+			shed++
+		} else if fb > 0 && conf < fb {
+			bf.full[q] = true
+		}
+	}
+	return shed
 }
 
 // sumInt64 folds a counter slice; used for per-hop skip deltas in the

@@ -151,7 +151,7 @@ func TestPredictBatchInstrumentationCounts(t *testing.T) {
 	var bf BatchForward
 	var ins Instrumentation
 	out := make([]int, len(c.exs))
-	c.model.PredictBatchInstrumented(c.exs, c.th, c.stories, &bf, &ins, out)
+	c.model.PredictBatchInstrumented(c.exs, c.th, ExitPolicy{}, c.stories, &bf, &ins, out)
 
 	var want Instrumentation
 	var f Forward
@@ -230,10 +230,10 @@ func TestPredictBatchInstrumentedAllocs(t *testing.T) {
 	var bf BatchForward
 	var ins Instrumentation
 	out := make([]int, len(c.exs))
-	c.model.PredictBatchInstrumented(c.exs, c.th, c.stories, &bf, &ins, out) // warm buffers
+	c.model.PredictBatchInstrumented(c.exs, c.th, ExitPolicy{}, c.stories, &bf, &ins, out) // warm buffers
 	allocs := testing.AllocsPerRun(50, func() {
 		ins.Reset()
-		c.model.PredictBatchInstrumented(c.exs, c.th, c.stories, &bf, &ins, out)
+		c.model.PredictBatchInstrumented(c.exs, c.th, ExitPolicy{}, c.stories, &bf, &ins, out)
 	})
 	if allocs != 0 {
 		t.Errorf("instrumented batched predict allocates %v per batch, want 0", allocs)

@@ -28,7 +28,7 @@ func TestTracedPassBitIdentical(t *testing.T) {
 		var ev trace.Events
 		ins.Ev = &ev
 		traced := make([]int, n)
-		c.model.PredictBatchInstrumented(c.exs, c.th, c.stories, &bfTraced, &ins, traced)
+		c.model.PredictBatchInstrumented(c.exs, c.th, ExitPolicy{}, c.stories, &bfTraced, &ins, traced)
 
 		for q := 0; q < n; q++ {
 			if plain[q] != traced[q] {
@@ -77,7 +77,7 @@ func TestBatchEventShape(t *testing.T) {
 	var ev trace.Events
 	ins.Ev = &ev
 	out := make([]int, len(c.exs))
-	c.model.PredictBatchInstrumented(c.exs, c.th, c.stories, &bf, &ins, out)
+	c.model.PredictBatchInstrumented(c.exs, c.th, ExitPolicy{}, c.stories, &bf, &ins, out)
 
 	// Replay into a trace and walk the export.
 	rec := trace.NewRecorder(trace.Options{Capacity: 1, SpanCap: trace.MaxEvents + 4, SampleEvery: 1})

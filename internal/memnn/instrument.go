@@ -22,6 +22,7 @@ type Instrumentation struct {
 	EmbedNS     int64 // question + memory embedding time
 	AttentionNS int64 // per-hop inner product + softmax + weighted sum + state update
 	OutputNS    int64 // final answer projection W·u
+	GateNS      int64 // early-exit confidence gate evaluations (see ExitPolicy)
 	SkippedRows int64 // weighted-sum rows bypassed by zero-skipping
 	TotalRows   int64 // weighted-sum rows considered
 
@@ -103,7 +104,7 @@ func (m *Model) EmbedStoryInto(ex Example, es *EmbeddedStory) {
 //
 //mnnfast:hotpath
 func (m *Model) ApplyInstrumented(ex Example, skipThreshold float32, f *Forward, es *EmbeddedStory, ins *Instrumentation) *Forward {
-	return m.applyInto(ex, skipThreshold, f, es, ins)
+	return m.applyInto(ex, skipThreshold, f, es, ins, ExitPolicy{})
 }
 
 // PredictInstrumented returns the argmax answer class using the cached
@@ -111,5 +112,5 @@ func (m *Model) ApplyInstrumented(ex Example, skipThreshold float32, f *Forward,
 //
 //mnnfast:hotpath
 func (m *Model) PredictInstrumented(ex Example, threshold float32, f *Forward, es *EmbeddedStory, ins *Instrumentation) int {
-	return m.applyInto(ex, threshold, f, es, ins).Logits.ArgMax()
+	return m.applyInto(ex, threshold, f, es, ins, ExitPolicy{}).Logits.ArgMax()
 }

@@ -185,6 +185,14 @@ type Forward struct {
 	P      []tensor.Vector  // per hop: attention weights (length ns)
 	O      []tensor.Vector  // per hop: response vector
 	Logits tensor.Vector    // answer logits (length Answers)
+
+	// ExitHop is the number of hops the pass actually executed: Hops
+	// normally, fewer when a confidence gate fired (see ExitPolicy).
+	ExitHop int
+
+	// gateP is the gate's softmax scratch (length Answers); it never
+	// feeds back into the forward state.
+	gateP tensor.Vector
 }
 
 // posWeight returns the position-encoding factor l_kj for the j-th of J
@@ -281,17 +289,19 @@ func growMat(mat *tensor.Matrix, rows, cols int) *tensor.Matrix {
 //
 //mnnfast:hotpath
 func (m *Model) ApplyInto(ex Example, skipThreshold float32, f *Forward) *Forward {
-	return m.applyInto(ex, skipThreshold, f, nil, nil)
+	return m.applyInto(ex, skipThreshold, f, nil, nil, ExitPolicy{})
 }
 
-// applyInto is the forward pass shared by ApplyInto and
-// ApplyInstrumented. es, when non-nil, supplies pre-embedded memories
+// applyInto is the forward pass shared by ApplyInto, ApplyInstrumented
+// and ApplyGated. es, when non-nil, supplies pre-embedded memories
 // for the story (skipping the per-hop encode); ins, when non-nil,
-// accumulates per-stage wall time and zero-skip counters. Both paths
-// stay allocation-free at steady state.
+// accumulates per-stage wall time and zero-skip counters; policy, when
+// armed, gates each eligible hop on a confidence score and exits early
+// when it clears the threshold (see exit.go for the determinism
+// contract). All paths stay allocation-free at steady state.
 //
 //mnnfast:hotpath
-func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *EmbeddedStory, ins *Instrumentation) *Forward {
+func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *EmbeddedStory, ins *Instrumentation, policy ExitPolicy) *Forward {
 	ns := len(ex.Sentences)
 	if ns == 0 {
 		panic("memnn: Apply on example with no story sentences")
@@ -316,6 +326,8 @@ func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *Emb
 	}
 	f.MemIn, f.MemOut = f.MemIn[:hops], f.MemOut[:hops]
 	f.P, f.O = f.P[:hops], f.O[:hops]
+	f.ExitHop = hops
+	gate, minH := policy.active(hops), policy.minHops()
 
 	var mark time.Time
 	var ev *trace.Events
@@ -396,6 +408,44 @@ func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *Emb
 			ins.SkippedRows += int64(skipped)
 			ins.TotalRows += int64(ns)
 			lap(&mark, &ins.AttentionNS)
+		}
+
+		// Confidence gate: after an eligible hop, score the state and
+		// exit early when the score clears the threshold. The gate
+		// writes only f.Logits and the gate scratch — never U, P, or O
+		// — so a pass where it never fires is bit-identical to the
+		// ungated pass (the final projection overwrites f.Logits).
+		if h := k + 1; gate && h >= minH && h < hops {
+			ge := ev.Begin("gate", -1)
+			conf := m.gateConfidence(policy.Metric, f, k)
+			fired := conf >= policy.Threshold
+			var fv int64
+			if fired {
+				fv = 1
+			}
+			ev.Annotate(ge, "hop", int64(k))
+			ev.Annotate(ge, "exit", fv)
+			ev.End(ge)
+			if ins != nil {
+				lap(&mark, &ins.GateNS)
+			}
+			if fired {
+				// Answer from the current state. The answer metrics
+				// already computed W·u into f.Logits; the attention
+				// metric pays the projection only on exit.
+				if policy.Metric == ExitAttnMax {
+					f.Logits = growVec(f.Logits, m.Cfg.Answers)
+					tensor.MatVec(nil, m.W, f.U[h], f.Logits)
+					if ins != nil {
+						lap(&mark, &ins.OutputNS)
+					}
+				}
+				f.ExitHop = h
+				return f
+			}
+			if fb := policy.fallback(); fb > 0 && conf < fb {
+				gate = false // hard question: commit to the full path
+			}
 		}
 	}
 

@@ -46,9 +46,10 @@ type answerItem struct {
 	sess *session
 	qIDs []int
 
-	idx int   // predicted answer index
-	n   int   // session story length at answer time
-	err error // errNoStory, or a vectorize/embed failure
+	idx     int   // predicted answer index
+	n       int   // session story length at answer time
+	exitHop int   // hops executed (< model hops when the gate shed it)
+	err     error // errNoStory, or a vectorize/embed failure
 
 	reqID        string // X-Request-ID, for the batch-flush access log
 	traced       bool   // request carries a trace; copy the event log
@@ -140,7 +141,7 @@ func (s *Server) answerBatched(w http.ResponseWriter, r *http.Request, sess *ses
 	if it == nil {
 		it = new(answerItem)
 	}
-	it.sess, it.qIDs, it.idx, it.n, it.err = sess, qIDs, 0, 0, nil
+	it.sess, it.qIDs, it.idx, it.n, it.exitHop, it.err = sess, qIDs, 0, 0, 0, nil
 	it.reqID = w.Header().Get("X-Request-ID")
 	it.traced = tr != nil
 	it.flushStartNS, it.inferStartNS, it.inferEndNS, it.flushEndNS = 0, 0, 0, 0
@@ -254,12 +255,17 @@ func (s *Server) runAnswerBatch(items []*answerItem) {
 			st.ins.Ev = &st.ev
 		}
 		inferStart := trace.Now()
-		s.model.PredictBatchInstrumented(st.exs, s.SkipThreshold, st.stories, &st.bf, &st.ins, st.out)
+		s.model.PredictBatchInstrumented(st.exs, s.SkipThreshold, s.ExitPolicy, st.stories, &st.bf, &st.ins, st.out)
 		inferEnd := trace.Now()
 		s.met.observeInference(&st.ins)
 		st.ins.Ev = nil
+		gated := s.ExitPolicy.Enabled()
 		for i, it := range st.live {
 			it.idx = st.out[i]
+			it.exitHop = st.bf.ExitHop(i)
+			if gated {
+				s.met.observeExit(it.exitHop)
+			}
 			it.inferStartNS, it.inferEndNS = inferStart, inferEnd
 			if it.traced {
 				it.ev.CopyFrom(&st.ev)

@@ -3,6 +3,7 @@ package server
 import (
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,17 +57,28 @@ type metrics struct {
 	stageVectorize *obs.Histogram
 	stageEmbed     *obs.Histogram
 	stageAttention *obs.Histogram
+	stageGate      *obs.Histogram
 	stageOutput    *obs.Histogram
 
 	skippedRows *obs.Counter
 	totalRows   *obs.Counter
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+
+	// Early-exit accounting (see memnn.ExitPolicy): exitHop is the
+	// distribution of hops actually executed per gated answer (mean exit
+	// hop = sum/count); earlyExits[h-1] counts answers the gate shed
+	// after hop h (the final hop is the full path, never an early exit,
+	// so its counter stays zero). Observed only when the gate is armed,
+	// so a gate-off server exposes the series at zero.
+	exitHop    *obs.SizeHistogram
+	earlyExits []*obs.Counter // indexed by hop-1, hop in 1..Cfg.Hops
 }
 
-// newMetrics builds and registers the full metric set. sessionCount is
-// sampled at collection time for the live-session gauge.
-func newMetrics(sessionCount func() int64) *metrics {
+// newMetrics builds and registers the full metric set for a model with
+// the given hop count. sessionCount is sampled at collection time for
+// the live-session gauge.
+func newMetrics(hops int, sessionCount func() int64) *metrics {
 	reg := obs.NewRegistry()
 	m := &metrics{
 		reg:       reg,
@@ -92,12 +104,24 @@ func newMetrics(sessionCount func() int64) *metrics {
 		return reg.LabeledHistogram("mnnfast_stage_duration_seconds",
 			"Per-stage inference latency: vectorize (tokenize+encode), embed "+
 				"(question+memory embedding), attention (per-hop softmax and "+
-				"weighted sum), output (final projection).", "stage", name)
+				"weighted sum), gate (early-exit confidence checks), output "+
+				"(final projection).", "stage", name)
 	}
 	m.stageVectorize = stage("vectorize")
 	m.stageEmbed = stage("embed")
 	m.stageAttention = stage("attention")
+	m.stageGate = stage("gate")
 	m.stageOutput = stage("output")
+
+	m.exitHop = reg.SizeHistogram("mnnfast_exit_hop",
+		"Hops executed per gated answer (mean exit hop = sum/count); "+
+			"observed only while an early-exit policy is armed.")
+	m.earlyExits = make([]*obs.Counter, hops)
+	for h := 1; h <= hops; h++ {
+		m.earlyExits[h-1] = reg.LabeledCounter("mnnfast_early_exits_total",
+			"Answers the confidence gate shed after the labeled hop, "+
+				"skipping the remaining hops.", "hop", strconv.Itoa(h))
+	}
 
 	m.skippedRows = reg.Counter("mnnfast_skipped_rows_total",
 		"Weighted-sum rows bypassed by zero-skipping.")
@@ -181,7 +205,20 @@ func buildRevision() string {
 func (m *metrics) observeInference(ins *memnn.Instrumentation) {
 	m.stageEmbed.ObserveNS(ins.EmbedNS)
 	m.stageAttention.ObserveNS(ins.AttentionNS)
+	if ins.GateNS > 0 {
+		m.stageGate.ObserveNS(ins.GateNS)
+	}
 	m.stageOutput.ObserveNS(ins.OutputNS)
 	m.skippedRows.Add(ins.SkippedRows)
 	m.totalRows.Add(ins.TotalRows)
+}
+
+// observeExit records one gated answer's exit hop: the hop distribution
+// always, the per-hop early-exit counter only when the gate actually
+// shed the answer (hop < the model's hop count). Allocation-free.
+func (m *metrics) observeExit(hop int) {
+	m.exitHop.Observe(int64(hop))
+	if hop >= 1 && hop < len(m.earlyExits) {
+		m.earlyExits[hop-1].Inc()
+	}
 }

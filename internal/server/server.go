@@ -79,6 +79,10 @@ type Server struct {
 	corpus *memnn.Corpus
 	// SkipThreshold applies zero-skipping to every answer; 0 = exact.
 	SkipThreshold float32
+	// ExitPolicy arms the confidence-gated early exit on every answer;
+	// the zero value runs every hop (see memnn.ExitPolicy). Set before
+	// the server starts handling requests.
+	ExitPolicy memnn.ExitPolicy
 	// AccessLog, when non-nil, receives one structured line per request:
 	// request_id, method, path, session, status, duration.
 	AccessLog *log.Logger
@@ -127,7 +131,7 @@ func New(model *memnn.Model, corpus *memnn.Corpus) (*Server, error) {
 		corpus:   corpus,
 		sessions: make(map[string]*session),
 	}
-	s.met = newMetrics(func() int64 {
+	s.met = newMetrics(model.Cfg.Hops, func() int64 {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		return int64(len(s.sessions))
@@ -446,12 +450,18 @@ func (s *Server) predict(ex memnn.Example, es *memnn.EmbeddedStory, tr *trace.Tr
 		st.ins.Ev = &st.ev
 		sp = tr.Start("infer", tr.Root())
 	}
-	idx := s.model.PredictInstrumented(ex, s.SkipThreshold, &st.f, es, &st.ins)
+	idx := s.model.PredictGated(ex, s.SkipThreshold, s.ExitPolicy, &st.f, es, &st.ins)
 	s.met.observeInference(&st.ins)
+	if s.ExitPolicy.Enabled() {
+		s.met.observeExit(st.f.ExitHop)
+	}
 	if tr != nil {
 		tr.AddEvents(sp, &st.ev)
 		tr.Annotate(sp, "skipped", st.ins.SkippedRows)
 		tr.Annotate(sp, "rows", st.ins.TotalRows)
+		if s.ExitPolicy.Enabled() {
+			tr.Annotate(sp, "exit_hop", int64(st.f.ExitHop))
+		}
 		tr.Finish(sp)
 		st.ins.Ev = nil
 	}

@@ -115,6 +115,9 @@ func (s *Server) itemSpans(tr *trace.Trace, it *answerItem) {
 	if it.err == nil && it.inferStartNS != 0 {
 		is := tr.StartAt("infer", fs, it.inferStartNS)
 		tr.AddEvents(is, &it.ev)
+		if s.ExitPolicy.Enabled() {
+			tr.Annotate(is, "exit_hop", int64(it.exitHop))
+		}
 		tr.FinishAt(is, it.inferEndNS)
 	}
 	tr.FinishAt(fs, it.flushEndNS)
