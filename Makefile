@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-notavx2 test-equiv race lint vet fmt bench fuzz-smoke trace-demo clean
+.PHONY: all build test test-notavx2 test-equiv race lint lint-sarif lint-update-baseline vet fmt bench fuzz-smoke trace-demo clean
 
 all: build lint test
 
@@ -29,9 +29,22 @@ race:
 	$(GO) test -race -count=1 ./...
 
 # The repo's own analyzers (asmtwin, hotalloc, poolescape, atomicfield,
-# guardedby, floatdet — see internal/lint and DESIGN.md §9).
+# guardedby, floatdet, lockorder, ctxleak — see internal/lint and
+# DESIGN.md §9/§14). Findings are diffed against lint.baseline: new
+# findings exit 2, stale baseline entries exit 1.
 lint:
-	$(GO) run ./cmd/mnnfast-lint ./...
+	$(GO) run ./cmd/mnnfast-lint -baseline lint.baseline ./...
+
+# Same findings as SARIF 2.1.0, for GitHub code scanning or local
+# viewers. CI uploads this file on every PR.
+lint-sarif:
+	$(GO) run ./cmd/mnnfast-lint -baseline lint.baseline -format=sarif -o lint.sarif ./...
+
+# Rewrite lint.baseline from the current findings. Run after fixing a
+# baselined finding (stale entries fail `make lint`); adding new debt
+# needs a reason in the PR.
+lint-update-baseline:
+	$(GO) run ./cmd/mnnfast-lint -baseline lint.baseline -update-baseline ./...
 
 vet:
 	$(GO) vet ./...

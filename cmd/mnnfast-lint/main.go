@@ -1,14 +1,22 @@
 // mnnfast-lint runs the repo's custom static analyzers (hotalloc,
-// poolescape, atomicfield, guardedby, floatdet — see internal/lint)
-// over Go packages. Two modes:
+// poolescape, atomicfield, guardedby, floatdet, lockorder, ctxleak,
+// asmtwin — see internal/lint) over Go packages. Two modes:
 //
-// Standalone, over package patterns:
+// Standalone, over package patterns — the whole-program mode: the tool
+// loads the targets plus their in-module dependencies, computes
+// per-package facts in dependency order, and checks cross-package
+// invariants (hot-set propagation, pool ownership, guarded fields,
+// lock-order cycles):
 //
 //	go run ./cmd/mnnfast-lint ./...
 //	go run ./cmd/mnnfast-lint -checks hotalloc,floatdet ./internal/tensor
+//	go run ./cmd/mnnfast-lint -format=sarif -o lint.sarif ./...
+//	go run ./cmd/mnnfast-lint -baseline lint.baseline ./...
 //
 // As a go vet tool, which scopes each invocation to one compilation
-// unit and caches results in the build cache:
+// unit and caches results in the build cache. Facts flow through vet's
+// own fact files (PackageVetx/VetxOutput), so cross-package checks work
+// here too:
 //
 //	go vet -vettool=$(pwd)/bin/mnnfast-lint ./...
 //
@@ -16,10 +24,12 @@
 // -V=full with a stable version line (go uses it as the tool's cache
 // ID), then receives a vet.cfg JSON path naming the unit's files and
 // the export data of its dependencies. Exit status is 0 when clean,
-// 2 with diagnostics on stderr otherwise.
+// 2 with diagnostics on stderr, 1 on driver errors — including stale
+// baseline entries, which must be deleted, not ignored.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,13 +41,18 @@ import (
 
 	"mnnfast/internal/lint"
 	"mnnfast/internal/lint/analysis"
+	"mnnfast/internal/lint/baseline"
+	"mnnfast/internal/lint/factbuild"
+	"mnnfast/internal/lint/facts"
 	"mnnfast/internal/lint/load"
+	"mnnfast/internal/lint/report"
 )
 
 // version is the tool identity reported to the go command's -V=full
 // handshake; bump it when analyzer behavior changes so stale cached
-// vet results are invalidated.
-const version = "v0.4.0"
+// vet results are invalidated. The facts wire version rides along so a
+// format change alone also invalidates caches.
+const version = "v0.6.0+facts." + facts.Version
 
 func main() {
 	// The go command probes `tool -V=full` before anything else; the
@@ -51,6 +66,10 @@ func main() {
 
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	output := flag.String("o", "", "write findings to this file instead of stderr/stdout")
+	baselinePath := flag.String("baseline", "", "subtract findings listed in this baseline file; stale entries fail the run")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the -baseline file from this run's findings and exit 0")
 
 	// The go command's second probe is `tool -flags`, expecting a JSON
 	// description of the flags the tool accepts.
@@ -77,7 +96,12 @@ func main() {
 		unitcheck(args[0], as)
 		return
 	}
-	standalone(args, as)
+	standalone(args, as, options{
+		format:         *format,
+		output:         *output,
+		baselinePath:   *baselinePath,
+		updateBaseline: *updateBaseline,
+	})
 }
 
 // printFlagDefs answers the go command's `-flags` probe with the JSON
@@ -120,25 +144,106 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// standalone loads the given patterns (default ./...) and runs the
-// suite over every matched package.
-func standalone(patterns []string, as []*analysis.Analyzer) {
+type options struct {
+	format         string
+	output         string
+	baselinePath   string
+	updateBaseline bool
+}
+
+// standalone loads the given patterns (default ./...) plus their
+// in-module dependencies and runs the suite whole-program: facts first,
+// dependency order, then diagnostics over the pattern matches.
+func standalone(patterns []string, as []*analysis.Analyzer, opts options) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := load.Packages(".", patterns)
+	pkgs, err := load.PackagesDeps(".", patterns)
 	if err != nil {
 		fatal(err)
 	}
-	diags, where, err := lint.Run(pkgs, as)
+	diags, where, err := lint.RunWhole(pkgs, as)
 	if err != nil {
 		fatal(err)
 	}
-	for i, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", where[i].Fset.Position(d.Pos), d.Category, d.Message)
+	root, err := os.Getwd()
+	if err != nil {
+		root = ""
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mnnfast-lint: %d finding(s)\n", len(diags))
+	var fset *token.FileSet
+	if len(where) > 0 {
+		fset = where[0].Fset // PackagesDeps shares one FileSet across packages
+	} else if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	} else {
+		fset = token.NewFileSet()
+	}
+	findings := report.Resolve(root, fset, diags)
+
+	if opts.baselinePath != "" && opts.updateBaseline {
+		var buf bytes.Buffer
+		if err := baseline.Write(&buf, findings); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(opts.baselinePath, buf.Bytes(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mnnfast-lint: baseline %s updated with %d finding(s)\n", opts.baselinePath, len(findings))
+		return
+	}
+
+	var stale []string
+	if opts.baselinePath != "" {
+		f, err := os.Open(opts.baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		bl, err := baseline.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		findings, stale = bl.Apply(findings)
+	}
+
+	out := os.Stderr
+	if opts.output != "" {
+		f, err := os.Create(opts.output)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	} else if opts.format != "text" {
+		out = os.Stdout
+	}
+
+	switch opts.format {
+	case "text":
+		if err := report.Text(out, findings); err != nil {
+			fatal(err)
+		}
+	case "json":
+		if err := report.JSON(out, findings); err != nil {
+			fatal(err)
+		}
+	case "sarif":
+		if err := report.SARIF(out, findings, as); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want text, json, or sarif)", opts.format))
+	}
+
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "mnnfast-lint: stale baseline entry (no longer fires, delete it): %s\n", s)
+	}
+	switch {
+	case len(stale) > 0:
+		fmt.Fprintf(os.Stderr, "mnnfast-lint: %d stale baseline entr(ies) in %s\n", len(stale), opts.baselinePath)
+		os.Exit(1)
+	case len(findings) > 0:
+		fmt.Fprintf(os.Stderr, "mnnfast-lint: %d finding(s)\n", len(findings))
 		os.Exit(2)
 	}
 }
@@ -171,6 +276,9 @@ type vetConfig struct {
 }
 
 // unitcheck runs in go vet -vettool mode over one compilation unit.
+// Facts ride vet's fact-file protocol: PackageVetx maps each dependency
+// to the facts it wrote earlier, VetxOutput is where this unit's facts
+// go (the go command caches and forwards them to dependents).
 func unitcheck(cfgPath string, as []*analysis.Analyzer) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -181,13 +289,41 @@ func unitcheck(cfgPath string, as []*analysis.Analyzer) {
 		fatal(fmt.Errorf("parsing %s: %v", cfgPath, err))
 	}
 
-	// The go command requires the facts file to exist afterwards even
-	// though this suite exchanges no facts across units.
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, []byte("mnnfast-lint "+version+"\n"), 0o666); err != nil {
-				fatal(err)
-			}
+	// Imported facts. Dependency order does not matter for correctness
+	// here — each entry is already transitively folded — but keep it
+	// deterministic anyway. Undecodable files (older tool versions'
+	// stamps) degrade to "no facts".
+	depFacts := facts.NewSet()
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, path)
+	}
+	sort.Strings(vetxPaths)
+	for _, path := range vetxPaths {
+		f, err := os.Open(cfg.PackageVetx[path])
+		if err != nil {
+			continue
+		}
+		fp, err := facts.Decode(f)
+		f.Close()
+		if err == nil && fp != nil {
+			depFacts.Add(fp)
+		}
+	}
+
+	writeVetx := func(fp *facts.Package) {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		if fp == nil {
+			fp = &facts.Package{Path: cfg.ImportPath}
+		}
+		var buf bytes.Buffer
+		if err := fp.Encode(&buf); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, buf.Bytes(), 0o666); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -214,22 +350,34 @@ func unitcheck(cfgPath string, as []*analysis.Analyzer) {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		writeVetx()
+		writeVetx(nil)
 		return
 	}
 	pkg, err := load.Check(fset, cfg.ImportPath, files, imp)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx()
+			writeVetx(nil)
 			return
 		}
 		fatal(err)
 	}
 	pkg.Dir = cfg.Dir
+	pkg.Facts = depFacts
+
+	if cfg.ModulePath != "" {
+		writeVetx(factbuild.Compute(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, depFacts))
+	} else {
+		// Standard-library unit (no module): vetted only so the go
+		// command has a facts file to forward. The zero-allocation
+		// contract stops at the runtime boundary — folding latent
+		// violations out of sync or runtime internals would drown every
+		// dependent — so std units export empty facts, matching the
+		// standalone driver's in-module scope.
+		writeVetx(nil)
+	}
 
 	if cfg.VetxOnly {
 		// Dependency units are vetted only for facts; no diagnostics.
-		writeVetx()
 		return
 	}
 
@@ -242,7 +390,6 @@ func unitcheck(cfgPath string, as []*analysis.Analyzer) {
 		diags = append(diags, ds...)
 	}
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	writeVetx()
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
 	}

@@ -140,6 +140,11 @@ func (c *Column) InferPartial(u tensor.Vector, part *Partial, lo, hi int) Stats 
 // the paper's double-buffer design. With more than one worker the
 // pipeline is unnecessary — each worker's synchronous prefetch overlaps
 // with the other workers' compute — so this path runs only at width 1.
+// The prefetcher closure is built once per band and amortizes across
+// every chunk in it; the goroutine spawn it feeds dwarfs the capture
+// allocation.
+//
+//mnnfast:hotpath allow=closure
 func (c *Column) streamBand(u tensor.Vector, lo, hi int, s *inferScratch) {
 	depth := c.opt.PrefetchDepth
 	if depth < 1 {

@@ -12,6 +12,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"mnnfast/internal/lint/facts"
 )
 
 // Analyzer describes one static check: a name, a documentation string,
@@ -46,6 +48,14 @@ type Pass struct {
 	// 32-bit alignment construct their own 32-bit Sizes.
 	TypesSizes types.Sizes
 	Report     func(Diagnostic)
+
+	// Facts holds the imported per-package fact sets of this package's
+	// (transitive) in-module dependencies, computed by the driver in
+	// dependency order before any analyzer runs (see internal/lint/facts
+	// and internal/lint/factbuild). Nil when the driver has none — e.g.
+	// single-package fixture tests — and analyzers must degrade to their
+	// package-local behavior then.
+	Facts *facts.Set
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -29,7 +29,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	di := directives.Collect(pass)
+	di := directives.Collect(pass.Files, pass.TypesInfo)
 
 	// Index Go-bodied declarations: the universe twins may live in.
 	bodied := make(map[string]bool)

@@ -1,0 +1,116 @@
+// Package baseline implements the checked-in suppression file that
+// lets a new analyzer land strict without a flag-day: known findings go
+// into lint.baseline (one per line), the driver subtracts them from a
+// run's results, and entries that no longer fire are reported as stale
+// so the file only ever shrinks.
+//
+// Line format (tab-separated, matching report.Finding.Key):
+//
+//	internal/server/batch.go	[hotalloc]	append on a hot path ...
+//
+// Lines carry no line numbers, so a baseline survives edits elsewhere
+// in the file; a finding whose message or file changes escapes the
+// baseline and must be re-triaged. Duplicate lines mean the same
+// finding is expected that many times. '#' lines and blank lines are
+// comments.
+package baseline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mnnfast/internal/lint/report"
+)
+
+// Baseline is a multiset of expected finding keys.
+type Baseline struct {
+	counts map[string]int
+	order  []string
+}
+
+// Parse reads a baseline file.
+func Parse(r io.Reader) (*Baseline, error) {
+	b := &Baseline{counts: make(map[string]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.TrimSpace(text) == "" || strings.HasPrefix(strings.TrimSpace(text), "#") {
+			continue
+		}
+		if strings.Count(text, "\t") < 2 {
+			return nil, fmt.Errorf("baseline line %d: want `file<TAB>[analyzer]<TAB>message`, got %q", line, text)
+		}
+		if b.counts[text] == 0 {
+			b.order = append(b.order, text)
+		}
+		b.counts[text]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Len returns the number of distinct baseline entries.
+func (b *Baseline) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.order)
+}
+
+// Apply subtracts baselined findings and returns the ones that remain
+// (new findings) plus the baseline entries that no longer fire (stale,
+// with multiplicity collapsed). A nil baseline keeps everything.
+func (b *Baseline) Apply(findings []report.Finding) (fresh []report.Finding, stale []string) {
+	if b == nil {
+		return findings, nil
+	}
+	remaining := make(map[string]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	for _, f := range findings {
+		k := f.Key()
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, k := range b.order {
+		if remaining[k] > 0 {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}
+
+// Write renders the findings as a fresh baseline file, sorted, with a
+// header comment documenting the format.
+func Write(w io.Writer, findings []report.Finding) error {
+	lines := make([]string, 0, len(findings))
+	for _, f := range findings {
+		lines = append(lines, f.Key())
+	}
+	sort.Strings(lines)
+	if _, err := fmt.Fprintln(w, "# mnnfast-lint baseline: known findings subtracted from every run."); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# Regenerate with `make lint-update-baseline`; stale entries fail the build."); err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package baseline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mnnfast/internal/lint/report"
+)
+
+func finding(file, analyzer, msg string) report.Finding {
+	return report.Finding{File: file, Line: 1, Column: 1, Analyzer: analyzer, Message: msg}
+}
+
+func TestParseApplyStale(t *testing.T) {
+	src := strings.Join([]string{
+		"# comment",
+		"",
+		"a.go\t[hotalloc]\tappend on a hot path",
+		"a.go\t[hotalloc]\tappend on a hot path", // same finding expected twice
+		"b.go\t[poolescape]\tnever returned",
+	}, "\n")
+	b, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 distinct entries", b.Len())
+	}
+
+	fresh, stale := b.Apply([]report.Finding{
+		finding("a.go", "hotalloc", "append on a hot path"),
+		finding("a.go", "hotalloc", "append on a hot path"),
+		finding("a.go", "hotalloc", "append on a hot path"), // third occurrence escapes the pair in the baseline
+		finding("c.go", "ctxleak", "fire-and-forget"),
+	})
+	if len(fresh) != 2 {
+		t.Errorf("fresh = %v, want the third duplicate and the c.go finding", fresh)
+	}
+	if len(stale) != 1 || !strings.HasPrefix(stale[0], "b.go\t") {
+		t.Errorf("stale = %v, want the unfired b.go entry", stale)
+	}
+}
+
+func TestParseRejectsBadLines(t *testing.T) {
+	if _, err := Parse(strings.NewReader("a.go [hotalloc] spaces not tabs\n")); err == nil {
+		t.Error("space-separated line must be rejected")
+	}
+}
+
+func TestNilBaselineKeepsEverything(t *testing.T) {
+	var b *Baseline
+	fs := []report.Finding{finding("a.go", "x", "m")}
+	fresh, stale := b.Apply(fs)
+	if len(fresh) != 1 || stale != nil {
+		t.Errorf("nil baseline: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	fs := []report.Finding{
+		finding("b.go", "poolescape", "never returned"),
+		finding("a.go", "hotalloc", "append on a hot path"),
+		finding("a.go", "hotalloc", "append on a hot path"),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, fs); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	b, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	fresh, stale := b.Apply(fs)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("a just-written baseline must exactly cover its findings: fresh=%v stale=%v", fresh, stale)
+	}
+}

@@ -1,0 +1,232 @@
+// Package ctxleak checks goroutine and timer hygiene on the serving
+// tier. Two invariants:
+//
+//  1. A goroutine launched inside request scope — any function that
+//     receives a context.Context or *http.Request — must be joinable or
+//     cancellable: its body must use the request's context (select on
+//     ctx.Done), signal a sync.WaitGroup, receive the context as an
+//     argument, or select on an external signal channel (the quit /
+//     closed channel shutdown idiom). A bare `go` that does none of
+//     these is fire-and-forget: it outlives the request, keeps its
+//     captures alive, and multiplies under load until the process dies —
+//     exactly the leak class a multi-node serving tier turns from a slow
+//     drip into an outage.
+//
+//  2. time.After must not be used inside loops (each call arms a timer
+//     that is only reclaimed when it fires — a per-iteration allocation
+//     with minutes-long lifetime under a long timeout), and time.Tick
+//     must not be used at all (its ticker can never be stopped).
+//
+// Deliberately detached goroutines (daemon housekeeping spawned from a
+// request path by design) carry a `//mnnfast:allow ctxleak <reason>`
+// line comment.
+package ctxleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mnnfast/internal/lint/analysis"
+	"mnnfast/internal/lint/directives"
+	"mnnfast/internal/lint/walk"
+)
+
+// Analyzer is the ctxleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxleak",
+	Doc:  "goroutines in request scope must be joined or cancellable via ctx/WaitGroup/signal channel; no time.After in loops or time.Tick anywhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	di := directives.Collect(pass.Files, pass.TypesInfo)
+	for _, fi := range di.Funcs() {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		scope := scopeParams(pass.TypesInfo, fi.Decl)
+		walk.WithStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if len(scope) > 0 {
+					checkGo(pass, n, scope)
+				}
+			case *ast.CallExpr:
+				checkTimer(pass, n, stack)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// scopeParams returns the function's request-scope parameters: those of
+// type context.Context or *net/http.Request.
+func scopeParams(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if isRequestScoped(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func isRequestScoped(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "context.Context", "net/http.Request":
+		return true
+	}
+	return false
+}
+
+// checkGo flags a go statement in request scope unless the goroutine is
+// tied to the request or to an explicit join/shutdown mechanism.
+func checkGo(pass *analysis.Pass, g *ast.GoStmt, scope []types.Object) {
+	info := pass.TypesInfo
+
+	// Named call receiving a scope param as an argument: the callee owns
+	// cancellation.
+	for _, arg := range g.Call.Args {
+		for _, obj := range scope {
+			if walk.UsesObj(arg, info, obj) {
+				return
+			}
+		}
+	}
+
+	body := ast.Node(g.Call)
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		body = lit.Body
+	}
+	for _, obj := range scope {
+		if walk.UsesObj(body, info, obj) {
+			return // selects on ctx.Done() or forwards ctx
+		}
+	}
+	if usesWaitGroup(info, body) {
+		return // wg.Done() — someone joins it
+	}
+	if selectsExternalChannel(info, body) {
+		return // quit/closed channel shutdown idiom
+	}
+	pass.Reportf(g.Pos(), "goroutine launched in request scope is fire-and-forget: it neither uses the request context, signals a WaitGroup, nor selects on a shutdown channel; join it or select on ctx.Done() so cancellation propagates (`//mnnfast:allow ctxleak <reason>` if detached by design)")
+}
+
+// usesWaitGroup reports whether the body references a sync.WaitGroup
+// variable (wg.Done / wg.Add / passing &wg).
+func usesWaitGroup(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		t := v.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// selectsExternalChannel reports whether the body contains a receive —
+// in a select case or as a statement — from a channel not declared
+// inside the body itself: the external signal the goroutine shuts down
+// on.
+func selectsExternalChannel(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ue, ok := n.(*ast.UnaryExpr)
+		if !ok || ue.Op.String() != "<-" {
+			return true
+		}
+		root := chanRoot(ue.X)
+		if root == nil {
+			return true
+		}
+		obj := info.Uses[root]
+		if obj == nil {
+			return true
+		}
+		if obj.Pos() < body.Pos() || obj.Pos() > body.End() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// chanRoot finds the root identifier of a channel expression: x in
+// `<-x`, `<-x.quit`, `<-x.Done()`.
+func chanRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.CallExpr:
+			e = v.Fun
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkTimer flags time.After inside loops and time.Tick anywhere.
+func checkTimer(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "time" {
+		return
+	}
+	switch sel.Sel.Name {
+	case "After":
+		if walk.InLoop(stack) {
+			pass.Reportf(call.Pos(), "time.After in a loop arms a new timer every iteration that is only reclaimed when it fires; hoist a time.Timer and Reset it, or derive a context with a deadline")
+		}
+	case "Tick":
+		pass.Reportf(call.Pos(), "time.Tick leaks its ticker (it can never be stopped); use time.NewTicker and defer Stop")
+	}
+}

@@ -1,0 +1,12 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"mnnfast/internal/lint/ctxleak"
+	"mnnfast/internal/lint/linttest"
+)
+
+func TestCtxleak(t *testing.T) {
+	linttest.Run(t, ctxleak.Analyzer, "a")
+}

@@ -1,0 +1,98 @@
+// Package fixture exercises ctxleak: fire-and-forget goroutines in
+// request scope, the joinable/cancellable escapes, timer hygiene, and
+// the allow suppression.
+package fixture
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+func audit(n int)                       {}
+func auditCtx(ctx context.Context)      {}
+func process(ctx context.Context) error { return nil }
+func handleSlow(w any, r *http.Request) {}
+
+// Leak launches a goroutine that nothing can cancel or join.
+func Leak(ctx context.Context, n int) {
+	go audit(n) // want "goroutine launched in request scope is fire-and-forget"
+}
+
+// LeakLit is the literal form of the same mistake.
+func LeakLit(r *http.Request, n int) {
+	go func() { // want "goroutine launched in request scope is fire-and-forget"
+		audit(n)
+	}()
+}
+
+// CtxArg hands the context to the callee: the callee owns cancellation.
+func CtxArg(ctx context.Context) {
+	go auditCtx(ctx)
+}
+
+// CtxBody selects on ctx.Done: cancellable.
+func CtxBody(ctx context.Context, work chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case n := <-work:
+			audit(n)
+		}
+	}()
+}
+
+// Joined signals a WaitGroup: someone waits for it.
+func Joined(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		audit(n)
+	}()
+	wg.Wait()
+}
+
+// Shutdown receives from a channel declared outside the goroutine: the
+// quit-channel idiom.
+func Shutdown(ctx context.Context, quit chan struct{}) {
+	go func() {
+		<-quit
+	}()
+}
+
+// Daemon is detached by design and says so.
+func Daemon(ctx context.Context, n int) {
+	go audit(n) //mnnfast:allow ctxleak housekeeping daemon outlives the request by design
+}
+
+// NotRequestScope has no ctx or request parameter: out of scope for the
+// goroutine rule.
+func NotRequestScope(n int) {
+	go audit(n)
+}
+
+// AfterInLoop arms a timer per iteration.
+func AfterInLoop(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-time.After(time.Second): // want "time.After in a loop arms a new timer every iteration"
+			return
+		case n := <-work:
+			audit(n)
+		}
+	}
+}
+
+// AfterOnce outside a loop is fine.
+func AfterOnce(ctx context.Context) {
+	<-time.After(time.Millisecond)
+}
+
+// Tick can never be stopped, loop or not.
+func Tick() {
+	for range time.Tick(time.Second) { // want "time.Tick leaks its ticker"
+		return
+	}
+}

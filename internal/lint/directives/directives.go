@@ -41,6 +41,15 @@
 //	    probe marks non-kernel stubs (CPUID/XGETBV feature probes, test
 //	    accessors) that have no numeric contract. asmtwin enforces that
 //	    every bodyless declaration carries exactly one of these.
+//
+//	//mnnfast:lockorder <before> < <after> [reason]
+//	    Pins an intended lock-acquisition ordering for the lockorder
+//	    analyzer (may appear on any comment line in the package). Lock
+//	    names are class IDs relative to the package: "Type.field" for a
+//	    mutex struct field, "var" for a package-level mutex, or a full
+//	    "pkgpath.Type.field" for a cross-package pin. A self pin
+//	    (before == after) blesses deliberate ordered acquisition of
+//	    several locks of one class.
 package directives
 
 import (
@@ -48,8 +57,6 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
-
-	"mnnfast/internal/lint/analysis"
 )
 
 const prefix = "//mnnfast:"
@@ -109,9 +116,11 @@ func (in *Info) ByObj(fn *types.Func) *FuncInfo { return in.byObj[fn.Origin()] }
 // ByDecl returns the info for a function declaration, or nil.
 func (in *Info) ByDecl(d *ast.FuncDecl) *FuncInfo { return in.byDecl[d] }
 
-// parseDirective splits one comment line into a directive verb and its
-// argument string; ok is false for non-directive comments.
-func parseDirective(text string) (verb, args string, ok bool) {
+// ParseDirective splits one comment line into a directive verb and its
+// argument string; ok is false for non-directive comments. Unknown
+// verbs parse fine — Collect simply ignores them, so a future directive
+// does not break older checkers.
+func ParseDirective(text string) (verb, args string, ok bool) {
 	if !strings.HasPrefix(text, prefix) {
 		return "", "", false
 	}
@@ -120,24 +129,27 @@ func parseDirective(text string) (verb, args string, ok bool) {
 	return verb, strings.TrimSpace(args), true
 }
 
-// Collect parses directives and computes the propagated hot set for
-// pass's package.
-func Collect(pass *analysis.Pass) *Info {
+// Collect parses directives and computes the propagated hot set for a
+// package given its parsed files and type information. Duplicate
+// directives on one declaration merge: a second //mnnfast:hotpath
+// contributes its allow= set to the first, repeated //mnnfast:locked
+// lines append.
+func Collect(files []*ast.File, info *types.Info) *Info {
 	in := &Info{
 		byObj:  make(map[*types.Func]*FuncInfo),
 		byDecl: make(map[*ast.FuncDecl]*FuncInfo),
 	}
-	for _, f := range pass.Files {
+	for _, f := range files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok {
 				continue
 			}
-			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			obj, _ := info.Defs[fd.Name].(*types.Func)
 			fi := &FuncInfo{Decl: fd, Obj: obj}
 			if fd.Doc != nil {
 				for _, c := range fd.Doc.List {
-					verb, args, ok := parseDirective(c.Text)
+					verb, args, ok := ParseDirective(c.Text)
 					if !ok {
 						continue
 					}
@@ -183,7 +195,7 @@ func Collect(pass *analysis.Pass) *Info {
 			}
 		}
 	}
-	in.propagate(pass)
+	in.propagate(info)
 	return in
 }
 
@@ -191,7 +203,7 @@ func Collect(pass *analysis.Pass) *Info {
 // a hot function as hot, stopping at //mnnfast:coldpath boundaries.
 // Calls through function values, interfaces, or other packages do not
 // propagate.
-func (in *Info) propagate(pass *analysis.Pass) {
+func (in *Info) propagate(info *types.Info) {
 	callees := make(map[*FuncInfo][]*FuncInfo)
 	for _, fi := range in.funcs {
 		if fi.Decl.Body == nil {
@@ -211,7 +223,7 @@ func (in *Info) propagate(pass *analysis.Pass) {
 			default:
 				return true
 			}
-			if obj, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+			if obj, ok := info.Uses[id].(*types.Func); ok {
 				if callee := in.byObj[obj.Origin()]; callee != nil {
 					callees[fi] = append(callees[fi], callee)
 				}
@@ -246,7 +258,7 @@ func AllowedLines(fset *token.FileSet, file *ast.File) map[int][]string {
 	var allowed map[int][]string
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			verb, args, ok := parseDirective(c.Text)
+			verb, args, ok := ParseDirective(c.Text)
 			if !ok || verb != "allow" {
 				continue
 			}
@@ -280,4 +292,35 @@ func Suppressed(fset *token.FileSet, file *ast.File, analyzer string, pos token.
 		}
 	}
 	return false
+}
+
+// RawPin is one parsed //mnnfast:lockorder directive, names unresolved.
+type RawPin struct {
+	// Before and After are lock class names as spelled in the directive
+	// ("Type.field", "var", or a full "pkgpath.Type.field").
+	Before, After string
+	Pos           token.Pos
+}
+
+// Pins scans every comment in the files for //mnnfast:lockorder
+// directives. Malformed directives (missing the `<`) are skipped; the
+// lockorder analyzer reports them.
+func Pins(files []*ast.File) (pins []RawPin, malformed []token.Pos) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				verb, args, ok := ParseDirective(c.Text)
+				if !ok || verb != "lockorder" {
+					continue
+				}
+				fields := strings.Fields(args)
+				if len(fields) < 3 || fields[1] != "<" {
+					malformed = append(malformed, c.Pos())
+					continue
+				}
+				pins = append(pins, RawPin{Before: fields[0], After: fields[2], Pos: c.Pos()})
+			}
+		}
+	}
+	return pins, malformed
 }

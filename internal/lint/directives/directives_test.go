@@ -1,0 +1,218 @@
+package directives
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+func parseAndCheck(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Error: func(error) {}}
+	if _, err := conf.Check("x", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, []*ast.File{f}, info
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text       string
+		verb, args string
+		ok         bool
+	}{
+		{"//mnnfast:hotpath", "hotpath", "", true},
+		{"//mnnfast:hotpath allow=append,fmt", "hotpath", "allow=append,fmt", true},
+		{"//mnnfast:locked sess.mu   ", "locked", "sess.mu", true},
+		{"//mnnfast:future-verb whatever args", "future-verb", "whatever args", true},
+		{"// mnnfast:hotpath", "", "", false}, // space breaks the directive form
+		{"// plain comment", "", "", false},
+		{"//mnnfast:", "", "", true}, // empty verb parses, collect ignores it
+	}
+	for _, c := range cases {
+		verb, args, ok := ParseDirective(c.text)
+		if verb != c.verb || args != c.args || ok != c.ok {
+			t.Errorf("ParseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, verb, args, ok, c.verb, c.args, c.ok)
+		}
+	}
+}
+
+func TestCollectMergesDuplicateDirectives(t *testing.T) {
+	src := `package x
+
+// F carries two hotpath lines and two locked lines; the allow sets
+// merge and the locked expressions append.
+//
+//mnnfast:hotpath allow=append
+//mnnfast:hotpath allow=fmt,closure
+//mnnfast:locked sess.mu
+//mnnfast:locked idx.mu
+func F() {}
+`
+	_, files, info := parseAndCheck(t, src)
+	di := Collect(files, info)
+	fi := di.Funcs()[0]
+	if !fi.Hot || !fi.HotAnnotated {
+		t.Fatalf("F not hot: %+v", fi)
+	}
+	for _, construct := range []string{"append", "fmt", "closure"} {
+		if !fi.Allows(construct) {
+			t.Errorf("F should allow %q after merging duplicate hotpath lines", construct)
+		}
+	}
+	if fi.Allows("box") {
+		t.Errorf("F must not allow constructs nobody listed")
+	}
+	if want := []string{"sess.mu", "idx.mu"}; !reflect.DeepEqual(fi.Locked, want) {
+		t.Errorf("Locked = %v, want %v", fi.Locked, want)
+	}
+}
+
+func TestCollectColdWinsAndUnknownVerbIgnored(t *testing.T) {
+	src := `package x
+
+// Both annotations on one function: cold wins, hotness is dropped.
+//
+//mnnfast:hotpath allow=append
+//mnnfast:coldpath
+//mnnfast:some-future-directive with args
+func F() {}
+
+//mnnfast:hotpath
+func Hot() { F() }
+`
+	_, files, info := parseAndCheck(t, src)
+	di := Collect(files, info)
+	var f, hot *FuncInfo
+	for _, fi := range di.Funcs() {
+		switch fi.Decl.Name.Name {
+		case "F":
+			f = fi
+		case "Hot":
+			hot = fi
+		}
+	}
+	if f.Hot || f.HotAnnotated || !f.Cold {
+		t.Errorf("F should be cold only, got %+v", f)
+	}
+	if !hot.Hot {
+		t.Errorf("Hot lost its annotation")
+	}
+	// Propagation must stop at the cold boundary even though Hot calls F.
+	if f.Hot {
+		t.Errorf("hotness propagated into an explicit coldpath")
+	}
+}
+
+func TestCollectBodylessAsmDecl(t *testing.T) {
+	src := `package x
+
+// Kernel is assembly-backed: no body, a declared scalar twin.
+//
+//mnnfast:asm twin=kernelRef probe
+func Kernel(x []float32) float32
+
+func kernelRef(x []float32) float32 { return 0 }
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// Bodyless non-asm-backed declarations are a type error in plain
+	// go/types; collect directives from the parsed file with a
+	// best-effort check instead.
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Error: func(error) {}}
+	conf.Check("x", fset, []*ast.File{f}, info) // error ignored: body is missing by design
+	di := Collect([]*ast.File{f}, info)
+	var kernel *FuncInfo
+	for _, fi := range di.Funcs() {
+		if fi.Decl.Name.Name == "Kernel" {
+			kernel = fi
+		}
+	}
+	if kernel == nil {
+		t.Fatal("bodyless declaration missing from Collect output")
+	}
+	if kernel.AsmTwin != "kernelRef" || !kernel.AsmProbe {
+		t.Errorf("asm args parsed as twin=%q probe=%v, want kernelRef/true", kernel.AsmTwin, kernel.AsmProbe)
+	}
+}
+
+func TestPins(t *testing.T) {
+	src := `package x
+
+//mnnfast:lockorder Svc.mu < Store.mu service wraps store
+//mnnfast:lockorder session.mu < session.mu batch drain
+//mnnfast:lockorder Svc.mu before Store.mu
+//mnnfast:lockorder loneName
+func F() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pins, malformed := Pins([]*ast.File{f})
+	want := []struct{ before, after string }{
+		{"Svc.mu", "Store.mu"},
+		{"session.mu", "session.mu"},
+	}
+	if len(pins) != len(want) {
+		t.Fatalf("got %d pins, want %d", len(pins), len(want))
+	}
+	for i, w := range want {
+		if pins[i].Before != w.before || pins[i].After != w.after {
+			t.Errorf("pin %d = %s < %s, want %s < %s", i, pins[i].Before, pins[i].After, w.before, w.after)
+		}
+	}
+	if len(malformed) != 2 {
+		t.Errorf("got %d malformed pins, want 2 (missing '<', too few fields)", len(malformed))
+	}
+}
+
+func TestAllowedLines(t *testing.T) {
+	src := `package x
+
+func F() int {
+	a := alloc() //mnnfast:allow hotalloc amortized
+	//mnnfast:allow poolescape handed to the recorder
+	b := alloc()
+	return a + b
+}
+
+func alloc() int { return 0 }
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	allowed := AllowedLines(fset, f)
+	if got := allowed[4]; len(got) != 1 || got[0] != "hotalloc" {
+		t.Errorf("line 4 allows %v, want [hotalloc]", got)
+	}
+	if got := allowed[5]; len(got) != 1 || got[0] != "poolescape" {
+		t.Errorf("line 5 allows %v, want [poolescape]", got)
+	}
+	if got := allowed[6]; len(got) != 0 {
+		t.Errorf("line 6 allows %v, want none (suppression binds to its own and next line at query time)", got)
+	}
+}

@@ -1,0 +1,283 @@
+// Package factbuild computes the facts a package exports (see
+// internal/lint/facts for the data model). The driver runs it once per
+// package in dependency order, feeding each package the already-decoded
+// facts of its dependencies, so fact flow follows the import DAG the
+// same way compiled export data does.
+//
+// The interesting computation is the latent-violation fold: hot-path
+// violations in functions that are NOT hot are exported anyway, because
+// a caller in a dependent package may pull the function onto the hot
+// path. Folding is transitive — a non-hot function's export includes
+// its same-package and imported callees' latent violations with the
+// call chain recorded — so a hot root two packages up still sees the
+// leaf violation at its own call site. Hot functions export no
+// violations (they are fully checked where they are declared) and cold
+// functions stop the fold, mirroring intra-package propagation rules.
+package factbuild
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"mnnfast/internal/lint/directives"
+	"mnnfast/internal/lint/facts"
+	"mnnfast/internal/lint/hotscan"
+	"mnnfast/internal/lint/lockscan"
+	"mnnfast/internal/lint/walk"
+)
+
+// MaxViolations caps the latent violations exported per function.
+// Enough for a caller to see what it would drag onto the hot path; the
+// full list shows up once the function is actually annotated hot.
+const MaxViolations = 8
+
+// PosString renders pos as "file.go:line:col" with the file reduced to
+// its base name, so facts do not embed machine-specific paths.
+func PosString(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}
+
+// Compute builds the fact package for one type-checked package. deps
+// holds the decoded facts of its (transitive) in-module dependencies
+// and may be nil.
+func Compute(fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info, deps *facts.Set) *facts.Package {
+	di := directives.Collect(files, info)
+	locks := lockscan.Scan(fset, info, di, deps)
+
+	fp := &facts.Package{
+		Path:  tpkg.Path(),
+		Funcs: make(map[string]*facts.Func),
+	}
+
+	suppressed := suppressedLines(fset, files)
+	callees := callGraph(di, info)
+
+	// memo holds each non-hot function's folded latent violations.
+	memo := make(map[string][]facts.Violation)
+	visiting := make(map[string]bool)
+	var fold func(fi *directives.FuncInfo) []facts.Violation
+	fold = func(fi *directives.FuncInfo) []facts.Violation {
+		sym := lockscan.Symbol(fi.Decl)
+		if v, ok := memo[sym]; ok {
+			return v
+		}
+		if visiting[sym] {
+			return nil // recursion: cut the cycle, own violations still count once
+		}
+		visiting[sym] = true
+		defer delete(visiting, sym)
+
+		var out []facts.Violation
+		for _, f := range hotscan.Scan(info, tpkg, fi) {
+			if suppressed(f.Pos, "hotalloc") {
+				continue
+			}
+			out = append(out, facts.Violation{
+				Construct: f.Construct,
+				Pos:       PosString(fset, f.Pos),
+				Msg:       f.Msg,
+			})
+		}
+		for _, callee := range callees[sym] {
+			out = append(out, calleeViolations(di, deps, fold, callee)...)
+		}
+		out = dedupViolations(out)
+		if len(out) > MaxViolations {
+			out = out[:MaxViolations]
+		}
+		memo[sym] = out
+		return out
+	}
+
+	for _, fi := range di.Funcs() {
+		sym := lockscan.Symbol(fi.Decl)
+		f := &facts.Func{
+			Hot:      fi.Hot,
+			Cold:     fi.Cold,
+			PoolGet:  fi.PoolGet,
+			PoolPut:  fi.PoolPut,
+			Locked:   append([]string(nil), fi.Locked...),
+			Acquires: locks.Acquires[sym],
+			Retains:  locks.Retains[sym],
+		}
+		if !fi.Hot && !fi.Cold {
+			f.Violations = fold(fi)
+		}
+		if !f.Zero() {
+			fp.Funcs[sym] = f
+		}
+	}
+
+	fp.Guards = collectGuards(files, info)
+	for _, e := range locks.Edges {
+		fp.Edges = append(fp.Edges, facts.LockEdge{
+			From: e.From, To: e.To,
+			Pos:  PosString(fset, e.Pos),
+			Func: e.Func,
+		})
+	}
+	pins, _ := directives.Pins(files)
+	for _, p := range pins {
+		fp.Pins = append(fp.Pins, facts.Pin{
+			Before: lockscan.ResolvePin(tpkg.Path(), p.Before),
+			After:  lockscan.ResolvePin(tpkg.Path(), p.After),
+			Pos:    PosString(fset, p.Pos),
+		})
+	}
+	return fp
+}
+
+// calleeViolations returns the latent violations a call to callee would
+// pull in: none if the callee is hot (checked at home) or cold
+// (boundary), its folded set otherwise, each with the callee symbol
+// prepended to the chain.
+func calleeViolations(di *directives.Info, deps *facts.Set, fold func(*directives.FuncInfo) []facts.Violation, callee *types.Func) []facts.Violation {
+	var (
+		vs    []facts.Violation
+		label string
+	)
+	if fi := di.ByObj(callee); fi != nil {
+		if fi.Hot || fi.Cold {
+			return nil
+		}
+		label = lockscan.ObjSymbol(callee)
+		vs = fold(fi)
+	} else if callee.Pkg() != nil {
+		ff := deps.FuncFact(callee.Pkg().Path(), lockscan.ObjSymbol(callee))
+		if ff == nil || ff.Hot || ff.Cold {
+			return nil
+		}
+		label = callee.Pkg().Path() + "." + lockscan.ObjSymbol(callee)
+		vs = ff.Violations
+	}
+	out := make([]facts.Violation, 0, len(vs))
+	for _, v := range vs {
+		nv := v
+		nv.Path = append([]string{label}, v.Path...)
+		out = append(out, nv)
+	}
+	return out
+}
+
+// callGraph maps each function symbol to the named functions it calls
+// (local and imported), in source order.
+func callGraph(di *directives.Info, info *types.Info) map[string][]*types.Func {
+	graph := make(map[string][]*types.Func)
+	for _, fi := range di.Funcs() {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		sym := lockscan.Symbol(fi.Decl)
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return true
+			}
+			if fn, ok := info.Uses[id].(*types.Func); ok && !seen[fn] {
+				seen[fn] = true
+				graph[sym] = append(graph[sym], fn)
+			}
+			return true
+		})
+	}
+	return graph
+}
+
+func dedupViolations(vs []facts.Violation) []facts.Violation {
+	type key struct{ construct, pos string }
+	seen := make(map[key]bool)
+	out := vs[:0]
+	for _, v := range vs {
+		k := key{v.Construct, v.Pos}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// suppressedLines precomputes per-file //mnnfast:allow maps and returns
+// a position-based suppression query.
+func suppressedLines(fset *token.FileSet, files []*ast.File) func(pos token.Pos, analyzer string) bool {
+	type fileAllow struct {
+		file    *ast.File
+		allowed map[int][]string
+	}
+	var fas []fileAllow
+	for _, f := range files {
+		if m := directives.AllowedLines(fset, f); m != nil {
+			fas = append(fas, fileAllow{file: f, allowed: m})
+		}
+	}
+	return func(pos token.Pos, analyzer string) bool {
+		for _, fa := range fas {
+			if pos < fa.file.Pos() || pos > fa.file.End() {
+				continue
+			}
+			line := fset.Position(pos).Line
+			for _, l := range []int{line, line - 1} {
+				for _, name := range fa.allowed[l] {
+					if name == analyzer {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+}
+
+// collectGuards finds `// guarded by <mu>` struct-field annotations and
+// maps "Type.Field" to the guarding sibling field name. Only fields of
+// named struct types are exported — those are the ones reachable from
+// other packages.
+func collectGuards(files []*ast.File, info *types.Info) map[string]string {
+	guards := make(map[string]string)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					guard := walk.GuardAnnotation(field.Doc, field.Comment)
+					if guard == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						guards[ts.Name.Name+"."+name.Name] = guard
+					}
+				}
+			}
+		}
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+	return guards
+}

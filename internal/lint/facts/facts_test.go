@@ -1,0 +1,141 @@
+package facts
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func samplePackage() *Package {
+	return &Package{
+		Path: "mnnfast/internal/server",
+		Funcs: map[string]*Func{
+			"Server.handle": {
+				Hot:    true,
+				Locked: []string{"s.mu"},
+				Acquires: []string{
+					"mnnfast/internal/server.session.mu",
+					"mnnfast/internal/obs.Registry.mu",
+				},
+				Retains: []string{"mnnfast/internal/server.session.mu"},
+			},
+			"helper": {
+				Violations: []Violation{
+					{Construct: "fmt", Pos: "data.go:115:22", Msg: "fmt.Errorf allocates", Path: []string{"memnn.Corpus.VectorizeStory"}},
+					{Construct: "append", Pos: "data.go:90:3", Msg: "append on a hot path"},
+				},
+			},
+			"Pool.Get": {PoolGet: true},
+			"Pool.Put": {PoolPut: true},
+			"cold":     {Cold: true},
+		},
+		Guards: map[string]string{"session.state": "mu"},
+		Edges: []LockEdge{
+			{From: "mnnfast/internal/server.session.mu", To: "mnnfast/internal/obs.Registry.mu", Pos: "batch.go:108:2", Func: "runAnswerBatch"},
+		},
+		Pins: []Pin{
+			{Before: "mnnfast/internal/server.session.mu", After: "mnnfast/internal/server.session.mu", Pos: "batch.go:12"},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := samplePackage()
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got == nil {
+		t.Fatal("decoder rejected freshly encoded facts")
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("round trip mutated the package:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := samplePackage().Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := samplePackage().Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("two encodings of the same facts differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if !strings.HasPrefix(a.String(), "mnnfast-facts "+Version+"\n") {
+		t.Errorf("missing version header: %q", a.String()[:40])
+	}
+}
+
+func TestDecodeRejectsForeignStreams(t *testing.T) {
+	cases := []string{
+		"",
+		"not a facts file\n{}\n",
+		"mnnfast-facts v0\n{}\n", // older wire version: degrade, not error
+		"mnnfast vet stamp\n",
+	}
+	for _, c := range cases {
+		p, err := Decode(strings.NewReader(c))
+		if err != nil {
+			t.Errorf("Decode(%q) errored: %v (want graceful nil)", c, err)
+		}
+		if p != nil {
+			t.Errorf("Decode(%q) = %+v, want nil", c, p)
+		}
+	}
+}
+
+func TestDecodeCorruptPayloadErrors(t *testing.T) {
+	in := "mnnfast-facts " + Version + "\n{truncated"
+	if _, err := Decode(strings.NewReader(in)); err == nil {
+		t.Error("corrupt JSON after a valid header must error, not degrade")
+	}
+}
+
+func TestZeroFuncsDropped(t *testing.T) {
+	p := &Package{
+		Path: "x",
+		Funcs: map[string]*Func{
+			"kept":    {Hot: true},
+			"retains": {Retains: []string{"x.T.mu"}},
+		},
+	}
+	for sym, f := range p.Funcs {
+		if f.Zero() {
+			t.Errorf("%s reported zero despite carrying facts", sym)
+		}
+	}
+	if !(&Func{}).Zero() {
+		t.Error("empty Func must be zero")
+	}
+}
+
+func TestSetLookup(t *testing.T) {
+	var nilSet *Set
+	if nilSet.Pkg("x") != nil || nilSet.FuncFact("x", "F") != nil || nilSet.All() != nil {
+		t.Error("nil Set must behave as empty")
+	}
+	s := NewSet()
+	s.Add(samplePackage())
+	if s.FuncFact("mnnfast/internal/server", "Server.handle") == nil {
+		t.Error("lookup of present fact failed")
+	}
+	if s.FuncFact("mnnfast/internal/server", "nope") != nil {
+		t.Error("lookup of absent symbol must be nil")
+	}
+	if s.FuncFact("other", "Server.handle") != nil {
+		t.Error("lookup in absent package must be nil")
+	}
+	// Re-adding replaces without duplicating the order slice.
+	s.Add(samplePackage())
+	if len(s.All()) != 1 {
+		t.Errorf("re-add duplicated the package: %d entries", len(s.All()))
+	}
+}

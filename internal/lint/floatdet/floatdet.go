@@ -49,7 +49,7 @@ var mathFns = map[string]bool{
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	di := directives.Collect(pass)
+	di := directives.Collect(pass.Files, pass.TypesInfo)
 	for _, fi := range di.Funcs() {
 		if fi.Decl.Body == nil {
 			continue

@@ -22,8 +22,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"regexp"
-	"strings"
 
 	"mnnfast/internal/lint/analysis"
 	"mnnfast/internal/lint/directives"
@@ -37,12 +35,11 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-var guardRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
-
 func run(pass *analysis.Pass) (any, error) {
-	di := directives.Collect(pass)
+	di := directives.Collect(pass.Files, pass.TypesInfo)
 	guards := collectGuards(pass)
-	if len(guards) == 0 {
+	imported := importedGuards(pass)
+	if len(guards) == 0 && len(imported) == 0 {
 		return nil, nil
 	}
 	for _, fi := range di.Funcs() {
@@ -50,7 +47,7 @@ func run(pass *analysis.Pass) (any, error) {
 			continue
 		}
 		for _, sc := range walk.Scopes(fi.Decl) {
-			checkScope(pass, fi, sc, guards)
+			checkScope(pass, fi, sc, guards, imported)
 		}
 	}
 	return nil, nil
@@ -68,7 +65,7 @@ func collectGuards(pass *analysis.Pass) map[*types.Var]string {
 				return true
 			}
 			for _, field := range st.Fields.List {
-				guard := guardFromComments(field.Doc, field.Comment)
+				guard := walk.GuardAnnotation(field.Doc, field.Comment)
 				if guard == "" {
 					continue
 				}
@@ -84,22 +81,56 @@ func collectGuards(pass *analysis.Pass) map[*types.Var]string {
 	return guards
 }
 
-func guardFromComments(groups ...*ast.CommentGroup) string {
-	for _, cg := range groups {
-		if cg == nil {
+// importedGuards resolves guarded-field facts of dependency packages:
+// it maps each imported field object accessed in this package to its
+// guarding sibling mutex name, using the exporting package's Guards
+// facts ("Type.Field" → mutex field name).
+func importedGuards(pass *analysis.Pass) map[*types.Var]string {
+	guards := make(map[*types.Var]string)
+	for _, fp := range pass.Facts.All() {
+		if len(fp.Guards) == 0 {
 			continue
 		}
-		for _, c := range cg.List {
-			if m := guardRE.FindStringSubmatch(c.Text); m != nil {
-				g := m[1]
-				if i := strings.LastIndex(g, "."); i >= 0 {
-					g = g[i+1:]
+		// Find the imported package object among this package's imports.
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Path() != fp.Path {
+				continue
+			}
+			for key, mu := range fp.Guards {
+				typeName, fieldName, ok := cutLast(key)
+				if !ok {
+					continue
 				}
-				return g
+				tn, ok := imp.Scope().Lookup(typeName).(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					if f := st.Field(i); f.Name() == fieldName {
+						guards[f] = mu
+					}
+				}
 			}
 		}
 	}
-	return ""
+	return guards
+}
+
+func cutLast(key string) (before, after string, ok bool) {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '.' {
+			return key[:i], key[i+1:], true
+		}
+	}
+	return "", "", false
 }
 
 // lockEvent is one Lock/Unlock call on some mutex expression.
@@ -114,7 +145,7 @@ var lockMethods = map[string]bool{
 	"Unlock": true, "RUnlock": true,
 }
 
-func checkScope(pass *analysis.Pass, fi *directives.FuncInfo, sc walk.Scope, guards map[*types.Var]string) {
+func checkScope(pass *analysis.Pass, fi *directives.FuncInfo, sc walk.Scope, guards, imported map[*types.Var]string) {
 	info := pass.TypesInfo
 
 	// Locked annotations apply to the declared function's own body;
@@ -142,10 +173,10 @@ func checkScope(pass *analysis.Pass, fi *directives.FuncInfo, sc walk.Scope, gua
 		if fn, ok := info.Uses[sel.Sel].(*types.Func); !ok || fn.Type().(*types.Signature).Recv() == nil {
 			return true
 		}
-		if unlock && inDefer(stack) {
+		if unlock && walk.InDefer(stack) {
 			return true // deferred unlock runs at return, after body accesses
 		}
-		if unlock && terminalUnlock(stack, sc.Body) {
+		if unlock && walk.TerminalInList(stack, sc.Body) {
 			// `if cond { mu.Unlock(); return }` — code after the block
 			// only runs when the branch was not taken, i.e. with the
 			// lock still held, so this event must not end the region.
@@ -165,6 +196,9 @@ func checkScope(pass *analysis.Pass, fi *directives.FuncInfo, sc walk.Scope, gua
 			return true
 		}
 		guard, guarded := guards[v]
+		if !guarded {
+			guard, guarded = imported[v]
+		}
 		if !guarded {
 			return true
 		}
@@ -191,45 +225,4 @@ func heldAt(events []lockEvent, key string, pos token.Pos) bool {
 		}
 	}
 	return best.pos.IsValid() && !best.unlock
-}
-
-// terminalUnlock reports whether the unlock call sits in a NESTED
-// statement list that ends with a return — the early-exit shape. An
-// unlock directly in the scope body is always a real end-of-region
-// event, even when the body itself ends with a return. Only the
-// innermost enclosing list is examined: an unlock deeper in a
-// non-returning block still ends the region for the code after it.
-func terminalUnlock(stack []ast.Node, body *ast.BlockStmt) bool {
-	for i := len(stack) - 1; i >= 0; i-- {
-		var list []ast.Stmt
-		switch b := stack[i].(type) {
-		case *ast.BlockStmt:
-			if b == body {
-				return false
-			}
-			list = b.List
-		case *ast.CaseClause:
-			list = b.Body
-		case *ast.CommClause:
-			list = b.Body
-		default:
-			continue
-		}
-		if n := len(list); n > 0 {
-			if _, ok := list[n-1].(*ast.ReturnStmt); ok {
-				return true
-			}
-		}
-		return false
-	}
-	return false
-}
-
-func inDefer(stack []ast.Node) bool {
-	for _, anc := range stack {
-		if _, ok := anc.(*ast.DeferStmt); ok {
-			return true
-		}
-	}
-	return false
 }

@@ -1,13 +1,22 @@
 // Package hotalloc flags allocation-inducing constructs inside
 // //mnnfast:hotpath functions (and everything they reach through
 // same-package static calls): append growth, fmt.* calls, interface
-// boxing, string concatenation, and map/slice composite literals.
+// boxing, string concatenation, map/slice composite literals, closure
+// captures, and — inside loops — defer statements and time.Now reads.
 //
 // The hot serving path is the zero-allocation contract from MnnFast
 // §4.1: every per-request byte lives in preallocated scratch, so the
 // inference loop never touches the allocator or triggers GC. Anything
 // that can allocate per call is a regression even when benchmarks
 // happen to miss it.
+//
+// With facts loaded (see internal/lint/facts), the check crosses
+// package boundaries: a hot function calling an unannotated function in
+// another package reports that callee's latent violations at the call
+// site, with the folded call chain, so a violation two packages below
+// its //mnnfast:hotpath root still surfaces. Imported callees that are
+// hot in their home package are trusted (they were checked there);
+// //mnnfast:coldpath callees stop propagation exactly like in-package.
 //
 // Escapes, in decreasing order of preference:
 //
@@ -23,263 +32,97 @@
 package hotalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"mnnfast/internal/lint/analysis"
 	"mnnfast/internal/lint/directives"
+	"mnnfast/internal/lint/facts"
+	"mnnfast/internal/lint/hotscan"
+	"mnnfast/internal/lint/lockscan"
 	"mnnfast/internal/lint/walk"
 )
 
 // Analyzer is the hotalloc pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
-	Doc:  "flag allocating constructs (append, fmt, boxing, string concat, map/slice literals) in //mnnfast:hotpath functions",
+	Doc:  "flag allocating constructs (append, fmt, boxing, closures, string concat, map/slice literals, loop defer/time.Now) in //mnnfast:hotpath functions, across package boundaries via facts",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	di := directives.Collect(pass)
+	di := directives.Collect(pass.Files, pass.TypesInfo)
 	for _, fi := range di.Funcs() {
 		if !fi.Hot || fi.Decl.Body == nil {
 			continue
 		}
-		checkFunc(pass, fi)
+		for _, f := range hotscan.Scan(pass.TypesInfo, pass.Pkg, fi) {
+			pass.Reportf(f.Pos, "%s", f.Msg)
+		}
+		checkImportedCalls(pass, di, fi)
 	}
 	return nil, nil
 }
 
-func checkFunc(pass *analysis.Pass, fi *directives.FuncInfo) {
-	info := pass.TypesInfo
+// checkImportedCalls reports, at each call site inside a hot function,
+// the latent violations of unannotated callees declared in other
+// packages, using their exported facts. Callees that are hot or cold in
+// their home package are clean by construction.
+func checkImportedCalls(pass *analysis.Pass, di *directives.Info, fi *directives.FuncInfo) {
 	walk.WithStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			checkCall(pass, fi, n, stack)
-		case *ast.BinaryExpr:
-			checkStringConcat(pass, fi, n, stack)
-		case *ast.CompositeLit:
-			checkCompositeLit(pass, fi, n, stack)
-		case *ast.AssignStmt:
-			checkBoxingAssign(pass, fi, n, stack)
-		case *ast.ValueSpec:
-			checkBoxingValueSpec(pass, fi, n, stack)
-		case *ast.ReturnStmt:
-			checkBoxingReturn(pass, fi, n, stack, info)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
 		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil || di.ByObj(fn) != nil {
+			return true // builtin, same package (propagation handles it), or unresolved
+		}
+		ff := pass.Facts.FuncFact(fn.Pkg().Path(), lockscan.ObjSymbol(fn))
+		if ff == nil || ff.Hot || ff.Cold || len(ff.Violations) == 0 {
+			return true
+		}
+		if walk.InPanicArg(stack, pass.TypesInfo) {
+			return true
+		}
+		// The caller's own allow= set covers what it knowingly pulls in
+		// (e.g. allow=timenow on an instrumented wrapper); report the
+		// first violation it does not cover.
+		var picked *facts.Violation
+		remaining := 0
+		for i := range ff.Violations {
+			if fi.Allows(ff.Violations[i].Construct) {
+				continue
+			}
+			if picked == nil {
+				picked = &ff.Violations[i]
+			} else {
+				remaining++
+			}
+		}
+		if picked == nil {
+			return true
+		}
+		chain := fn.Pkg().Path() + "." + lockscan.ObjSymbol(fn)
+		if len(picked.Path) > 0 {
+			chain += " → " + strings.Join(picked.Path, " → ")
+		}
+		extra := ""
+		if remaining > 0 {
+			extra = fmt.Sprintf(" (and %d more)", remaining)
+		}
+		pass.Reportf(call.Pos(), "call pulls %s onto the hot path: %s at %s%s; annotate the callee //mnnfast:hotpath (and fix it) or //mnnfast:coldpath if this call is off the serving path", chain, picked.Msg, picked.Pos, extra)
 		return true
 	})
-}
-
-func checkCall(pass *analysis.Pass, fi *directives.FuncInfo, call *ast.CallExpr, stack []ast.Node) {
-	info := pass.TypesInfo
-	if id, ok := call.Fun.(*ast.Ident); ok {
-		if b, ok := info.Uses[id].(*types.Builtin); ok {
-			if b.Name() == "append" && !fi.Allows("append") && !walk.InPanicArg(stack, info) {
-				pass.Reportf(call.Pos(), "append on a hot path can grow and allocate; preallocate the slice, or annotate the function `//mnnfast:hotpath allow=append` if growth is amortized")
-			}
-			return
-		}
-	}
-	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-		if x, ok := sel.X.(*ast.Ident); ok {
-			if pn, ok := info.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
-				if !fi.Allows("fmt") && !walk.InPanicArg(stack, info) {
-					pass.Reportf(call.Pos(), "fmt.%s allocates on a hot path; move formatting behind a //mnnfast:coldpath boundary", sel.Sel.Name)
-				}
-				return
-			}
-		}
-	}
-	checkBoxingCall(pass, fi, call, stack)
-}
-
-// checkBoxingCall flags concrete values passed where an interface
-// parameter is declared (implicit boxing → heap allocation), and
-// explicit conversions to interface types.
-func checkBoxingCall(pass *analysis.Pass, fi *directives.FuncInfo, call *ast.CallExpr, stack []ast.Node) {
-	info := pass.TypesInfo
-	tv, ok := info.Types[call.Fun]
-	if !ok {
-		return
-	}
-	if tv.IsType() {
-		// Explicit conversion T(x).
-		if len(call.Args) == 1 {
-			reportBoxing(pass, fi, call.Args[0], tv.Type, stack)
-		}
-		return
-	}
-	sig, ok := tv.Type.Underlying().(*types.Signature)
-	if !ok {
-		return
-	}
-	params := sig.Params()
-	for i, arg := range call.Args {
-		var pt types.Type
-		switch {
-		case sig.Variadic() && i >= params.Len()-1:
-			if call.Ellipsis.IsValid() {
-				continue // slice passed through, no boxing per element
-			}
-			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
-		case i < params.Len():
-			pt = params.At(i).Type()
-		default:
-			continue
-		}
-		reportBoxing(pass, fi, arg, pt, stack)
-	}
-}
-
-func checkBoxingAssign(pass *analysis.Pass, fi *directives.FuncInfo, as *ast.AssignStmt, stack []ast.Node) {
-	if len(as.Lhs) != len(as.Rhs) {
-		return
-	}
-	info := pass.TypesInfo
-	for i, lhs := range as.Lhs {
-		lt := info.TypeOf(lhs)
-		if lt == nil {
-			continue
-		}
-		reportBoxing(pass, fi, as.Rhs[i], lt, stack)
-	}
-}
-
-func checkBoxingValueSpec(pass *analysis.Pass, fi *directives.FuncInfo, spec *ast.ValueSpec, stack []ast.Node) {
-	if spec.Type == nil || len(spec.Values) == 0 {
-		return
-	}
-	dt := pass.TypesInfo.TypeOf(spec.Type)
-	if dt == nil {
-		return
-	}
-	for _, v := range spec.Values {
-		reportBoxing(pass, fi, v, dt, stack)
-	}
-}
-
-func checkBoxingReturn(pass *analysis.Pass, fi *directives.FuncInfo, ret *ast.ReturnStmt, stack []ast.Node, info *types.Info) {
-	sig := enclosingSignature(fi, stack, info)
-	if sig == nil || sig.Results().Len() != len(ret.Results) {
-		return
-	}
-	for i, res := range ret.Results {
-		reportBoxing(pass, fi, res, sig.Results().At(i).Type(), stack)
-	}
-}
-
-// enclosingSignature finds the signature governing a return statement:
-// the innermost enclosing function literal on the stack, else the
-// declared function itself.
-func enclosingSignature(fi *directives.FuncInfo, stack []ast.Node, info *types.Info) *types.Signature {
-	for i := len(stack) - 1; i >= 0; i-- {
-		if lit, ok := stack[i].(*ast.FuncLit); ok {
-			if sig, ok := info.TypeOf(lit).(*types.Signature); ok {
-				return sig
-			}
-			return nil
-		}
-	}
-	if fi.Obj == nil {
-		return nil
-	}
-	sig, _ := fi.Obj.Type().(*types.Signature)
-	return sig
-}
-
-// reportBoxing reports expr if storing it into destination type dst
-// boxes a concrete value into an interface.
-func reportBoxing(pass *analysis.Pass, fi *directives.FuncInfo, expr ast.Expr, dst types.Type, stack []ast.Node) {
-	if fi.Allows("box") {
-		return
-	}
-	info := pass.TypesInfo
-	if dst == nil || !types.IsInterface(dst) {
-		return
-	}
-	tv, ok := info.Types[expr]
-	if !ok || tv.Type == nil {
-		return
-	}
-	if tv.Value != nil {
-		return // constants (incl. untyped strings to panic/error paths) don't escape per call
-	}
-	if !boxes(tv.Type) {
-		return
-	}
-	if walk.InPanicArg(stack, info) {
-		return
-	}
-	pass.Reportf(expr.Pos(), "%s boxes into interface %s on a hot path (allocates); keep hot signatures concrete", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), types.TypeString(dst, types.RelativeTo(pass.Pkg)))
-}
-
-// boxes reports whether converting a value of type t to an interface
-// allocates. Pointer-shaped types (pointers, channels, maps, funcs,
-// unsafe pointers) box without allocating only for word-sized direct
-// interfaces; gc still allocates for most of them, but the runtime's
-// pointer-shaped cases are the accepted idiom (sync.Pool.Put of a
-// pointer), so we exempt them.
-func boxes(t types.Type) bool {
-	switch u := t.Underlying().(type) {
-	case *types.Interface:
-		return false
-	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
-		return false
-	case *types.Basic:
-		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
-	}
-	return true
-}
-
-func checkStringConcat(pass *analysis.Pass, fi *directives.FuncInfo, be *ast.BinaryExpr, stack []ast.Node) {
-	if be.Op.String() != "+" || fi.Allows("strcat") {
-		return
-	}
-	info := pass.TypesInfo
-	tv, ok := info.Types[be]
-	if !ok || tv.Type == nil {
-		return
-	}
-	if tv.Value != nil {
-		return // constant-folded at compile time
-	}
-	b, ok := tv.Type.Underlying().(*types.Basic)
-	if !ok || b.Info()&types.IsString == 0 {
-		return
-	}
-	// Report only the outermost + of a concat chain.
-	if len(stack) >= 2 {
-		if parent, ok := stack[len(stack)-2].(*ast.BinaryExpr); ok && parent.Op.String() == "+" {
-			if pt, ok := info.Types[parent]; ok && pt.Type != nil {
-				if pb, ok := pt.Type.Underlying().(*types.Basic); ok && pb.Info()&types.IsString != 0 {
-					return
-				}
-			}
-		}
-	}
-	if walk.InPanicArg(stack, info) {
-		return
-	}
-	pass.Reportf(be.Pos(), "string concatenation allocates on a hot path; precompute the string or write into a pooled buffer")
-}
-
-func checkCompositeLit(pass *analysis.Pass, fi *directives.FuncInfo, cl *ast.CompositeLit, stack []ast.Node) {
-	info := pass.TypesInfo
-	tv, ok := info.Types[cl]
-	if !ok || tv.Type == nil {
-		return
-	}
-	var kind string
-	switch tv.Type.Underlying().(type) {
-	case *types.Map:
-		kind = "map"
-	case *types.Slice:
-		kind = "slice"
-	default:
-		return
-	}
-	if fi.Allows("lit") || walk.InPanicArg(stack, info) {
-		return
-	}
-	pass.Reportf(cl.Pos(), "%s literal allocates on a hot path; hoist it to a package variable or preallocated scratch", kind)
 }

@@ -10,3 +10,15 @@ import (
 func TestHotalloc(t *testing.T) {
 	linttest.Run(t, hotalloc.Analyzer, "a")
 }
+
+func TestHotallocLoopConstructs(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "b")
+}
+
+// TestHotallocCrossPackage proves the facts chain: package a holds the
+// allocating leaf, package b wraps it, package c's hot root calls the
+// wrapper — the violation surfaces at c's call site, two packages from
+// the //mnnfast:hotpath annotation.
+func TestHotallocCrossPackage(t *testing.T) {
+	linttest.RunMulti(t, hotalloc.Analyzer, "chain")
+}

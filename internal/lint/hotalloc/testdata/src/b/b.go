@@ -1,0 +1,115 @@
+// Package fixture exercises the loop-sensitive hotalloc constructs:
+// defer records and wall-clock reads inside hot loops, and closure /
+// bound-method-value allocation anywhere on a hot path.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+var sink func()
+
+// HotDefer defers inside the iteration, allocating a defer record per
+// element and holding every lock until return.
+//
+//mnnfast:hotpath
+func HotDefer(mus []sync.Mutex) {
+	for i := range mus {
+		mus[i].Lock()
+		defer mus[i].Unlock() // want "defer inside a hot-path loop allocates a defer record per iteration"
+	}
+}
+
+// HotDeferOutside defers once before the loop: allowed.
+//
+//mnnfast:hotpath
+func HotDeferOutside(mu *sync.Mutex, xs []float32) float32 {
+	mu.Lock()
+	defer mu.Unlock()
+	var total float32
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// HotClock reads the wall clock every iteration.
+//
+//mnnfast:hotpath
+func HotClock(xs []float32) time.Duration {
+	var spent time.Duration
+	for range xs {
+		t0 := time.Now()        // want "time.Now inside a hot-path loop reads the wall clock every iteration"
+		spent += time.Since(t0) // want "time.Since inside a hot-path loop reads the wall clock every iteration"
+	}
+	return spent
+}
+
+// HotClockHoisted reads once outside the loop: allowed.
+//
+//mnnfast:hotpath
+func HotClockHoisted(xs []float32) time.Duration {
+	t0 := time.Now()
+	var total float32
+	for _, x := range xs {
+		total += x
+	}
+	_ = total
+	return time.Since(t0)
+}
+
+// HotClockAllowed opts in to per-iteration timing.
+//
+//mnnfast:hotpath allow=timenow
+func HotClockAllowed(xs []float32) time.Duration {
+	var spent time.Duration
+	for range xs {
+		t0 := time.Now()
+		spent += time.Since(t0)
+	}
+	return spent
+}
+
+// HotCapture builds a capturing closure per call.
+//
+//mnnfast:hotpath
+func HotCapture(xs []float32) {
+	total := float32(0)
+	sink = func() { total += xs[0] } // want "closure capturing total allocates on a hot path"
+}
+
+// HotNoCapture builds a closure that captures nothing: func values
+// without captured state are static, no per-call allocation.
+//
+//mnnfast:hotpath
+func HotNoCapture() {
+	sink = func() {}
+}
+
+type worker struct{ n int }
+
+func (w *worker) step() {}
+
+// HotMethodValue binds a method value, allocating a closure pairing
+// receiver and method.
+//
+//mnnfast:hotpath
+func HotMethodValue(w *worker) {
+	sink = w.step // want "method value w.step allocates a bound closure on a hot path"
+}
+
+// HotMethodCall calls the method directly — no binding, allowed.
+//
+//mnnfast:hotpath
+func HotMethodCall(w *worker) {
+	w.step()
+}
+
+// HotClosureAllowed opts in: construction is amortized by the caller.
+//
+//mnnfast:hotpath allow=closure
+func HotClosureAllowed(xs []float32) {
+	total := float32(0)
+	sink = func() { total += xs[0] }
+}

@@ -1,0 +1,19 @@
+// Package a is the leaf of the cross-package chain: Format allocates,
+// but nothing here is hot, so the violation is only exported as a
+// latent fact.
+package a
+
+import "fmt"
+
+// Format is the allocating leaf. Not hot, not cold: latent.
+func Format(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Cold is explicitly off the serving path; its allocation must NOT
+// propagate to any caller.
+//
+//mnnfast:coldpath
+func Cold(n int) string {
+	return fmt.Sprintf("cold n=%d", n)
+}

@@ -1,0 +1,16 @@
+// Package b is the middle of the chain: it wraps a.Format without any
+// annotation, so a's latent violation folds into b's exported facts
+// with the call chain recorded.
+package b
+
+import "a"
+
+// Wrap forwards to the allocating leaf one package down.
+func Wrap(n int) string {
+	return a.Format(n)
+}
+
+// WrapCold forwards to an explicit coldpath: propagation stops there.
+func WrapCold(n int) string {
+	return a.Cold(n)
+}

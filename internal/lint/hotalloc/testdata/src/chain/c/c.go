@@ -1,0 +1,20 @@
+// Package c holds the hot root. Its //mnnfast:hotpath is two packages
+// away from the allocation in a.Format; the finding must surface here,
+// at the call site, with the folded chain b.Wrap → a.Format.
+package c
+
+import "b"
+
+var sink string
+
+//mnnfast:hotpath
+func HotServe(n int) {
+	sink = b.Wrap(n) // want "call pulls b.Wrap → a.Format onto the hot path: fmt.Sprintf allocates on a hot path.*at a.go:10:9"
+}
+
+// HotServeCold calls through to an explicit coldpath boundary: clean.
+//
+//mnnfast:hotpath
+func HotServeCold(n int) {
+	sink = b.WrapCold(n)
+}

@@ -1,0 +1,391 @@
+// Package hotscan is the shared scanner behind the hot-path allocation
+// contract: given one function's directive state it returns every
+// construct that would violate the zero-allocation rule if the function
+// were (or became) hot. Two consumers drive it: the hotalloc analyzer
+// reports findings for functions that are hot in their home package,
+// and factbuild serializes findings of *non*-hot functions into the
+// package's exported facts so a hot caller in another package can flag
+// the call site that would pull them onto the hot path.
+//
+// Construct keys (the //mnnfast:hotpath allow= vocabulary):
+//
+//	append   append that can grow the backing array
+//	fmt      fmt.* call
+//	strcat   non-constant string concatenation
+//	lit      map or slice composite literal
+//	box      concrete value boxed into an interface
+//	closure  capturing function literal or bound method value
+//	defer    defer statement inside a loop
+//	timenow  time.Now / time.Since inside a loop
+package hotscan
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mnnfast/internal/lint/directives"
+	"mnnfast/internal/lint/walk"
+)
+
+// Finding is one hot-path violation.
+type Finding struct {
+	Pos       token.Pos
+	Construct string
+	Msg       string
+}
+
+// scanner bundles the per-function scan state.
+type scanner struct {
+	info     *types.Info
+	pkg      *types.Package
+	fi       *directives.FuncInfo
+	findings []Finding
+}
+
+func (s *scanner) reportf(pos token.Pos, construct, format string, args ...any) {
+	s.findings = append(s.findings, Finding{Pos: pos, Construct: construct, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Scan returns the hot-path violations in fi's body in source order,
+// honoring the function's own allow= set and the panic-path exemption.
+// Line-level //mnnfast:allow suppressions are the caller's concern
+// (the analyzer driver and factbuild both apply them afterwards).
+func Scan(info *types.Info, pkg *types.Package, fi *directives.FuncInfo) []Finding {
+	if fi.Decl.Body == nil {
+		return nil
+	}
+	s := &scanner{info: info, pkg: pkg, fi: fi}
+	walk.WithStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			s.checkCall(n, stack)
+		case *ast.BinaryExpr:
+			s.checkStringConcat(n, stack)
+		case *ast.CompositeLit:
+			s.checkCompositeLit(n, stack)
+		case *ast.AssignStmt:
+			s.checkBoxingAssign(n, stack)
+		case *ast.ValueSpec:
+			s.checkBoxingValueSpec(n, stack)
+		case *ast.ReturnStmt:
+			s.checkBoxingReturn(n, stack)
+		case *ast.FuncLit:
+			s.checkClosure(n, stack)
+		case *ast.SelectorExpr:
+			s.checkMethodValue(n, stack)
+		case *ast.DeferStmt:
+			s.checkDefer(n, stack)
+		}
+		return true
+	})
+	return s.findings
+}
+
+func (s *scanner) checkCall(call *ast.CallExpr, stack []ast.Node) {
+	info := s.info
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && !s.fi.Allows("append") && !walk.InPanicArg(stack, info) {
+				s.reportf(call.Pos(), "append", "append on a hot path can grow and allocate; preallocate the slice, or annotate the function `//mnnfast:hotpath allow=append` if growth is amortized")
+			}
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[x].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "fmt":
+					if !s.fi.Allows("fmt") && !walk.InPanicArg(stack, info) {
+						s.reportf(call.Pos(), "fmt", "fmt.%s allocates on a hot path; move formatting behind a //mnnfast:coldpath boundary", sel.Sel.Name)
+					}
+					return
+				case "time":
+					if (sel.Sel.Name == "Now" || sel.Sel.Name == "Since") && walk.InLoop(stack) &&
+						!s.fi.Allows("timenow") && !walk.InPanicArg(stack, info) {
+						s.reportf(call.Pos(), "timenow", "time.%s inside a hot-path loop reads the wall clock every iteration; hoist the read out of the loop, or annotate the function `//mnnfast:hotpath allow=timenow` for deliberate per-iteration timing", sel.Sel.Name)
+					}
+				}
+			}
+		}
+	}
+	s.checkBoxingCall(call, stack)
+}
+
+// checkDefer flags defer statements inside hot loops: each iteration
+// allocates a defer record, and the deferred work runs only at function
+// exit — both wrong on a per-row path.
+func (s *scanner) checkDefer(d *ast.DeferStmt, stack []ast.Node) {
+	if !walk.InLoop(stack) || s.fi.Allows("defer") || walk.InPanicArg(stack, s.info) {
+		return
+	}
+	s.reportf(d.Pos(), "defer", "defer inside a hot-path loop allocates a defer record per iteration and only runs at function exit; restructure the loop body into its own function or release resources inline")
+}
+
+// checkClosure flags function literals that capture enclosing variables:
+// each evaluation allocates the closure (and moves captures to the
+// heap). Non-capturing literals compile to static functions and pass.
+func (s *scanner) checkClosure(lit *ast.FuncLit, stack []ast.Node) {
+	if s.fi.Allows("closure") || walk.InPanicArg(stack, s.info) {
+		return
+	}
+	captured := s.firstCapture(lit)
+	if captured == "" {
+		return
+	}
+	s.reportf(lit.Pos(), "closure", "closure capturing %s allocates on a hot path each time it is evaluated; prebuild it into pooled or persistent scratch (sched.runState's prebuilt loop closure is the idiom), or annotate the function `//mnnfast:hotpath allow=closure` if construction is amortized", captured)
+}
+
+// firstCapture returns the name of a variable the literal captures from
+// its enclosing function, or "" if it captures nothing. Package-level
+// variables and fields reached through captured receivers don't count
+// by themselves — the root identifier does.
+func (s *scanner) firstCapture(lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := s.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() == s.pkg.Scope() || v.Parent() == nil {
+			return true
+		}
+		// Declared inside the literal itself (including its own params)?
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		captured = v.Name()
+		return false
+	})
+	return captured
+}
+
+// checkMethodValue flags bound method values (x.M used as a value, not
+// called): evaluating one allocates a closure binding the receiver.
+// Package-qualified function values (pkg.F) are static and pass.
+func (s *scanner) checkMethodValue(sel *ast.SelectorExpr, stack []ast.Node) {
+	fn, ok := s.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	if x, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := s.info.Uses[x].(*types.PkgName); isPkg {
+			return
+		}
+	}
+	// Receiver-less signature means a package function referenced through
+	// a selector on a package name handled above; a method expression
+	// (T.M) is also static.
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if tv, ok := s.info.Types[sel.X]; ok && tv.IsType() {
+		return // method expression T.M, static
+	}
+	// Called immediately? Then it's a plain method call, not a value.
+	if len(stack) >= 2 {
+		if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == sel {
+			return
+		}
+	}
+	if s.fi.Allows("closure") || walk.InPanicArg(stack, s.info) {
+		return
+	}
+	s.reportf(sel.Pos(), "closure", "method value %s.%s allocates a bound closure on a hot path each time it is evaluated; store a prebuilt func field instead, or annotate the function `//mnnfast:hotpath allow=closure` if construction is amortized", types.ExprString(sel.X), sel.Sel.Name)
+}
+
+// checkBoxingCall flags concrete values passed where an interface
+// parameter is declared (implicit boxing → heap allocation), and
+// explicit conversions to interface types.
+func (s *scanner) checkBoxingCall(call *ast.CallExpr, stack []ast.Node) {
+	info := s.info
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x).
+		if len(call.Args) == 1 {
+			s.reportBoxing(call.Args[0], tv.Type, stack)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no boxing per element
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		s.reportBoxing(arg, pt, stack)
+	}
+}
+
+func (s *scanner) checkBoxingAssign(as *ast.AssignStmt, stack []ast.Node) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := s.info.TypeOf(lhs)
+		if lt == nil {
+			continue
+		}
+		s.reportBoxing(as.Rhs[i], lt, stack)
+	}
+}
+
+func (s *scanner) checkBoxingValueSpec(spec *ast.ValueSpec, stack []ast.Node) {
+	if spec.Type == nil || len(spec.Values) == 0 {
+		return
+	}
+	dt := s.info.TypeOf(spec.Type)
+	if dt == nil {
+		return
+	}
+	for _, v := range spec.Values {
+		s.reportBoxing(v, dt, stack)
+	}
+}
+
+func (s *scanner) checkBoxingReturn(ret *ast.ReturnStmt, stack []ast.Node) {
+	sig := s.enclosingSignature(stack)
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		s.reportBoxing(res, sig.Results().At(i).Type(), stack)
+	}
+}
+
+// enclosingSignature finds the signature governing a return statement:
+// the innermost enclosing function literal on the stack, else the
+// declared function itself.
+func (s *scanner) enclosingSignature(stack []ast.Node) *types.Signature {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if lit, ok := stack[i].(*ast.FuncLit); ok {
+			if sig, ok := s.info.TypeOf(lit).(*types.Signature); ok {
+				return sig
+			}
+			return nil
+		}
+	}
+	if s.fi.Obj == nil {
+		return nil
+	}
+	sig, _ := s.fi.Obj.Type().(*types.Signature)
+	return sig
+}
+
+// reportBoxing reports expr if storing it into destination type dst
+// boxes a concrete value into an interface.
+func (s *scanner) reportBoxing(expr ast.Expr, dst types.Type, stack []ast.Node) {
+	if s.fi.Allows("box") {
+		return
+	}
+	info := s.info
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value != nil {
+		return // constants (incl. untyped strings to panic/error paths) don't escape per call
+	}
+	if !boxes(tv.Type) {
+		return
+	}
+	if walk.InPanicArg(stack, info) {
+		return
+	}
+	s.reportf(expr.Pos(), "box", "%s boxes into interface %s on a hot path (allocates); keep hot signatures concrete", types.TypeString(tv.Type, types.RelativeTo(s.pkg)), types.TypeString(dst, types.RelativeTo(s.pkg)))
+}
+
+// boxes reports whether converting a value of type t to an interface
+// allocates. Pointer-shaped types (pointers, channels, maps, funcs,
+// unsafe pointers) box without allocating only for word-sized direct
+// interfaces; gc still allocates for most of them, but the runtime's
+// pointer-shaped cases are the accepted idiom (sync.Pool.Put of a
+// pointer), so we exempt them.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return false
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+func (s *scanner) checkStringConcat(be *ast.BinaryExpr, stack []ast.Node) {
+	if be.Op != token.ADD || s.fi.Allows("strcat") {
+		return
+	}
+	info := s.info
+	tv, ok := info.Types[be]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value != nil {
+		return // constant-folded at compile time
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+	// Report only the outermost + of a concat chain.
+	if len(stack) >= 2 {
+		if parent, ok := stack[len(stack)-2].(*ast.BinaryExpr); ok && parent.Op == token.ADD {
+			if pt, ok := info.Types[parent]; ok && pt.Type != nil {
+				if pb, ok := pt.Type.Underlying().(*types.Basic); ok && pb.Info()&types.IsString != 0 {
+					return
+				}
+			}
+		}
+	}
+	if walk.InPanicArg(stack, info) {
+		return
+	}
+	s.reportf(be.Pos(), "strcat", "string concatenation allocates on a hot path; precompute the string or write into a pooled buffer")
+}
+
+func (s *scanner) checkCompositeLit(cl *ast.CompositeLit, stack []ast.Node) {
+	tv, ok := s.info.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	var kind string
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		kind = "map"
+	case *types.Slice:
+		kind = "slice"
+	default:
+		return
+	}
+	if s.fi.Allows("lit") || walk.InPanicArg(stack, s.info) {
+		return
+	}
+	s.reportf(cl.Pos(), "lit", "%s literal allocates on a hot path; hoist it to a package variable or preallocated scratch", kind)
+}

@@ -2,6 +2,14 @@
 // loaded packages, applying //mnnfast:allow line suppressions to the
 // raw diagnostics. cmd/mnnfast-lint is the CLI wrapper; analyzer tests
 // drive the same entry points through internal/lint/linttest.
+//
+// Two driver shapes: Run applies analyzers package-by-package with
+// whatever facts the packages already carry (possibly none), and
+// RunWhole is the whole-program driver — it computes each package's
+// facts (internal/lint/factbuild) in dependency order and hands every
+// analyzer the accumulated fact set, which is what makes hot-set
+// membership, pool ownership, guarded fields, and lock-order edges
+// propagate across package boundaries.
 package lint
 
 import (
@@ -10,11 +18,15 @@ import (
 	"mnnfast/internal/lint/analysis"
 	"mnnfast/internal/lint/asmtwin"
 	"mnnfast/internal/lint/atomicfield"
+	"mnnfast/internal/lint/ctxleak"
 	"mnnfast/internal/lint/directives"
+	"mnnfast/internal/lint/factbuild"
+	"mnnfast/internal/lint/facts"
 	"mnnfast/internal/lint/floatdet"
 	"mnnfast/internal/lint/guardedby"
 	"mnnfast/internal/lint/hotalloc"
 	"mnnfast/internal/lint/load"
+	"mnnfast/internal/lint/lockorder"
 	"mnnfast/internal/lint/poolescape"
 )
 
@@ -23,9 +35,11 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		asmtwin.Analyzer,
 		atomicfield.Analyzer,
+		ctxleak.Analyzer,
 		floatdet.Analyzer,
 		guardedby.Analyzer,
 		hotalloc.Analyzer,
+		lockorder.Analyzer,
 		poolescape.Analyzer,
 	}
 }
@@ -42,7 +56,8 @@ func ByName(name string) *analysis.Analyzer {
 
 // RunAnalyzer applies one analyzer to one package and returns its
 // diagnostics with //mnnfast:allow suppressions filtered out, sorted
-// by position, Category set to the analyzer name.
+// by position, Category set to the analyzer name. The package's Facts
+// (nil is fine) become the pass's fact set.
 func RunAnalyzer(pkg *load.Package, a *analysis.Analyzer) ([]analysis.Diagnostic, error) {
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
@@ -51,6 +66,7 @@ func RunAnalyzer(pkg *load.Package, a *analysis.Analyzer) ([]analysis.Diagnostic
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Facts:     pkg.Facts,
 		Report: func(d analysis.Diagnostic) {
 			d.Category = a.Name
 			diags = append(diags, d)
@@ -100,4 +116,32 @@ func Run(pkgs []*load.Package, as []*analysis.Analyzer) ([]analysis.Diagnostic, 
 		}
 	}
 	return diags, where, nil
+}
+
+// ComputeFacts builds every package's facts in the given (dependency)
+// order, attaching the shared accumulated set to each package as it
+// goes, and returns the complete set. pkgs must come from
+// load.PackagesDeps (or otherwise be sorted dependencies-first).
+func ComputeFacts(pkgs []*load.Package) *facts.Set {
+	set := facts.NewSet()
+	for _, pkg := range pkgs {
+		pkg.Facts = set
+		set.Add(factbuild.Compute(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, set))
+	}
+	return set
+}
+
+// RunWhole is the whole-program driver: it computes facts for every
+// package in dependency order, then applies the analyzers to the
+// packages marked Target, so cross-package facts are in scope for every
+// diagnostic-producing pass.
+func RunWhole(pkgs []*load.Package, as []*analysis.Analyzer) ([]analysis.Diagnostic, []*load.Package, error) {
+	ComputeFacts(pkgs)
+	var targets []*load.Package
+	for _, pkg := range pkgs {
+		if pkg.Target {
+			targets = append(targets, pkg)
+		}
+	}
+	return Run(targets, as)
 }

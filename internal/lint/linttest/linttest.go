@@ -18,9 +18,12 @@
 package linttest
 
 import (
+	"bytes"
 	"fmt"
 	"go/parser"
 	"go/token"
+	"go/types"
+	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -29,6 +32,8 @@ import (
 
 	"mnnfast/internal/lint"
 	"mnnfast/internal/lint/analysis"
+	"mnnfast/internal/lint/factbuild"
+	"mnnfast/internal/lint/facts"
 	"mnnfast/internal/lint/load"
 )
 
@@ -78,6 +83,205 @@ func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
 		}
 	}
+}
+
+// RunMulti loads a multi-package fixture — testdata/src/<fixture>/ with
+// one subdirectory per package, imported by bare directory name — and
+// applies the analyzer to every package with cross-package facts in
+// scope, exactly as the whole-program driver does: packages are
+// type-checked in dependency order sharing one FileSet and importer,
+// each package's facts are computed with factbuild and round-tripped
+// through the wire encoding (so fixtures also exercise facts
+// serialization), and the accumulated set feeds each later package.
+// Expected findings use the same // want comments as Run, in any of the
+// packages.
+func RunMulti(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkgs, err := loadMultiFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	set := facts.NewSet()
+	var diags []analysis.Diagnostic
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		pkg.Facts = set
+		fp := factbuild.Compute(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, set)
+		rt, err := roundTrip(fp)
+		if err != nil {
+			t.Fatalf("facts round trip for %s: %v", pkg.PkgPath, err)
+		}
+		set.Add(rt)
+
+		ds, err := lint.RunAnalyzer(pkg, a)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		diags = append(diags, ds...)
+		ws, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if w := match(wants, pos); w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		} else if !w.pattern.MatchString(d.Message) {
+			w.matched = true
+			t.Errorf("%s: diagnostic %q does not match want pattern %q", pos, d.Message, w.pattern)
+		} else {
+			w.matched = true
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// roundTrip pushes a fact package through Encode/Decode, so every
+// multi-package fixture doubles as a serialization test.
+func roundTrip(fp *facts.Package) (*facts.Package, error) {
+	var buf bytes.Buffer
+	if err := fp.Encode(&buf); err != nil {
+		return nil, err
+	}
+	rt, err := facts.Decode(&buf)
+	if err != nil {
+		return nil, err
+	}
+	if rt == nil {
+		return nil, fmt.Errorf("decoder rejected freshly encoded facts")
+	}
+	return rt, nil
+}
+
+// multiImporter resolves the fixture's own packages directly and
+// everything else through export data.
+type multiImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *multiImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	return m.fallback.Import(path)
+}
+
+// loadMultiFixture type-checks every package subdirectory of dir in
+// dependency order (local imports are bare directory names).
+func loadMultiFixture(dir string) ([]*load.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	type pkgSrc struct {
+		name    string
+		files   []string
+		imports []string
+	}
+	srcs := make(map[string]*pkgSrc)
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		files, err := filepath.Glob(filepath.Join(dir, e.Name(), "*.go"))
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		sort.Strings(files)
+		imports, err := fixtureImports(fset, files)
+		if err != nil {
+			return nil, err
+		}
+		srcs[e.Name()] = &pkgSrc{name: e.Name(), files: files, imports: imports}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no package subdirectories in %s", dir)
+	}
+	sort.Strings(names)
+
+	// Topological order over local imports, plus the union of external
+	// (stdlib) imports for export-data resolution.
+	extSeen := make(map[string]bool)
+	var ext []string
+	var order []string
+	state := make(map[string]int) // 0 new, 1 visiting, 2 done
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch state[name] {
+		case 1:
+			return fmt.Errorf("fixture packages form an import cycle at %q", name)
+		case 2:
+			return nil
+		}
+		state[name] = 1
+		for _, imp := range srcs[name].imports {
+			if _, local := srcs[imp]; local {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			} else if !extSeen[imp] {
+				extSeen[imp] = true
+				ext = append(ext, imp)
+			}
+		}
+		state[name] = 2
+		order = append(order, name)
+		return nil
+	}
+	for _, name := range names {
+		if err := visit(name); err != nil {
+			return nil, err
+		}
+	}
+
+	exports := map[string]string{}
+	if len(ext) > 0 {
+		sort.Strings(ext)
+		exports, err = load.Exports(".", ext)
+		if err != nil {
+			return nil, err
+		}
+	}
+	imp := &multiImporter{
+		local: make(map[string]*types.Package),
+		fallback: load.Importer(fset, nil, func(path string) (string, error) {
+			file, ok := exports[path]
+			if !ok {
+				return "", fmt.Errorf("fixture imports %q, which has no export data (fixtures must import the standard library only)", path)
+			}
+			return file, nil
+		}),
+	}
+
+	var pkgs []*load.Package
+	for _, name := range order {
+		src := srcs[name]
+		pkg, err := load.Check(fset, name, src.files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = filepath.Join(dir, name)
+		imp.local[name] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
 }
 
 func match(wants []*expectation, pos token.Position) *expectation {

@@ -22,6 +22,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"mnnfast/internal/lint/facts"
 )
 
 // Package is one parsed and type-checked package.
@@ -32,6 +34,15 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+
+	// Target marks packages matched by the requested patterns (as
+	// opposed to in-module dependencies loaded only for facts).
+	Target bool
+	// Deps lists the package's in-module transitive dependencies.
+	Deps []string
+	// Facts, when the whole-program driver runs, holds the fact set the
+	// analyzers consult through analysis.Pass.Facts.
+	Facts *facts.Set
 }
 
 // listEntry is the subset of `go list -json` output we consume.
@@ -41,6 +52,8 @@ type listEntry struct {
 	Name       string
 	GoFiles    []string
 	Export     string
+	Deps       []string
+	Module     *struct{ Path string }
 }
 
 // goList runs `go list` in dir with the given arguments and decodes the
@@ -193,6 +206,115 @@ func Packages(dir string, patterns []string) ([]*Package, error) {
 			continue
 		}
 		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	if len(errs) > 0 {
+		return pkgs, fmt.Errorf("load: %s", strings.Join(errs, "\n"))
+	}
+	return pkgs, nil
+}
+
+// PackagesDeps loads the packages matched by patterns plus every
+// in-module package they (transitively) depend on, returned in
+// dependency order (dependencies before dependents) with Target set on
+// the pattern matches. This is what the whole-program driver feeds to
+// lint.RunWhole: facts are computed for every returned package in
+// order, diagnostics reported only for targets.
+func PackagesDeps(dir string, patterns []string) ([]*Package, error) {
+	fields := "-json=ImportPath,Dir,Name,GoFiles,Export,Deps,Module"
+	entries, err := goList(dir, append([]string{"-export", "-deps", fields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	// A second, non-deps listing identifies the pattern matches.
+	targetEntries, err := goList(dir, append([]string{"-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targets := make(map[string]bool, len(targetEntries))
+	for _, t := range targetEntries {
+		targets[t.ImportPath] = true
+	}
+
+	// In-module packages are the ones facts are computed for; everything
+	// else (stdlib) resolves from export data only.
+	inModule := func(e listEntry) bool { return e.Module != nil }
+	exports := make(map[string]string, len(entries))
+	byPath := make(map[string]listEntry, len(entries))
+	for _, e := range entries {
+		byPath[e.ImportPath] = e
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := Importer(fset, nil, func(path string) (string, error) {
+		file, ok := exports[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return file, nil
+	})
+
+	// Topological order over the in-module subgraph. `go list -deps`
+	// already streams dependencies first, but sort explicitly so the
+	// order is a guarantee, not an accident of the tool.
+	var order []string
+	visited := make(map[string]bool)
+	var visit func(path string)
+	visit = func(path string) {
+		if visited[path] {
+			return
+		}
+		visited[path] = true
+		e, ok := byPath[path]
+		if !ok || !inModule(e) {
+			return
+		}
+		deps := append([]string(nil), e.Deps...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if de, ok := byPath[d]; ok && inModule(de) {
+				visit(d)
+			}
+		}
+		order = append(order, path)
+	}
+	paths := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if inModule(e) {
+			paths = append(paths, e.ImportPath)
+		}
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		visit(p)
+	}
+
+	var pkgs []*Package
+	var errs []string
+	for _, path := range order {
+		e := byPath[path]
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(e.GoFiles))
+		for i, name := range e.GoFiles {
+			files[i] = filepath.Join(e.Dir, name)
+		}
+		pkg, err := Check(fset, e.ImportPath, files, imp)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		pkg.Dir = e.Dir
+		pkg.Target = targets[e.ImportPath]
+		for _, d := range e.Deps {
+			if de, ok := byPath[d]; ok && inModule(de) {
+				pkg.Deps = append(pkg.Deps, d)
+			}
+		}
 		pkgs = append(pkgs, pkg)
 	}
 	if len(errs) > 0 {

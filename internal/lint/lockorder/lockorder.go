@@ -1,0 +1,195 @@
+// Package lockorder detects lock-acquisition-order cycles — the static
+// shape of a potential deadlock. It merges the ordering edges observed
+// in the current package (via internal/lint/lockscan) with the edges
+// its dependencies exported as facts, so a cycle split across packages
+// (server holds a session lock while calling into a batcher that takes
+// its own, while the batcher's flush path re-enters the server) is
+// caught even though each package looks consistent alone.
+//
+// An edge A→B means "a lock of class A was held while a lock of class B
+// was acquired". Two kinds of findings:
+//
+//   - a self edge A→A: several locks of one class acquired in order
+//     (the batch dispatcher locking every session in a batch). Legal
+//     only when deliberately designed; bless it with a self pin
+//     `//mnnfast:lockorder A < A <reason>`.
+//   - a cycle A→…→B→…→A: the classic deadlock shape. The intended
+//     direction is pinned with `//mnnfast:lockorder A < B`; edges in the
+//     pinned direction stop being reported and any edge contradicting a
+//     pin is flagged where it happens.
+//
+// Each package reports only edges observed in its own bodies — a cycle
+// that closes here is reported here, the half living in a dependency
+// was either reported there or is the blessed direction. Lock classes
+// are package-qualified ("pkgpath.Type.field", "pkgpath.var"); pins
+// spell them relative to the pinning package, or fully qualified with a
+// "/" for cross-package pins.
+package lockorder
+
+import (
+	"go/token"
+
+	"mnnfast/internal/lint/analysis"
+	"mnnfast/internal/lint/directives"
+	"mnnfast/internal/lint/lockscan"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "flag lock-acquisition-order cycles (potential deadlocks) across packages; pin intended orderings with //mnnfast:lockorder A < B",
+	Run:  run,
+}
+
+// edge is one merged ordering edge: local edges carry a token.Pos,
+// imported ones only the exporting package's position string.
+type edge struct {
+	from, to string
+	pos      token.Pos // valid for local edges only
+	posStr   string    // imported position ("pkg: file.go:l:c")
+	fn       string
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	di := directives.Collect(pass.Files, pass.TypesInfo)
+	locks := lockscan.Scan(pass.Fset, pass.TypesInfo, di, pass.Facts)
+
+	pins, malformed := directives.Pins(pass.Files)
+	for _, pos := range malformed {
+		pass.Reportf(pos, "malformed //mnnfast:lockorder directive; want `//mnnfast:lockorder A < B [reason]`")
+	}
+	blessed := make(map[[2]string]bool)
+	for _, p := range pins {
+		blessed[[2]string{
+			lockscan.ResolvePin(pass.Pkg.Path(), p.Before),
+			lockscan.ResolvePin(pass.Pkg.Path(), p.After),
+		}] = true
+	}
+	for _, fp := range pass.Facts.All() {
+		for _, p := range fp.Pins {
+			blessed[[2]string{p.Before, p.After}] = true
+		}
+	}
+
+	// Merge: imported edges first (dependency order), then local ones,
+	// deduplicated by (from, to). A local representative wins so cycle
+	// reports can point at source positions.
+	var (
+		edges []edge
+		seen  = make(map[[2]string]int)
+	)
+	add := func(e edge) {
+		k := [2]string{e.from, e.to}
+		if i, ok := seen[k]; ok {
+			if !edges[i].pos.IsValid() && e.pos.IsValid() {
+				edges[i] = e
+			}
+			return
+		}
+		seen[k] = len(edges)
+		edges = append(edges, e)
+	}
+	for _, fp := range pass.Facts.All() {
+		for _, fe := range fp.Edges {
+			add(edge{from: fe.From, to: fe.To, posStr: fp.Path + ": " + fe.Pos, fn: fe.Func})
+		}
+	}
+	for _, le := range locks.Edges {
+		add(edge{from: le.From, to: le.To, pos: le.Pos, fn: le.Func})
+	}
+
+	next := make(map[string][]edge)
+	for _, e := range edges {
+		next[e.from] = append(next[e.from], e)
+	}
+
+	for _, e := range edges {
+		if !e.pos.IsValid() {
+			continue // imported edge: its home package reports it
+		}
+		if e.from == e.to {
+			if !blessed[[2]string{e.from, e.to}] {
+				pass.Reportf(e.pos, "acquiring %s while an earlier %s is still held; ordered same-class acquisition deadlocks unless globally ordered — pin `//mnnfast:lockorder %s < %s` if the order is enforced by design", e.to, e.from, short(pass, e.from), short(pass, e.to))
+			}
+			continue
+		}
+		back := path(next, e.to, e.from)
+		if back == nil {
+			continue
+		}
+		if blessed[[2]string{e.from, e.to}] {
+			// This direction is the pinned one; the contradicting path is
+			// the problem. If it has a local edge it is (or will be)
+			// reported on its own; only a fully imported path needs a
+			// report here, at the only local position we have.
+			if hasLocal(back) {
+				continue
+			}
+			pass.Reportf(e.pos, "pinned order %s < %s is contradicted in a dependency: %s", e.from, e.to, describe(back))
+			continue
+		}
+		pass.Reportf(e.pos, "acquiring %s while holding %s creates a lock-order cycle: %s; pin the intended order with `//mnnfast:lockorder %s < %s` if this direction is the designed one", e.to, e.from, describe(back), short(pass, e.from), short(pass, e.to))
+	}
+	return nil, nil
+}
+
+// path returns a shortest edge path from → to over the merged graph,
+// or nil.
+func path(next map[string][]edge, from, to string) []edge {
+	type item struct {
+		node string
+		via  []edge
+	}
+	visited := map[string]bool{from: true}
+	queue := []item{{node: from}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, e := range next[it.node] {
+			if e.to == to {
+				return append(it.via, e)
+			}
+			if visited[e.to] {
+				continue
+			}
+			visited[e.to] = true
+			queue = append(queue, item{node: e.to, via: append(append([]edge(nil), it.via...), e)})
+		}
+	}
+	return nil
+}
+
+func hasLocal(es []edge) bool {
+	for _, e := range es {
+		if e.pos.IsValid() {
+			return true
+		}
+	}
+	return false
+}
+
+// describe renders a path for a diagnostic: "A held→B acquired in f (file:l:c)".
+func describe(es []edge) string {
+	s := ""
+	for i, e := range es {
+		if i > 0 {
+			s += ", then "
+		}
+		where := e.posStr
+		if where == "" {
+			where = "this package, func " + e.fn
+		}
+		s += e.from + " is held while acquiring " + e.to + " (" + where + ")"
+	}
+	return s
+}
+
+// short strips the current package's path prefix from a class so the
+// suggested pin directive reads the way it would be spelled locally.
+func short(pass *analysis.Pass, class string) string {
+	prefix := pass.Pkg.Path() + "."
+	if len(class) > len(prefix) && class[:len(prefix)] == prefix {
+		return class[len(prefix):]
+	}
+	return class
+}

@@ -1,0 +1,19 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"mnnfast/internal/lint/linttest"
+	"mnnfast/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "a")
+}
+
+// TestLockorderCrossPackage closes cycles whose halves live in
+// different packages, with the dependency's edges, pins, and retained
+// locks arriving through round-tripped facts.
+func TestLockorderCrossPackage(t *testing.T) {
+	linttest.RunMulti(t, lockorder.Analyzer, "cross")
+}

@@ -1,0 +1,85 @@
+// Package fixture exercises lockorder inside one package: both halves
+// of an A→B/B→A cycle, a blessed ordering whose contradiction is still
+// flagged, loop-carried same-class acquisition (direct and through a
+// retaining helper) with and without a self pin, and a malformed
+// directive.
+//
+//mnnfast:lockorder Outer.mu < Inner.mu outer wraps inner by design
+//mnnfast:lockorder Conn.mu < Conn.mu drain acquires connections in index order
+package fixture
+
+import "sync"
+
+type Svc struct{ mu sync.Mutex }
+
+type Store struct{ mu sync.Mutex }
+
+// AB acquires Svc.mu then Store.mu; BA does the reverse, so each edge
+// closes a cycle through the other and both sites are flagged.
+func AB(s *Svc, st *Store) {
+	s.mu.Lock()
+	st.mu.Lock() // want "acquiring fixture.Store.mu while holding fixture.Svc.mu creates a lock-order cycle"
+	st.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func BA(s *Svc, st *Store) {
+	st.mu.Lock()
+	s.mu.Lock() // want "acquiring fixture.Svc.mu while holding fixture.Store.mu creates a lock-order cycle"
+	s.mu.Unlock()
+	st.mu.Unlock()
+}
+
+type Outer struct{ mu sync.Mutex }
+
+type Inner struct{ mu sync.Mutex }
+
+// Nested acquires in the pinned direction: accepted, no finding even
+// though NestedBad gives the graph a reverse edge.
+func Nested(o *Outer, i *Inner) {
+	o.mu.Lock()
+	i.mu.Lock()
+	i.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// NestedBad contradicts the pin; only this side is reported.
+func NestedBad(o *Outer, i *Inner) {
+	i.mu.Lock()
+	o.mu.Lock() // want "acquiring fixture.Outer.mu while holding fixture.Inner.mu creates a lock-order cycle"
+	o.mu.Unlock()
+	i.mu.Unlock()
+}
+
+// Drain acquires many Svc locks in a loop without releasing between
+// iterations: the loop-carried same-class shape, unpinned, flagged.
+func Drain(ss []Svc) {
+	for i := range ss {
+		ss[i].mu.Lock() // want "acquiring fixture.Svc.mu while an earlier fixture.Svc.mu is still held"
+	}
+	for i := range ss {
+		ss[i].mu.Unlock()
+	}
+}
+
+type Conn struct{ mu sync.Mutex }
+
+// acquireConn retains the lock past its return — the caller inherits
+// the hold at the call site.
+func acquireConn(c *Conn) {
+	c.mu.Lock()
+}
+
+// DrainConns shows the same shape through the retaining helper, blessed
+// by the Conn.mu self pin above: accepted.
+func DrainConns(cs []Conn) {
+	for i := range cs {
+		acquireConn(&cs[i])
+	}
+	for i := range cs {
+		cs[i].mu.Unlock()
+	}
+}
+
+//mnnfast:lockorder Svc.mu before Store.mu // want "malformed //mnnfast:lockorder directive"
+func malformedPinAnchor() {}

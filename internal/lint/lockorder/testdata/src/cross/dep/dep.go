@@ -1,0 +1,51 @@
+// Package dep is the dependency half of the cross-package lockorder
+// fixture: it exports ordering edges (MuA before MuB, MuD before MuC),
+// a pin for the C/D pair, and a lock-retaining session helper. Nothing
+// is flagged here — each of its orderings is locally consistent.
+//
+//mnnfast:lockorder MuC < MuD C guards the registry that owns D
+package dep
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+	MuC sync.Mutex
+	MuD sync.Mutex
+)
+
+// LockAB establishes the edge MuA → MuB.
+func LockAB() {
+	MuA.Lock()
+	MuB.Lock()
+	MuB.Unlock()
+	MuA.Unlock()
+}
+
+// LockDC establishes the edge MuD → MuC, contradicting this package's
+// own pin; the contradiction is only visible once a dependent package
+// acquires in the pinned direction.
+func LockDC() {
+	MuD.Lock()
+	MuC.Lock()
+	MuC.Unlock()
+	MuD.Unlock()
+}
+
+// Sess is a per-session lock owner.
+type Sess struct {
+	mu sync.Mutex
+	N  int
+}
+
+// Acquire locks the session and hands the hold to the caller — the
+// retained-lock fact dependents inherit.
+func Acquire(s *Sess) {
+	s.mu.Lock()
+}
+
+// Release is the matching unlock.
+func Release(s *Sess) {
+	s.mu.Unlock()
+}

@@ -1,0 +1,38 @@
+// Package top closes cycles whose other half lives in dep's exported
+// facts: a B→A acquisition against dep's A→B edge, a pinned-direction
+// acquisition contradicted by dep's D→C edge, and a loop over dep's
+// retaining Acquire helper.
+package top
+
+import "dep"
+
+// CycleBA acquires B then A; dep.LockAB exported A→B, so this edge
+// closes the cycle even though neither package sees both halves.
+func CycleBA() {
+	dep.MuB.Lock()
+	dep.MuA.Lock() // want "acquiring dep.MuA while holding dep.MuB creates a lock-order cycle"
+	dep.MuA.Unlock()
+	dep.MuB.Unlock()
+}
+
+// PinnedCD acquires in dep's pinned C < D direction — but dep itself
+// acquires D then C, so the pin is contradicted in the dependency and
+// this (only local) site carries the report.
+func PinnedCD() {
+	dep.MuC.Lock()
+	dep.MuD.Lock() // want "pinned order dep.MuC < dep.MuD is contradicted in a dependency"
+	dep.MuD.Unlock()
+	dep.MuC.Unlock()
+}
+
+// DrainSessions inherits the hold dep.Acquire retains; acquiring the
+// next session while the previous is still held is the same-class
+// ordered-acquisition shape, unpinned here, so it is flagged.
+func DrainSessions(ss []*dep.Sess) {
+	for _, s := range ss {
+		dep.Acquire(s) // want "acquiring dep.Sess.mu while an earlier dep.Sess.mu is still held"
+	}
+	for _, s := range ss {
+		dep.Release(s)
+	}
+}

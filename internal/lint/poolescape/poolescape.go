@@ -22,6 +22,7 @@ import (
 
 	"mnnfast/internal/lint/analysis"
 	"mnnfast/internal/lint/directives"
+	"mnnfast/internal/lint/lockscan"
 	"mnnfast/internal/lint/walk"
 )
 
@@ -32,8 +33,10 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// Known cross-package pool accessors. Same-package wrappers are picked
-// up through their //mnnfast:pool-get / //mnnfast:pool-put directives.
+// Known cross-package pool accessors, kept as a fallback for runs
+// without facts (fixture tests, stale caches). With facts loaded,
+// imported //mnnfast:pool-get / //mnnfast:pool-put wrappers are
+// recognized through their exported facts and need no entry here.
 var (
 	knownGet = map[string]bool{
 		"mnnfast/internal/tensor.GetVector": true,
@@ -48,7 +51,7 @@ var (
 )
 
 func run(pass *analysis.Pass) (any, error) {
-	di := directives.Collect(pass)
+	di := directives.Collect(pass.Files, pass.TypesInfo)
 	for _, fi := range di.Funcs() {
 		if fi.Decl.Body == nil || fi.PoolGet || fi.PoolPut {
 			continue
@@ -93,6 +96,11 @@ func callKind(pass *analysis.Pass, di *directives.Info, call *ast.CallExpr) (get
 	}
 	if fi := di.ByObj(fn); fi != nil {
 		return fi.PoolGet, fi.PoolPut
+	}
+	if fn.Pkg() != nil {
+		if ff := pass.Facts.FuncFact(fn.Pkg().Path(), lockscan.ObjSymbol(fn)); ff != nil {
+			return ff.PoolGet, ff.PoolPut
+		}
 	}
 	return false, false
 }

@@ -1,0 +1,199 @@
+// Package report renders lint findings in the formats cmd/mnnfast-lint
+// exposes through -format: the classic file:line:col text stream, a
+// machine-readable JSON array, and SARIF 2.1.0 for GitHub code scanning
+// upload. Findings are position-resolved (token.Position, repo-relative
+// file paths) so writers need no FileSet.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mnnfast/internal/lint/analysis"
+)
+
+// Finding is one position-resolved diagnostic.
+type Finding struct {
+	File     string `json:"file"` // repo-relative, forward slashes
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Key is the baseline identity of a finding: file, analyzer, and
+// message, without line numbers, so baselines survive unrelated edits
+// to the same file.
+func (f Finding) Key() string {
+	return f.File + "\t[" + f.Analyzer + "]\t" + f.Message
+}
+
+// Resolve converts raw diagnostics to findings with file paths
+// relativized to root (left as-is when outside it), sorted by
+// (file, line, column, analyzer).
+func Resolve(root string, fset *token.FileSet, diags []analysis.Diagnostic) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		file := p.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, Finding{
+			File:     filepath.ToSlash(file),
+			Line:     p.Line,
+			Column:   p.Column,
+			Analyzer: d.Category,
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// Text writes the classic stderr format: file:line:col: [analyzer] msg.
+func Text(w io.Writer, findings []Finding) error {
+	for _, f := range findings {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSON writes the findings as one indented JSON array.
+func JSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// sarif* mirror the slice of the SARIF 2.1.0 schema GitHub code
+// scanning consumes.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string        `json:"id"`
+	ShortDescription sarifText     `json:"shortDescription"`
+	Help             sarifText     `json:"help,omitempty"`
+	Properties       sarifRuleProp `json:"properties"`
+}
+
+type sarifRuleProp struct {
+	Tags []string `json:"tags"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF writes the findings as a SARIF 2.1.0 log. rules describes the
+// analyzers that ran (all of them, not just the firing ones, so GitHub
+// can render rule metadata for historical results too).
+func SARIF(w io.Writer, findings []Finding, rules []*analysis.Analyzer) error {
+	driver := sarifDriver{
+		Name:  "mnnfast-lint",
+		Rules: make([]sarifRule, 0, len(rules)),
+	}
+	for _, a := range rules {
+		summary := a.Doc
+		if i := strings.IndexByte(summary, '\n'); i >= 0 {
+			summary = summary[:i]
+		}
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: summary},
+			Help:             sarifText{Text: a.Doc},
+			Properties:       sarifRuleProp{Tags: []string{"mnnfast", "invariant"}},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

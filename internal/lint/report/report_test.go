@@ -1,0 +1,106 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mnnfast/internal/lint/analysis"
+)
+
+func TestSARIFShape(t *testing.T) {
+	rules := []*analysis.Analyzer{
+		{Name: "hotalloc", Doc: "flag allocating constructs\nlong form."},
+		{Name: "lockorder", Doc: "flag lock cycles"},
+	}
+	findings := []Finding{
+		{File: "internal/server/batch.go", Line: 230, Column: 9, Analyzer: "lockorder", Message: "self edge"},
+	}
+	var buf bytes.Buffer
+	if err := SARIF(&buf, findings, rules); err != nil {
+		t.Fatalf("sarif: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version/schema: %s / %s", log.Version, log.Schema)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "mnnfast-lint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 2 || run.Tool.Driver.Rules[0].ID != "hotalloc" {
+		t.Errorf("rules: %+v", run.Tool.Driver.Rules)
+	}
+	if got := run.Tool.Driver.Rules[0].ShortDescription.Text; strings.Contains(got, "\n") {
+		t.Errorf("short description must be the first doc line only, got %q", got)
+	}
+	res := run.Results[0]
+	if res.RuleID != "lockorder" || res.Level != "warning" {
+		t.Errorf("result: %+v", res)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/server/batch.go" || loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+		t.Errorf("artifact: %+v", loc.ArtifactLocation)
+	}
+	if loc.Region.StartLine != 230 {
+		t.Errorf("region: %+v", loc.Region)
+	}
+}
+
+func TestJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := JSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty findings must encode as [], got %q", got)
+	}
+}
+
+func TestFindingKey(t *testing.T) {
+	f := Finding{File: "a.go", Line: 3, Column: 9, Analyzer: "hotalloc", Message: "m"}
+	if f.Key() != "a.go\t[hotalloc]\tm" {
+		t.Errorf("key %q", f.Key())
+	}
+	// Line must not participate: baselines survive unrelated edits.
+	g := f
+	g.Line = 99
+	if f.Key() != g.Key() {
+		t.Error("key must be line-independent")
+	}
+}

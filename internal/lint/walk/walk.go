@@ -6,7 +6,32 @@ package walk
 import (
 	"go/ast"
 	"go/types"
+	"regexp"
+	"strings"
 )
+
+var guardRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// GuardAnnotation extracts a `// guarded by <mu>` annotation from a
+// struct field's comment groups, returning the guarding sibling field
+// name (the last path component of the annotation), or "".
+func GuardAnnotation(groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardRE.FindStringSubmatch(c.Text); m != nil {
+				g := m[1]
+				if i := strings.LastIndex(g, "."); i >= 0 {
+					g = g[i+1:]
+				}
+				return g
+			}
+		}
+	}
+	return ""
+}
 
 // WithStack walks root in depth-first order invoking fn with the node
 // and its ancestor stack (stack[len-1] == n). Returning false from fn
@@ -100,4 +125,76 @@ func UsesObj(n ast.Node, info *types.Info, obj types.Object) bool {
 		return !found
 	})
 	return found
+}
+
+// InDefer reports whether any ancestor on stack is a defer statement.
+func InDefer(stack []ast.Node) bool {
+	for _, anc := range stack {
+		if _, ok := anc.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TerminalInList reports whether the current node sits in a NESTED
+// statement list that ends with a return — the early-exit shape
+// `if cond { mu.Unlock(); return }`. A node directly in body is never
+// terminal: an event there is a real end-of-region event even when the
+// body itself ends with a return. Only the innermost enclosing list is
+// examined.
+func TerminalInList(stack []ast.Node, body *ast.BlockStmt) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			if b == body {
+				return false
+			}
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		if n := len(list); n > 0 {
+			if _, ok := list[n-1].(*ast.ReturnStmt); ok {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// EnclosingLoop returns the innermost for or range statement on the
+// ancestor stack without crossing a function-literal boundary, or nil.
+func EnclosingLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return stack[i]
+		case *ast.FuncLit:
+			return nil
+		}
+	}
+	return nil
+}
+
+// InLoop reports whether the current node sits inside a for or range
+// statement on the ancestor stack, without crossing a function-literal
+// boundary (a loop outside the literal does not make the literal's body
+// per-iteration code).
+func InLoop(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
 }

@@ -171,6 +171,7 @@ func (bf *BatchForward) ensure(n, w int) {
 		bf.wskip[i], bf.wrows[i] = 0, 0
 	}
 	if bf.gfn == nil {
+		//mnnfast:allow hotalloc gfn is built once per BatchForward and cached; every later ensure reuses it
 		bf.gfn = func(worker, lo, hi int) {
 			for g := lo; g < hi; g++ {
 				bf.runGroup(g, worker)

@@ -227,9 +227,11 @@ func (r *runState) exec(slotIdx int, it uint32) {
 // front-to-back, then go thieving until every deque is dry. Items are
 // seeded before the dispatch and never added during it, so one full
 // scan of all deques finding nothing means the run's work is fully
-// claimed and the slot can retire.
+// claimed and the slot can retire. The per-iteration clock reads are
+// the point — they split wall time between compute and idle for the
+// imbalance histogram — so timenow is allowed.
 //
-//mnnfast:hotpath
+//mnnfast:hotpath allow=timenow
 func (r *runState) runSlot(slotIdx int) {
 	we := r.ev.Begin("worker", r.evParent)
 	sc := &r.s.slots[slotIdx]

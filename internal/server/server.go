@@ -189,6 +189,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		// handler body — carries X-Trace-ID and traceparent headers.
 		var tr *trace.Trace
 		if s.rec != nil && traced(label) {
+			//mnnfast:allow poolescape ownership transfers to the recorder: Commit below returns tr to the pool on every path
 			tr = s.rec.StartTrace(label, id)
 			if hi, lo, parent, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
 				tr.AdoptRemote(hi, lo, parent)
@@ -413,6 +414,12 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 // in the embed-stage histogram, so cache effectiveness is directly
 // visible as vanished embed time on the hit path.
 //
+// This is the cache-fill miss path: it runs once per story change and
+// allocates by design (vectorization builds fresh id slices), so it is
+// a coldpath boundary — the zero-allocation contract covers the hit
+// path that serves from the embedded cache.
+//
+//mnnfast:coldpath
 //mnnfast:locked sess.mu
 func (s *Server) embedSession(sess *session, tr *trace.Trace) error {
 	sp := tr.Start("embed-story", tr.Root())

@@ -31,6 +31,10 @@ type Pool struct {
 	workers int
 	tasks   chan task
 	start   sync.Once
+	// spawnFn is the bound spawn method, built once at construction:
+	// passing p.spawn to start.Do directly would allocate the bound
+	// closure on every dispatch.
+	spawnFn func()
 	closed  atomic.Bool
 }
 
@@ -109,6 +113,7 @@ func NewPool(workers int) *Pool {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{workers: workers}
+	p.spawnFn = p.spawn
 	if workers > 1 {
 		p.tasks = make(chan task, 4*workers)
 	}
@@ -135,7 +140,7 @@ func (p *Pool) Close() {
 	if p.closed.CompareAndSwap(false, true) {
 		// Start (idempotently) before closing so workers observe the
 		// close rather than leaking a half-initialized channel.
-		p.start.Do(p.spawn)
+		p.start.Do(p.spawnFn)
 		close(p.tasks)
 	}
 }
@@ -201,7 +206,7 @@ func (p *Pool) dispatch(n, grain int, fn func(lo, hi int), fnw func(worker, lo, 
 	if span < grain {
 		span = grain
 	}
-	p.start.Do(p.spawn)
+	p.start.Do(p.spawnFn)
 
 	poolCounters.dispatches.Add(1)
 	d := dispatchPool.Get().(*dispatch)
