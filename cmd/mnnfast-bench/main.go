@@ -43,12 +43,25 @@ func main() {
 		exitOut = flag.String("earlyexit-out", "BENCH_earlyexit.json", "output file for the -earlyexit sweep")
 		exitMet = flag.String("earlyexit-metric", "margin", "confidence metric for -earlyexit: margin, maxprob, or attnmax")
 		tier    = flag.String("kernel-tier", "auto", "kernel tier override: auto, scalar, go, or avx2 (if available)")
+		attn    = flag.String("attention", "", "run the exact-vs-topk attention sweep over these database sizes (comma list, 10^k allowed, e.g. 10^4,10^5,10^6) and exit")
+		attnOut = flag.String("attention-out", "BENCH_topk.json", "output file for the -attention sweep")
+		attnNP  = flag.String("topk-nprobe", "1,2,4,8,12,16,32", "probe widths swept by -attention (comma list)")
+		attnK   = flag.Int("topk-k", 32, "k for the -attention sweep's recall@k")
+		attnQ   = flag.Int("topk-queries", 100, "query sample size per -attention point")
 	)
 	flag.Parse()
 
 	if err := tensor.SetKernelTier(*tier); err != nil {
 		fmt.Fprintf(os.Stderr, "mnnfast-bench: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *attn != "" {
+		if err := runTopKSweep(*attnOut, *label, *attn, *attnNP, *ed, *attnK, *attnQ); err != nil {
+			fmt.Fprintf(os.Stderr, "mnnfast-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *exit != "" {

@@ -1,0 +1,263 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mnnfast/internal/core"
+	"mnnfast/internal/sparse"
+	"mnnfast/internal/tensor"
+)
+
+// The -attention=topk sweep: exact (column engine) vs approximate
+// (IVF top-k engine) single-query attention across database sizes,
+// reporting per-nprobe latency, candidate recall against the
+// brute-force top-k, and answer agreement against the exact output.
+// Methodology lives in EXPERIMENTS.md ("Approximate top-k attention");
+// the checked-in BENCH_topk.json is this sweep's output.
+
+// TopKSweepEntry is one (ns, nprobe) point.
+type TopKSweepEntry struct {
+	NS     int `json:"ns"`
+	NList  int `json:"nlist"`
+	NProbe int `json:"nprobe"`
+	K      int `json:"k"`
+	// Latency of one full attention query (inner products + softmax +
+	// weighted sum; the topk side also pays its probe).
+	ExactNsPerOp int64   `json:"exact_ns_per_op"`
+	TopKNsPerOp  int64   `json:"topk_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+	// RecallAtK: fraction of the brute-force top-k logit rows the probe's
+	// candidate set contains, averaged over the query sample.
+	RecallAtK float64 `json:"recall_at_k"`
+	// Agreement: fraction of sampled queries whose projected answer
+	// (argmax of a fixed random projection of the attention output)
+	// matches the exact engine's.
+	Agreement     float64 `json:"answer_agreement"`
+	AvgProbedRows float64 `json:"avg_probed_rows"`
+	IndexBuildMS  int64   `json:"index_build_ms"`
+}
+
+// TopKSweepFile is the BENCH_topk.json document.
+type TopKSweepFile struct {
+	Label    string           `json:"label"`
+	ED       int              `json:"ed"`
+	Clusters int              `json:"clusters"`
+	Queries  int              `json:"queries"`
+	Entries  []TopKSweepEntry `json:"entries"`
+}
+
+// parseSizeList parses a comma list of sizes, allowing 10^k notation.
+func parseSizeList(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if base, exp, ok := strings.Cut(f, "^"); ok {
+			b, err1 := strconv.Atoi(base)
+			e, err2 := strconv.Atoi(exp)
+			if err1 != nil || err2 != nil || b < 1 || e < 0 {
+				return nil, fmt.Errorf("bad size %q", f)
+			}
+			n := 1
+			for i := 0; i < e; i++ {
+				n *= b
+			}
+			out = append(out, n)
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad size %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// clusteredDB builds a memory whose rows form well-separated clusters —
+// the regime where an approximate index earns its keep (a real story's
+// sentence embeddings share entities and locations; fully isotropic
+// rows would make any sublinear index useless by construction). Queries
+// are noisy copies of database rows, so every query has genuine near
+// neighbors. Returns the memory plus nq query vectors.
+func clusteredDB(rng *rand.Rand, ns, ed, clusters, nq int) (*core.Memory, []tensor.Vector) {
+	centers := tensor.GaussianMatrix(rng, clusters, ed, 1)
+	in := tensor.NewMatrix(ns, ed)
+	out := tensor.NewMatrix(ns, ed)
+	for i := 0; i < ns; i++ {
+		c := centers.Row(i % clusters)
+		ri, ro := in.Row(i), out.Row(i)
+		for j := 0; j < ed; j++ {
+			ri[j] = c[j] + float32(rng.NormFloat64())*0.15
+			ro[j] = float32(rng.NormFloat64())
+		}
+	}
+	mem, err := core.NewMemory(in, out)
+	if err != nil {
+		panic(err)
+	}
+	qs := make([]tensor.Vector, nq)
+	for q := range qs {
+		row := in.Row(rng.Intn(ns))
+		v := tensor.NewVector(ed)
+		for j := 0; j < ed; j++ {
+			v[j] = row[j] + float32(rng.NormFloat64())*0.05
+		}
+		qs[q] = v
+	}
+	return mem, qs
+}
+
+// bruteTopKRows returns the k rows with the largest logits (ties to the
+// lower row), ascending, via a full scan.
+func bruteTopKRows(logits tensor.Vector, k int) map[int32]bool {
+	idx := make([]int32, len(logits))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		la, lb := logits[idx[a]], logits[idx[b]]
+		if la != lb {
+			return la > lb
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	top := make(map[int32]bool, k)
+	for _, r := range idx[:k] {
+		top[r] = true
+	}
+	return top
+}
+
+// runTopKSweep measures exact vs topk attention at each database size
+// and probe width and writes BENCH_topk.json-shaped output to path.
+func runTopKSweep(path, label, sizeSpec, probeSpec string, ed, k, queries int) error {
+	sizes, err := parseSizeList(sizeSpec)
+	if err != nil {
+		return err
+	}
+	probes, err := parseSizeList(probeSpec)
+	if err != nil {
+		return err
+	}
+	if ed <= 0 {
+		ed = 64
+	}
+	if k <= 0 {
+		k = 32
+	}
+	if queries <= 0 {
+		queries = 100
+	}
+	const clusters = 256
+	file := TopKSweepFile{Label: label, ED: ed, Clusters: clusters, Queries: queries}
+	fmt.Printf("topk sweep: ed=%d k=%d clusters=%d queries=%d sizes=%v nprobe=%v\n",
+		ed, k, clusters, queries, sizes, probes)
+
+	answers := tensor.GaussianMatrix(rand.New(rand.NewSource(11)), 32, ed, 1)
+	ansOf := func(o tensor.Vector, scratch tensor.Vector) int {
+		tensor.MatVec(nil, answers, o, scratch)
+		return scratch.ArgMax()
+	}
+
+	for _, ns := range sizes {
+		rng := rand.New(rand.NewSource(13))
+		mem, qs := clusteredDB(rng, ns, ed, clusters, queries)
+		chunk := 1000
+		if ns < chunk {
+			chunk = ns
+		}
+		exact := core.NewColumn(mem, core.Options{ChunkSize: chunk})
+		o := tensor.NewVector(ed)
+
+		// Exact baseline: latency, per-query outputs, answers, and the
+		// brute-force top-k row sets for recall scoring.
+		exactRes := testing.Benchmark(func(b *testing.B) {
+			exact.Infer(qs[0], o)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				exact.Infer(qs[i%len(qs)], o)
+			}
+		})
+		exactNs := roundNsPerOp(exactRes)
+
+		exactAns := make([]int, len(qs))
+		bruteTop := make([]map[int32]bool, len(qs))
+		logits := tensor.NewVector(ns)
+		ansScratch := tensor.NewVector(answers.Rows)
+		for q, u := range qs {
+			exact.Infer(u, o)
+			exactAns[q] = ansOf(o, ansScratch)
+			tensor.MatVec(nil, mem.In, u, logits)
+			bruteTop[q] = bruteTopKRows(logits, k)
+		}
+
+		t0 := time.Now()
+		ix := sparse.BuildTopKIndex(mem.In, sparse.IndexOptions{})
+		buildMS := time.Since(t0).Milliseconds()
+
+		for _, nprobe := range probes {
+			if nprobe > ix.NList() {
+				continue
+			}
+			eng := core.NewTopKWithIndex(mem, core.Options{ChunkSize: chunk}, ix, nprobe)
+			res := testing.Benchmark(func(b *testing.B) {
+				eng.Infer(qs[0], o)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Infer(qs[i%len(qs)], o)
+				}
+			})
+
+			var agree int
+			var recall, probed float64
+			ps := sparse.GetProbeScratch()
+			for q, u := range qs {
+				cand, _ := ix.Candidates(u, nprobe, ps)
+				probed += float64(len(cand))
+				hit := 0
+				for _, r := range cand {
+					if bruteTop[q][r] {
+						hit++
+					}
+				}
+				recall += float64(hit) / float64(len(bruteTop[q]))
+				eng.Infer(u, o)
+				if ansOf(o, ansScratch) == exactAns[q] {
+					agree++
+				}
+			}
+			sparse.PutProbeScratch(ps)
+
+			e := TopKSweepEntry{
+				NS: ns, NList: ix.NList(), NProbe: nprobe, K: k,
+				ExactNsPerOp:  exactNs,
+				TopKNsPerOp:   roundNsPerOp(res),
+				RecallAtK:     recall / float64(len(qs)),
+				Agreement:     float64(agree) / float64(len(qs)),
+				AvgProbedRows: probed / float64(len(qs)),
+				IndexBuildMS:  buildMS,
+			}
+			e.Speedup = float64(e.ExactNsPerOp) / float64(e.TopKNsPerOp)
+			file.Entries = append(file.Entries, e)
+			fmt.Printf("  ns=%-8d nlist=%-5d nprobe=%-4d exact %11d ns/op  topk %10d ns/op  %6.2fx  recall@%d %.3f  agree %.3f  probed %.0f\n",
+				ns, e.NList, nprobe, e.ExactNsPerOp, e.TopKNsPerOp, e.Speedup, k, e.RecallAtK, e.Agreement, e.AvgProbedRows)
+		}
+	}
+
+	raw, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -67,6 +67,10 @@ func main() {
 		exitThresh  = flag.Float64("exit-threshold", 0.9, "confidence at or above which remaining hops are skipped")
 		exitMinHops = flag.Int("exit-min-hops", 1, "earliest hop the gate may exit after")
 		exitFall    = flag.Float64("exit-fallback", 0, "confidence below which a question commits to the full hop path (0 = keep gating)")
+		attention   = flag.String("attention", "exact", "attention mode: exact, or topk (IVF-indexed approximate top-k over each session story)")
+		topkK       = flag.Int("topk-k", 32, "topk mode: attention survivors per hop (0 = keep every probed candidate)")
+		topkNProbe  = flag.Int("topk-nprobe", 0, "topk mode: inverted lists probed per hop (0 = nlist/16, min 1)")
+		topkMinRows = flag.Int("topk-min-rows", 0, "topk mode: stories below this many sentences run exact attention (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -79,6 +83,24 @@ func main() {
 		log.Fatal("mnnfast-serve: ", err)
 	}
 	srv.SkipThreshold = float32(*skip)
+	switch *attention {
+	case "exact":
+	case "topk":
+		model.SetTopK(memnn.TopKConfig{
+			Enabled: true,
+			K:       *topkK,
+			NProbe:  *topkNProbe,
+			MinRows: *topkMinRows,
+		})
+		floor := *topkMinRows
+		if floor <= 0 {
+			floor = memnn.DefaultTopKMinRows
+		}
+		log.Printf("topk attention: k %d, nprobe %d (0 = nlist/16), exact below %d rows (probe counters under mnnfast_topk_probed_rows)",
+			*topkK, *topkNProbe, floor)
+	default:
+		log.Fatalf("mnnfast-serve: unknown -attention mode %q (want exact or topk)", *attention)
+	}
 	if *earlyExit != "" {
 		metric, err := memnn.ParseExitMetric(*earlyExit)
 		if err != nil {

@@ -14,6 +14,10 @@
 //   - gate-off ≡ pre-gate code path, and a gate that cannot fire
 //     (threshold above every reachable confidence) ≡ gate-off
 //     (memnn/exit.go)
+//   - topk full-probe no-cut ≡ exact, topk-enabled-but-unindexed ≡
+//     exact, and narrow-probe topk bit-identical across every engine
+//     configuration against its own serial-unbatched baseline
+//     (internal/sparse, memnn/topk.go)
 //
 // Kernel tiers are deliberately NOT compared against each other: the
 // scalar/go/avx2 Dot kernels reassociate the reduction differently and
@@ -163,9 +167,9 @@ func runTier(t testing.TB, tier string, opt Options) {
 		base[i] = append([]float32(nil), fw.Logits...)
 	}
 
-	check := func(engine string, q int, got tensor.Vector) {
+	checkAgainst := func(baseline [][]float32, engine string, q int, got tensor.Vector) {
 		t.Helper()
-		want := base[q]
+		want := baseline[q]
 		if len(got) != len(want) {
 			t.Fatalf("equivtest: tier %s, %s, q %d: %d logits, baseline has %d",
 				tier, engine, q, len(got), len(want))
@@ -176,6 +180,10 @@ func runTier(t testing.TB, tier string, opt Options) {
 					tier, engine, q, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
 			}
 		}
+	}
+	check := func(engine string, q int, got tensor.Vector) {
+		t.Helper()
+		checkAgainst(base, engine, q, got)
 	}
 
 	// Unbatched, gate armed per metric with a threshold that cannot
@@ -194,7 +202,7 @@ func runTier(t testing.TB, tier string, opt Options) {
 	}
 
 	// Batched and parallel-batched, gate off and gate armed-but-unfireable.
-	checkBatch := func(engine string, policy memnn.ExitPolicy) {
+	checkBatch := func(baseline [][]float32, engine string, policy memnn.ExitPolicy) {
 		t.Helper()
 		var bf memnn.BatchForward
 		out := make([]int, len(fx.exs))
@@ -206,18 +214,77 @@ func runTier(t testing.TB, tier string, opt Options) {
 						tier, engine, q, got, hops)
 				}
 			}
-			check(engine, q, bf.Logits(q))
+			checkAgainst(baseline, engine, q, bf.Logits(q))
 		}
 	}
 	gatedInf := memnn.ExitPolicy{Metric: memnn.ExitMargin, Threshold: neverFire(), MinHops: 1}
-	checkBatch("batched serial gate-off", memnn.ExitPolicy{})
-	checkBatch("batched serial gated-inf", gatedInf)
-	for _, p := range opt.Workers {
-		pool := tensor.NewPool(p)
-		model.SetParallel(pool)
-		checkBatch("batched P="+strconv.Itoa(p)+" gate-off", memnn.ExitPolicy{})
-		checkBatch("batched P="+strconv.Itoa(p)+" gated-inf", gatedInf)
-		model.SetParallel(nil)
-		pool.Close()
+	batchSweep := func(baseline [][]float32, prefix string) {
+		t.Helper()
+		checkBatch(baseline, prefix+"batched serial gate-off", memnn.ExitPolicy{})
+		checkBatch(baseline, prefix+"batched serial gated-inf", gatedInf)
+		for _, p := range opt.Workers {
+			pool := tensor.NewPool(p)
+			model.SetParallel(pool)
+			checkBatch(baseline, prefix+"batched P="+strconv.Itoa(p)+" gate-off", memnn.ExitPolicy{})
+			checkBatch(baseline, prefix+"batched P="+strconv.Itoa(p)+" gated-inf", gatedInf)
+			model.SetParallel(nil)
+			pool.Close()
+		}
 	}
+	batchSweep(base, "")
+
+	// Approximate top-k attention. Three contracts, in order:
+	//
+	//  1. topk enabled but the stories never indexed (the MinRows
+	//     fallback and the pre-ingest state) runs the exact path —
+	//     logits match the exact baseline bit for bit.
+	//  2. A full-width probe with no top-k cut visits every row in
+	//     ascending order, so it too reproduces the exact baseline
+	//     bit for bit (the degenerate-index identity).
+	//  3. A genuinely narrow probe changes the answer, so it gets its
+	//     own serial-unbatched baseline; every engine configuration —
+	//     gated-unfireable, batched, parallel-batched — must reproduce
+	//     THAT baseline bit for bit.
+	model.SetTopK(memnn.TopKConfig{Enabled: true, K: 0, NProbe: 1 << 20, MinRows: 1})
+	for i, ex := range fx.exs {
+		fw := model.ApplyInstrumented(ex, opt.Skip, &f, fx.stories[i], nil)
+		check("topk unindexed fallback", i, fw.Logits)
+	}
+	built := make(map[*memnn.EmbeddedStory]bool, len(fx.stories))
+	for _, es := range fx.stories {
+		// Shared-story questions alias one EmbeddedStory; build once.
+		if !built[es] {
+			if !model.BuildStoryIndex(es) {
+				t.Fatalf("equivtest: tier %s: BuildStoryIndex declined with MinRows=1", tier)
+			}
+			built[es] = true
+		}
+	}
+	for i, ex := range fx.exs {
+		fw := model.ApplyInstrumented(ex, opt.Skip, &f, fx.stories[i], nil)
+		check("topk full-probe", i, fw.Logits)
+	}
+
+	// Narrow probe: K/NProbe are query-time knobs, so the indices built
+	// above stay valid.
+	model.SetTopK(memnn.TopKConfig{Enabled: true, K: 4, NProbe: 1, MinRows: 1})
+	topkBase := make([][]float32, len(fx.exs))
+	for i, ex := range fx.exs {
+		fw := model.ApplyInstrumented(ex, opt.Skip, &f, fx.stories[i], nil)
+		topkBase[i] = append([]float32(nil), fw.Logits...)
+	}
+	for _, metric := range exitMetrics {
+		policy := memnn.ExitPolicy{Metric: metric, Threshold: neverFire(), MinHops: 1}
+		name := "topk unbatched gated-inf " + metric.String()
+		for i, ex := range fx.exs {
+			fw := model.ApplyGated(ex, opt.Skip, policy, &f, fx.stories[i], nil)
+			if fw.ExitHop != hops {
+				t.Fatalf("equivtest: tier %s, %s, q %d: exited after %d hops with an unfireable threshold, want %d",
+					tier, name, i, fw.ExitHop, hops)
+			}
+			checkAgainst(topkBase, name, i, fw.Logits)
+		}
+	}
+	batchSweep(topkBase, "topk ")
+	model.SetTopK(memnn.TopKConfig{})
 }

@@ -128,7 +128,7 @@ func (r *Result) ServerReport() string {
 	if d == nil {
 		return ""
 	}
-	stages := []string{"vectorize", "embed", "attention", "gate", "output"}
+	stages := []string{"vectorize", "embed", "index-build", "attention", "gate", "output"}
 	var totalSec float64
 	for _, st := range stages {
 		totalSec += d.Value(obs.HistKey(stageFamily, "sum", `stage="`+st+`"`))
@@ -162,6 +162,19 @@ func (r *Result) ServerReport() string {
 	}
 	fmt.Fprintf(&b, "zero-skip: %.0f/%.0f rows skipped (%.1f%%); embedding cache: %.0f hits / %.0f misses (%.1f%% hit)",
 		skipped, total, skipPct, hits, misses, hitPct)
+
+	// Topk probe telemetry, present only when the server ran with
+	// -attention=topk and at least one story cleared the index floor.
+	if probed := d.Value("mnnfast_topk_probed_rows"); probed > 0 {
+		kept := d.Value("mnnfast_topk_candidates")
+		keepPct := 0.0
+		if probed > 0 {
+			keepPct = kept / probed * 100
+		}
+		fmt.Fprintf(&b, "\ntopk: %.0f rows probed, %.0f kept (%.1f%% of probed) across %.0f index builds",
+			probed, kept, keepPct,
+			d.Value(obs.HistKey(stageFamily, "count", `stage="index-build"`)))
+	}
 
 	// Kernel dispatch tier, from the absolute scrape (the info gauge is
 	// constant over a run, so it diffs to 0). Older servers don't export

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"mnnfast/internal/sparse"
 	"mnnfast/internal/tensor"
 	"mnnfast/internal/trace"
 )
@@ -63,6 +64,8 @@ type BatchForward struct {
 	skip    float32
 	wskip   []int64 // per-worker skipped-row counters
 	wrows   []int64 // per-worker considered-row counters
+	wprobed []int64 // per-worker topk probed-row counters
+	wcand   []int64 // per-worker topk surviving-candidate counters
 	gfn     func(worker, lo, hi int)
 }
 
@@ -82,6 +85,34 @@ func (bf *BatchForward) runGroup(g, w int) {
 	es := bf.stories[group[0]]
 	in, outMem := es.MemIn[k], es.MemOut[k]
 	ns := es.NS
+
+	if idx := m.topkIndex(es, k); idx != nil {
+		// Approximate attention: per question, the exact operations of
+		// the unbatched topk hop (probe, candidate top-k softmax,
+		// ascending M_OUT gather) in the same serial order, so batched
+		// and unbatched topk answers are bit-identical by construction.
+		// Rows-outer sharing is the exact path's trick; the probe
+		// already cuts the row traffic it exists to amortize.
+		scr := sparse.GetProbeScratch()
+		var skipped, probed, kept int64
+		for _, q := range group {
+			f := &bf.fs[q]
+			c, ast := idx.Attend(f.U[k], m.topk.K, m.topk.NProbe, scr)
+			p := growVec(f.P[k], ast.Kept)
+			f.P[k] = p
+			copy(p, c.Weights)
+			f.O[k] = growVec(f.O[k], d)
+			skipped += int64(c.WeightedSumGather(outMem, bf.skip, f.O[k]))
+			probed += int64(ast.Probed)
+			kept += int64(ast.Kept)
+		}
+		sparse.PutProbeScratch(scr)
+		bf.wskip[w] += skipped
+		bf.wrows[w] += kept
+		bf.wprobed[w] += probed
+		bf.wcand[w] += kept
+		return
+	}
 
 	// Attention logits: rows outer, questions inner — each memory row
 	// is read once for the whole group. Per question this is exactly
@@ -164,11 +195,16 @@ func (bf *BatchForward) ensure(n, w int) {
 	if cap(bf.wskip) < w {
 		bf.wskip = make([]int64, w)
 		bf.wrows = make([]int64, w)
+		bf.wprobed = make([]int64, w)
+		bf.wcand = make([]int64, w)
 	}
 	bf.wskip = bf.wskip[:w]
 	bf.wrows = bf.wrows[:w]
+	bf.wprobed = bf.wprobed[:w]
+	bf.wcand = bf.wcand[:w]
 	for i := 0; i < w; i++ {
 		bf.wskip[i], bf.wrows[i] = 0, 0
+		bf.wprobed[i], bf.wcand[i] = 0, 0
 	}
 	if bf.gfn == nil {
 		//mnnfast:allow hotalloc gfn is built once per BatchForward and cached; every later ensure reuses it
@@ -289,6 +325,7 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, p
 	for k := 0; k < hops; k++ {
 		he := ev.Begin("hop", -1)
 		skip0, rows0 := sumInt64(bf.wskip), sumInt64(bf.wrows)
+		probed0, cand0 := sumInt64(bf.wprobed), sumInt64(bf.wcand)
 
 		// Story groups are independent within a hop (disjoint question
 		// state), so they are the scheduler's work items: zero-skipping
@@ -323,6 +360,10 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, p
 		ev.Annotate(he, "hop", int64(k))
 		ev.Annotate(he, "skipped", sumInt64(bf.wskip)-skip0)
 		ev.Annotate(he, "rows", sumInt64(bf.wrows)-rows0)
+		if probed := sumInt64(bf.wprobed) - probed0; probed > 0 {
+			ev.Annotate(he, "topk_probed", probed)
+			ev.Annotate(he, "topk_kept", sumInt64(bf.wcand)-cand0)
+		}
 		ev.End(he)
 		if ins != nil {
 			lap(&mark, &ins.AttentionNS)
@@ -366,6 +407,8 @@ func (m *Model) PredictBatchInstrumented(exs []Example, skipThreshold float32, p
 		for i := range bf.wskip {
 			ins.SkippedRows += bf.wskip[i]
 			ins.TotalRows += bf.wrows[i]
+			ins.ProbedRows += bf.wprobed[i]
+			ins.CandRows += bf.wcand[i]
 		}
 	}
 	bf.m, bf.stories = nil, nil // do not pin caller data between batches

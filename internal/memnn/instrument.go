@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"mnnfast/internal/sparse"
 	"mnnfast/internal/tensor"
 	"mnnfast/internal/trace"
 )
@@ -25,6 +26,8 @@ type Instrumentation struct {
 	GateNS      int64 // early-exit confidence gate evaluations (see ExitPolicy)
 	SkippedRows int64 // weighted-sum rows bypassed by zero-skipping
 	TotalRows   int64 // weighted-sum rows considered
+	ProbedRows  int64 // rows scored by topk IVF probes (0 on the exact path)
+	CandRows    int64 // rows surviving the topk cut into softmax + weighted sum
 
 	// Ev, when non-nil, receives per-stage trace events
 	// (embed-question/embed-memory/hop/output, plus the scheduler's
@@ -62,6 +65,13 @@ type EmbeddedStory struct {
 	NS     int              // number of story sentences the cache was built for
 	MemIn  []*tensor.Matrix // per hop: ns×d input memory
 	MemOut []*tensor.Matrix // per hop: ns×d output memory
+
+	// Index holds the per-hop IVF indices for approximate top-k
+	// attention, built by Model.BuildStoryIndex after embedding. Empty
+	// (or shorter than the hop count) means exact attention for the
+	// missing hops. EmbedStoryInto truncates it: re-embedding moves the
+	// rows, so any previous index is stale.
+	Index []*sparse.TopKIndex
 }
 
 // EmbedStoryInto embeds ex's story into es, reusing es's buffers
@@ -83,6 +93,7 @@ func (m *Model) EmbedStoryInto(ex Example, es *EmbeddedStory) {
 	}
 	es.MemIn, es.MemOut = es.MemIn[:hops], es.MemOut[:hops]
 	es.NS = ns
+	es.Index = es.Index[:0] // stale: the rows are about to move
 	for k := 0; k < hops; k++ {
 		in := growMat(es.MemIn[k], ns, d)
 		out := growMat(es.MemOut[k], ns, d)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mnnfast/internal/sched"
+	"mnnfast/internal/sparse"
 	"mnnfast/internal/tensor"
 	"mnnfast/internal/trace"
 )
@@ -100,6 +101,10 @@ type Model struct {
 	// are bit-identical — groups touch disjoint per-question state and
 	// every per-question operation keeps its order.
 	sch *sched.Scheduler
+
+	// topk configures approximate top-k attention (SetTopK, topk.go).
+	// The zero value keeps every hop exact.
+	topk TopKConfig
 }
 
 // SetParallel routes the batched predict path's per-story-group work
@@ -367,27 +372,51 @@ func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *Emb
 		}
 		he := ev.Begin("hop", -1)
 
-		// Input memory representation: p = softmax(u · M_INᵀ), or the
-		// raw inner products during linear-start training.
-		p := growVec(f.P[k], ns)
-		f.P[k] = p
-		tensor.MatVec(nil, in, f.U[k], p)
-		if !m.LinearAttention {
-			tensor.Softmax(p)
-		}
-
-		// Output memory representation: o = Σ pᵢ m_iᴼᵁᵀ, optionally
-		// skipping near-zero attention rows.
 		o := growVec(f.O[k], d)
 		f.O[k] = o
-		o.Zero()
-		skipped := 0
-		for i := 0; i < ns; i++ {
-			if skipThreshold > 0 && p[i] < skipThreshold {
-				skipped++
-				continue
+		skipped, rows := 0, ns
+		if idx := m.topkIndex(es, k); idx != nil {
+			// Approximate attention: probe the hop's IVF index, softmax
+			// only the surviving candidates, gather only their M_OUT
+			// rows. f.P[k] becomes the compact survivor distribution
+			// (ascending row order), which is what the attnmax gate and
+			// the skip threshold then see. Per-question, serial, and
+			// scratch-pooled: bit-identical at any parallelism or batch
+			// composition, allocation-free at steady state.
+			scr := sparse.GetProbeScratch()
+			c, ast := idx.Attend(f.U[k], m.topk.K, m.topk.NProbe, scr)
+			p := growVec(f.P[k], ast.Kept)
+			f.P[k] = p
+			copy(p, c.Weights)
+			skipped = c.WeightedSumGather(out, skipThreshold, o)
+			sparse.PutProbeScratch(scr)
+			rows = ast.Kept
+			ev.Annotate(he, "topk_probed", int64(ast.Probed))
+			ev.Annotate(he, "topk_kept", int64(ast.Kept))
+			if ins != nil {
+				ins.ProbedRows += int64(ast.Probed)
+				ins.CandRows += int64(ast.Kept)
 			}
-			tensor.Axpy(p[i], out.Row(i), o)
+		} else {
+			// Input memory representation: p = softmax(u · M_INᵀ), or
+			// the raw inner products during linear-start training.
+			p := growVec(f.P[k], ns)
+			f.P[k] = p
+			tensor.MatVec(nil, in, f.U[k], p)
+			if !m.LinearAttention {
+				tensor.Softmax(p)
+			}
+
+			// Output memory representation: o = Σ pᵢ m_iᴼᵁᵀ, optionally
+			// skipping near-zero attention rows.
+			o.Zero()
+			for i := 0; i < ns; i++ {
+				if skipThreshold > 0 && p[i] < skipThreshold {
+					skipped++
+					continue
+				}
+				tensor.Axpy(p[i], out.Row(i), o)
+			}
 		}
 
 		// Output calculation input: u' = u + o (adjacent) or
@@ -402,11 +431,11 @@ func (m *Model) applyInto(ex Example, skipThreshold float32, f *Forward, es *Emb
 		u.AddInPlace(o)
 		ev.Annotate(he, "hop", int64(k))
 		ev.Annotate(he, "skipped", int64(skipped))
-		ev.Annotate(he, "rows", int64(ns))
+		ev.Annotate(he, "rows", int64(rows))
 		ev.End(he)
 		if ins != nil {
 			ins.SkippedRows += int64(skipped)
-			ins.TotalRows += int64(ns)
+			ins.TotalRows += int64(rows)
 			lap(&mark, &ins.AttentionNS)
 		}
 

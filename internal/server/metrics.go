@@ -54,16 +54,23 @@ type metrics struct {
 
 	// Per-stage inference accounting (the paper's embedding vs.
 	// inference split, measured on the serving path).
-	stageVectorize *obs.Histogram
-	stageEmbed     *obs.Histogram
-	stageAttention *obs.Histogram
-	stageGate      *obs.Histogram
-	stageOutput    *obs.Histogram
+	stageVectorize  *obs.Histogram
+	stageEmbed      *obs.Histogram
+	stageIndexBuild *obs.Histogram
+	stageAttention  *obs.Histogram
+	stageGate       *obs.Histogram
+	stageOutput     *obs.Histogram
 
 	skippedRows *obs.Counter
 	totalRows   *obs.Counter
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+
+	// Approximate top-k attention accounting (see memnn.TopKConfig):
+	// rows scored by IVF probes vs. rows surviving the cut into the
+	// softmax + weighted sum. Both stay zero on an exact-mode server.
+	topkProbed *obs.Counter
+	topkCand   *obs.Counter
 
 	// Early-exit accounting (see memnn.ExitPolicy): exitHop is the
 	// distribution of hops actually executed per gated answer (mean exit
@@ -103,12 +110,14 @@ func newMetrics(hops int, sessionCount func() int64) *metrics {
 	stage := func(name string) *obs.Histogram {
 		return reg.LabeledHistogram("mnnfast_stage_duration_seconds",
 			"Per-stage inference latency: vectorize (tokenize+encode), embed "+
-				"(question+memory embedding), attention (per-hop softmax and "+
+				"(question+memory embedding), index-build (topk IVF index over "+
+				"the embedded story), attention (per-hop softmax and "+
 				"weighted sum), gate (early-exit confidence checks), output "+
 				"(final projection).", "stage", name)
 	}
 	m.stageVectorize = stage("vectorize")
 	m.stageEmbed = stage("embed")
+	m.stageIndexBuild = stage("index-build")
 	m.stageAttention = stage("attention")
 	m.stageGate = stage("gate")
 	m.stageOutput = stage("output")
@@ -131,6 +140,10 @@ func newMetrics(hops int, sessionCount func() int64) *metrics {
 		"Answers served from a session's cached embedded story.")
 	m.cacheMisses = reg.Counter("mnnfast_embedding_cache_misses_total",
 		"Answers that had to (re)embed the session story.")
+	m.topkProbed = reg.Counter("mnnfast_topk_probed_rows",
+		"Memory rows scored by topk IVF probes (zero on the exact path).")
+	m.topkCand = reg.Counter("mnnfast_topk_candidates",
+		"Memory rows surviving the topk cut into softmax + weighted sum.")
 
 	// Process-wide tensor pool dispatch accounting (see tensor.ReadPoolStats).
 	reg.CounterFunc("mnnfast_tensor_pool_dispatches_total",
@@ -211,6 +224,10 @@ func (m *metrics) observeInference(ins *memnn.Instrumentation) {
 	m.stageOutput.ObserveNS(ins.OutputNS)
 	m.skippedRows.Add(ins.SkippedRows)
 	m.totalRows.Add(ins.TotalRows)
+	if ins.ProbedRows > 0 {
+		m.topkProbed.Add(ins.ProbedRows)
+		m.topkCand.Add(ins.CandRows)
+	}
 }
 
 // observeExit records one gated answer's exit hop: the hop distribution

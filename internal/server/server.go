@@ -435,6 +435,25 @@ func (s *Server) embedSession(sess *session, tr *trace.Trace) error {
 	s.met.stageEmbed.Observe(time.Since(t0))
 	tr.Annotate(sp, "sentences", int64(len(ex.Sentences)))
 	tr.Finish(sp)
+
+	// Topk mode: the IVF index rides beside the embedding cache — built
+	// once per story change, reused by every answer until the next
+	// mutation. BuildStoryIndex is a no-op (and drops any stale index)
+	// when topk is off or the story is below the exact-fallback floor.
+	if s.model.TopK().Enabled {
+		ib := tr.Start("index-build", tr.Root())
+		t1 := time.Now()
+		built := s.model.BuildStoryIndex(&sess.emb)
+		if built {
+			s.met.stageIndexBuild.Observe(time.Since(t1))
+		}
+		var bv int64
+		if built {
+			bv = 1
+		}
+		tr.Annotate(ib, "built", bv)
+		tr.Finish(ib)
+	}
 	return nil
 }
 
@@ -466,6 +485,10 @@ func (s *Server) predict(ex memnn.Example, es *memnn.EmbeddedStory, tr *trace.Tr
 		tr.AddEvents(sp, &st.ev)
 		tr.Annotate(sp, "skipped", st.ins.SkippedRows)
 		tr.Annotate(sp, "rows", st.ins.TotalRows)
+		if st.ins.ProbedRows > 0 {
+			tr.Annotate(sp, "topk_probed", st.ins.ProbedRows)
+			tr.Annotate(sp, "topk_kept", st.ins.CandRows)
+		}
 		if s.ExitPolicy.Enabled() {
 			tr.Annotate(sp, "exit_hop", int64(st.f.ExitHop))
 		}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mnnfast/internal/babi"
+	"mnnfast/internal/memnn"
+)
+
+// topkServer builds a private server (the shared testServer model must
+// not be mutated) with approximate attention armed.
+func topkServer(t *testing.T, cfg memnn.TopKConfig) (*Server, *memnn.Corpus) {
+	t.Helper()
+	opt := babi.GenOptions{Stories: 60, StoryLen: 10, People: 3, Locations: 3}
+	d := babi.Generate(babi.TaskSingleFact, opt, rand.New(rand.NewSource(9)))
+	train, test := d.Split(0.85)
+	corpus := memnn.BuildCorpus(train, test, 0)
+	model, err := memnn.NewModel(memnn.Config{
+		Dim: 16, Hops: 2,
+		Vocab:   corpus.Vocab.Size(),
+		Answers: len(corpus.Answers),
+		MaxSent: corpus.MaxSent,
+	}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.SetTopK(cfg)
+	s, err := New(model, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, corpus
+}
+
+// storyAndAnswer drives one story + one answer through the handler tree
+// and returns the answer index.
+func storyAndAnswer(t *testing.T, ts *httptest.Server, session string, sentences []string, question string) int {
+	t.Helper()
+	resp, body := post(t, ts, "/v1/story", session, StoryRequest{Sentences: sentences, Reset: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("story: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts, "/v1/answer", session, AnswerRequest{Question: question})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("answer: status %d: %s", resp.StatusCode, body)
+	}
+	var ar AnswerResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	return ar.Index
+}
+
+func metricsText(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+// TestServerTopKMetrics: an answer on an indexed session story moves
+// the probe counters and the index-build stage series; the index is
+// built once per story change, not per answer.
+func TestServerTopKMetrics(t *testing.T) {
+	s, _ := topkServer(t, memnn.TopKConfig{Enabled: true, K: 4, NProbe: 1, MinRows: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sentences := []string{
+		"mary went to the kitchen", "john went to the garden",
+		"sandra went to the office", "mary went to the garden",
+		"john went to the kitchen", "sandra went to the garden",
+		"mary went to the office", "john went to the office",
+	}
+	storyAndAnswer(t, ts, "topk", sentences, "where is mary")
+	// Second answer against the unchanged story: cache + index hit.
+	resp, _ := post(t, ts, "/v1/answer", "topk", AnswerRequest{Question: "where is john"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second answer: status %d", resp.StatusCode)
+	}
+
+	text := metricsText(t, ts)
+	for _, want := range []string{"mnnfast_topk_probed_rows", "mnnfast_topk_candidates"} {
+		line := ""
+		for _, l := range strings.Split(text, "\n") {
+			if strings.HasPrefix(l, want+" ") {
+				line = l
+			}
+		}
+		if line == "" || strings.HasSuffix(line, " 0") {
+			t.Errorf("metric %s missing or zero (line %q)", want, line)
+		}
+	}
+	if !strings.Contains(text, `mnnfast_stage_duration_seconds_count{stage="index-build"} 1`) {
+		t.Errorf("index-build stage not observed exactly once:\n%s",
+			grepLines(text, "index-build"))
+	}
+}
+
+// TestServerTopKFullProbeMatchesExact: with every list probed and no
+// cut, a topk server answers exactly like an exact server.
+func TestServerTopKFullProbeMatchesExact(t *testing.T) {
+	sTop, _ := topkServer(t, memnn.TopKConfig{Enabled: true, NProbe: 1 << 20, MinRows: 1})
+	sExact, _ := topkServer(t, memnn.TopKConfig{})
+	tsTop := httptest.NewServer(sTop.Handler())
+	defer tsTop.Close()
+	tsExact := httptest.NewServer(sExact.Handler())
+	defer tsExact.Close()
+
+	sentences := []string{
+		"mary went to the kitchen", "john went to the garden",
+		"sandra went to the office", "mary went to the garden",
+	}
+	for _, q := range []string{"where is mary", "where is john", "where is sandra"} {
+		got := storyAndAnswer(t, tsTop, "a", sentences, q)
+		want := storyAndAnswer(t, tsExact, "a", sentences, q)
+		if got != want {
+			t.Errorf("question %q: topk full-probe answer %d, exact %d", q, got, want)
+		}
+	}
+}
+
+// TestServerTopKBelowFloorFallsBack: a story under MinRows answers on
+// the exact path — no probe counters move, no index-build observed.
+func TestServerTopKBelowFloorFallsBack(t *testing.T) {
+	s, _ := topkServer(t, memnn.TopKConfig{Enabled: true, K: 4, NProbe: 1, MinRows: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	storyAndAnswer(t, ts, "small", []string{"mary went to the kitchen"}, "where is mary")
+	text := metricsText(t, ts)
+	for _, l := range strings.Split(text, "\n") {
+		if strings.HasPrefix(l, "mnnfast_topk_probed_rows ") && !strings.HasSuffix(l, " 0") {
+			t.Errorf("below-floor story probed: %q", l)
+		}
+		if strings.Contains(l, `stage="index-build"`) && strings.HasSuffix(l, "_count 1") {
+			t.Errorf("below-floor story observed index-build: %q", l)
+		}
+	}
+}
+
+func grepLines(text, needle string) string {
+	var sb strings.Builder
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, needle) {
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,102 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"mnnfast/internal/tensor"
+)
+
+// FuzzTopKIndex differentially fuzzes the IVF index against the dense
+// oracle: arbitrary (finite) memory contents and shapes, arbitrary
+// build and probe parameters. Structural invariants are checked on
+// every input; probing every list with no cut must reproduce the dense
+// softmax bit-for-bit. Seed corpus lives in testdata/fuzz/FuzzTopKIndex.
+func FuzzTopKIndex(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, byte(4), byte(3), byte(0), byte(2), byte(1))
+	f.Add([]byte{0, 0, 0, 0}, byte(16), byte(1), byte(3), byte(0), byte(0))
+	f.Add([]byte{255, 128, 7, 9, 200, 13}, byte(63), byte(8), byte(9), byte(5), byte(7))
+	f.Fuzz(func(t *testing.T, data []byte, nb, db, nlistb, kb, nprobeb byte) {
+		n := 1 + int(nb)%96
+		d := 1 + int(db)%12
+		// Fill rows from the data bytes: small finite floats only, so
+		// softmax stays finite and comparisons stay meaningful.
+		m := tensor.NewMatrix(n, d)
+		u := tensor.NewVector(d)
+		at := func(i int) float32 {
+			if len(data) == 0 {
+				return 0
+			}
+			return float32(int8(data[i%len(data)])) / 128
+		}
+		for i := range m.Data {
+			m.Data[i] = at(i)
+		}
+		for j := range u {
+			u[j] = at(len(m.Data) + 7*j)
+		}
+
+		opt := IndexOptions{NList: int(nlistb) % 17, Iters: 1 + int(nlistb)%3, TrainCap: 8}
+		ix := BuildTopKIndex(m, opt)
+		checkListsPartition(t, ix, n)
+
+		ps := GetProbeScratch()
+		defer PutProbeScratch(ps)
+
+		nprobe := int(nprobeb) % (ix.NList() + 2)
+		cand, lists := ix.Candidates(u, nprobe, ps)
+		if len(cand) == 0 || lists < 1 {
+			t.Fatalf("no candidates from a %d-row index (nprobe=%d)", n, nprobe)
+		}
+		for i, r := range cand {
+			if r < 0 || int(r) >= n {
+				t.Fatalf("candidate %d out of range", r)
+			}
+			if i > 0 && cand[i-1] >= r {
+				t.Fatalf("candidates not strictly ascending at %d", i)
+			}
+		}
+
+		k := int(kb) % (n + 2)
+		c, st := ix.Attend(u, k, nprobe, ps)
+		wantKept := st.Probed
+		if k > 0 && k < wantKept {
+			wantKept = k
+		}
+		if st.Kept != wantKept || len(c.Weights) != wantKept || len(c.Index) != wantKept {
+			t.Fatalf("kept %d/%d/%d, want %d", st.Kept, len(c.Weights), len(c.Index), wantKept)
+		}
+		for i, r := range c.Index {
+			if i > 0 && c.Index[i-1] >= r {
+				t.Fatalf("survivors not strictly ascending at %d", i)
+			}
+		}
+		var sum float64
+		for _, w := range c.Weights {
+			sum += float64(w)
+		}
+		if math.Abs(sum-1) > 1e-3 {
+			t.Fatalf("softmax weights sum to %v", sum)
+		}
+
+		// Oracle: full probe, no cut == dense softmax, bit-for-bit.
+		c, st = ix.Attend(u, 0, ix.NList(), ps)
+		if st.Probed != n || st.Kept != n {
+			t.Fatalf("full probe visited %d/%d of %d rows", st.Probed, st.Kept, n)
+		}
+		dense := tensor.NewVector(n)
+		for i := 0; i < n; i++ {
+			dense[i] = tensor.Dot(m.Row(i), u)
+		}
+		tensor.Softmax(dense)
+		for j, w := range c.Weights {
+			if int(c.Index[j]) != j {
+				t.Fatalf("full probe dropped row %d", j)
+			}
+			if math.Float32bits(w) != math.Float32bits(dense[j]) {
+				t.Fatalf("full-probe weight %d bits %x != dense %x",
+					j, math.Float32bits(w), math.Float32bits(dense[j]))
+			}
+		}
+	})
+}

@@ -1,0 +1,468 @@
+// IVF-style approximate top-k attention index (ROADMAP "Million-row
+// memories via sparse top-k attention").
+//
+// MnnFast's zero-skipping (§4.1.2) still scans every memory row per hop
+// to decide what to skip, so hop cost is O(ns·ed). Attention mass in
+// memory networks concentrates on a handful of slots; an inverted-file
+// (IVF) index finds those slots without touching the rest. Build time
+// k-means-clusters the embedded M_IN rows into nlist centroids; query
+// time scores only the rows in the nprobe best centroids, cuts them to
+// the top-k logits, and feeds the survivors to the Compacted gather
+// path. Per-hop work drops to O(probed·ed) with probed ≪ ns.
+//
+// Determinism contract (DESIGN.md §15): the build is float32-only with
+// a fixed visit order (stride-sampled init, ascending-row accumulation,
+// lowest-index tie-breaks), so the same rows under the same kernel tier
+// always produce the same centroids and inverted lists. The query path
+// merges candidates in ascending row order before scoring, so for a
+// fixed index the logits, softmax weights, and weighted sum are
+// bit-identical at any parallelism or batch composition.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+
+	"mnnfast/internal/tensor"
+)
+
+// IndexOptions configure BuildTopKIndex. The zero value picks defaults
+// sized from the row count.
+type IndexOptions struct {
+	// NList is the number of k-means centroids (inverted lists).
+	// 0 selects ceil(sqrt(n)) clamped to [1, 4096].
+	NList int
+	// Iters is the number of Lloyd iterations run on the training
+	// sample. 0 selects 6.
+	Iters int
+	// TrainCap bounds the number of rows the Lloyd iterations see
+	// (stride-sampled from the full matrix; the final assignment pass
+	// always visits every row). 0 selects 32·NList.
+	TrainCap int
+}
+
+// TopKIndex is an inverted-file index over the rows of one embedded
+// memory matrix. Lists are stored CSR-style: list j holds the rows
+// listRow[listOff[j]:listOff[j+1]], ascending.
+type TopKIndex struct {
+	mat       *tensor.Matrix // indexed rows (aliased, not copied)
+	nlist     int
+	centroids *tensor.Matrix // nlist × d
+	listOff   []int32        // nlist+1 prefix offsets into listRow
+	listRow   []int32        // row ids grouped by centroid, ascending per list
+}
+
+// Rows reports the number of indexed rows.
+func (ix *TopKIndex) Rows() int { return ix.mat.Rows }
+
+// NList reports the number of inverted lists (centroids).
+func (ix *TopKIndex) NList() int { return ix.nlist }
+
+// List returns the ascending row ids of inverted list j, aliasing the
+// index storage.
+func (ix *TopKIndex) List(j int) []int32 {
+	return ix.listRow[ix.listOff[j]:ix.listOff[j+1]]
+}
+
+// Centroids returns the centroid matrix, aliasing the index storage.
+func (ix *TopKIndex) Centroids() *tensor.Matrix { return ix.centroids }
+
+// SizeBytes reports the index storage footprint beyond the indexed
+// matrix itself: centroids plus inverted lists.
+func (ix *TopKIndex) SizeBytes() int64 {
+	return ix.centroids.SizeBytes() + int64(len(ix.listOff)+len(ix.listRow))*4
+}
+
+// DefaultNProbe is the probe width used when a query passes nprobe <= 0:
+// nlist/16, at least 1 — roughly 1/16th of the rows at the default
+// sqrt(n) list count.
+func DefaultNProbe(nlist int) int {
+	np := nlist / 16
+	if np < 1 {
+		np = 1
+	}
+	return np
+}
+
+// BuildTopKIndex k-means-clusters the rows of m into an inverted-file
+// index. m must have at least one row; the index aliases m, so the
+// caller must not mutate m afterwards without rebuilding (memnn
+// invalidates the per-story index whenever the story is re-embedded).
+//
+// The build is deterministic: initial centroids are stride-sampled
+// (centroid i starts at row i·n/nlist), Lloyd iterations visit a stride
+// sample of at most TrainCap rows in ascending order with float32
+// accumulation, assignment ties go to the lowest centroid index, and a
+// cluster left empty keeps its previous centroid. Cost is bounded by
+// Iters·TrainCap·nlist·d for training plus one full n·nlist·d
+// assignment pass — a one-time ingest cost amortized across every
+// question and hop on the story.
+//
+//mnnfast:coldpath
+func BuildTopKIndex(m *tensor.Matrix, opt IndexOptions) *TopKIndex {
+	n, d := m.Rows, m.Cols
+	if n == 0 || d == 0 {
+		panic(fmt.Sprintf("sparse: BuildTopKIndex on %dx%d matrix", n, d))
+	}
+	nlist := opt.NList
+	if nlist <= 0 {
+		nlist = int(math.Ceil(math.Sqrt(float64(n))))
+	}
+	if nlist > n {
+		nlist = n
+	}
+	if nlist > 4096 {
+		nlist = 4096
+	}
+	iters := opt.Iters
+	if iters <= 0 {
+		iters = 6
+	}
+	trainN := opt.TrainCap
+	if trainN <= 0 {
+		trainN = 32 * nlist
+	}
+	if trainN < nlist {
+		trainN = nlist
+	}
+	if trainN > n {
+		trainN = n
+	}
+
+	ix := &TopKIndex{mat: m, nlist: nlist, centroids: tensor.NewMatrix(nlist, d)}
+	for j := 0; j < nlist; j++ {
+		copy(ix.centroids.Row(j), m.Row(j*n/nlist))
+	}
+
+	half := tensor.NewVector(nlist) // ½·‖c_j‖², for the distance argmin
+	sums := tensor.NewMatrix(nlist, d)
+	counts := make([]int32, nlist)
+	for it := 0; it < iters; it++ {
+		ix.halfNorms(half)
+		sums.Zero()
+		for j := range counts {
+			counts[j] = 0
+		}
+		for t := 0; t < trainN; t++ {
+			r := m.Row(t * n / trainN)
+			a := ix.assign(r, half)
+			sums.Row(a).AddInPlace(r)
+			counts[a]++
+		}
+		for j := 0; j < nlist; j++ {
+			if counts[j] == 0 {
+				continue // empty cluster keeps its previous centroid
+			}
+			cj := ix.centroids.Row(j)
+			copy(cj, sums.Row(j))
+			cj.Scale(1 / float32(counts[j]))
+		}
+	}
+
+	// Final pass: assign every row, then lay the lists out CSR-style.
+	// Rows are visited ascending, so each list comes out ascending.
+	ix.halfNorms(half)
+	assigned := make([]int32, n)
+	ix.listOff = make([]int32, nlist+1)
+	for i := 0; i < n; i++ {
+		a := ix.assign(m.Row(i), half)
+		assigned[i] = int32(a)
+		ix.listOff[a+1]++
+	}
+	for j := 0; j < nlist; j++ {
+		ix.listOff[j+1] += ix.listOff[j]
+	}
+	ix.listRow = make([]int32, n)
+	fill := make([]int32, nlist)
+	copy(fill, ix.listOff[:nlist])
+	for i := 0; i < n; i++ {
+		a := assigned[i]
+		ix.listRow[fill[a]] = int32(i)
+		fill[a]++
+	}
+	return ix
+}
+
+// halfNorms writes ½·‖c_j‖² for every centroid into half.
+//
+//mnnfast:coldpath
+func (ix *TopKIndex) halfNorms(half tensor.Vector) {
+	for j := 0; j < ix.nlist; j++ {
+		cj := ix.centroids.Row(j)
+		half[j] = 0.5 * tensor.Dot(cj, cj)
+	}
+}
+
+// assign returns the centroid nearest to r under Euclidean distance:
+// argmin ‖r−c‖² = argmax (r·c − ½‖c‖²). Centroids are compared in
+// ascending index order with a strict improvement test, so ties go to
+// the lowest index — the determinism rule rebuilds rely on.
+//
+//mnnfast:coldpath
+func (ix *TopKIndex) assign(r tensor.Vector, half tensor.Vector) int {
+	c := ix.centroids
+	best := 0
+	bestScore := tensor.Dot(r, c.Row(0)) - half[0]
+	j := 1
+	for ; j+4 <= ix.nlist; j += 4 {
+		d0, d1, d2, d3 := tensor.Dot4(r, c.Row(j), c.Row(j+1), c.Row(j+2), c.Row(j+3))
+		if s := d0 - half[j]; s > bestScore {
+			best, bestScore = j, s
+		}
+		if s := d1 - half[j+1]; s > bestScore {
+			best, bestScore = j+1, s
+		}
+		if s := d2 - half[j+2]; s > bestScore {
+			best, bestScore = j+2, s
+		}
+		if s := d3 - half[j+3]; s > bestScore {
+			best, bestScore = j+3, s
+		}
+	}
+	for ; j < ix.nlist; j++ {
+		if s := tensor.Dot(r, c.Row(j)) - half[j]; s > bestScore {
+			best, bestScore = j, s
+		}
+	}
+	return best
+}
+
+// AttendStats reports the work of one Attend call.
+type AttendStats struct {
+	Lists  int // inverted lists actually probed
+	Probed int // candidate rows scored (one Dot of length d each)
+	Kept   int // rows surviving the top-k cut (softmax support)
+}
+
+// ProbeScratch is the pooled per-query scratch for the index query
+// path. All fields are grow-only, so a recycled scratch makes the
+// steady-state query path allocation-free.
+type ProbeScratch struct {
+	scores tensor.Vector // centroid scores u·c_j
+	taken  []bool        // centroid-selection mask
+	cand   []int32       // merged candidate rows, ascending
+	logits tensor.Vector // per-candidate logits u·row
+	keep   []bool        // top-k mask over candidate positions
+	hLog   tensor.Vector // selection heap: logits
+	hPos   []int32       // selection heap: candidate positions
+	c      Compacted     // reusable result (Weights/Index grow-only)
+}
+
+var probePool = sync.Pool{New: func() any { return new(ProbeScratch) }}
+
+// GetProbeScratch draws a query scratch from the process-wide pool.
+//
+//mnnfast:pool-get
+func GetProbeScratch() *ProbeScratch { return probePool.Get().(*ProbeScratch) }
+
+// PutProbeScratch returns a scratch to the pool. The *Compacted
+// returned by Attend aliases the scratch and must not be used after.
+//
+//mnnfast:pool-put
+func PutProbeScratch(ps *ProbeScratch) { probePool.Put(ps) }
+
+// Candidates scores the centroids against u and returns the union of
+// the nprobe best inverted lists as ascending row ids, aliasing ps.
+// nprobe <= 0 selects DefaultNProbe; if the selected lists are all
+// empty, selection extends one list at a time until a candidate
+// appears, so a non-empty index always yields at least one candidate.
+// Centroid ties go to the lowest index. The candidate slice grows by
+// append but is reused across calls, so steady state allocates nothing.
+//
+//mnnfast:hotpath allow=append
+func (ix *TopKIndex) Candidates(u tensor.Vector, nprobe int, ps *ProbeScratch) ([]int32, int) {
+	nlist := ix.nlist
+	if nprobe <= 0 {
+		nprobe = DefaultNProbe(nlist)
+	}
+	if nprobe > nlist {
+		nprobe = nlist
+	}
+
+	ps.scores = growVec(ps.scores, nlist)
+	c := ix.centroids
+	j := 0
+	for ; j+4 <= nlist; j += 4 {
+		d0, d1, d2, d3 := tensor.Dot4(u, c.Row(j), c.Row(j+1), c.Row(j+2), c.Row(j+3))
+		ps.scores[j], ps.scores[j+1], ps.scores[j+2], ps.scores[j+3] = d0, d1, d2, d3
+	}
+	for ; j < nlist; j++ {
+		ps.scores[j] = tensor.Dot(u, c.Row(j))
+	}
+
+	ps.taken = growBool(ps.taken, nlist)
+	ps.cand = ps.cand[:0]
+	probed := 0
+	for t := 0; t < nlist; t++ {
+		if t >= nprobe && len(ps.cand) > 0 {
+			break
+		}
+		best, found := -1, false
+		var bestScore float32
+		for l := 0; l < nlist; l++ {
+			if ps.taken[l] {
+				continue
+			}
+			if !found || ps.scores[l] > bestScore {
+				best, bestScore, found = l, ps.scores[l], true
+			}
+		}
+		if !found {
+			break
+		}
+		ps.taken[best] = true
+		ps.cand = append(ps.cand, ix.List(best)...)
+		probed++
+	}
+	for l := 0; l < nlist; l++ { // reset the mask for the next call
+
+		ps.taken[l] = false
+	}
+	// Lists partition arbitrary row ranges, so the union needs a full
+	// sort to restore the ascending merge order the determinism
+	// contract requires. In-place, allocation-free.
+	slices.Sort(ps.cand)
+	return ps.cand, probed
+}
+
+// Attend runs approximate top-k attention: probe the nprobe best
+// lists, score the candidates against u, keep the k largest logits
+// (k <= 0 keeps every candidate; logit ties go to the lowest row),
+// and softmax the survivors. The result aliases ps: Weights holds the
+// softmax probabilities and Index the ascending surviving rows; Rows
+// is nil — accumulate with WeightedSumGather against the output
+// memory. Candidates are scored and survivors emitted in ascending
+// row order, so the result is bit-deterministic for a fixed index.
+//
+//mnnfast:hotpath
+func (ix *TopKIndex) Attend(u tensor.Vector, k, nprobe int, ps *ProbeScratch) (*Compacted, AttendStats) {
+	cand, lists := ix.Candidates(u, nprobe, ps)
+	st := AttendStats{Lists: lists, Probed: len(cand)}
+
+	// Candidate logits go through the dispatched Dot kernel — not the
+	// register-blocked Dot4 — because Dot's reduction order is what the
+	// dense MatVec path uses, and float32 multiply commutes bitwise:
+	// probing every list therefore reproduces the exact path's logits
+	// bit-for-bit (the fallback identity the tests and fuzz oracle pin).
+	m := ix.mat
+	ps.logits = growVec(ps.logits, len(cand))
+	for i := 0; i < len(cand); i++ {
+		ps.logits[i] = tensor.Dot(u, m.Row(int(cand[i])))
+	}
+
+	kk := k
+	if kk <= 0 || kk > len(cand) {
+		kk = len(cand)
+	}
+	out := &ps.c
+	out.Rows = nil
+	out.Weights = growVec(out.Weights, kk)
+	out.Index = growI32(out.Index, kk)
+	if kk == len(cand) {
+		copy(out.Weights, ps.logits)
+		copy(out.Index, cand)
+	} else {
+		ps.selectTopK(kk)
+		w := 0
+		for pos, keep := range ps.keep {
+			if !keep {
+				continue
+			}
+			out.Weights[w] = ps.logits[pos]
+			out.Index[w] = cand[pos]
+			w++
+		}
+	}
+	st.Kept = kk
+	tensor.Softmax(out.Weights)
+	return out, st
+}
+
+// selectTopK marks the positions of the kk largest logits in ps.keep.
+// Ties keep the lower candidate position (= lower row, since cand is
+// ascending). A fixed-size min-heap over (logit, position): the root
+// is the worst kept entry — smallest logit, largest position among
+// equal logits — and is evicted by any strictly better incoming entry.
+//
+//mnnfast:hotpath
+func (ps *ProbeScratch) selectTopK(kk int) {
+	n := len(ps.logits)
+	ps.hLog = growVec(ps.hLog, kk)
+	ps.hPos = growI32(ps.hPos, kk)
+	for i := 0; i < kk; i++ {
+		ps.hLog[i], ps.hPos[i] = ps.logits[i], int32(i)
+	}
+	for i := kk/2 - 1; i >= 0; i-- {
+		ps.siftDown(i, kk)
+	}
+	for pos := kk; pos < n; pos++ {
+		if heapWorse(ps.hLog[0], ps.hPos[0], ps.logits[pos], int32(pos)) {
+			ps.hLog[0], ps.hPos[0] = ps.logits[pos], int32(pos)
+			ps.siftDown(0, kk)
+		}
+	}
+	ps.keep = growBool(ps.keep, n)
+	for i := range ps.keep {
+		ps.keep[i] = false
+	}
+	for i := 0; i < kk; i++ {
+		ps.keep[ps.hPos[i]] = true
+	}
+}
+
+// heapWorse reports whether entry (l1, p1) ranks strictly worse than
+// (l2, p2): lower logit, or equal logit at a higher position.
+//
+//mnnfast:hotpath
+func heapWorse(l1 float32, p1 int32, l2 float32, p2 int32) bool {
+	return l1 < l2 || (l1 == l2 && p1 > p2)
+}
+
+//mnnfast:hotpath
+func (ps *ProbeScratch) siftDown(i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && heapWorse(ps.hLog[l], ps.hPos[l], ps.hLog[worst], ps.hPos[worst]) {
+			worst = l
+		}
+		if r < n && heapWorse(ps.hLog[r], ps.hPos[r], ps.hLog[worst], ps.hPos[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		ps.hLog[i], ps.hLog[worst] = ps.hLog[worst], ps.hLog[i]
+		ps.hPos[i], ps.hPos[worst] = ps.hPos[worst], ps.hPos[i]
+		i = worst
+	}
+}
+
+// growVec returns s resized to n, reallocating only when capacity is
+// exceeded — the grow-only scratch idiom of the hot paths.
+//
+//mnnfast:hotpath
+func growVec(s tensor.Vector, n int) tensor.Vector {
+	if cap(s) < n {
+		return tensor.NewVector(n)
+	}
+	return s[:n]
+}
+
+//mnnfast:hotpath
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+//mnnfast:hotpath
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,415 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"mnnfast/internal/tensor"
+)
+
+// clusteredMatrix builds rows drawn from nc Gaussian-ish centers — the
+// regime IVF indexing is built for: attention mass concentrated around
+// a few prototypes.
+func clusteredMatrix(rng *rand.Rand, n, d, nc int, noise float32) (*tensor.Matrix, *tensor.Matrix) {
+	centers := tensor.RandomMatrix(rng, nc, d, 1)
+	m := tensor.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		c := centers.Row(i % nc)
+		r := m.Row(i)
+		for j := range r {
+			r[j] = c[j] + (rng.Float32()*2-1)*noise
+		}
+	}
+	return m, centers
+}
+
+// bruteTopK returns the rows of the k largest logits u·row, ties to
+// the lower row — the exact-selection oracle for recall@k.
+func bruteTopK(m *tensor.Matrix, u tensor.Vector, k int) []int32 {
+	type scored struct {
+		l float32
+		r int32
+	}
+	all := make([]scored, m.Rows)
+	for i := range all {
+		all[i] = scored{tensor.Dot(u, m.Row(i)), int32(i)}
+	}
+	slices.SortStableFunc(all, func(a, b scored) int {
+		switch {
+		case a.l > b.l:
+			return -1
+		case a.l < b.l:
+			return 1
+		case a.r < b.r:
+			return -1
+		case a.r > b.r:
+			return 1
+		}
+		return 0
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	rows := make([]int32, k)
+	for i := 0; i < k; i++ {
+		rows[i] = all[i].r
+	}
+	return rows
+}
+
+func recallAtK(got []int32, want []int32) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	set := make(map[int32]bool, len(got))
+	for _, r := range got {
+		set[r] = true
+	}
+	hit := 0
+	for _, r := range want {
+		if set[r] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+func checkListsPartition(t *testing.T, ix *TopKIndex, n int) {
+	t.Helper()
+	seen := make([]bool, n)
+	total := 0
+	for j := 0; j < ix.NList(); j++ {
+		list := ix.List(j)
+		for i, r := range list {
+			if r < 0 || int(r) >= n {
+				t.Fatalf("list %d row %d out of range [0,%d)", j, r, n)
+			}
+			if i > 0 && list[i-1] >= r {
+				t.Fatalf("list %d not strictly ascending at %d: %d >= %d", j, i, list[i-1], r)
+			}
+			if seen[r] {
+				t.Fatalf("row %d appears in two lists", r)
+			}
+			seen[r] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("lists cover %d of %d rows", total, n)
+	}
+}
+
+func TestIndexListsPartitionRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 7, 64, 500} {
+		m := tensor.RandomMatrix(rng, n, 12, 1)
+		ix := BuildTopKIndex(m, IndexOptions{})
+		checkListsPartition(t, ix, n)
+		if ix.Rows() != n {
+			t.Errorf("Rows() = %d, want %d", ix.Rows(), n)
+		}
+		if ix.SizeBytes() <= 0 {
+			t.Errorf("SizeBytes() = %d", ix.SizeBytes())
+		}
+	}
+}
+
+func TestIndexRebuildDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m, _ := clusteredMatrix(rng, 400, 16, 8, 0.1)
+	a := BuildTopKIndex(m, IndexOptions{})
+	b := BuildTopKIndex(m, IndexOptions{})
+	if a.NList() != b.NList() {
+		t.Fatalf("nlist differs across rebuilds: %d vs %d", a.NList(), b.NList())
+	}
+	for i, x := range a.Centroids().Data {
+		if math.Float32bits(x) != math.Float32bits(b.Centroids().Data[i]) {
+			t.Fatalf("centroid bits differ at %d: %x vs %x", i,
+				math.Float32bits(x), math.Float32bits(b.Centroids().Data[i]))
+		}
+	}
+	for j := 0; j < a.NList(); j++ {
+		if !slices.Equal(a.List(j), b.List(j)) {
+			t.Fatalf("list %d differs across rebuilds", j)
+		}
+	}
+}
+
+func TestCandidatesAscendingAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := tensor.RandomMatrix(rng, 300, 8, 1)
+	u := tensor.RandomVector(rng, 8, 1)
+	ix := BuildTopKIndex(m, IndexOptions{})
+	ps := GetProbeScratch()
+	defer PutProbeScratch(ps)
+	for _, nprobe := range []int{0, 1, 2, ix.NList(), ix.NList() + 5} {
+		cand, lists := ix.Candidates(u, nprobe, ps)
+		if len(cand) == 0 {
+			t.Fatalf("nprobe=%d yielded no candidates", nprobe)
+		}
+		if lists < 1 || lists > ix.NList() {
+			t.Fatalf("nprobe=%d probed %d lists", nprobe, lists)
+		}
+		for i := 1; i < len(cand); i++ {
+			if cand[i-1] >= cand[i] {
+				t.Fatalf("candidates not strictly ascending at %d", i)
+			}
+		}
+		if nprobe >= ix.NList() && len(cand) != 300 {
+			t.Fatalf("full probe returned %d of 300 rows", len(cand))
+		}
+	}
+}
+
+// TestFullProbeMatchesDense pins the bit-identity fallback: probing
+// every list with no top-k cut must reproduce the dense softmax
+// exactly — same Dot per row (multiply commutes bitwise), same max,
+// same exp, same scale.
+func TestFullProbeMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{1, 5, 97, 256} {
+		m := tensor.RandomMatrix(rng, n, 16, 1)
+		u := tensor.RandomVector(rng, 16, 1)
+		ix := BuildTopKIndex(m, IndexOptions{})
+
+		want := tensor.NewVector(n)
+		for i := 0; i < n; i++ {
+			want[i] = tensor.Dot(m.Row(i), u)
+		}
+		tensor.Softmax(want)
+
+		ps := GetProbeScratch()
+		c, st := ix.Attend(u, 0, ix.NList(), ps)
+		if st.Probed != n || st.Kept != n {
+			t.Fatalf("full probe: probed %d kept %d of %d", st.Probed, st.Kept, n)
+		}
+		for j, w := range c.Weights {
+			if int(c.Index[j]) != j {
+				t.Fatalf("full probe index[%d] = %d", j, c.Index[j])
+			}
+			if math.Float32bits(w) != math.Float32bits(want[j]) {
+				t.Fatalf("n=%d: weight %d bits %x != dense %x", n, j,
+					math.Float32bits(w), math.Float32bits(want[j]))
+			}
+		}
+		PutProbeScratch(ps)
+	}
+}
+
+// TestAttendDeterministicAcrossScratch pins the query determinism
+// contract: a fixed index gives bit-identical results whatever scratch
+// is passed in and however many times the query runs.
+func TestAttendDeterministicAcrossScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	m, _ := clusteredMatrix(rng, 600, 16, 8, 0.1)
+	u := tensor.RandomVector(rng, 16, 1)
+	ix := BuildTopKIndex(m, IndexOptions{})
+
+	ps1 := GetProbeScratch()
+	c1, st1 := ix.Attend(u, 8, 3, ps1)
+	w1 := c1.Weights.Clone()
+	i1 := slices.Clone(c1.Index)
+	PutProbeScratch(ps1)
+
+	for trial := 0; trial < 3; trial++ {
+		ps2 := &ProbeScratch{} // fresh, un-pooled scratch
+		c2, st2 := ix.Attend(u, 8, 3, ps2)
+		if st2 != st1 {
+			t.Fatalf("stats differ: %+v vs %+v", st2, st1)
+		}
+		if !slices.Equal(c2.Index, i1) {
+			t.Fatalf("rows differ: %v vs %v", c2.Index, i1)
+		}
+		for j := range w1 {
+			if math.Float32bits(c2.Weights[j]) != math.Float32bits(w1[j]) {
+				t.Fatalf("weight %d bits differ", j)
+			}
+		}
+	}
+}
+
+func TestRecallFullProbeIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	m := tensor.RandomMatrix(rng, 400, 16, 1)
+	ix := BuildTopKIndex(m, IndexOptions{})
+	ps := GetProbeScratch()
+	defer PutProbeScratch(ps)
+	for q := 0; q < 10; q++ {
+		u := tensor.RandomVector(rng, 16, 1)
+		c, _ := ix.Attend(u, 10, ix.NList(), ps)
+		if r := recallAtK(c.Index, bruteTopK(m, u, 10)); r != 1 {
+			t.Fatalf("query %d: full-probe recall@10 = %v", q, r)
+		}
+	}
+}
+
+// TestRecallClustered is the property the index exists for: on
+// clustered memories a small probe fraction finds nearly all of the
+// true top-k.
+func TestRecallClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m, centers := clusteredMatrix(rng, 1024, 16, 8, 0.05)
+	ix := BuildTopKIndex(m, IndexOptions{})
+	ps := GetProbeScratch()
+	defer PutProbeScratch(ps)
+
+	nprobe := ix.NList() / 4
+	var sum float64
+	const queries = 20
+	for q := 0; q < queries; q++ {
+		// Queries near a center concentrate attention in one cluster.
+		u := centers.Row(q % 8).Clone()
+		for j := range u {
+			u[j] += (rng.Float32()*2 - 1) * 0.05
+		}
+		c, st := ix.Attend(u, 10, nprobe, ps)
+		if st.Probed >= 1024 {
+			t.Fatalf("query %d probed every row", q)
+		}
+		sum += recallAtK(c.Index, bruteTopK(m, u, 10))
+	}
+	if avg := sum / queries; avg < 0.9 {
+		t.Fatalf("clustered recall@10 = %v, want >= 0.9 (nprobe=%d/%d)", avg, nprobe, ix.NList())
+	}
+}
+
+// TestDuplicateRowsTieBreak is the adversarial memory: every row
+// identical, so every logit ties. The cut must keep the lowest rows.
+func TestDuplicateRowsTieBreak(t *testing.T) {
+	m := tensor.NewMatrix(64, 8)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 8; j++ {
+			m.Set(i, j, 0.5)
+		}
+	}
+	u := tensor.NewVector(8)
+	u.Fill(1)
+	ix := BuildTopKIndex(m, IndexOptions{})
+	ps := GetProbeScratch()
+	defer PutProbeScratch(ps)
+	c, st := ix.Attend(u, 5, ix.NList(), ps)
+	if st.Probed != 64 {
+		t.Fatalf("probed %d of 64 duplicate rows", st.Probed)
+	}
+	want := []int32{0, 1, 2, 3, 4}
+	if !slices.Equal(c.Index, want) {
+		t.Fatalf("tie-break kept %v, want %v", c.Index, want)
+	}
+	for _, w := range c.Weights {
+		if math.Float32bits(w) != math.Float32bits(float32(0.2)) {
+			t.Fatalf("uniform ties got weight %v", w)
+		}
+	}
+}
+
+func TestWeightedSumGatherMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	memOut := tensor.RandomMatrix(rng, 200, 16, 1)
+	w := sparseWeights(rng, 200, 0.1)
+	const th = 0.1
+
+	c, _ := Compact(w, memOut, th)
+	a := tensor.NewVector(16)
+	c.WeightedSum(a)
+	b := tensor.NewVector(16)
+	if skipped := c.WeightedSumGather(memOut, 0, b); skipped != 0 {
+		t.Fatalf("gather skipped %d pre-cut rows", skipped)
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			t.Fatalf("gather and packed sums differ at %d", i)
+		}
+	}
+
+	// With an inline threshold, gather must skip exactly the rows the
+	// direct pass skips and produce bit-identical output.
+	all := &Compacted{}
+	CompactInto(w, memOut, 0, all) // keep everything, cut inline below
+	d1 := tensor.NewVector(16)
+	kept := DirectSkipSum(w, memOut, th, d1)
+	d2 := tensor.NewVector(16)
+	skipped := all.WeightedSumGather(memOut, th, d2)
+	if 200-skipped != kept {
+		t.Fatalf("gather kept %d, direct kept %d", 200-skipped, kept)
+	}
+	for i := range d1 {
+		if math.Float32bits(d1[i]) != math.Float32bits(d2[i]) {
+			t.Fatalf("thresholded gather differs at %d", i)
+		}
+	}
+}
+
+func TestCompactIntoReuseMatchesCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	scratch := &Compacted{}
+	for trial := 0; trial < 5; trial++ {
+		n := 50 + trial*40
+		out := tensor.RandomMatrix(rng, n, 8, 1)
+		w := sparseWeights(rng, n, 0.15)
+		fresh, stFresh := Compact(w, out, 0.1)
+		stReuse := CompactInto(w, out, 0.1, scratch)
+		if stFresh != stReuse {
+			t.Fatalf("stats differ: %+v vs %+v", stFresh, stReuse)
+		}
+		if !slices.Equal(fresh.Index, scratch.Index) {
+			t.Fatalf("indices differ on reuse")
+		}
+		for j := range fresh.Weights {
+			if fresh.Weights[j] != scratch.Weights[j] {
+				t.Fatalf("weights differ at %d", j)
+			}
+			if tensor.MaxAbsDiff(fresh.Rows.Row(j), scratch.Rows.Row(j)) != 0 {
+				t.Fatalf("rows differ at %d", j)
+			}
+		}
+	}
+}
+
+func TestCompactIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	out := tensor.RandomMatrix(rng, 500, 16, 1)
+	w := sparseWeights(rng, 500, 0.2)
+	c := &Compacted{}
+	o := tensor.NewVector(16)
+	CompactInto(w, out, 0.05, c) // warm the scratch
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if a := testing.AllocsPerRun(50, func() {
+		CompactInto(w, out, 0.05, c)
+		c.WeightedSumGather(out, 0, o)
+	}); a != 0 {
+		t.Fatalf("compact+gather allocates %v per op at steady state", a)
+	}
+}
+
+func TestAttendSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m, _ := clusteredMatrix(rng, 800, 16, 8, 0.1)
+	u := tensor.RandomVector(rng, 16, 1)
+	ix := BuildTopKIndex(m, IndexOptions{})
+	o := tensor.NewVector(16)
+	ps := GetProbeScratch()
+	defer PutProbeScratch(ps)
+	ix.Attend(u, 8, 4, ps) // warm the scratch
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if a := testing.AllocsPerRun(50, func() {
+		c, _ := ix.Attend(u, 8, 4, ps)
+		c.WeightedSumGather(m, 0, o)
+	}); a != 0 {
+		t.Fatalf("probe+gather allocates %v per op at steady state", a)
+	}
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty matrix accepted")
+		}
+	}()
+	BuildTopKIndex(tensor.NewMatrix(0, 8), IndexOptions{})
+}

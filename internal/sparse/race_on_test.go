@@ -1,0 +1,7 @@
+//go:build race
+
+package sparse
+
+// raceEnabled reports whether the race detector is active; allocation
+// counts are not meaningful under -race.
+const raceEnabled = true

@@ -31,29 +31,65 @@ type Compacted struct {
 
 // Compact packs the rows of out whose weight is at least threshold.
 // It is the data transformation a GPU must run before a dense kernel
-// can exploit sparsity.
+// can exploit sparsity. It allocates a fresh Compacted; hot paths use
+// CompactInto with reused scratch instead.
 func Compact(weights tensor.Vector, out *tensor.Matrix, threshold float32) (*Compacted, CompactStats) {
+	c := &Compacted{}
+	st := CompactInto(weights, out, threshold, c)
+	return c, st
+}
+
+// CompactInto is Compact with caller-owned scratch: a count pass sizes
+// Weights/Index/Rows exactly, and all three are grow-only across calls,
+// so a reused Compacted makes the gather path allocation-free at steady
+// state. The stats keep Compact's cost semantics: one GatherOp per
+// weight test plus one per kept row, MovedB counting the packed bytes.
+//
+//mnnfast:hotpath
+func CompactInto(weights tensor.Vector, out *tensor.Matrix, threshold float32, c *Compacted) CompactStats {
 	if len(weights) != out.Rows {
 		panic(fmt.Sprintf("sparse: %d weights for %d rows", len(weights), out.Rows))
 	}
 	st := CompactStats{Rows: out.Rows}
-	c := &Compacted{}
-	for i, w := range weights {
+	kept := 0
+	for _, w := range weights {
 		st.GatherOp++
+		// Same predicate as the fill pass (not w >= threshold), so
+		// non-finite weights count consistently in both passes.
+		if !(w < threshold) {
+			kept++
+		}
+	}
+	st.Kept = kept
+	c.Weights = growVec(c.Weights, kept)
+	c.Index = growI32(c.Index, kept)
+	c.Rows = growMat(c.Rows, kept, out.Cols)
+	j := 0
+	for i, w := range weights {
 		if w < threshold {
 			continue
 		}
-		c.Weights = append(c.Weights, w)
-		c.Index = append(c.Index, int32(i))
-	}
-	st.Kept = len(c.Index)
-	c.Rows = tensor.NewMatrix(st.Kept, out.Cols)
-	for j, src := range c.Index {
-		copy(c.Rows.Row(j), out.Row(int(src)))
+		c.Weights[j] = w
+		c.Index[j] = int32(i)
+		copy(c.Rows.Row(j), out.Row(i))
 		st.MovedB += int64(out.Cols) * 4
 		st.GatherOp++
+		j++
 	}
-	return c, st
+	return st
+}
+
+// growMat resizes m to rows×cols, reallocating only when the backing
+// storage is too small.
+//
+//mnnfast:hotpath
+func growMat(m *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if m == nil || cap(m.Data) < rows*cols {
+		return tensor.NewMatrix(rows, cols)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:rows*cols]
+	return m
 }
 
 // WeightedSum computes o = Σ wⱼ·rowⱼ over the compacted rows.
@@ -62,6 +98,27 @@ func (c *Compacted) WeightedSum(o tensor.Vector) {
 	for j, w := range c.Weights {
 		tensor.Axpy(w, c.Rows.Row(j), o)
 	}
+}
+
+// WeightedSumGather computes o = Σ wⱼ·src.Row(Index[j]) without a
+// packed Rows copy: the indirect gather the top-k attention path uses,
+// reading the surviving rows straight out of the output memory in
+// ascending row order. Weights below threshold are skipped (the same
+// inline test as the exact path's zero-skipping); it returns the number
+// of rows skipped.
+//
+//mnnfast:hotpath
+func (c *Compacted) WeightedSumGather(src *tensor.Matrix, threshold float32, o tensor.Vector) int {
+	o.Zero()
+	skipped := 0
+	for j, w := range c.Weights {
+		if w < threshold {
+			skipped++
+			continue
+		}
+		tensor.Axpy(w, src.Row(int(c.Index[j])), o)
+	}
+	return skipped
 }
 
 // DirectSkipSum computes the same result without compaction: a single

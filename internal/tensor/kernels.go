@@ -1,9 +1,6 @@
 package tensor
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
 // MatVec computes y = A·x where A is rows×cols and x has length cols.
 // y must have length rows. The pool, if non-nil, parallelizes over rows.
@@ -14,20 +11,16 @@ func MatVec(p *Pool, a *Matrix, x, y Vector) {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch A=%dx%d x=%d y=%d", a.Rows, a.Cols, len(x), len(y)))
 	}
 	if p.Workers() == 1 || a.Rows < 2*64 {
-		// Serial path without the closure literal: the parallel branch
-		// stores its closure in pooled dispatch state, which forces a
-		// heap allocation at the call site — constructing it only when
-		// actually parallelizing keeps serial callers allocation-free.
+		// Serial path stays free of pool traffic: small matrices and
+		// serial pools never touch the dispatch-state pool.
 		for i := 0; i < a.Rows; i++ {
 			y[i] = Dot(a.Row(i), x)
 		}
 		return
 	}
-	p.ParallelFor(a.Rows, 64, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			y[i] = Dot(a.Row(i), x)
-		}
-	})
+	s := getMatVecState(a, x, y)
+	p.ParallelFor(a.Rows, 64, s.fn)
+	putMatVecState(s)
 }
 
 // VecMat computes y = xᵀ·A where A is rows×cols and x has length rows.
@@ -44,21 +37,13 @@ func VecMat(p *Pool, x Vector, a *Matrix, y Vector) {
 		// reduced into y under a short lock. Rows are the long axis
 		// (ns), columns are short (ed), so the reduction is cheap —
 		// exactly the scale-out argument of the paper's column-based
-		// algorithm (§3.1). The accumulators come from the vector arena:
-		// no per-worker allocation at steady state.
+		// algorithm (§3.1). The accumulators come from the vector arena
+		// and the dispatch closure from the pooled state: no per-worker
+		// or per-call allocation at steady state.
 		y.Zero()
-		var mu sync.Mutex
-		p.ParallelFor(a.Rows, 64, func(lo, hi int) {
-			accp := GetVector(a.Cols)
-			acc := *accp
-			for i := lo; i < hi; i++ {
-				Axpy(x[i], a.Row(i), acc)
-			}
-			mu.Lock()
-			y.AddInPlace(acc)
-			mu.Unlock()
-			PutVector(accp)
-		})
+		s := getVecMatState(a, x, y)
+		p.ParallelFor(a.Rows, 64, s.fn)
+		putVecMatState(s)
 		return
 	}
 	y.Zero()

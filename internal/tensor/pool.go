@@ -253,15 +253,20 @@ func (p *Pool) dispatch(n, grain int, fn func(lo, hi int), fnw func(worker, lo, 
 }
 
 // Map runs fn(i) for every i in [0, n) with bounded parallelism. It is
-// ParallelFor with grain 1 and a per-index callback.
+// ParallelFor with grain 1 and a per-index callback, adapted through
+// pooled dispatch state rather than a per-call wrapper closure.
 //
 //mnnfast:hotpath
 func (p *Pool) Map(n int, fn func(i int)) {
-	p.ParallelFor(n, 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	if p.Workers() == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
 			fn(i)
 		}
-	})
+		return
+	}
+	s := getMapState(fn)
+	p.ParallelFor(n, 1, s.fn)
+	putMapState(s)
 }
 
 // String describes the pool for logs and experiment headers.

@@ -55,9 +55,13 @@ func LogSumExp(v Vector) float32 {
 //
 //mnnfast:hotpath
 func SoftmaxRows(p *Pool, m *Matrix) {
-	p.ParallelFor(m.Rows, 8, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	if p.Workers() == 1 || m.Rows <= 8 {
+		for i := 0; i < m.Rows; i++ {
 			Softmax(m.Row(i))
 		}
-	})
+		return
+	}
+	s := getSoftmaxRowsState(m)
+	p.ParallelFor(m.Rows, 8, s.fn)
+	putSoftmaxRowsState(s)
 }

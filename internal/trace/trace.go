@@ -16,9 +16,11 @@ import (
 	"time"
 )
 
-// MaxAttrs is the per-span annotation capacity. Worker spans carry the
-// widest set (worker, chunks, steals, idle_ns) — exactly four.
-const MaxAttrs = 4
+// MaxAttrs is the per-span annotation capacity. Topk hop events carry
+// the widest set (hop, skipped, rows, topk_probed, topk_kept) —
+// exactly five; worker spans carry four (worker, chunks, steals,
+// idle_ns).
+const MaxAttrs = 5
 
 // base anchors the process-wide monotonic clock. time.Since reads the
 // monotonic component, so Now is immune to wall-clock steps.
